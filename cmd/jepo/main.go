@@ -1,0 +1,235 @@
+// Command jepo is the CLI form of the JEPO Eclipse plugin: it analyzes Java
+// sources for the Table I energy suggestions (the optimizer view of Fig. 5
+// and the dynamic view of Fig. 2), applies the refactorings automatically,
+// profiles programs at method granularity via injected RAPL probes (the
+// profiler view of Fig. 4 and result.txt), and computes the Table II source
+// metrics.
+//
+// Usage:
+//
+//	jepo suggest [-line N] <file.java>...
+//	jepo optimize [-o dir] [-dry] <file.java>...
+//	jepo profile [-main Class] [-result result.txt] <file.java>...
+//	jepo metrics -root Class <file.java>...
+//	jepo table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"jepo/internal/core"
+	"jepo/internal/suggest"
+	"jepo/internal/tables"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "suggest":
+		err = cmdSuggest(os.Args[2:])
+	case "optimize":
+		err = cmdOptimize(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
+	case "table1":
+		err = cmdTable1()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "jepo: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jepo:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `jepo — Java Energy Profiler & Optimizer (library/CLI reproduction)
+
+commands:
+  suggest   show Table I energy-efficiency suggestions (optimizer view)
+            -line N   order by proximity to line N (dynamic view)
+  optimize  apply the suggestions automatically and report the changes
+            -o DIR    write refactored sources under DIR (default: print)
+            -dry      only report what would change
+  profile   run a program with injected RAPL probes, print per-method energy
+            -main C   main class (required when several classes have main)
+            -result F write the per-execution log (default result.txt)
+  metrics   dependency/attribute/method/package/LOC metrics for a class
+            -root C   root class (required)
+  table1    measure the component-energy ratios behind the suggestions
+`)
+}
+
+// loadProject reads the given .java files (directories are walked).
+func loadProject(args []string) (core.Project, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("no input files")
+	}
+	p := core.Project{}
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			b, err := os.ReadFile(arg)
+			if err != nil {
+				return nil, err
+			}
+			p[arg] = string(b)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".java") {
+				return err
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			p[path] = string(b)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("no .java files found")
+	}
+	return p, nil
+}
+
+func cmdSuggest(args []string) error {
+	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
+	line := fs.Int("line", 0, "order suggestions by proximity to this line (dynamic view)")
+	fs.Parse(args)
+	p, err := loadProject(fs.Args())
+	if err != nil {
+		return err
+	}
+	sugs, err := core.SuggestProject(p)
+	if err != nil {
+		return err
+	}
+	if *line > 0 {
+		fmt.Print(core.DynamicView(sugs, *line))
+		return nil
+	}
+	fmt.Print(core.OptimizerView(sugs))
+	fmt.Printf("\n%d suggestion(s) across %d file(s)\n", len(sugs), len(p))
+	return nil
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	out := fs.String("o", "", "directory to write refactored sources into")
+	dry := fs.Bool("dry", false, "report changes without writing anything")
+	fs.Parse(args)
+	p, err := loadProject(fs.Args())
+	if err != nil {
+		return err
+	}
+	refactored, res, err := core.Optimize(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("applied %d change(s):\n", res.Changes)
+	for _, r := range suggest.AllRules() {
+		if n := res.ByRule[r]; n > 0 {
+			fmt.Printf("  %-30s %d\n", r.Component(), n)
+		}
+	}
+	if *dry {
+		return nil
+	}
+	if *out == "" {
+		for path, src := range refactored {
+			fmt.Printf("\n--- %s (refactored) ---\n%s", path, src)
+		}
+		return nil
+	}
+	for path, src := range refactored {
+		dst := filepath.Join(*out, path)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, []byte(src), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d file(s) under %s\n", len(refactored), *out)
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	mainClass := fs.String("main", "", "class whose main method to run")
+	resultPath := fs.String("result", "result.txt", "path for the per-execution log")
+	fs.Parse(args)
+	p, err := loadProject(fs.Args())
+	if err != nil {
+		return err
+	}
+	res, err := core.Profile(p, core.ProfileConfig{MainClass: *mainClass})
+	if err != nil {
+		return err
+	}
+	if res.Stdout != "" {
+		fmt.Print(res.Stdout)
+		fmt.Println("---")
+	}
+	fmt.Print(res.View())
+	fmt.Printf("\ntotal: package=%v core=%v time=%v\n",
+		res.Sample.Package, res.Sample.Core, res.Sample.Elapsed)
+	if err := res.Profiler.WriteResultTxt(*resultPath); err != nil {
+		return err
+	}
+	fmt.Printf("per-execution log written to %s\n", *resultPath)
+	return nil
+}
+
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	root := fs.String("root", "", "root class for the dependency closure")
+	fs.Parse(args)
+	if *root == "" {
+		return fmt.Errorf("metrics: -root is required")
+	}
+	p, err := loadProject(fs.Args())
+	if err != nil {
+		return err
+	}
+	m, err := core.Metrics(p, *root)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %12s %10s %8s %9s %8s\n",
+		"Class", "Dependencies", "Attributes", "Methods", "Packages", "LOC")
+	fmt.Printf("%-14s %12d %10d %8d %9d %8d\n",
+		m.Root, m.Dependencies, m.Attributes, m.Methods, m.Packages, m.LOC)
+	return nil
+}
+
+func cmdTable1() error {
+	rows, err := tables.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(tables.RenderTable1(rows))
+	return nil
+}

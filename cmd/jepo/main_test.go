@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDemo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	src := `package demo;
+
+public class Demo {
+	static int work(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i++) {
+			s += i % 7;
+		}
+		return s;
+	}
+
+	public static void main(String[] args) {
+		System.out.println(work(100));
+	}
+}
+`
+	path := filepath.Join(dir, "Demo.java")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A non-Java file that must be ignored when walking directories.
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignore me"), 0o644)
+	return dir
+}
+
+func TestLoadProject(t *testing.T) {
+	dir := writeDemo(t)
+	p, err := loadProject([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 {
+		t.Fatalf("project files = %d, want 1 (.txt ignored)", len(p))
+	}
+	if _, err := loadProject(nil); err == nil {
+		t.Error("empty args accepted")
+	}
+	if _, err := loadProject([]string{filepath.Join(dir, "missing.java")}); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := t.TempDir()
+	if _, err := loadProject([]string{empty}); err == nil {
+		t.Error("directory without java files accepted")
+	}
+}
+
+func TestCmdSuggest(t *testing.T) {
+	dir := writeDemo(t)
+	if err := cmdSuggest([]string{filepath.Join(dir, "Demo.java")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSuggest([]string{"-line", "7", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSuggest([]string{filepath.Join(dir, "nope.java")}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestCmdOptimize(t *testing.T) {
+	dir := writeDemo(t)
+	if err := cmdOptimize([]string{"-dry", dir}); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	if err := cmdOptimize([]string{"-o", out, dir}); err != nil {
+		t.Fatal(err)
+	}
+	// The refactored file must exist under the output dir.
+	found := false
+	filepath.WalkDir(out, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".java" {
+			found = true
+		}
+		return nil
+	})
+	if !found {
+		t.Error("no refactored .java written")
+	}
+}
+
+func TestCmdProfile(t *testing.T) {
+	dir := writeDemo(t)
+	result := filepath.Join(t.TempDir(), "result.txt")
+	if err := cmdProfile([]string{"-result", result, dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(result); err != nil {
+		t.Errorf("result.txt not written: %v", err)
+	}
+	if err := cmdProfile([]string{"-main", "NoSuchClass", dir}); err == nil {
+		t.Error("bad main class accepted")
+	}
+}
+
+func TestCmdMetrics(t *testing.T) {
+	dir := writeDemo(t)
+	if err := cmdMetrics([]string{"-root", "Demo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMetrics([]string{dir}); err == nil {
+		t.Error("missing -root accepted")
+	}
+	if err := cmdMetrics([]string{"-root", "Ghost", dir}); err == nil {
+		t.Error("unknown root accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Command jperf is the reproduction's analog of the Linux perf tool the
+// paper's §VIII uses ("we first run each classifier 10 times to measure
+// Package energy, CPU energy, and execution time using perf Linux tool"):
+// it runs a mini-Java program repeatedly, reads the RAPL counters around
+// each run, applies the paper's Tukey outlier-replacement protocol, and
+// prints a perf-stat-style report.
+//
+// Usage:
+//
+//	jperf [-main Class] [-r runs] [-tukey] <file.java>...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"jepo/internal/energy"
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/interp"
+	"jepo/internal/minijava/parser"
+	"jepo/internal/rapl"
+	"jepo/internal/stats"
+)
+
+func main() {
+	mainClass := flag.String("main", "", "class whose main method to run")
+	runs := flag.Int("r", 10, "repeat count (perf -r), as in the paper")
+	tukey := flag.Bool("tukey", true, "replace Tukey outliers with fresh runs")
+	flag.Parse()
+	if err := run(*mainClass, *runs, *tukey, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "jperf:", err)
+		os.Exit(1)
+	}
+}
+
+// measurement is one run's counters.
+type measurement struct {
+	pkg, core, dram energy.Joules
+	elapsed         time.Duration
+	cycles          float64
+}
+
+func run(mainClass string, runs int, tukey bool, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no input files")
+	}
+	files, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	prog, err := loadProg(files)
+	if err != nil {
+		return err
+	}
+
+	var all []measurement
+	measure := func() float64 {
+		m, err2 := runOnce(prog, mainClass)
+		if err2 != nil && err == nil {
+			err = err2
+		}
+		all = append(all, m)
+		return float64(m.pkg)
+	}
+
+	protocol := stats.Protocol{Runs: runs, MaxRounds: 10}
+	if !tukey {
+		protocol.MaxRounds = 0
+	}
+	meanPkg, samples, perr := protocol.Measure(measure)
+	if perr != nil {
+		return perr
+	}
+	if err != nil {
+		return err
+	}
+
+	var cores, drams, times, cycles []float64
+	for _, m := range all[len(all)-len(samples):] {
+		cores = append(cores, float64(m.core))
+		drams = append(drams, float64(m.dram))
+		times = append(times, float64(m.elapsed))
+		cycles = append(cycles, m.cycles)
+	}
+	meanTime := time.Duration(stats.Mean(times))
+
+	fmt.Printf(" Performance counter stats for %q (%d runs):\n\n", strings.Join(args, " "), len(samples))
+	printJ := func(label string, j float64) {
+		fmt.Printf(" %18.6f Joules %-24s\n", j, label)
+	}
+	printJ("power/energy-pkg/", meanPkg)
+	printJ("power/energy-cores/", stats.Mean(cores))
+	printJ("power/energy-ram/", stats.Mean(drams))
+	fmt.Printf(" %18.0f        %-24s # %.3f GHz\n", stats.Mean(cycles), "cycles",
+		stats.Mean(cycles)/meanTime.Seconds()/1e9)
+	fmt.Printf("\n %18.9f seconds time elapsed", meanTime.Seconds())
+	if sd := stats.StdDev(times); sd > 0 && meanTime > 0 {
+		fmt.Printf("  ( +- %.2f%% )", 100*sd/float64(meanTime))
+	}
+	fmt.Println()
+	return nil
+}
+
+// loadProg links the parsed files into an executable program.
+func loadProg(files []*ast.File) (*interp.Program, error) {
+	return interp.Load(files...)
+}
+
+func runOnce(prog *interp.Program, mainClass string) (measurement, error) {
+	meter := energy.NewMeter(energy.DefaultCosts())
+	src := rapl.NewSimSource(meter)
+	before, err := src.Snapshot()
+	if err != nil {
+		return measurement{}, err
+	}
+	t0 := meter.Snapshot()
+	in := interp.New(prog, meter, interp.WithMaxOps(2_000_000_000))
+	if err := in.RunMain(mainClass); err != nil {
+		return measurement{}, err
+	}
+	after, err := src.Snapshot()
+	if err != nil {
+		return measurement{}, err
+	}
+	t1 := meter.Snapshot()
+	d := after.Sub(before)
+	return measurement{
+		pkg:     d.Package,
+		core:    d.Core,
+		dram:    d.DRAM,
+		elapsed: t1.Elapsed - t0.Elapsed,
+		cycles:  t1.Cycles - t0.Cycles,
+	}, nil
+}
+
+func parseArgs(args []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		var paths []string
+		if info.IsDir() {
+			err := filepath.WalkDir(arg, func(path string, d os.DirEntry, err error) error {
+				if err == nil && !d.IsDir() && strings.HasSuffix(path, ".java") {
+					paths = append(paths, path)
+				}
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			paths = []string{arg}
+		}
+		for _, path := range paths {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.Parse(path, string(b))
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .java files found")
+	}
+	return files, nil
+}

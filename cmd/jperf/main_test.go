@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDemo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	src := `class Demo {
+	public static void main(String[] args) {
+		int s = 0;
+		for (int i = 0; i < 2000; i++) { s += i % 7; }
+		System.out.println(s);
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "Demo.java"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunMeasures(t *testing.T) {
+	dir := writeDemo(t)
+	if err := run("", 4, true, []string{dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 3, false, []string{filepath.Join(dir, "Demo.java")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 3, true, nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("", 3, true, []string{"missing.java"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := writeDemo(t)
+	if err := run("NoSuchClass", 3, true, []string{dir}); err == nil {
+		t.Error("unknown main class accepted")
+	}
+	bad := t.TempDir()
+	os.WriteFile(filepath.Join(bad, "Bad.java"), []byte("class {"), 0o644)
+	if err := run("", 3, true, []string{bad}); err == nil {
+		t.Error("syntax error accepted")
+	}
+	empty := t.TempDir()
+	if err := run("", 3, true, []string{empty}); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestRunOnceDeterministic(t *testing.T) {
+	dir := writeDemo(t)
+	files, err := parseArgs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loadProg(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := runOnce(prog, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runOnce(prog, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.pkg != b.pkg || a.cycles != b.cycles {
+		t.Errorf("simulated runs diverged: %+v vs %+v", a, b)
+	}
+	if a.pkg <= 0 || a.elapsed <= 0 {
+		t.Errorf("degenerate measurement: %+v", a)
+	}
+}

@@ -1,0 +1,152 @@
+// Command wekaexp regenerates the paper's evaluation tables end to end:
+//
+//	wekaexp -table 1            component energy ratios (Table I)
+//	wekaexp -table 2            per-classifier WEKA metrics (Table II)
+//	wekaexp -table 3            airlines schema & distribution (Table III)
+//	wekaexp -table 4            the full §VIII validation (Table IV)
+//	wekaexp -table all          everything
+//
+// Table IV runs the complete pipeline per classifier — corpus generation,
+// JEPO refactoring, kernel energy measurement under the repeat/Tukey
+// protocol, and double-vs-float cross-validation — and prints the same
+// columns the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"jepo/internal/airlines"
+	"jepo/internal/corpus"
+	"jepo/internal/jmetrics"
+	"jepo/internal/stats"
+	"jepo/internal/tables"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, ablation or all")
+	seed := flag.Uint64("seed", 20200518, "experiment seed")
+	instances := flag.Int("instances", 2000, "airlines instances for Table IV")
+	reps := flag.Int("reps", 3, "kernel repetitions per Table IV measurement")
+	runs := flag.Int("runs", 5, "measurements per configuration (paper: 10)")
+	folds := flag.Int("folds", 10, "cross-validation folds for accuracy")
+	arff := flag.String("arff", "", "also write the airlines data as ARFF to this path (table 3)")
+	dumpDir := flag.String("dump-corpus", "", "write a generated WEKA-shaped corpus under this directory")
+	dumpFor := flag.String("classifier", "J48", "classifier whose corpus -dump-corpus writes")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.Parse()
+
+	if *dumpDir != "" {
+		if err := dumpCorpus(*dumpDir, *dumpFor, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "wekaexp:", err)
+			os.Exit(1)
+		}
+	}
+
+	run := func(name string, f func() error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "wekaexp: table %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("1", func() error {
+		rows, err := tables.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== Table I: Java components & suggestions (measured) ===")
+		fmt.Print(tables.RenderTable1(rows))
+		fmt.Println()
+		return nil
+	})
+
+	run("2", func() error {
+		rows, err := tables.Table2(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== Table II: WEKA classifier metrics ===")
+		fmt.Print(jmetrics.Table(rows))
+		fmt.Println()
+		return nil
+	})
+
+	run("3", func() error {
+		fmt.Println("=== Table III: MOA airlines data ===")
+		fmt.Print(tables.Table3(*instances, *seed))
+		if *arff != "" {
+			f, err := os.Create(*arff)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := airlines.Generate(*instances, *seed).WriteARFF(f); err != nil {
+				return err
+			}
+			fmt.Printf("ARFF written to %s\n", *arff)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("ablation", func() error {
+		cfg := tables.DefaultAblationConfig()
+		cfg.Seed = *seed
+		cfg.Instances = *instances
+		rows, err := tables.Ablate(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== Ablation: cost-model mechanisms behind the Table IV headline ===")
+		fmt.Print(tables.RenderAblation(cfg.Classifier, rows))
+		fmt.Println()
+		return nil
+	})
+
+	run("4", func() error {
+		cfg := tables.Table4Config{
+			Seed:      *seed,
+			Instances: *instances,
+			Reps:      *reps,
+			Protocol:  stats.Protocol{Runs: *runs, MaxRounds: 10},
+			CVFolds:   *folds,
+		}
+		if *verbose {
+			cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+		}
+		fmt.Println("=== Table IV: WEKA evaluation ===")
+		rows, err := tables.Table4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tables.RenderTable4(rows))
+		fmt.Println()
+		return nil
+	})
+}
+
+// dumpCorpus materializes one classifier's generated corpus as .java files on
+// disk, so the jepo and jperf CLIs can be pointed at it directly.
+func dumpCorpus(dir, classifier string, seed uint64) error {
+	p, err := corpus.Generate(classifier, seed)
+	if err != nil {
+		return err
+	}
+	for _, f := range p.Files {
+		dst := filepath.Join(dir, filepath.FromSlash(f.Path))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, []byte(f.Source), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("corpus for %s written under %s (%d files)\n", classifier, dir, len(p.Files))
+	return nil
+}

@@ -1,0 +1,72 @@
+// Quickstart: analyze a Java source with JEPO, apply the suggestions, and
+// measure the energy difference — the full plugin workflow in ~50 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jepo/internal/core"
+)
+
+const source = `
+package demo;
+
+public class Report {
+	static double total = 0.0;
+
+	static String build(int n) {
+		String out = "";
+		for (int i = 0; i < n; i++) {
+			int bucket = i % 8;
+			double weight = bucket * 2.5;
+			total += weight;
+			out = out + "#";
+		}
+		return out;
+	}
+
+	public static void main(String[] args) {
+		String r = build(400);
+		System.out.println(r.length());
+	}
+}
+`
+
+func main() {
+	project := core.Project{"demo/Report.java": source}
+
+	// 1. Static analysis: the Table I suggestions (Fig. 5 optimizer view).
+	sugs, err := core.SuggestProject(project)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- JEPO optimizer view ---")
+	fmt.Print(core.OptimizerView(sugs))
+
+	// 2. Measure the original program (method-granularity RAPL probes).
+	before, err := core.Profile(project, core.ProfileConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Apply every suggestion automatically.
+	optimized, res, err := core.Optimize(project)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\napplied %d change(s)\n", res.Changes)
+
+	// 4. Measure again and report the improvement.
+	after, err := core.Profile(optimized, core.ProfileConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if before.Stdout != after.Stdout {
+		log.Fatalf("refactoring changed program output: %q vs %q", before.Stdout, after.Stdout)
+	}
+	improvement := 100 * (1 - float64(after.Sample.Package)/float64(before.Sample.Package))
+	fmt.Printf("\npackage energy: %v → %v  (%.1f%% improvement)\n",
+		before.Sample.Package, after.Sample.Package, improvement)
+	fmt.Printf("execution time: %v → %v\n", before.Sample.Elapsed, after.Sample.Elapsed)
+}

@@ -1,0 +1,3 @@
+module jepo
+
+go 1.22

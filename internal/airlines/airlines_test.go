@@ -1,0 +1,142 @@
+package airlines
+
+import (
+	"strings"
+	"testing"
+
+	"jepo/internal/dataset"
+)
+
+func TestSchemaMatchesTableIII(t *testing.T) {
+	attrs := Attrs()
+	if len(attrs) != 8 {
+		t.Fatalf("attributes = %d, want 8", len(attrs))
+	}
+	want := []struct {
+		name string
+		kind dataset.AttrKind
+		card int
+	}{
+		{"Airline", dataset.Nominal, 18},
+		{"Flight", dataset.Numeric, 0},
+		{"AirportFrom", dataset.Nominal, 293},
+		{"AirportTo", dataset.Nominal, 293},
+		{"DayOfWeek", dataset.Nominal, 7},
+		{"Time", dataset.Numeric, 0},
+		{"Length", dataset.Numeric, 0},
+		{"Delay", dataset.Nominal, 2},
+	}
+	for i, w := range want {
+		a := attrs[i]
+		if a.Name != w.name || a.Kind != w.kind || a.NumValues() != w.card {
+			t.Errorf("attr %d = %s/%v/%d, want %s/%v/%d",
+				i, a.Name, a.Kind, a.NumValues(), w.name, w.kind, w.card)
+		}
+	}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	d := Generate(PaperSize, 42)
+	if d.NumInstances() != PaperSize {
+		t.Fatalf("instances = %d", d.NumInstances())
+	}
+	if d.ClassIdx != ColDelay || d.NumClasses() != 2 {
+		t.Error("class attribute wrong")
+	}
+	d2 := Generate(PaperSize, 42)
+	for i := 0; i < 100; i++ {
+		for j := range d.X[i] {
+			if d.X[i][j] != d2.X[i][j] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+	d3 := Generate(1000, 43)
+	same := true
+	for j := range d.X[0] {
+		if d.X[0][j] != d3.X[0][j] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical first rows")
+	}
+}
+
+func TestGenerateValueRanges(t *testing.T) {
+	d := Generate(5000, 7)
+	for i, row := range d.X {
+		if row[ColAirline] < 0 || row[ColAirline] >= NumAirlines {
+			t.Fatalf("row %d airline out of range: %v", i, row[ColAirline])
+		}
+		if row[ColFrom] == row[ColTo] {
+			t.Fatalf("row %d has identical airports", i)
+		}
+		if row[ColTime] < 0 || row[ColTime] >= 1440 {
+			t.Fatalf("row %d time out of range: %v", i, row[ColTime])
+		}
+		if row[ColLength] < 20 || row[ColLength] > 655 {
+			t.Fatalf("row %d length out of range: %v", i, row[ColLength])
+		}
+		if c := row[ColDelay]; c != 0 && c != 1 {
+			t.Fatalf("row %d class = %v", i, c)
+		}
+	}
+}
+
+func TestClassBalanceReasonable(t *testing.T) {
+	d := Generate(PaperSize, 42)
+	counts := d.ClassCounts()
+	frac := float64(counts[1]) / float64(d.NumInstances())
+	// The real airlines data is ≈45% delayed; ours should be broadly
+	// balanced, not degenerate.
+	if frac < 0.25 || frac > 0.75 {
+		t.Errorf("delay fraction = %.3f, want within [0.25, 0.75]", frac)
+	}
+}
+
+func TestCardinalitiesRealized(t *testing.T) {
+	d := Generate(PaperSize, 42)
+	if got := d.DistinctValues(ColAirline); got != 18 {
+		t.Errorf("distinct airlines = %d, want 18 (Table III)", got)
+	}
+	if got := d.DistinctValues(ColFrom); got != 293 {
+		t.Errorf("distinct origin airports = %d, want 293 (Table III)", got)
+	}
+}
+
+func TestLearnableStructure(t *testing.T) {
+	// A one-rule classifier on the airline bias must beat the majority rate:
+	// the delay signal is real, not noise.
+	d := Generate(PaperSize, 42)
+	perAirline := make([][2]int, NumAirlines)
+	for i, row := range d.X {
+		perAirline[int(row[ColAirline])][d.Class(i)]++
+	}
+	correct := 0
+	for _, row := range d.X {
+		counts := perAirline[int(row[ColAirline])]
+		pred := 0
+		if counts[1] > counts[0] {
+			pred = 1
+		}
+		if float64(pred) == row[ColDelay] {
+			correct++
+		}
+	}
+	oneRule := float64(correct) / float64(d.NumInstances())
+	maj := d.ClassCounts()[d.MajorityClass()]
+	majority := float64(maj) / float64(d.NumInstances())
+	if oneRule < majority+0.02 {
+		t.Errorf("one-rule accuracy %.3f does not beat majority %.3f: no learnable signal", oneRule, majority)
+	}
+}
+
+func TestTableIIIRendering(t *testing.T) {
+	out := TableIII()
+	for _, want := range []string{"Airline", "Nominal", "Delay", "Binary", "AirportFrom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package bayes implements the probabilistic classifiers: NaiveBayes with
+// Gaussian likelihoods for numeric attributes and Laplace-smoothed
+// multinomials for nominal ones, matching WEKA's default NaiveBayes.
+package bayes
+
+import (
+	"fmt"
+	"math"
+
+	"jepo/internal/classify"
+	"jepo/internal/dataset"
+)
+
+// NaiveBayes is the classic conditional-independence classifier.
+type NaiveBayes struct {
+	opts classify.Options
+
+	attrs    []*dataset.Attribute
+	classIdx int
+	nc       int
+	priors   []float64     // log priors
+	nomLog   [][][]float64 // [attr][class][value] log P(v|c); nil for numeric
+	mean     [][]float64   // [attr][class]
+	std      [][]float64
+}
+
+// New builds a NaiveBayes.
+func New(opts classify.Options) *NaiveBayes { return &NaiveBayes{opts: opts} }
+
+// Name implements Classifier.
+func (c *NaiveBayes) Name() string { return "NaiveBayes" }
+
+// minStd keeps Gaussian likelihoods finite on constant columns, as WEKA's
+// precision default does.
+const minStd = 1e-3
+
+// Train implements Classifier.
+func (c *NaiveBayes) Train(d *dataset.Dataset) error {
+	if d.NumInstances() == 0 {
+		return fmt.Errorf("naivebayes: empty training set")
+	}
+	c.attrs = d.Attrs
+	c.classIdx = d.ClassIdx
+	c.nc = d.NumClasses()
+	counts := d.ClassCounts()
+	n := float64(d.NumInstances())
+	c.priors = make([]float64, c.nc)
+	for k, cnt := range counts {
+		c.priors[k] = math.Log((float64(cnt) + 1) / (n + float64(c.nc)))
+	}
+	c.nomLog = make([][][]float64, len(d.Attrs))
+	c.mean = make([][]float64, len(d.Attrs))
+	c.std = make([][]float64, len(d.Attrs))
+	for j, a := range d.Attrs {
+		if j == d.ClassIdx {
+			continue
+		}
+		if a.Kind == dataset.Nominal {
+			table := make([][]float64, c.nc)
+			for k := range table {
+				table[k] = make([]float64, a.NumValues())
+			}
+			for i, row := range d.X {
+				if math.IsNaN(row[j]) {
+					continue
+				}
+				table[d.Class(i)][int(row[j])]++
+			}
+			for k := range table {
+				total := 0.0
+				for _, v := range table[k] {
+					total += v
+				}
+				for v := range table[k] {
+					// Laplace smoothing.
+					table[k][v] = math.Log((table[k][v] + 1) / (total + float64(a.NumValues())))
+				}
+			}
+			c.nomLog[j] = table
+			continue
+		}
+		c.mean[j] = make([]float64, c.nc)
+		c.std[j] = make([]float64, c.nc)
+		for k := 0; k < c.nc; k++ {
+			m, s, cnt := d.NumericStats(j, k)
+			if cnt == 0 || s < minStd {
+				s = minStd
+			}
+			c.mean[j][k], c.std[j][k] = m, s
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (c *NaiveBayes) Predict(row []float64) int {
+	fp := c.opts.FP
+	scores := make([]float64, c.nc)
+	copy(scores, c.priors)
+	for j, a := range c.attrs {
+		if j == c.classIdx || math.IsNaN(row[j]) {
+			continue
+		}
+		if a.Kind == dataset.Nominal {
+			v := int(row[j])
+			if v < 0 || v >= a.NumValues() {
+				continue
+			}
+			for k := 0; k < c.nc; k++ {
+				scores[k] = fp.R(scores[k] + c.nomLog[j][k][v])
+			}
+			continue
+		}
+		for k := 0; k < c.nc; k++ {
+			m, s := c.mean[j][k], c.std[j][k]
+			z := (row[j] - m) / s
+			logp := fp.R(-0.5*z*z - math.Log(s) - 0.5*math.Log(2*math.Pi))
+			scores[k] = fp.R(scores[k] + logp)
+		}
+	}
+	return classify.ArgMax(scores)
+}

@@ -1,0 +1,112 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"jepo/internal/classify"
+	"jepo/internal/dataset"
+)
+
+func weather() *dataset.Dataset {
+	// A tiny play-tennis-style dataset with a clean conditional structure.
+	d := dataset.New("weather", 2,
+		dataset.NewNominal("outlook", "sunny", "rain"),
+		dataset.NewNumeric("temp"),
+		dataset.NewNominal("play", "no", "yes"),
+	)
+	rows := [][]float64{
+		{0, 30, 0}, {0, 29, 0}, {0, 28, 0}, {0, 31, 0},
+		{1, 18, 1}, {1, 19, 1}, {1, 20, 1}, {1, 17, 1},
+		{0, 19, 1}, {1, 30, 0},
+	}
+	for _, r := range rows {
+		d.Add(r)
+	}
+	return d
+}
+
+func TestNaiveBayesLearnsConditionals(t *testing.T) {
+	d := weather()
+	c := New(classify.Options{})
+	if err := c.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Predict([]float64{0, 30, math.NaN()}); got != 0 {
+		t.Errorf("sunny+hot predicted %d, want no(0)", got)
+	}
+	if got := c.Predict([]float64{1, 18, math.NaN()}); got != 1 {
+		t.Errorf("rain+cool predicted %d, want yes(1)", got)
+	}
+}
+
+func TestNaiveBayesHandlesMissing(t *testing.T) {
+	d := weather()
+	d.X[0][1] = math.NaN() // missing numeric during training
+	c := New(classify.Options{})
+	if err := c.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	// Missing cells at prediction time are skipped, not fatal.
+	if p := c.Predict([]float64{math.NaN(), math.NaN(), math.NaN()}); p != 0 && p != 1 {
+		t.Errorf("all-missing prediction = %d", p)
+	}
+}
+
+func TestNaiveBayesLaplaceSmoothing(t *testing.T) {
+	// A value never seen with class 1 must not zero out its probability:
+	// prediction should still be finite and sane.
+	d := dataset.New("laplace", 1,
+		dataset.NewNominal("a", "x", "y", "z"),
+		dataset.NewNominal("cls", "0", "1"),
+	)
+	d.Add([]float64{0, 0})
+	d.Add([]float64{0, 0})
+	d.Add([]float64{1, 1})
+	d.Add([]float64{1, 1})
+	c := New(classify.Options{})
+	if err := c.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	if p := c.Predict([]float64{2, math.NaN()}); p != 0 && p != 1 {
+		t.Errorf("unseen value prediction = %d", p)
+	}
+}
+
+func TestNaiveBayesEmpty(t *testing.T) {
+	d := weather().Empty()
+	if err := New(classify.Options{}).Train(d); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestNaiveBayesConstantNumericColumn(t *testing.T) {
+	d := dataset.New("const", 1, dataset.NewNumeric("x"), dataset.NewNominal("c", "a", "b"))
+	for i := 0; i < 6; i++ {
+		d.Add([]float64{5, float64(i % 2)})
+	}
+	c := New(classify.Options{})
+	if err := c.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	if p := c.Predict([]float64{5, math.NaN()}); p != 0 && p != 1 {
+		t.Errorf("degenerate prediction = %d", p)
+	}
+}
+
+func TestNaiveBayesSinglePrecisionClose(t *testing.T) {
+	d := weather()
+	dbl := New(classify.Options{FP: classify.Double})
+	sgl := New(classify.Options{FP: classify.Single})
+	dbl.Train(d)
+	sgl.Train(d)
+	agree := 0
+	for _, row := range d.X {
+		if dbl.Predict(row) == sgl.Predict(row) {
+			agree++
+		}
+	}
+	if agree < d.NumInstances()-1 {
+		t.Errorf("precision modes agree on only %d/%d rows", agree, d.NumInstances())
+	}
+}

@@ -1,0 +1,128 @@
+package classify
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jepo/internal/dataset"
+)
+
+func TestFPRounding(t *testing.T) {
+	x := 0.1
+	if Double.R(x) != x {
+		t.Error("double mode must be identity")
+	}
+	if Single.R(x) == x {
+		t.Error("single mode must round 0.1 through float32")
+	}
+	if Single.R(x) != float64(float32(x)) {
+		t.Error("single mode must equal float32 round-trip")
+	}
+}
+
+func TestRNGDeterminismAndRange(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	r := NewRNG(0) // zero seed remapped, must not panic or stick
+	if r.Next() == r.Next() {
+		t.Error("rng stuck")
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{1, 3, 2}) != 1 {
+		t.Error("argmax wrong")
+	}
+	if ArgMax([]float64{5, 5, 5}) != 0 {
+		t.Error("tie must pick first")
+	}
+}
+
+func encDataset() *dataset.Dataset {
+	d := dataset.New("enc", 2,
+		dataset.NewNumeric("x"),
+		dataset.NewNominal("c", "a", "b", "c"),
+		dataset.NewNominal("y", "n", "p"),
+	)
+	d.Add([]float64{1, 0, 0})
+	d.Add([]float64{3, 1, 1})
+	d.Add([]float64{5, 2, 0})
+	return d
+}
+
+func TestEncoderLayout(t *testing.T) {
+	d := encDataset()
+	e := NewEncoder(d)
+	if e.Dim() != 4 { // 1 numeric + 3 one-hot; class excluded
+		t.Fatalf("dim = %d, want 4", e.Dim())
+	}
+	out := make([]float64, e.Dim())
+	e.Encode(d.X[1], out)
+	// Numeric standardized: mean 3, std sqrt(8/3).
+	if math.Abs(out[0]) > 1e-9 {
+		t.Errorf("standardized middle value = %v, want 0", out[0])
+	}
+	if out[1] != 0 || out[2] != 1 || out[3] != 0 {
+		t.Errorf("one-hot = %v", out[1:])
+	}
+}
+
+func TestEncoderHandlesConstantColumn(t *testing.T) {
+	d := dataset.New("const", 1, dataset.NewNumeric("x"), dataset.NewNominal("y", "a", "b"))
+	d.Add([]float64{2, 0})
+	d.Add([]float64{2, 1})
+	e := NewEncoder(d)
+	out := make([]float64, e.Dim())
+	e.Encode(d.X[0], out)
+	if math.IsNaN(out[0]) || math.IsInf(out[0], 0) {
+		t.Error("constant column produced non-finite feature")
+	}
+}
+
+func TestEncodeAll(t *testing.T) {
+	d := encDataset()
+	e := NewEncoder(d)
+	x, y := e.EncodeAll(d)
+	if len(x) != 3 || len(y) != 3 {
+		t.Fatal("shape wrong")
+	}
+	if y[0] != 0 || y[1] != 1 {
+		t.Error("labels wrong")
+	}
+}
+
+// Property: encoding never produces non-finite features for in-schema rows.
+func TestEncoderFiniteProperty(t *testing.T) {
+	d := encDataset()
+	e := NewEncoder(d)
+	f := func(x float64, nom uint8) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		row := []float64{math.Mod(x, 1e6), float64(nom % 3), 0}
+		out := make([]float64, e.Dim())
+		e.Encode(row, out)
+		for _, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

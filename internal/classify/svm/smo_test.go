@@ -1,0 +1,114 @@
+package svm
+
+import (
+	"testing"
+
+	"jepo/internal/classify"
+	"jepo/internal/dataset"
+)
+
+func separable(n int, seed uint64, margin float64) *dataset.Dataset {
+	d := dataset.New("svm", 2,
+		dataset.NewNumeric("x"),
+		dataset.NewNumeric("z"),
+		dataset.NewNominal("y", "neg", "pos"),
+	)
+	r := classify.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x := r.Float64()*10 - 5
+		z := r.Float64()*10 - 5
+		s := x + z
+		if s > -margin && s < margin {
+			continue // leave a margin band empty
+		}
+		y := 0.0
+		if s > 0 {
+			y = 1
+		}
+		d.Add([]float64{x, z, y})
+	}
+	return d
+}
+
+func acc(c classify.Classifier, d *dataset.Dataset) float64 {
+	correct := 0
+	for i, row := range d.X {
+		if c.Predict(row) == d.Class(i) {
+			correct++
+		}
+	}
+	return 100 * float64(correct) / float64(d.NumInstances())
+}
+
+func TestSMOSeparable(t *testing.T) {
+	train := separable(300, 1, 0.5)
+	test := separable(150, 2, 0.5)
+	c := New(classify.Options{Seed: 3})
+	if err := c.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if a := acc(c, test); a < 95 {
+		t.Errorf("smo test accuracy = %.1f%%, want ≥95%%", a)
+	}
+	if sv := c.NumSupportVectors(); sv == 0 || sv == train.NumInstances() {
+		t.Errorf("support vectors = %d of %d — expected a sparse subset", sv, train.NumInstances())
+	}
+}
+
+func TestSMOPolynomialKernel(t *testing.T) {
+	// Quadratically separable: inside vs outside a circle of radius 2.5.
+	d := dataset.New("circle", 2,
+		dataset.NewNumeric("x"),
+		dataset.NewNumeric("z"),
+		dataset.NewNominal("y", "in", "out"),
+	)
+	r := classify.NewRNG(7)
+	for i := 0; i < 300; i++ {
+		x := r.Float64()*8 - 4
+		z := r.Float64()*8 - 4
+		y := 0.0
+		if x*x+z*z > 6.25 {
+			y = 1
+		}
+		d.Add([]float64{x, z, y})
+	}
+	lin := New(classify.Options{Seed: 3})
+	lin.Train(d)
+	quad := New(classify.Options{Seed: 3})
+	quad.Exponent = 2
+	quad.Train(d)
+	la, qa := acc(lin, d), acc(quad, d)
+	if qa < la+5 {
+		t.Errorf("quadratic kernel (%.1f%%) should clearly beat linear (%.1f%%) on a circle", qa, la)
+	}
+}
+
+func TestSMOValidation(t *testing.T) {
+	d := separable(20, 1, 0.5)
+	bad := New(classify.Options{})
+	bad.Exponent = 0
+	if err := bad.Train(d); err == nil {
+		t.Error("zero exponent accepted")
+	}
+	if err := New(classify.Options{}).Train(d.Empty()); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	tri := dataset.New("tri", 1, dataset.NewNumeric("x"), dataset.NewNominal("y", "a", "b", "c"))
+	tri.Add([]float64{1, 0})
+	if err := New(classify.Options{}).Train(tri); err == nil {
+		t.Error("non-binary class accepted")
+	}
+}
+
+func TestSMODeterminism(t *testing.T) {
+	d := separable(150, 1, 0.5)
+	a := New(classify.Options{Seed: 5})
+	b := New(classify.Options{Seed: 5})
+	a.Train(d)
+	b.Train(d)
+	for i, row := range d.X {
+		if a.Predict(row) != b.Predict(row) {
+			t.Fatalf("row %d diverged for identical seeds", i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package tree
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"jepo/internal/classify"
+	"jepo/internal/dataset"
+)
+
+// RandomForest is bagging over RandomTrees with probability voting, as in
+// WEKA's RandomForest. Like WEKA's -num-slots option, training can run the
+// trees in parallel; results are identical regardless of parallelism because
+// every tree draws from its own seed-derived random stream.
+type RandomForest struct {
+	// Trees is the ensemble size (WEKA default 100; the experiment harness
+	// uses a smaller forest to keep simulated runs tractable).
+	Trees int
+	// Slots is the number of trees trained concurrently (WEKA's
+	// numExecutionSlots). 0 = GOMAXPROCS, 1 = sequential.
+	Slots int
+
+	opts   classify.Options
+	ntrees []*RandomTree
+	nc     int
+}
+
+// NewRandomForest builds a forest with the given ensemble size (0 → 20).
+func NewRandomForest(opts classify.Options, trees int) *RandomForest {
+	if trees <= 0 {
+		trees = 20
+	}
+	return &RandomForest{Trees: trees, Slots: 1, opts: opts}
+}
+
+// Name implements Classifier.
+func (c *RandomForest) Name() string { return "RandomForest" }
+
+// treeSeed derives an independent, deterministic stream seed for tree t.
+func (c *RandomForest) treeSeed(t int) uint64 {
+	z := c.opts.Seed + 0x9E3779B97F4A7C15*uint64(t+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Train implements Classifier.
+func (c *RandomForest) Train(d *dataset.Dataset) error {
+	if d.NumInstances() == 0 {
+		return fmt.Errorf("randomforest: empty training set")
+	}
+	c.nc = d.NumClasses()
+	c.ntrees = make([]*RandomTree, c.Trees)
+	n := d.NumInstances()
+
+	trainOne := func(t int) error {
+		rng := classify.NewRNG(c.treeSeed(t))
+		sample := make([]int, n)
+		for i := range sample {
+			sample[i] = rng.Intn(n)
+		}
+		rt := NewRandomTree(c.opts)
+		if err := rt.trainRows(d, sample, rng); err != nil {
+			return err
+		}
+		c.ntrees[t] = rt
+		return nil
+	}
+
+	slots := c.Slots
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	if slots == 1 {
+		for t := 0; t < c.Trees; t++ {
+			if err := trainOne(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Worker pool over tree indices; each slot writes only its own cells of
+	// c.ntrees, so no further synchronization is needed.
+	work := make(chan int)
+	errs := make(chan error, slots)
+	var wg sync.WaitGroup
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				if err := trainOne(t); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for t := 0; t < c.Trees; t++ {
+		work <- t
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	for t, rt := range c.ntrees {
+		if rt == nil {
+			return fmt.Errorf("randomforest: tree %d was not trained (worker aborted)", t)
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier: average the trees' leaf distributions.
+func (c *RandomForest) Predict(row []float64) int {
+	votes := make([]float64, c.nc)
+	fp := c.opts.FP
+	for _, t := range c.ntrees {
+		dist := t.distribution(row)
+		total := 0.0
+		for _, v := range dist {
+			total += v
+		}
+		if total == 0 {
+			continue
+		}
+		for k, v := range dist {
+			votes[k] = fp.R(votes[k] + v/total)
+		}
+	}
+	return classify.ArgMax(votes)
+}

@@ -1,0 +1,94 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+
+	"jepo/internal/classify"
+	"jepo/internal/dataset"
+)
+
+// RandomTree is WEKA's RandomTree: at each node a random subset of
+// K = ⌊log₂(numAttrs)⌋ + 1 attributes is considered, information gain picks
+// the split, and no pruning is performed.
+type RandomTree struct {
+	// K is the attribute subset size (0 = WEKA's log₂(d)+1 default).
+	K int
+	// MinLeaf is the minimum instances per leaf (default 1).
+	MinLeaf int
+	// MaxDepth bounds tree depth (0 = unlimited).
+	MaxDepth int
+
+	opts classify.Options
+	root *node
+}
+
+// NewRandomTree builds a RandomTree with WEKA defaults.
+func NewRandomTree(opts classify.Options) *RandomTree {
+	return &RandomTree{MinLeaf: 1, opts: opts}
+}
+
+// Name implements Classifier.
+func (c *RandomTree) Name() string { return "RandomTree" }
+
+// Train implements Classifier.
+func (c *RandomTree) Train(d *dataset.Dataset) error {
+	return c.trainRows(d, allRows(d), classify.NewRNG(c.opts.Seed))
+}
+
+// trainRows lets RandomForest reuse the learner over a bootstrap sample with
+// a shared RNG stream.
+func (c *RandomTree) trainRows(d *dataset.Dataset, rows []int, rng *classify.RNG) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("randomtree: empty training set")
+	}
+	k := c.K
+	if k <= 0 {
+		k = int(math.Log2(float64(d.NumAttrs()-1))) + 1
+	}
+	b := &builder{cfg: builderConfig{
+		gainRatio: false,
+		kAttrs:    k,
+		minLeaf:   c.MinLeaf,
+		maxDepth:  c.MaxDepth,
+		rng:       rng,
+		fp:        c.opts.FP,
+	}, d: d}
+	c.root = b.grow(rows, 0)
+	return nil
+}
+
+// Predict implements Classifier.
+func (c *RandomTree) Predict(row []float64) int { return c.root.predict(row) }
+
+// distribution returns the leaf class distribution (used by RandomForest for
+// probability voting).
+func (c *RandomTree) distribution(row []float64) []float64 {
+	nd := c.root
+	for !nd.isLeaf() {
+		v := row[nd.attr]
+		if math.IsNaN(v) {
+			break
+		}
+		var next *node
+		if nd.nominal {
+			ix := int(v)
+			if ix < 0 || ix >= len(nd.children) {
+				break
+			}
+			next = nd.children[ix]
+		} else if v <= nd.threshold {
+			next = nd.children[0]
+		} else {
+			next = nd.children[1]
+		}
+		if next == nil {
+			break
+		}
+		nd = next
+	}
+	return nd.dist
+}
+
+// NumNodes reports the tree size.
+func (c *RandomTree) NumNodes() int { return c.root.countNodes() }

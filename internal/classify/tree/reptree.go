@@ -1,0 +1,115 @@
+package tree
+
+import (
+	"fmt"
+
+	"jepo/internal/classify"
+	"jepo/internal/dataset"
+)
+
+// REPTree is WEKA's fast tree learner: information-gain splits and
+// reduced-error pruning against a held-out fold (WEKA's default holds out one
+// third of the training data).
+type REPTree struct {
+	// Folds controls the grow/prune split: 1/Folds of the data prunes
+	// (default 3, as in WEKA).
+	Folds int
+	// MinLeaf is the minimum instances per leaf (default 2).
+	MinLeaf int
+	// NoPruning disables reduced-error pruning (WEKA -P).
+	NoPruning bool
+
+	opts classify.Options
+	root *node
+}
+
+// NewREPTree builds a REPTree with WEKA defaults.
+func NewREPTree(opts classify.Options) *REPTree {
+	return &REPTree{Folds: 3, MinLeaf: 2, opts: opts}
+}
+
+// Name implements Classifier.
+func (c *REPTree) Name() string { return "REPTree" }
+
+// Train implements Classifier.
+func (c *REPTree) Train(d *dataset.Dataset) error {
+	if d.NumInstances() == 0 {
+		return fmt.Errorf("reptree: empty training set")
+	}
+	rng := classify.NewRNG(c.opts.Seed)
+	rows := allRows(d)
+	// Shuffle, then carve off the prune fold.
+	for i := len(rows) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		rows[i], rows[j] = rows[j], rows[i]
+	}
+	growRows, pruneRows := rows, []int(nil)
+	if !c.NoPruning && c.Folds > 1 && len(rows) > 2*c.Folds {
+		cut := len(rows) / c.Folds
+		pruneRows, growRows = rows[:cut], rows[cut:]
+	}
+	b := &builder{cfg: builderConfig{
+		gainRatio: false,
+		minLeaf:   c.MinLeaf,
+		fp:        c.opts.FP,
+	}, d: d}
+	c.root = b.grow(growRows, 0)
+	if len(pruneRows) > 0 {
+		c.reduceError(c.root, d, pruneRows)
+	}
+	return nil
+}
+
+// reduceError prunes bottom-up: a subtree becomes a leaf when doing so does
+// not increase error on the prune set.
+func (c *REPTree) reduceError(nd *node, d *dataset.Dataset, rows []int) {
+	if nd.isLeaf() || len(rows) == 0 {
+		return
+	}
+	// Partition prune rows among children.
+	if nd.nominal {
+		groups := make([][]int, len(nd.children))
+		for _, r := range rows {
+			v := int(d.X[r][nd.attr])
+			if v >= 0 && v < len(groups) {
+				groups[v] = append(groups[v], r)
+			}
+		}
+		for v, ch := range nd.children {
+			if ch != nil {
+				c.reduceError(ch, d, groups[v])
+			}
+		}
+	} else {
+		var left, right []int
+		for _, r := range rows {
+			if d.X[r][nd.attr] <= nd.threshold {
+				left = append(left, r)
+			} else {
+				right = append(right, r)
+			}
+		}
+		c.reduceError(nd.children[0], d, left)
+		c.reduceError(nd.children[1], d, right)
+	}
+	subtreeErrs := 0
+	leafErrs := 0
+	for _, r := range rows {
+		if nd.predict(d.X[r]) != d.Class(r) {
+			subtreeErrs++
+		}
+		if nd.pred != d.Class(r) {
+			leafErrs++
+		}
+	}
+	if leafErrs <= subtreeErrs {
+		nd.attr = -1
+		nd.children = nil
+	}
+}
+
+// Predict implements Classifier.
+func (c *REPTree) Predict(row []float64) int { return c.root.predict(row) }
+
+// NumNodes reports the pruned tree size.
+func (c *REPTree) NumNodes() int { return c.root.countNodes() }

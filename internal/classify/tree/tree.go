@@ -1,0 +1,305 @@
+// Package tree implements the decision-tree family: J48 (C4.5 with gain
+// ratio and pessimistic pruning), REPTree (information gain with
+// reduced-error pruning), RandomTree (random attribute subsets, unpruned) and
+// RandomForest (bagged random trees).
+package tree
+
+import (
+	"math"
+	"sort"
+
+	"jepo/internal/classify"
+	"jepo/internal/dataset"
+)
+
+// node is one tree node. Leaves have attr == -1.
+type node struct {
+	attr      int
+	threshold float64 // numeric splits: <= goes left
+	nominal   bool
+	children  []*node
+	dist      []float64 // training class distribution at this node
+	pred      int
+	n         float64 // training instances reaching the node
+}
+
+func (nd *node) isLeaf() bool { return nd.attr < 0 }
+
+// predict routes a row to a leaf. Unseen/missing values fall back to the
+// node's own majority class.
+func (nd *node) predict(row []float64) int {
+	for !nd.isLeaf() {
+		var next *node
+		v := row[nd.attr]
+		if math.IsNaN(v) {
+			return nd.pred
+		}
+		if nd.nominal {
+			ix := int(v)
+			if ix < 0 || ix >= len(nd.children) || nd.children[ix] == nil {
+				return nd.pred
+			}
+			next = nd.children[ix]
+		} else {
+			if v <= nd.threshold {
+				next = nd.children[0]
+			} else {
+				next = nd.children[1]
+			}
+		}
+		if next == nil {
+			return nd.pred
+		}
+		nd = next
+	}
+	return nd.pred
+}
+
+// countNodes reports the subtree size (used in tests and metrics).
+func (nd *node) countNodes() int {
+	if nd == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range nd.children {
+		n += c.countNodes()
+	}
+	return n
+}
+
+// builderConfig parameterizes tree growth for the three tree learners.
+type builderConfig struct {
+	gainRatio bool // C4.5 gain ratio vs plain information gain
+	kAttrs    int  // random attribute subset size per node (0 = all)
+	minLeaf   int  // minimum instances per leaf
+	maxDepth  int  // 0 = unlimited
+	rng       *classify.RNG
+	fp        classify.FP
+}
+
+type builder struct {
+	cfg  builderConfig
+	d    *dataset.Dataset
+	rows []int
+}
+
+// grow builds a subtree over the given row indices.
+func (b *builder) grow(rows []int, depth int) *node {
+	nd := &node{attr: -1}
+	nd.dist = b.classDist(rows)
+	nd.n = float64(len(rows))
+	nd.pred = classify.ArgMax(nd.dist)
+	if len(rows) < 2*b.cfg.minLeaf || b.pure(nd.dist) ||
+		(b.cfg.maxDepth > 0 && depth >= b.cfg.maxDepth) {
+		return nd
+	}
+	attr, thr, gain := b.bestSplit(rows)
+	if attr < 0 || gain <= 1e-10 {
+		return nd
+	}
+	a := b.d.Attrs[attr]
+	if a.Kind == dataset.Nominal {
+		groups := make([][]int, a.NumValues())
+		for _, r := range rows {
+			v := int(b.d.X[r][attr])
+			groups[v] = append(groups[v], r)
+		}
+		nd.attr, nd.nominal = attr, true
+		nd.children = make([]*node, a.NumValues())
+		for v, g := range groups {
+			if len(g) == 0 {
+				continue // predict() falls back to nd.pred
+			}
+			nd.children[v] = b.grow(g, depth+1)
+		}
+		return nd
+	}
+	var left, right []int
+	for _, r := range rows {
+		if b.d.X[r][attr] <= thr {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		nd.attr = -1
+		return nd
+	}
+	nd.attr, nd.nominal, nd.threshold = attr, false, thr
+	nd.children = []*node{b.grow(left, depth+1), b.grow(right, depth+1)}
+	return nd
+}
+
+func (b *builder) classDist(rows []int) []float64 {
+	dist := make([]float64, b.d.NumClasses())
+	for _, r := range rows {
+		dist[b.d.Class(r)]++
+	}
+	return dist
+}
+
+func (b *builder) pure(dist []float64) bool {
+	nonzero := 0
+	for _, c := range dist {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+// bestSplit searches the (possibly random-subset) candidate attributes.
+func (b *builder) bestSplit(rows []int) (attr int, threshold, gain float64) {
+	candidates := b.candidateAttrs()
+	attr = -1
+	parentH := b.entropy(rows)
+	for _, j := range candidates {
+		var g, thr float64
+		if b.d.Attrs[j].Kind == dataset.Nominal {
+			g = b.nominalGain(rows, j, parentH)
+		} else {
+			g, thr = b.numericGain(rows, j, parentH)
+		}
+		if g > gain {
+			attr, gain, threshold = j, g, thr
+		}
+	}
+	return attr, threshold, gain
+}
+
+func (b *builder) candidateAttrs() []int {
+	var all []int
+	for j := range b.d.Attrs {
+		if j != b.d.ClassIdx {
+			all = append(all, j)
+		}
+	}
+	if b.cfg.kAttrs <= 0 || b.cfg.kAttrs >= len(all) {
+		return all
+	}
+	// Partial Fisher–Yates for a random subset.
+	for i := 0; i < b.cfg.kAttrs; i++ {
+		j := i + b.cfg.rng.Intn(len(all)-i)
+		all[i], all[j] = all[j], all[i]
+	}
+	return all[:b.cfg.kAttrs]
+}
+
+func (b *builder) entropy(rows []int) float64 {
+	dist := b.classDist(rows)
+	return entropyOf(dist, float64(len(rows)), b.cfg.fp)
+}
+
+func entropyOf(dist []float64, n float64, fp classify.FP) float64 {
+	if n == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range dist {
+		if c == 0 {
+			continue
+		}
+		p := c / n
+		h = fp.R(h - p*math.Log2(p))
+	}
+	return h
+}
+
+// nominalGain computes the (ratio-adjusted) gain of a multiway nominal split.
+func (b *builder) nominalGain(rows []int, j int, parentH float64) float64 {
+	a := b.d.Attrs[j]
+	counts := make([][]float64, a.NumValues())
+	sizes := make([]float64, a.NumValues())
+	for _, r := range rows {
+		v := int(b.d.X[r][j])
+		if counts[v] == nil {
+			counts[v] = make([]float64, b.d.NumClasses())
+		}
+		counts[v][b.d.Class(r)]++
+		sizes[v]++
+	}
+	n := float64(len(rows))
+	childH, splitInfo := 0.0, 0.0
+	branches, adequate := 0, 0
+	for v := range counts {
+		if sizes[v] == 0 {
+			continue
+		}
+		branches++
+		if sizes[v] >= float64(b.cfg.minLeaf) {
+			adequate++
+		}
+		w := sizes[v] / n
+		childH = b.cfg.fp.R(childH + w*entropyOf(counts[v], sizes[v], b.cfg.fp))
+		splitInfo = b.cfg.fp.R(splitInfo - w*math.Log2(w))
+	}
+	// C4.5's usefulness constraint: at least two branches must carry the
+	// minimum object count, or the split merely fragments the data (critical
+	// for the 293-valued airport attributes of the airlines task).
+	if branches < 2 || adequate < 2 {
+		return 0
+	}
+	gain := parentH - childH
+	if b.cfg.gainRatio {
+		if splitInfo < 1e-10 {
+			return 0
+		}
+		return b.cfg.fp.R(gain / splitInfo)
+	}
+	return gain
+}
+
+// numericGain finds the best binary threshold for a numeric attribute.
+func (b *builder) numericGain(rows []int, j int, parentH float64) (float64, float64) {
+	type pair struct {
+		v float64
+		c int
+	}
+	ps := make([]pair, 0, len(rows))
+	for _, r := range rows {
+		v := b.d.X[r][j]
+		if math.IsNaN(v) {
+			continue
+		}
+		ps = append(ps, pair{v, b.d.Class(r)})
+	}
+	if len(ps) < 2 {
+		return 0, 0
+	}
+	sort.Slice(ps, func(x, y int) bool { return ps[x].v < ps[y].v })
+	nc := b.d.NumClasses()
+	left := make([]float64, nc)
+	right := make([]float64, nc)
+	for _, p := range ps {
+		right[p.c]++
+	}
+	n := float64(len(ps))
+	bestGain, bestThr := 0.0, 0.0
+	nl := 0.0
+	for i := 0; i < len(ps)-1; i++ {
+		left[ps[i].c]++
+		right[ps[i].c]--
+		nl++
+		if ps[i].v == ps[i+1].v {
+			continue
+		}
+		nr := n - nl
+		childH := b.cfg.fp.R((nl/n)*entropyOf(left, nl, b.cfg.fp) + (nr/n)*entropyOf(right, nr, b.cfg.fp))
+		gain := parentH - childH
+		splitInfo := 0.0
+		if b.cfg.gainRatio {
+			wl, wr := nl/n, nr/n
+			splitInfo = -wl*math.Log2(wl) - wr*math.Log2(wr)
+			if splitInfo < 1e-10 {
+				continue
+			}
+			gain = b.cfg.fp.R(gain / splitInfo)
+		}
+		if gain > bestGain {
+			bestGain = gain
+			bestThr = (ps[i].v + ps[i+1].v) / 2
+		}
+	}
+	return bestGain, bestThr
+}

@@ -1,0 +1,320 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// patternKind enumerates the Table I idioms the generator can seed into a
+// class. Each pattern method yields (approximately) one auto-applicable
+// refactoring change.
+type patternKind int
+
+const (
+	patDoubleField patternKind = iota
+	patLongLoop
+	patStaticCounter
+	patSciLiteral
+	patTernary
+	patCompareTo
+	patModulus
+	patManualCopy
+	patColumnTraversal
+	patConcatLoop
+	patWrapperLong
+	numPatterns
+)
+
+// genClass renders one library class shaped like a WEKA utility class:
+// ~5 fields, ~11 methods with short doc comments, ~145 non-blank lines, a
+// dependency edge to `next`, and nPatterns seeded inefficiencies starting at
+// pattern kind `base`.
+func genClass(r *rng, pkg, name, next string, base patternKind, nPatterns int) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("package %s;", pkg)
+	w("")
+	w("/**")
+	w(" * Support routines for the %s stage of the pipeline.", strings.ToLower(name))
+	w(" * Generated corpus class; shaped like a weka.core utility.")
+	w(" */")
+	w("public class %s {", name)
+
+	// Fields: mostly int/String (efficient) so field counts land near the
+	// Table II attribute density without flooding the change counts.
+	nFields := 5
+	if r.intn(20) < 3 {
+		nFields = 4
+	}
+	w("\tprivate int count;")
+	w("\tprivate int limit = %d;", 8+r.intn(56))
+	w("\tprivate String label = \"%s\";", strings.ToLower(name))
+	w("\tprivate int[] buffer;")
+	if nFields == 5 {
+		w("\tprivate int stride = %d;", 1+r.intn(7))
+	}
+	w("")
+	w("\t/** Creates the helper with an empty working buffer. */")
+	w("\tpublic %s() {", name)
+	w("\t\tthis.count = 0;")
+	w("\t\tthis.buffer = new int[limit];")
+	w("\t}")
+
+	// 1 ctor + (methods−1) generated + 1 link method ≈ 11 per class.
+	methods := 9 + r.intn(3)
+	if methods < nPatterns+2 {
+		methods = nPatterns + 2
+	}
+	pat := int(base)
+	for m := 0; m < methods-1; m++ {
+		w("")
+		if m < nPatterns {
+			writePattern(&b, r, patternKind(pat%int(numPatterns)), m)
+			pat++
+			continue
+		}
+		writeFiller(&b, r, m)
+	}
+	w("")
+	writeLink(&b, r, next)
+	w("}")
+	return b.String()
+}
+
+func doc(b *strings.Builder, text string) {
+	fmt.Fprintf(b, "\t/**\n\t * %s\n\t */\n", text)
+}
+
+// writePattern emits one method carrying exactly one Table I inefficiency.
+func writePattern(b *strings.Builder, r *rng, kind patternKind, idx int) {
+	w := func(format string, args ...any) { fmt.Fprintf(b, format+"\n", args...) }
+	switch kind {
+	case patDoubleField:
+		doc(b, "Scales the input by the configured ratio.")
+		w("\tint scaled%d(int x) {", idx)
+		w("\t\tdouble ratio = 2.5;")
+		w("\t\tint base = x * stride();")
+		w("\t\treturn (int) (base * ratio);")
+		w("\t}")
+	case patLongLoop:
+		doc(b, "Accumulates the arithmetic series up to n.")
+		w("\tint total%d(int n) {", idx)
+		w("\t\tlong total = 0L;")
+		w("\t\tfor (int i = 0; i < n; i++) {")
+		w("\t\t\ttotal = total + i;")
+		w("\t\t}")
+		w("\t\treturn (int) total;")
+		w("\t}")
+	case patStaticCounter:
+		doc(b, "Bumps the shared hit counter for n events.")
+		w("\tstatic int hits%d;", idx)
+		w("\tint bump%d(int n) {", idx)
+		w("\t\tfor (int i = 0; i < n; i++) {")
+		w("\t\t\thits%d += i;", idx)
+		w("\t\t}")
+		w("\t\treturn hits%d;", idx)
+		w("\t}")
+	case patSciLiteral:
+		doc(b, "Checks the value against the overflow guard threshold.")
+		w("\tint check%d(int x) {", idx)
+		w("\t\tif (x > 100000.0) {")
+		w("\t\t\treturn 1;")
+		w("\t\t}")
+		w("\t\treturn 0;")
+		w("\t}")
+	case patTernary:
+		doc(b, "Picks the larger of the two operands.")
+		w("\tint pick%d(int a, int b) {", idx)
+		w("\t\tint v = a > b ? a : b;")
+		w("\t\treturn v + count;")
+		w("\t}")
+	case patCompareTo:
+		doc(b, "Tests the two keys for equality.")
+		w("\tint same%d(String a, String b) {", idx)
+		w("\t\tif (a.compareTo(b) == 0) {")
+		w("\t\t\treturn 1;")
+		w("\t\t}")
+		w("\t\treturn 0;")
+		w("\t}")
+	case patModulus:
+		doc(b, "Folds indices into eight buckets.")
+		w("\tint wrap%d(int n) {", idx)
+		w("\t\tint s = 0;")
+		w("\t\tfor (int i = 0; i < n; i++) {")
+		w("\t\t\ts += i %% 8;")
+		w("\t\t}")
+		w("\t\treturn s;")
+		w("\t}")
+	case patManualCopy:
+		doc(b, "Copies the first n cells of the source buffer.")
+		w("\tint[] copy%d(int[] src, int n) {", idx)
+		w("\t\tint[] dst = new int[n];")
+		w("\t\tfor (int i = 0; i < n; i++) {")
+		w("\t\t\tdst[i] = src[i];")
+		w("\t\t}")
+		w("\t\treturn dst;")
+		w("\t}")
+	case patColumnTraversal:
+		doc(b, "Sums the matrix column by column.")
+		w("\tint sweep%d(int[][] m, int n) {", idx)
+		w("\t\tint s = 0;")
+		w("\t\tfor (int j = 0; j < n; j++) {")
+		w("\t\t\tfor (int i = 0; i < n; i++) {")
+		w("\t\t\t\ts += m[i][j];")
+		w("\t\t\t}")
+		w("\t\t}")
+		w("\t\treturn s;")
+		w("\t}")
+	case patConcatLoop:
+		doc(b, "Builds the n-step progress marker string.")
+		w("\tString join%d(int n) {", idx)
+		w("\t\tString s = \"\";")
+		w("\t\tfor (int i = 0; i < n; i++) {")
+		w("\t\t\ts = s + \"x\";")
+		w("\t\t}")
+		w("\t\treturn s;")
+		w("\t}")
+	case patWrapperLong:
+		doc(b, "Boxes the value for the legacy cache interface.")
+		w("\tint unbox%d(int x) {", idx)
+		w("\t\tLong v = Long.valueOf(x);")
+		w("\t\treturn v.intValue();")
+		w("\t}")
+	}
+}
+
+// writeFiller emits a clean (suggestion-free) method.
+func writeFiller(b *strings.Builder, r *rng, idx int) {
+	w := func(format string, args ...any) { fmt.Fprintf(b, format+"\n", args...) }
+	switch idx % 6 {
+	case 0:
+		doc(b, "Reports the configured stride, clamped to the limit.")
+		w("\tint stride() {")
+		w("\t\tint s = limit - count;")
+		w("\t\tif (s < 1) {")
+		w("\t\t\ts = 1;")
+		w("\t\t}")
+		w("\t\tif (s > 8) {")
+		w("\t\t\ts = 8;")
+		w("\t\t}")
+		w("\t\treturn s;")
+		w("\t}")
+	case 1:
+		doc(b, "Weighted scan of the working buffer.")
+		w("\tpublic int probe() {")
+		w("\t\tint acc = 0;")
+		w("\t\tfor (int i = 0; i < buffer.length; i++) {")
+		w("\t\t\tacc += buffer[i] * %d;", 1+r.intn(9))
+		w("\t\t}")
+		w("\t\tif (acc < 0) {")
+		w("\t\t\tacc = -acc;")
+		w("\t\t}")
+		w("\t\treturn acc + count;")
+		w("\t}")
+	case 2:
+		doc(b, "Clamps the value into the configured range.")
+		w("\tint clamp%d(int v) {", idx)
+		w("\t\tif (v < 0) {")
+		w("\t\t\treturn 0;")
+		w("\t\t}")
+		w("\t\tif (v > limit) {")
+		w("\t\t\treturn limit;")
+		w("\t\t}")
+		w("\t\treturn v;")
+		w("\t}")
+	case 3:
+		doc(b, "Refills the working buffer with an arithmetic ramp.")
+		w("\tvoid fill%d(int v) {", idx)
+		w("\t\tint i = 0;")
+		w("\t\twhile (i < buffer.length) {")
+		w("\t\t\tbuffer[i] = v + i;")
+		w("\t\t\ti++;")
+		w("\t\t}")
+		w("\t\tcount = count + buffer.length;")
+		w("\t}")
+	case 4:
+		doc(b, "Tests the key against the configured label.")
+		w("\tboolean matches%d(String key) {", idx)
+		w("\t\tif (key.equals(label)) {")
+		w("\t\t\treturn true;")
+		w("\t\t}")
+		w("\t\tif (key.isEmpty()) {")
+		w("\t\t\treturn false;")
+		w("\t\t}")
+		w("\t\treturn key.length() == label.length();")
+		w("\t}")
+	default:
+		doc(b, "Mixes the two operands into a spread measure.")
+		w("\tint mix%d(int a, int b) {", idx)
+		w("\t\tint hi = a * %d + b;", 2+r.intn(7))
+		w("\t\tint lo = a - b * %d;", 1+r.intn(5))
+		w("\t\tif (hi > lo) {")
+		w("\t\t\treturn hi - lo;")
+		w("\t\t}")
+		w("\t\treturn lo - hi;")
+		w("\t}")
+	}
+}
+
+// writeLink emits the dependency edge to the next class in the chain. Every
+// class carries one, which is what makes the per-classifier closures reach
+// the full shared core.
+func writeLink(b *strings.Builder, r *rng, next string) {
+	w := func(format string, args ...any) { fmt.Fprintf(b, format+"\n", args...) }
+	doc(b, "Delegates residual work to the downstream helper.")
+	w("\tvoid link() {")
+	w("\t\t%s peer = new %s();", next, next)
+	w("\t\tint c = peer.probe();")
+	w("\t\tif (c > limit) {")
+	w("\t\t\tcount = c;")
+	w("\t\t} else {")
+	w("\t\t\tcount = count + %d;", 1+r.intn(4))
+	w("\t\t}")
+	w("\t}")
+}
+
+// genRootClass renders the classifier's root class, tying together the extras
+// chain and the core library, with WEKA-style entry points.
+func genRootClass(r *rng, pkg, name, firstDep, coreDep string) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("package %s;", pkg)
+	w("")
+	w("/**")
+	w(" * Class for constructing the %s model over a training set.", name)
+	w(" */")
+	w("public class %s {", name)
+	w("\tprivate int built;")
+	w("\tprivate String relation = \"airlines\";")
+	w("")
+	w("\t/** Builds the classifier from the given number of instances. */")
+	w("\tpublic void buildClassifier(int instances) {")
+	w("\t\t%s helper = new %s();", firstDep, firstDep)
+	w("\t\t%s core = new %s();", coreDep, coreDep)
+	w("\t\tint acc = helper.probe() + core.probe();")
+	w("\t\tfor (int i = 0; i < instances; i++) {")
+	w("\t\t\tacc += i;")
+	w("\t\t}")
+	w("\t\tbuilt = acc;")
+	w("\t}")
+	w("")
+	w("\t/** Classifies a single instance by its feature vector. */")
+	w("\tpublic int classifyInstance(int[] features) {")
+	w("\t\tint score = built;")
+	w("\t\tfor (int i = 0; i < features.length; i++) {")
+	w("\t\t\tscore += features[i] * %d;", 1+r.intn(5))
+	w("\t\t}")
+	w("\t\tif (score > 0) {")
+	w("\t\t\treturn 1;")
+	w("\t\t}")
+	w("\t\treturn 0;")
+	w("\t}")
+	w("")
+	w("\t/** Returns the relation name this model was built for. */")
+	w("\tpublic String getRelation() {")
+	w("\t\treturn relation;")
+	w("\t}")
+	w("}")
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteARFF renders the dataset in WEKA's ARFF format.
+func (d *Dataset) WriteARFF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@relation %s\n\n", quoteIfNeeded(d.Name))
+	for _, a := range d.Attrs {
+		if a.Kind == Numeric {
+			fmt.Fprintf(bw, "@attribute %s numeric\n", quoteIfNeeded(a.Name))
+			continue
+		}
+		vals := make([]string, len(a.Values))
+		for i, v := range a.Values {
+			vals[i] = quoteIfNeeded(v)
+		}
+		fmt.Fprintf(bw, "@attribute %s {%s}\n", quoteIfNeeded(a.Name), strings.Join(vals, ","))
+	}
+	fmt.Fprintf(bw, "\n@data\n")
+	for _, row := range d.X {
+		for j, v := range row {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			switch {
+			case math.IsNaN(v):
+				bw.WriteByte('?')
+			case d.Attrs[j].Kind == Nominal:
+				bw.WriteString(quoteIfNeeded(d.Attrs[j].Values[int(v)]))
+			default:
+				bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " ,{}'\"%") || s == "" {
+		return "'" + strings.ReplaceAll(s, "'", "\\'") + "'"
+	}
+	return s
+}
+
+// ReadARFF parses the subset of ARFF this package writes: @relation,
+// numeric and nominal @attribute lines, and comma-separated @data rows with
+// '?' for missing values. The last attribute is taken as the class unless a
+// later call changes ClassIdx.
+func ReadARFF(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	d := &Dataset{Name: "unnamed"}
+	inData := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if !inData {
+			lower := strings.ToLower(line)
+			switch {
+			case strings.HasPrefix(lower, "@relation"):
+				d.Name = unquote(strings.TrimSpace(line[len("@relation"):]))
+			case strings.HasPrefix(lower, "@attribute"):
+				if err := parseAttrLine(d, line); err != nil {
+					return nil, fmt.Errorf("arff line %d: %w", lineNo, err)
+				}
+			case strings.HasPrefix(lower, "@data"):
+				if len(d.Attrs) == 0 {
+					return nil, fmt.Errorf("arff line %d: @data before any @attribute", lineNo)
+				}
+				d.ClassIdx = len(d.Attrs) - 1
+				inData = true
+			default:
+				return nil, fmt.Errorf("arff line %d: unexpected header %q", lineNo, line)
+			}
+			continue
+		}
+		row, err := parseDataLine(d, line)
+		if err != nil {
+			return nil, fmt.Errorf("arff line %d: %w", lineNo, err)
+		}
+		d.X = append(d.X, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !inData {
+		return nil, fmt.Errorf("arff: missing @data section")
+	}
+	return d, nil
+}
+
+func parseAttrLine(d *Dataset, line string) error {
+	rest := strings.TrimSpace(line[len("@attribute"):])
+	var name string
+	if strings.HasPrefix(rest, "'") {
+		end := strings.Index(rest[1:], "'")
+		if end < 0 {
+			return fmt.Errorf("unterminated attribute name")
+		}
+		name = rest[1 : 1+end]
+		rest = strings.TrimSpace(rest[2+end:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return fmt.Errorf("attribute without a type")
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	switch {
+	case strings.EqualFold(rest, "numeric") || strings.EqualFold(rest, "real") || strings.EqualFold(rest, "integer"):
+		d.Attrs = append(d.Attrs, NewNumeric(name))
+	case strings.HasPrefix(rest, "{") && strings.HasSuffix(rest, "}"):
+		body := rest[1 : len(rest)-1]
+		parts := splitCSV(body) // quote-aware: values may contain commas
+		vals := make([]string, 0, len(parts))
+		for _, p := range parts {
+			vals = append(vals, unquote(strings.TrimSpace(p)))
+		}
+		d.Attrs = append(d.Attrs, NewNominal(name, vals...))
+	default:
+		return fmt.Errorf("unsupported attribute type %q", rest)
+	}
+	return nil
+}
+
+func parseDataLine(d *Dataset, line string) ([]float64, error) {
+	parts := splitCSV(line)
+	if len(parts) != len(d.Attrs) {
+		return nil, fmt.Errorf("row has %d cells, want %d", len(parts), len(d.Attrs))
+	}
+	row := make([]float64, len(parts))
+	for j, p := range parts {
+		p = unquote(strings.TrimSpace(p))
+		if p == "?" {
+			row[j] = math.NaN()
+			continue
+		}
+		if d.Attrs[j].Kind == Nominal {
+			ix, ok := d.Attrs[j].IndexOf(p)
+			if !ok {
+				return nil, fmt.Errorf("unknown nominal value %q for %s", p, d.Attrs[j].Name)
+			}
+			row[j] = float64(ix)
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad numeric value %q for %s", p, d.Attrs[j].Name)
+		}
+		row[j] = v
+	}
+	return row, nil
+}
+
+// splitCSV splits on commas outside single quotes.
+func splitCSV(line string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\'':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, line[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, line[start:])
+	return out
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return strings.ReplaceAll(s[1:len(s)-1], "\\'", "'")
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV renders the dataset as a header row plus one line per instance,
+// with nominal values spelled out and missing cells empty — the format
+// WEKA's CSVSaver produces.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for j, a := range d.Attrs {
+		if j > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(csvQuote(a.Name))
+	}
+	bw.WriteByte('\n')
+	for _, row := range d.X {
+		for j, v := range row {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			switch {
+			case math.IsNaN(v):
+				// empty cell
+			case d.Attrs[j].Kind == Nominal:
+				bw.WriteString(csvQuote(d.Attrs[j].Values[int(v)]))
+			default:
+				bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// ReadCSV parses a header-first CSV against an existing schema: the header
+// names must match the schema's attribute names in order, nominal cells must
+// be known values, and empty cells become missing. It is the inverse of
+// WriteCSV for datasets whose schema is known (as the airlines schema is).
+func ReadCSV(r io.Reader, attrs []*Attribute, classIdx int) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("csv: empty input")
+	}
+	header := splitCSVLine(sc.Text())
+	if len(header) != len(attrs) {
+		return nil, fmt.Errorf("csv: header has %d columns, schema has %d", len(header), len(attrs))
+	}
+	for j, name := range header {
+		if name != attrs[j].Name {
+			return nil, fmt.Errorf("csv: column %d is %q, schema expects %q", j, name, attrs[j].Name)
+		}
+	}
+	d := New("csv", classIdx, attrs...)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		cells := splitCSVLine(line)
+		if len(cells) != len(attrs) {
+			return nil, fmt.Errorf("csv line %d: %d cells, want %d", lineNo, len(cells), len(attrs))
+		}
+		row := make([]float64, len(cells))
+		for j, cell := range cells {
+			if cell == "" {
+				row[j] = math.NaN()
+				continue
+			}
+			if attrs[j].Kind == Nominal {
+				ix, ok := attrs[j].IndexOf(cell)
+				if !ok {
+					return nil, fmt.Errorf("csv line %d: unknown value %q for %s", lineNo, cell, attrs[j].Name)
+				}
+				row[j] = float64(ix)
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("csv line %d: bad numeric %q for %s", lineNo, cell, attrs[j].Name)
+			}
+			row[j] = v
+		}
+		if err := d.Add(row); err != nil {
+			return nil, fmt.Errorf("csv line %d: %w", lineNo, err)
+		}
+	}
+	return d, sc.Err()
+}
+
+// splitCSVLine splits one CSV record, honouring double-quoted cells with
+// doubled-quote escapes. (Records never span lines in this dialect.)
+func splitCSVLine(line string) []string {
+	var out []string
+	var cell strings.Builder
+	inQuotes := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuotes && c == '"' && i+1 < len(line) && line[i+1] == '"':
+			cell.WriteByte('"')
+			i++
+		case c == '"':
+			inQuotes = !inQuotes
+		case c == ',' && !inQuotes:
+			out = append(out, cell.String())
+			cell.Reset()
+		default:
+			cell.WriteByte(c)
+		}
+	}
+	out = append(out, cell.String())
+	return out
+}

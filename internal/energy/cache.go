@@ -1,0 +1,120 @@
+package energy
+
+// Cache is a set-associative, write-allocate, LRU data-cache model. It is the
+// mechanism behind the paper's array-traversal finding: row-major traversal
+// of a two-dimensional array touches each 64-byte line 16 times (for 4-byte
+// elements) while column-major traversal misses on almost every access.
+type Cache struct {
+	lineBits uint
+	sets     int
+	ways     int
+	tags     []uint64 // sets × ways; 0 = invalid (addresses never map to tag 0)
+	stamps   []uint64 // LRU timestamps, parallel to tags
+	clock    uint64
+
+	hits, misses uint64
+}
+
+// CacheConfig describes a cache geometry.
+type CacheConfig struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size, power of two
+	Ways      int // associativity
+}
+
+// DefaultCacheConfig is a 32 KiB, 8-way, 64-byte-line L1D — the geometry of
+// the paper's i5-3317U testbed.
+func DefaultCacheConfig() CacheConfig {
+	return CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8}
+}
+
+// NewCache builds a cache with the given geometry. It panics on a geometry
+// that is not a power-of-two line size or does not divide evenly into sets,
+// since that is a programming error in the caller.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("energy: cache line size must be a positive power of two")
+	}
+	if cfg.Ways <= 0 {
+		panic("energy: cache associativity must be positive")
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	if sets <= 0 || sets*cfg.Ways*cfg.LineBytes != cfg.SizeBytes {
+		panic("energy: cache size must be sets × ways × line")
+	}
+	bits := uint(0)
+	for 1<<bits < cfg.LineBytes {
+		bits++
+	}
+	return &Cache{
+		lineBits: bits,
+		sets:     sets,
+		ways:     cfg.Ways,
+		tags:     make([]uint64, sets*cfg.Ways),
+		stamps:   make([]uint64, sets*cfg.Ways),
+	}
+}
+
+// Access simulates a load or store of size bytes at addr and reports how many
+// lines it touched and how many of those missed. An access spanning a line
+// boundary touches every line it covers.
+func (c *Cache) Access(addr uint64, size int) (lines, missed int) {
+	if size <= 0 {
+		size = 1
+	}
+	first := addr >> c.lineBits
+	last := (addr + uint64(size) - 1) >> c.lineBits
+	for line := first; ; line++ {
+		lines++
+		if !c.touch(line) {
+			missed++
+		}
+		if line == last {
+			break
+		}
+	}
+	return lines, missed
+}
+
+// touch looks up one line, installing it on a miss, and reports a hit.
+func (c *Cache) touch(line uint64) bool {
+	// Tag 0 marks an invalid way; offset real tags by 1 so line 0 is valid.
+	tag := line + 1
+	set := int(line) % c.sets
+	base := set * c.ways
+	c.clock++
+	victim, oldest := base, c.stamps[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			c.hits++
+			return true
+		}
+		if c.stamps[i] < oldest {
+			victim, oldest = i, c.stamps[i]
+		}
+	}
+	c.tags[victim] = tag
+	c.stamps[victim] = c.clock
+	c.misses++
+	return false
+}
+
+// Hits reports the number of line hits since construction or Reset.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses reports the number of line misses since construction or Reset.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Reset invalidates every line and zeroes the counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+	}
+	c.clock = 0
+	c.hits = 0
+	c.misses = 0
+}

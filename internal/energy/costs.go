@@ -1,0 +1,80 @@
+package energy
+
+// DefaultCosts returns the calibrated cost table.
+//
+// Calibration targets are the component *ratios* the paper reports in
+// Table I, all else follows from execution:
+//
+//   - modulus vs other integer arithmetic: "up to 1,620% more"
+//     → OpModInt ≈ 17× OpArithInt
+//   - static vs local variable access: "up to 17,700% more"
+//     → OpStatic ≈ 178× OpLocal
+//   - ternary vs if-then-else: "up to 37% more"
+//     → OpTernary surcharge on top of the branch
+//   - String.compareTo vs String.equals: "up to 33% more"
+//     → per-char and setup costs in a ≈4:3 ratio
+//   - 2-D column vs row traversal: "up to 793% more"
+//     → cache-miss energy ≈ 100× hit energy; with 16 int elements per
+//     64-byte line, row traversal misses 1/16 accesses while column
+//     traversal misses nearly all, which yields the observed ratio
+//   - int is the cheapest primitive; narrow types pay mask/extend work,
+//     long pays double-width ALU, double costs more than float
+//   - Integer is the cheapest wrapper because of the [-128,127] valueOf
+//     cache (boxing into the cache avoids an allocation)
+//   - scientific-notation literals evaluate slightly cheaper than long
+//     plain-decimal literals
+//
+// Costs are in picojoules per *interpreted* operation — roughly nanojoule
+// scale, which is realistic for a JVM-style interpreted bytecode op and makes
+// the implied core power (total energy / modelled time) land near 9 W, so the
+// 2 W uncore term leaves package energy ≈ 1.1× core energy as on the paper's
+// laptop.
+//
+// The platform parameters model the paper's testbed, a 1.7 GHz Intel
+// i5-3317U laptop: package energy = core energy + uncore static power ×
+// modelled time, so package and core improvements diverge slightly
+// (Table IV reports 14.46% vs 14.19% for Random Forest).
+func DefaultCosts() CostTable {
+	t := CostTable{
+		CacheHit:          Cost{Picojoules: 2000, Cycles: 1},
+		CacheMiss:         Cost{Picojoules: 200000, Cycles: 100},
+		FrequencyHz:       1.7e9,
+		UncoreWatts:       2.0,
+		DRAMJoulesPerMiss: 20e-9,
+	}
+	set := func(op Op, pj, cycles float64) { t.Ops[op] = Cost{Picojoules: pj, Cycles: cycles} }
+
+	set(OpArithInt, 10000, 1)
+	set(OpArithNarrow, 14000, 1.4)
+	set(OpArithLong, 16000, 1.6)
+	set(OpArithFloat, 13000, 1.3)
+	set(OpArithDouble, 18000, 1.8)
+	set(OpDivInt, 120000, 12)
+	set(OpModInt, 172000, 18) // ≈17.2× OpArithInt
+	set(OpDivFP, 110000, 11)
+	set(OpBranch, 4000, 0.6)
+	set(OpTernary, 16000, 1.2) // surcharge beyond the branch itself
+	set(OpLocal, 2000, 0.3)
+	set(OpStatic, 356000, 30) // ≈178× OpLocal
+	set(OpField, 6000, 0.8)
+	set(OpArrayElem, 8000, 1)
+	set(OpBoundsCheck, 2000, 0.3)
+	set(OpCall, 24000, 3)
+	set(OpAllocObject, 60000, 8)
+	set(OpAllocArrayElem, 4000, 0.5)
+	set(OpBoxCached, 8000, 1)
+	set(OpBoxAlloc, 70000, 9)
+	set(OpUnbox, 6000, 0.8)
+	set(OpStrConcatChar, 10000, 1.2)
+	set(OpSBAppendChar, 4000, 0.5)
+	set(OpStrEqualsChar, 6000, 0.8)
+	set(OpStrCompareToChar, 8000, 1.05)
+	set(OpStrSetup, 14000, 2)
+	set(OpArraycopyElem, 3000, 0.35)
+	set(OpConstDecimal, 3000, 0.4)
+	set(OpConstSci, 2000, 0.3)
+	set(OpThrow, 600000, 60)
+	set(OpCatch, 60000, 8)
+	set(OpTryEnter, 3000, 0.4)
+	return t
+}

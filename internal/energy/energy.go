@@ -1,0 +1,221 @@
+// Package energy implements the calibrated energy/time cost model that
+// underlies the simulated RAPL counters.
+//
+// The model is deliberately simple but mechanistic: every abstract operation
+// executed by the mini-Java interpreter (or any other client) is charged a
+// fixed number of picojoules and CPU cycles, and every memory access is
+// routed through a small set-associative cache model whose hits and misses
+// carry different costs. Package-domain energy additionally accrues a static
+// (leakage + uncore) power term proportional to elapsed cycle time, so
+// "package" and "core" improvements diverge slightly, as they do on real
+// hardware and in the paper's Table IV.
+//
+// Absolute numbers are arbitrary; what is calibrated are the *ratios*
+// reported by the paper's Table I (see costs.go). All downstream results are
+// produced by executing programs against this model, never by emitting the
+// calibration constants directly.
+package energy
+
+import "fmt"
+
+// Joules is an energy amount in joules.
+type Joules float64
+
+// Picojoules converts a picojoule count to Joules.
+func Picojoules(pj float64) Joules { return Joules(pj * 1e-12) }
+
+// Microjoules reports the value in microjoules.
+func (j Joules) Microjoules() float64 { return float64(j) * 1e6 }
+
+// String formats the energy with an adaptive SI prefix.
+func (j Joules) String() string {
+	v := float64(j)
+	switch {
+	case v == 0:
+		return "0 J"
+	case v < 1e-9:
+		return fmt.Sprintf("%.3f pJ", v*1e12)
+	case v < 1e-6:
+		return fmt.Sprintf("%.3f nJ", v*1e9)
+	case v < 1e-3:
+		return fmt.Sprintf("%.3f µJ", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.3f mJ", v*1e3)
+	default:
+		return fmt.Sprintf("%.3f J", v)
+	}
+}
+
+// Op identifies an abstract operation kind charged to the meter.
+type Op int
+
+// Abstract operation kinds. The groupings mirror the Java components the
+// paper's Table I analyses: integer vs non-int primitive arithmetic, modulus,
+// static vs local variable access, ternary selection, String operations,
+// boxing, array copying, exceptions, and allocation.
+const (
+	// Integer ALU operations (int-width add/sub/mul/compare/bitops).
+	OpArithInt Op = iota
+	// Narrow-primitive ALU op (byte/short/char): extra mask/sign-extend work.
+	OpArithNarrow
+	// 64-bit integer ALU op (long).
+	OpArithLong
+	// Single-precision FP op (float).
+	OpArithFloat
+	// Double-precision FP op (double).
+	OpArithDouble
+	// Integer division.
+	OpDivInt
+	// Integer modulus — the paper's most expensive arithmetic operator.
+	OpModInt
+	// FP division / modulus.
+	OpDivFP
+	// Conditional branch (if, loop back-edge, short-circuit step).
+	OpBranch
+	// Ternary ?: selection (charged in addition to evaluating the operands).
+	OpTernary
+	// Local variable read or write.
+	OpLocal
+	// Instance field read or write (plus a cache access).
+	OpField
+	// Static field read or write — dramatically expensive per the paper.
+	OpStatic
+	// Array element read or write (plus a cache access).
+	OpArrayElem
+	// Array bounds check.
+	OpBoundsCheck
+	// Method call / return overhead.
+	OpCall
+	// Object allocation (fixed header cost; fields add OpField stores).
+	OpAllocObject
+	// Array allocation per element.
+	OpAllocArrayElem
+	// Boxing a value into a cached wrapper (Integer in [-128,127]).
+	OpBoxCached
+	// Boxing a value into a freshly allocated wrapper.
+	OpBoxAlloc
+	// Unboxing a wrapper.
+	OpUnbox
+	// String concatenation via '+': per-character copy into a fresh string.
+	OpStrConcatChar
+	// StringBuilder.append: per-character amortized copy.
+	OpSBAppendChar
+	// String.equals: per-character comparison (early exit on length).
+	OpStrEqualsChar
+	// String.compareTo: per-character difference computation.
+	OpStrCompareToChar
+	// Fixed setup cost of a String method call.
+	OpStrSetup
+	// System.arraycopy: per-element block copy (word-at-a-time, no checks).
+	OpArraycopyElem
+	// Evaluating a numeric literal written in plain decimal notation.
+	OpConstDecimal
+	// Evaluating a numeric literal written in scientific notation.
+	OpConstSci
+	// Throwing an exception (stack walk).
+	OpThrow
+	// Entering a catch handler.
+	OpCatch
+	// try block entry bookkeeping.
+	OpTryEnter
+
+	numOps // sentinel
+)
+
+var opNames = [...]string{
+	OpArithInt:         "arith.int",
+	OpArithNarrow:      "arith.narrow",
+	OpArithLong:        "arith.long",
+	OpArithFloat:       "arith.float",
+	OpArithDouble:      "arith.double",
+	OpDivInt:           "div.int",
+	OpModInt:           "mod.int",
+	OpDivFP:            "div.fp",
+	OpBranch:           "branch",
+	OpTernary:          "ternary",
+	OpLocal:            "local",
+	OpField:            "field",
+	OpStatic:           "static",
+	OpArrayElem:        "array.elem",
+	OpBoundsCheck:      "bounds",
+	OpCall:             "call",
+	OpAllocObject:      "alloc.object",
+	OpAllocArrayElem:   "alloc.array",
+	OpBoxCached:        "box.cached",
+	OpBoxAlloc:         "box.alloc",
+	OpUnbox:            "unbox",
+	OpStrConcatChar:    "str.concat",
+	OpSBAppendChar:     "sb.append",
+	OpStrEqualsChar:    "str.equals",
+	OpStrCompareToChar: "str.compareTo",
+	OpStrSetup:         "str.setup",
+	OpArraycopyElem:    "arraycopy",
+	OpConstDecimal:     "const.decimal",
+	OpConstSci:         "const.sci",
+	OpThrow:            "throw",
+	OpCatch:            "catch",
+	OpTryEnter:         "try",
+}
+
+// String returns the mnemonic name of the operation.
+func (op Op) String() string {
+	if op < 0 || int(op) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+	return opNames[op]
+}
+
+// NumOps is the number of distinct operation kinds.
+const NumOps = int(numOps)
+
+// Cost is the energy and cycle charge for one operation.
+type Cost struct {
+	Picojoules float64
+	Cycles     float64
+}
+
+// CostTable maps every Op to its Cost, and carries the memory-hierarchy and
+// platform parameters.
+type CostTable struct {
+	Ops [NumOps]Cost
+
+	// CacheHit / CacheMiss are charged per memory access routed through the
+	// cache model, on top of the op's own cost.
+	CacheHit  Cost
+	CacheMiss Cost
+
+	// FrequencyHz converts cycles to seconds.
+	FrequencyHz float64
+
+	// UncoreWatts is static package power (leakage + uncore) charged per
+	// second of modelled time; it is the difference between the package and
+	// core (PP0) domains.
+	UncoreWatts float64
+
+	// DRAMJoulesPerMiss is the DRAM-domain energy charged per cache miss.
+	DRAMJoulesPerMiss float64
+}
+
+// Validate checks that the table is fully populated and physically sane.
+func (t *CostTable) Validate() error {
+	for op := 0; op < NumOps; op++ {
+		c := t.Ops[op]
+		if c.Picojoules < 0 || c.Cycles < 0 {
+			return fmt.Errorf("energy: op %v has negative cost", Op(op))
+		}
+		if c.Picojoules == 0 && c.Cycles == 0 {
+			return fmt.Errorf("energy: op %v has no cost assigned", Op(op))
+		}
+	}
+	if t.FrequencyHz <= 0 {
+		return fmt.Errorf("energy: non-positive frequency %v", t.FrequencyHz)
+	}
+	if t.CacheMiss.Picojoules <= t.CacheHit.Picojoules {
+		return fmt.Errorf("energy: cache miss (%v pJ) must cost more than hit (%v pJ)",
+			t.CacheMiss.Picojoules, t.CacheHit.Picojoules)
+	}
+	if t.UncoreWatts < 0 || t.DRAMJoulesPerMiss < 0 {
+		return fmt.Errorf("energy: negative platform parameter")
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultCostsValidate(t *testing.T) {
+	costs := DefaultCosts()
+	if err := costs.Validate(); err != nil {
+		t.Fatalf("default cost table invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadTables(t *testing.T) {
+	t.Run("missing op", func(t *testing.T) {
+		var ct CostTable
+		ct.FrequencyHz = 1e9
+		ct.CacheHit = Cost{1, 1}
+		ct.CacheMiss = Cost{10, 10}
+		if err := ct.Validate(); err == nil {
+			t.Fatal("want error for unpopulated op")
+		}
+	})
+	t.Run("negative cost", func(t *testing.T) {
+		ct := DefaultCosts()
+		ct.Ops[OpArithInt].Picojoules = -1
+		if err := ct.Validate(); err == nil {
+			t.Fatal("want error for negative cost")
+		}
+	})
+	t.Run("zero frequency", func(t *testing.T) {
+		ct := DefaultCosts()
+		ct.FrequencyHz = 0
+		if err := ct.Validate(); err == nil {
+			t.Fatal("want error for zero frequency")
+		}
+	})
+	t.Run("miss cheaper than hit", func(t *testing.T) {
+		ct := DefaultCosts()
+		ct.CacheMiss = Cost{Picojoules: ct.CacheHit.Picojoules / 2, Cycles: 1}
+		if err := ct.Validate(); err == nil {
+			t.Fatal("want error when miss is cheaper than hit")
+		}
+	})
+}
+
+func TestCalibratedRatios(t *testing.T) {
+	ct := DefaultCosts()
+	mod := ct.Ops[OpModInt].Picojoules / ct.Ops[OpArithInt].Picojoules
+	if mod < 15 || mod > 20 {
+		t.Errorf("modulus/arith ratio = %.1f, want ≈17.2 (Table I: +1,620%%)", mod)
+	}
+	static := ct.Ops[OpStatic].Picojoules / ct.Ops[OpLocal].Picojoules
+	if static < 150 || static > 200 {
+		t.Errorf("static/local ratio = %.1f, want ≈178 (Table I: +17,700%%)", static)
+	}
+	cmp := ct.Ops[OpStrCompareToChar].Picojoules / ct.Ops[OpStrEqualsChar].Picojoules
+	if cmp < 1.2 || cmp > 1.5 {
+		t.Errorf("compareTo/equals per-char ratio = %.2f, want ≈1.33 (Table I: +33%%)", cmp)
+	}
+	if ct.Ops[OpArithInt].Picojoules >= ct.Ops[OpArithNarrow].Picojoules ||
+		ct.Ops[OpArithInt].Picojoules >= ct.Ops[OpArithLong].Picojoules ||
+		ct.Ops[OpArithInt].Picojoules >= ct.Ops[OpArithDouble].Picojoules {
+		t.Error("int must be the cheapest primitive arithmetic")
+	}
+	if ct.Ops[OpArithFloat].Picojoules >= ct.Ops[OpArithDouble].Picojoules {
+		t.Error("float arithmetic must cost less than double")
+	}
+	if ct.Ops[OpConstSci].Picojoules >= ct.Ops[OpConstDecimal].Picojoules {
+		t.Error("scientific-notation literals must cost less than plain decimal")
+	}
+	if ct.Ops[OpBoxCached].Picojoules >= ct.Ops[OpBoxAlloc].Picojoules {
+		t.Error("cached boxing must cost less than allocating boxing")
+	}
+	if ct.Ops[OpSBAppendChar].Picojoules >= ct.Ops[OpStrConcatChar].Picojoules {
+		t.Error("StringBuilder append must cost less per char than concat")
+	}
+	if ct.Ops[OpArraycopyElem].Picojoules >= ct.Ops[OpArrayElem].Picojoules {
+		t.Error("System.arraycopy per element must beat an element access")
+	}
+}
+
+func TestJoulesString(t *testing.T) {
+	cases := []struct {
+		j    Joules
+		want string
+	}{
+		{0, "0 J"},
+		{Picojoules(5), "5.000 pJ"},
+		{Picojoules(5000), "5.000 nJ"},
+		{5e-6, "5.000 µJ"},
+		{5e-3, "5.000 mJ"},
+		{5, "5.000 J"},
+	}
+	for _, c := range cases {
+		if got := c.j.String(); got != c.want {
+			t.Errorf("Joules(%g).String() = %q, want %q", float64(c.j), got, c.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpModInt.String() != "mod.int" {
+		t.Errorf("OpModInt.String() = %q", OpModInt.String())
+	}
+	if got := Op(999).String(); !strings.Contains(got, "999") {
+		t.Errorf("out-of-range op string = %q", got)
+	}
+	for op := 0; op < NumOps; op++ {
+		if Op(op).String() == "" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+}
+
+func TestMeterStepAccumulates(t *testing.T) {
+	m := NewMeter(DefaultCosts())
+	m.Step(OpArithInt, 1000)
+	s := m.Snapshot()
+	wantJ := Picojoules(DefaultCosts().Ops[OpArithInt].Picojoules * 1000)
+	if math.Abs(float64(s.Core-wantJ)) > 1e-18 {
+		t.Errorf("core energy = %v, want %v", s.Core, wantJ)
+	}
+	if s.Package <= s.Core {
+		t.Errorf("package (%v) must exceed core (%v) by uncore energy", s.Package, s.Core)
+	}
+	if m.OpCount(OpArithInt) != 1000 {
+		t.Errorf("op count = %d, want 1000", m.OpCount(OpArithInt))
+	}
+	if s.Elapsed <= 0 {
+		t.Error("elapsed time must be positive after work")
+	}
+}
+
+func TestMeterStepIgnoresNonPositive(t *testing.T) {
+	m := NewMeter(DefaultCosts())
+	m.Step(OpArithInt, 0)
+	m.Step(OpArithInt, -5)
+	if s := m.Snapshot(); s.Core != 0 || s.Cycles != 0 {
+		t.Errorf("non-positive steps charged energy: %+v", s)
+	}
+}
+
+func TestMeterAccessHitMiss(t *testing.T) {
+	m := NewMeter(DefaultCosts())
+	addr := m.Alloc(64)
+	m.Access(addr, 4)
+	if _, misses := m.CacheStats(); misses != 1 {
+		t.Fatalf("first access misses = %d, want 1", misses)
+	}
+	before := m.Snapshot()
+	m.Access(addr, 4) // same line: hit
+	d := m.Snapshot().Sub(before)
+	wantHit := Picojoules(DefaultCosts().CacheHit.Picojoules)
+	if math.Abs(float64(d.Core-wantHit)) > 1e-18 {
+		t.Errorf("hit charged %v, want %v", d.Core, wantHit)
+	}
+	if d.DRAM != 0 {
+		t.Errorf("hit charged DRAM energy %v", d.DRAM)
+	}
+}
+
+func TestMeterAccessSpanningLines(t *testing.T) {
+	m := NewMeter(DefaultCosts())
+	// 8 bytes straddling a line boundary: two lines touched, two misses.
+	base := (m.Alloc(256) | 63) - 3 // 4 bytes before a 64-byte boundary
+	m.Access(base, 8)
+	if hits, misses := m.CacheStats(); hits != 0 || misses != 2 {
+		t.Errorf("straddling access: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+}
+
+func TestMeterAllocAlignedAndDisjoint(t *testing.T) {
+	m := NewMeter(DefaultCosts())
+	a := m.Alloc(10)
+	b := m.Alloc(1)
+	if a%8 != 0 || b%8 != 0 {
+		t.Errorf("allocations not 8-byte aligned: %d %d", a, b)
+	}
+	if b < a+10 {
+		t.Errorf("allocations overlap: a=%d (size 10) b=%d", a, b)
+	}
+	if m.Alloc(-1) < b {
+		t.Error("negative-size alloc moved cursor backwards")
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter(DefaultCosts())
+	m.Step(OpModInt, 10)
+	m.Access(m.Alloc(8), 8)
+	m.Reset()
+	s := m.Snapshot()
+	if s.Core != 0 || s.Cycles != 0 || s.DRAM != 0 {
+		t.Errorf("reset did not zero meter: %+v", s)
+	}
+	if hits, misses := m.CacheStats(); hits != 0 || misses != 0 {
+		t.Errorf("reset did not clear cache stats: %d/%d", hits, misses)
+	}
+	if m.OpCount(OpModInt) != 0 {
+		t.Error("reset did not clear op counts")
+	}
+}
+
+func TestSampleSub(t *testing.T) {
+	m := NewMeter(DefaultCosts())
+	m.Step(OpArithInt, 100)
+	a := m.Snapshot()
+	m.Step(OpArithInt, 300)
+	d := m.Snapshot().Sub(a)
+	want := Picojoules(DefaultCosts().Ops[OpArithInt].Picojoules * 300)
+	if math.Abs(float64(d.Core-want)) > 1e-18 {
+		t.Errorf("delta core = %v, want %v", d.Core, want)
+	}
+}
+
+func TestMeterReport(t *testing.T) {
+	m := NewMeter(DefaultCosts())
+	m.Step(OpModInt, 3)
+	m.Step(OpArithInt, 7)
+	r := m.Report()
+	if !strings.Contains(r, "mod.int") || !strings.Contains(r, "arith.int") {
+		t.Errorf("report missing op rows:\n%s", r)
+	}
+	if !strings.Contains(r, "package=") {
+		t.Errorf("report missing totals line:\n%s", r)
+	}
+}
+
+// Row-major traversal of a 2-D array must be dramatically cheaper than
+// column-major — the mechanism behind Table I's +793% row.
+func TestTraversalAsymmetry(t *testing.T) {
+	const rows, cols, elem = 256, 256, 4
+	run := func(colMajor bool) Joules {
+		m := NewMeter(DefaultCosts())
+		bases := make([]uint64, rows)
+		for i := range bases {
+			bases[i] = m.Alloc(cols * elem)
+		}
+		m.Reset() // keep the addresses, drop warm-up state
+		for a := 0; a < rows; a++ {
+			for b := 0; b < cols; b++ {
+				i, j := a, b
+				if colMajor {
+					i, j = b, a
+				}
+				m.Access(bases[i]+uint64(j*elem), elem)
+			}
+		}
+		return m.Snapshot().Core
+	}
+	row, col := run(false), run(true)
+	ratio := float64(col) / float64(row)
+	if ratio < 4 {
+		t.Errorf("column/row energy ratio = %.2f, want ≥4 (paper: up to 8.9×)", ratio)
+	}
+}
+
+func TestCachePanicsOnBadGeometry(t *testing.T) {
+	for _, cfg := range []CacheConfig{
+		{SizeBytes: 1024, LineBytes: 48, Ways: 2}, // non power-of-two line
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0}, // zero ways
+		{SizeBytes: 64, LineBytes: 64, Ways: 8},   // fewer lines than ways
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCache(%+v) did not panic", cfg)
+				}
+			}()
+			NewCache(cfg)
+		}()
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 sets × 2 ways × 64B = 256B cache. Four lines mapping to set 0:
+	// lines 0, 2, 4, 6 (even lines). Fill ways with 0 and 2, touch 0 to
+	// refresh it, then insert 4: line 2 must be the victim.
+	c := NewCache(CacheConfig{SizeBytes: 256, LineBytes: 64, Ways: 2})
+	line := func(n uint64) uint64 { return n * 64 }
+	c.Access(line(0), 1)
+	c.Access(line(2), 1)
+	c.Access(line(0), 1) // refresh 0
+	c.Access(line(4), 1) // evicts 2
+	if _, miss := c.Access(line(0), 1); miss != 0 {
+		t.Error("line 0 should still be resident")
+	}
+	if _, miss := c.Access(line(2), 1); miss != 1 {
+		t.Error("line 2 should have been evicted (LRU)")
+	}
+}
+
+// Property: for any access pattern, hits+misses equals total line touches,
+// and replaying the same single-line pattern twice can only improve hits.
+func TestCacheAccountingProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := NewCache(DefaultCacheConfig())
+		var touches uint64
+		for _, a := range addrs {
+			lines, _ := c.Access(uint64(a)*8, 4)
+			touches += uint64(lines)
+		}
+		return c.Hits()+c.Misses() == touches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheSecondPassAllHits(t *testing.T) {
+	c := NewCache(DefaultCacheConfig()) // 32 KiB
+	// 16 KiB working set fits: second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		before := c.Misses()
+		for a := uint64(0); a < 16<<10; a += 64 {
+			c.Access(a, 4)
+		}
+		miss := c.Misses() - before
+		if pass == 0 && miss != 256 {
+			t.Errorf("first pass misses = %d, want 256", miss)
+		}
+		if pass == 1 && miss != 0 {
+			t.Errorf("second pass misses = %d, want 0", miss)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Meter accumulates energy, cycles and memory behaviour for one modelled
+// execution. It is the single source of truth the simulated RAPL registers
+// read from.
+//
+// A Meter is not safe for concurrent use; the interpreter that drives it is
+// single-threaded, as the JVM thread the paper instruments is.
+type Meter struct {
+	costs CostTable
+	cache *Cache
+
+	cycles     float64
+	coreJ      Joules // PP0 (core) domain
+	dramJ      Joules // DRAM domain
+	opCounts   [NumOps]uint64
+	heapCursor uint64 // bump allocator for synthetic addresses
+}
+
+// NewMeter builds a meter over the given cost table and the default cache
+// geometry. It panics if the table fails validation, since an unpopulated
+// table is a programming error.
+func NewMeter(costs CostTable) *Meter {
+	return NewMeterCache(costs, DefaultCacheConfig())
+}
+
+// NewMeterCache builds a meter with an explicit cache geometry.
+func NewMeterCache(costs CostTable, cache CacheConfig) *Meter {
+	if err := costs.Validate(); err != nil {
+		panic(err)
+	}
+	return &Meter{
+		costs:      costs,
+		cache:      NewCache(cache),
+		heapCursor: 1 << 20, // keep address 0 unused
+	}
+}
+
+// Costs returns the meter's cost table.
+func (m *Meter) Costs() CostTable { return m.costs }
+
+// Step charges n occurrences of op.
+func (m *Meter) Step(op Op, n int) {
+	if n <= 0 {
+		return
+	}
+	c := m.costs.Ops[op]
+	f := float64(n)
+	m.coreJ += Picojoules(c.Picojoules * f)
+	m.cycles += c.Cycles * f
+	m.opCounts[op] += uint64(n)
+}
+
+// Access routes a memory access of size bytes at addr through the cache model
+// and charges the hit/miss costs.
+func (m *Meter) Access(addr uint64, size int) {
+	lines, missed := m.cache.Access(addr, size)
+	hits := lines - missed
+	if hits > 0 {
+		m.coreJ += Picojoules(m.costs.CacheHit.Picojoules * float64(hits))
+		m.cycles += m.costs.CacheHit.Cycles * float64(hits)
+	}
+	if missed > 0 {
+		m.coreJ += Picojoules(m.costs.CacheMiss.Picojoules * float64(missed))
+		m.cycles += m.costs.CacheMiss.Cycles * float64(missed)
+		m.dramJ += Joules(m.costs.DRAMJoulesPerMiss * float64(missed))
+	}
+}
+
+// Alloc reserves size bytes of synthetic address space, 8-byte aligned, and
+// returns the base address. Objects and arrays created by the interpreter
+// live at these addresses so the cache model sees realistic layouts.
+func (m *Meter) Alloc(size int) uint64 {
+	if size < 0 {
+		size = 0
+	}
+	base := m.heapCursor
+	m.heapCursor += (uint64(size) + 7) &^ 7
+	return base
+}
+
+// Sample is a point-in-time reading of the meter, in the same domain split
+// RAPL exposes: package, core (PP0) and DRAM.
+type Sample struct {
+	Cycles  float64
+	Elapsed time.Duration
+	Core    Joules
+	Package Joules
+	DRAM    Joules
+}
+
+// Snapshot computes the current sample. Package energy is core energy plus
+// the uncore static power integrated over modelled time.
+func (m *Meter) Snapshot() Sample {
+	secs := m.cycles / m.costs.FrequencyHz
+	return Sample{
+		Cycles:  m.cycles,
+		Elapsed: time.Duration(secs * float64(time.Second)),
+		Core:    m.coreJ,
+		Package: m.coreJ + Joules(m.costs.UncoreWatts*secs),
+		DRAM:    m.dramJ,
+	}
+}
+
+// Sub returns the per-domain difference b − a. It is the measurement a pair
+// of RAPL reads around a region of code yields.
+func (b Sample) Sub(a Sample) Sample {
+	return Sample{
+		Cycles:  b.Cycles - a.Cycles,
+		Elapsed: b.Elapsed - a.Elapsed,
+		Core:    b.Core - a.Core,
+		Package: b.Package - a.Package,
+		DRAM:    b.DRAM - a.DRAM,
+	}
+}
+
+// OpCount reports how many times op has been charged.
+func (m *Meter) OpCount(op Op) uint64 { return m.opCounts[op] }
+
+// CacheStats reports cumulative cache hits and misses.
+func (m *Meter) CacheStats() (hits, misses uint64) { return m.cache.Hits(), m.cache.Misses() }
+
+// Reset zeroes all accumulators, invalidates the cache and resets the
+// synthetic heap.
+func (m *Meter) Reset() {
+	m.cycles = 0
+	m.coreJ = 0
+	m.dramJ = 0
+	m.opCounts = [NumOps]uint64{}
+	m.cache.Reset()
+	m.heapCursor = 1 << 20
+}
+
+// Report renders a human-readable op-count breakdown, most frequent first.
+// It is used by the profiler's verbose view.
+func (m *Meter) Report() string {
+	type row struct {
+		op Op
+		n  uint64
+	}
+	rows := make([]row, 0, NumOps)
+	for op := 0; op < NumOps; op++ {
+		if m.opCounts[op] > 0 {
+			rows = append(rows, row{Op(op), m.opCounts[op]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	var sb strings.Builder
+	s := m.Snapshot()
+	fmt.Fprintf(&sb, "package=%v core=%v dram=%v cycles=%.0f time=%v\n",
+		s.Package, s.Core, s.DRAM, s.Cycles, s.Elapsed)
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-14s %12d\n", r.op, r.n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,186 @@
+package jmetrics
+
+import (
+	"strings"
+	"testing"
+
+	"jepo/internal/minijava/parser"
+)
+
+func mkProject(t *testing.T, sources map[string]string) *Project {
+	t.Helper()
+	var files []SourceFile
+	for path, src := range sources {
+		f, err := parser.Parse(path, src)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		files = append(files, SourceFile{AST: f, Source: src})
+	}
+	return NewProject(files)
+}
+
+func sample(t *testing.T) *Project {
+	return mkProject(t, map[string]string{
+		"a/Root.java": `package pkg.a;
+class Root extends Base {
+	int x;
+	Helper h;
+	void go() {
+		Util.ping();
+		Helper local = new Helper();
+	}
+}`,
+		"a/Base.java": `package pkg.a;
+class Base {
+	int b1;
+	int b2;
+	void base() { }
+}`,
+		"b/Helper.java": `package pkg.b;
+class Helper {
+	String name;
+	int probe() { return 1; }
+	void touch(Util u) { }
+}`,
+		"b/Util.java": `package pkg.b;
+class Util {
+	static int hits;
+	static void ping() { hits++; }
+}`,
+		"c/Island.java": `package pkg.c;
+class Island {
+	int alone;
+	void nothing() { }
+}`,
+	})
+}
+
+func TestClosureFollowsAllReferenceKinds(t *testing.T) {
+	p := sample(t)
+	closure, err := p.Closure("Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root → Base (extends), Helper (field + new), Util (static call);
+	// Helper → Util (param). Island unreachable.
+	want := []string{"Base", "Helper", "Root", "Util"}
+	if strings.Join(closure, ",") != strings.Join(want, ",") {
+		t.Errorf("closure = %v, want %v", closure, want)
+	}
+}
+
+func TestMeasureTotals(t *testing.T) {
+	p := sample(t)
+	m, err := p.Measure("Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dependencies != 4 {
+		t.Errorf("dependencies = %d, want 4", m.Dependencies)
+	}
+	// Fields: Root 2 + Base 2 + Helper 1 + Util 1 = 6.
+	if m.Attributes != 6 {
+		t.Errorf("attributes = %d, want 6", m.Attributes)
+	}
+	// Methods: Root 1 + Base 1 + Helper 2 + Util 1 = 5.
+	if m.Methods != 5 {
+		t.Errorf("methods = %d, want 5", m.Methods)
+	}
+	if m.Packages != 2 {
+		t.Errorf("packages = %d, want 2 (pkg.a, pkg.b)", m.Packages)
+	}
+	if m.LOC <= 0 {
+		t.Errorf("LOC = %d", m.LOC)
+	}
+}
+
+func TestMeasureIsland(t *testing.T) {
+	p := sample(t)
+	m, err := p.Measure("Island")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dependencies != 1 || m.Packages != 1 || m.Methods != 1 {
+		t.Errorf("island metrics = %+v", m)
+	}
+}
+
+func TestUnknownRoot(t *testing.T) {
+	p := sample(t)
+	if _, err := p.Closure("Ghost"); err == nil {
+		t.Error("unknown root accepted")
+	}
+	if _, err := p.Measure("Ghost"); err == nil {
+		t.Error("unknown root accepted by Measure")
+	}
+}
+
+func TestBuiltinReferencesIgnored(t *testing.T) {
+	p := mkProject(t, map[string]string{
+		"X.java": `package x;
+class X {
+	String s;
+	void f() {
+		StringBuilder sb = new StringBuilder();
+		Integer v = Integer.valueOf(3);
+		System.arraycopy(null, 0, null, 0, 0);
+	}
+}`,
+	})
+	m, err := p.Measure("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dependencies != 1 {
+		t.Errorf("builtins leaked into closure: deps = %d", m.Dependencies)
+	}
+}
+
+func TestLOCCountsNonBlankLines(t *testing.T) {
+	if got := countLOC("a\n\nb\n   \nc\n"); got != 3 {
+		t.Errorf("countLOC = %d, want 3", got)
+	}
+	if got := countLOC(""); got != 0 {
+		t.Errorf("countLOC(\"\") = %d", got)
+	}
+}
+
+func TestNumClassesAndTable(t *testing.T) {
+	p := sample(t)
+	if p.NumClasses() != 5 {
+		t.Errorf("classes = %d", p.NumClasses())
+	}
+	m, _ := p.Measure("Root")
+	out := Table([]Metrics{m})
+	if !strings.Contains(out, "Root") || !strings.Contains(out, "Dependencies") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}
+
+func TestCyclicReferencesTerminate(t *testing.T) {
+	p := mkProject(t, map[string]string{
+		"A.java": `package p; class A { B b; }`,
+		"B.java": `package p; class B { A a; }`,
+	})
+	m, err := p.Measure("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dependencies != 2 {
+		t.Errorf("cyclic closure = %d, want 2", m.Dependencies)
+	}
+}
+
+func TestMultiClassFileSplitsLOC(t *testing.T) {
+	p := mkProject(t, map[string]string{
+		"Two.java": `package p;
+class First { int a; }
+class Second { int b; }`,
+	})
+	m1, _ := p.Measure("First")
+	m2, _ := p.Measure("Second")
+	if m1.LOC != m2.LOC {
+		t.Errorf("shared-file LOC split unevenly: %d vs %d", m1.LOC, m2.LOC)
+	}
+}

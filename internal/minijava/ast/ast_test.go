@@ -1,0 +1,265 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"jepo/internal/minijava/token"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want string
+	}{
+		{Type{Kind: Int}, "int"},
+		{Type{Kind: Double, Dims: 1}, "double[]"},
+		{Type{Kind: ClassType, Name: "String", Dims: 2}, "String[][]"},
+		{Type{Kind: Void}, "void"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestTypeElemAndIsString(t *testing.T) {
+	arr := Type{Kind: Int, Dims: 2}
+	if e := arr.Elem(); e.Dims != 1 {
+		t.Errorf("Elem dims = %d", e.Dims)
+	}
+	scalar := Type{Kind: Int}
+	if e := scalar.Elem(); e != scalar {
+		t.Error("Elem of scalar must be identity")
+	}
+	if !(Type{Kind: ClassType, Name: "String"}).IsString() {
+		t.Error("String type not recognized")
+	}
+	if (Type{Kind: ClassType, Name: "String", Dims: 1}).IsString() {
+		t.Error("String[] must not be IsString")
+	}
+}
+
+func TestModifiers(t *testing.T) {
+	m := ModPublic | ModStatic | ModFinal
+	if !m.Has(ModStatic) || m.Has(ModPrivate) {
+		t.Error("Has wrong")
+	}
+	if m.String() != "public static final" {
+		t.Errorf("String() = %q", m.String())
+	}
+	if Modifiers(0).String() != "" {
+		t.Error("empty modifiers must render empty")
+	}
+}
+
+func TestBasicKindHelpers(t *testing.T) {
+	if !Double.IsNumeric() || Boolean.IsNumeric() || ClassType.IsNumeric() {
+		t.Error("IsNumeric wrong")
+	}
+	if Int.String() != "int" || BasicKind(99).String() != "?" {
+		t.Error("kind names wrong")
+	}
+}
+
+// buildSample constructs a small AST covering every node type, by hand.
+func buildSample() *File {
+	pos := token.Pos{Line: 1, Col: 1}
+	lit := func(v int64) Expr { return &Literal{Pos: pos, Kind: LitInt, I: v} }
+	id := func(n string) Expr { return &Ident{Pos: pos, Name: n} }
+	body := &Block{Pos: pos, Stmts: []Stmt{
+		&LocalVar{Pos: pos, Type: Type{Kind: Int}, Name: "x", Init: lit(1)},
+		&ExprStmt{Pos: pos, X: &Assign{Pos: pos, Op: token.Assign, LHS: id("x"),
+			RHS: &Binary{Pos: pos, Op: token.Plus, X: id("x"), Y: lit(2)}}},
+		&If{Pos: pos, Cond: &Binary{Pos: pos, Op: token.Lt, X: id("x"), Y: lit(10)},
+			Then: &ExprStmt{Pos: pos, X: &Unary{Pos: pos, Op: token.Inc, X: id("x"), Postfix: true}},
+			Else: &Empty{Pos: pos}},
+		&While{Pos: pos, Cond: &Literal{Pos: pos, Kind: LitBool, I: 0, Raw: "false"},
+			Body: &Break{Pos: pos}},
+		&For{Pos: pos,
+			Init: &LocalVar{Pos: pos, Type: Type{Kind: Int}, Name: "i", Init: lit(0)},
+			Cond: &Binary{Pos: pos, Op: token.Lt, X: id("i"), Y: lit(3)},
+			Post: []Expr{&Unary{Pos: pos, Op: token.Inc, X: id("i"), Postfix: true}},
+			Body: &Continue{Pos: pos}},
+		&Try{Pos: pos,
+			Block: &Block{Pos: pos, Stmts: []Stmt{
+				&Throw{Pos: pos, X: &New{Pos: pos, Name: "Exception", Args: []Expr{
+					&Literal{Pos: pos, Kind: LitString, S: "x", Raw: `"x"`}}}},
+			}},
+			Catches: []Catch{{Pos: pos, Type: "Exception", Name: "e",
+				Block: &Block{Pos: pos}}},
+			Finally: &Block{Pos: pos},
+		},
+		&Return{Pos: pos, X: &Ternary{Pos: pos,
+			Cond: &InstanceOf{Pos: pos, X: id("x"), Name: "Object"},
+			Then: &Cast{Pos: pos, Type: Type{Kind: Long}, X: id("x")},
+			Else: &Index{Pos: pos,
+				X: &NewArray{Pos: pos, Elem: Type{Kind: Int}, Lens: []Expr{lit(4)}},
+				I: &Call{Pos: pos, Recv: &Select{Pos: pos, X: &This{Pos: pos}, Name: "f"},
+					Name: "g", Args: []Expr{&ArrayLit{Pos: pos, Elems: []Expr{lit(9)}}}}}}},
+	}}
+	return &File{
+		Package: "p",
+		Imports: []string{"java.util.List"},
+		Classes: []*Class{{
+			Pos: pos, Mods: ModPublic, Name: "T",
+			Fields: []*Field{{Pos: pos, Type: Type{Kind: Int}, Name: "f", Init: lit(5)}},
+			Methods: []*Method{{
+				Pos: pos, Ret: Type{Kind: Long}, Name: "m",
+				Params: []Param{{Type: Type{Kind: Int}, Name: "a"}},
+				Throws: []string{"Exception"},
+				Body:   body,
+			}},
+		}},
+	}
+}
+
+func TestInspectVisitsEveryNodeKind(t *testing.T) {
+	f := buildSample()
+	kinds := map[string]bool{}
+	InspectFile(f, func(n Node) bool {
+		kinds[nodeKind(n)] = true
+		return true
+	})
+	for _, want := range []string{
+		"*ast.Block", "*ast.LocalVar", "*ast.ExprStmt", "*ast.If", "*ast.While",
+		"*ast.For", "*ast.Return", "*ast.Break", "*ast.Continue", "*ast.Empty",
+		"*ast.Throw", "*ast.Try", "*ast.Literal", "*ast.Ident", "*ast.This",
+		"*ast.Select", "*ast.Index", "*ast.Call", "*ast.New", "*ast.NewArray",
+		"*ast.ArrayLit", "*ast.Unary", "*ast.Binary", "*ast.Assign",
+		"*ast.Ternary", "*ast.Cast", "*ast.InstanceOf",
+	} {
+		if !kinds[want] {
+			t.Errorf("Inspect never visited %s", want)
+		}
+	}
+}
+
+func nodeKind(n Node) string {
+	return strings.Replace(strings.Replace(
+		strings.TrimPrefix(typeName(n), "jepo/internal/minijava/"), "*", "*", 1), " ", "", -1)
+}
+
+func typeName(n Node) string {
+	switch n.(type) {
+	case *Block:
+		return "*ast.Block"
+	case *LocalVar:
+		return "*ast.LocalVar"
+	case *ExprStmt:
+		return "*ast.ExprStmt"
+	case *If:
+		return "*ast.If"
+	case *While:
+		return "*ast.While"
+	case *For:
+		return "*ast.For"
+	case *Return:
+		return "*ast.Return"
+	case *Break:
+		return "*ast.Break"
+	case *Continue:
+		return "*ast.Continue"
+	case *Empty:
+		return "*ast.Empty"
+	case *Throw:
+		return "*ast.Throw"
+	case *Try:
+		return "*ast.Try"
+	case *Literal:
+		return "*ast.Literal"
+	case *Ident:
+		return "*ast.Ident"
+	case *This:
+		return "*ast.This"
+	case *Select:
+		return "*ast.Select"
+	case *Index:
+		return "*ast.Index"
+	case *Call:
+		return "*ast.Call"
+	case *New:
+		return "*ast.New"
+	case *NewArray:
+		return "*ast.NewArray"
+	case *ArrayLit:
+		return "*ast.ArrayLit"
+	case *Unary:
+		return "*ast.Unary"
+	case *Binary:
+		return "*ast.Binary"
+	case *Assign:
+		return "*ast.Assign"
+	case *Ternary:
+		return "*ast.Ternary"
+	case *Cast:
+		return "*ast.Cast"
+	case *InstanceOf:
+		return "*ast.InstanceOf"
+	}
+	return "?"
+}
+
+func TestInspectPruning(t *testing.T) {
+	f := buildSample()
+	total, pruned := 0, 0
+	InspectFile(f, func(n Node) bool { total++; return true })
+	InspectFile(f, func(n Node) bool {
+		pruned++
+		_, isIf := n.(*If)
+		return !isIf // skip the If's children
+	})
+	if pruned >= total {
+		t.Errorf("pruning did not reduce visits: %d vs %d", pruned, total)
+	}
+}
+
+func TestPrintCoversEveryNode(t *testing.T) {
+	out := Print(buildSample())
+	for _, want := range []string{
+		"package p;", "import java.util.List;", "public class T",
+		"long m(int a) throws Exception", "instanceof", "(long)",
+		"new int[4]", "try {", "} catch (Exception e) {", "} finally {",
+		"x++", "while (false)", "for (int i = 0; i < 3; i++)",
+		"this.f.g({9})",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed source missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintStmtAndExprHelpers(t *testing.T) {
+	pos := token.Pos{Line: 1, Col: 1}
+	s := PrintStmt(&Return{Pos: pos})
+	if s != "return;" {
+		t.Errorf("PrintStmt = %q", s)
+	}
+	e := PrintExpr(&Binary{Pos: pos, Op: token.Star,
+		X: &Binary{Pos: pos, Op: token.Plus,
+			X: &Ident{Pos: pos, Name: "a"}, Y: &Ident{Pos: pos, Name: "b"}},
+		Y: &Ident{Pos: pos, Name: "c"}})
+	if e != "(a + b) * c" {
+		t.Errorf("PrintExpr = %q", e)
+	}
+}
+
+func TestLiteralSpellingSynthesis(t *testing.T) {
+	pos := token.Pos{}
+	cases := []struct {
+		lit  *Literal
+		want string
+	}{
+		{&Literal{Pos: pos, Kind: LitInt, I: 42}, "42"},
+		{&Literal{Pos: pos, Kind: LitLong, I: 7}, "7L"},
+		{&Literal{Pos: pos, Kind: LitBool, I: 1}, "true"},
+		{&Literal{Pos: pos, Kind: LitNull}, "null"},
+		{&Literal{Pos: pos, Kind: LitString, S: "hi"}, `"hi"`},
+	}
+	for _, c := range cases {
+		if got := PrintExpr(c.lit); got != c.want {
+			t.Errorf("spelling = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package ast
+
+// Inspect walks the AST rooted at node, calling f on every node. If f returns
+// false, children of the node are skipped. It mirrors go/ast.Inspect and is
+// the traversal the suggestion engine and the metrics analyzer are built on.
+func Inspect(node Node, f func(Node) bool) {
+	if node == nil || !f(node) {
+		return
+	}
+	switch n := node.(type) {
+	case *Block:
+		for _, s := range n.Stmts {
+			Inspect(s, f)
+		}
+	case *LocalVar:
+		inspectExpr(n.Init, f)
+	case *ExprStmt:
+		inspectExpr(n.X, f)
+	case *If:
+		inspectExpr(n.Cond, f)
+		Inspect(n.Then, f)
+		if n.Else != nil {
+			Inspect(n.Else, f)
+		}
+	case *While:
+		inspectExpr(n.Cond, f)
+		Inspect(n.Body, f)
+	case *DoWhile:
+		Inspect(n.Body, f)
+		inspectExpr(n.Cond, f)
+	case *Switch:
+		inspectExpr(n.Tag, f)
+		for _, c := range n.Cases {
+			for _, v := range c.Values {
+				Inspect(v, f)
+			}
+			for _, s := range c.Stmts {
+				Inspect(s, f)
+			}
+		}
+	case *For:
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+		inspectExpr(n.Cond, f)
+		for _, p := range n.Post {
+			Inspect(p, f)
+		}
+		Inspect(n.Body, f)
+	case *Return:
+		inspectExpr(n.X, f)
+	case *Throw:
+		inspectExpr(n.X, f)
+	case *Try:
+		Inspect(n.Block, f)
+		for _, c := range n.Catches {
+			Inspect(c.Block, f)
+		}
+		if n.Finally != nil {
+			Inspect(n.Finally, f)
+		}
+	case *Select:
+		Inspect(n.X, f)
+	case *Index:
+		Inspect(n.X, f)
+		Inspect(n.I, f)
+	case *Call:
+		if n.Recv != nil {
+			Inspect(n.Recv, f)
+		}
+		for _, a := range n.Args {
+			Inspect(a, f)
+		}
+	case *New:
+		for _, a := range n.Args {
+			Inspect(a, f)
+		}
+	case *NewArray:
+		for _, l := range n.Lens {
+			Inspect(l, f)
+		}
+	case *ArrayLit:
+		for _, e := range n.Elems {
+			Inspect(e, f)
+		}
+	case *Unary:
+		Inspect(n.X, f)
+	case *Binary:
+		Inspect(n.X, f)
+		Inspect(n.Y, f)
+	case *Assign:
+		Inspect(n.LHS, f)
+		Inspect(n.RHS, f)
+	case *Ternary:
+		Inspect(n.Cond, f)
+		Inspect(n.Then, f)
+		Inspect(n.Else, f)
+	case *Cast:
+		Inspect(n.X, f)
+	case *InstanceOf:
+		Inspect(n.X, f)
+	case *Literal, *Ident, *This, *Break, *Continue, *Empty:
+		// leaves
+	}
+}
+
+func inspectExpr(e Expr, f func(Node) bool) {
+	if e != nil {
+		Inspect(e, f)
+	}
+}
+
+// InspectFile walks every field initializer and method body in a file.
+func InspectFile(file *File, f func(Node) bool) {
+	for _, c := range file.Classes {
+		for _, fd := range c.Fields {
+			inspectExpr(fd.Init, f)
+		}
+		for _, m := range c.Methods {
+			if m.Body != nil {
+				Inspect(m.Body, f)
+			}
+		}
+	}
+}

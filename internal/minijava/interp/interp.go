@@ -1,0 +1,1615 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"jepo/internal/energy"
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/token"
+)
+
+// ProbeHook receives the method enter/exit events the instrumenter injects
+// (the JEPO.enter / JEPO.exit builtins). The profiler implements it.
+type ProbeHook interface {
+	Enter(method string)
+	Exit(method string)
+}
+
+// Interp executes a loaded Program against an energy meter.
+type Interp struct {
+	prog  *Program
+	meter *energy.Meter
+	out   strings.Builder
+	hook  ProbeHook
+
+	maxOps int64 // 0 = unlimited
+	ops    int64
+	rngInt uint64 // deterministic LCG for Math.random
+
+	staticsReady bool
+}
+
+// Option configures an interpreter.
+type Option func(*Interp)
+
+// WithHook installs a probe hook for JEPO.enter/JEPO.exit.
+func WithHook(h ProbeHook) Option { return func(in *Interp) { in.hook = h } }
+
+// WithMaxOps bounds the number of interpreted nodes, turning runaway programs
+// into an error instead of a hang.
+func WithMaxOps(n int64) Option { return func(in *Interp) { in.maxOps = n } }
+
+// New builds an interpreter for prog charging energy to meter.
+func New(prog *Program, meter *energy.Meter, opts ...Option) *Interp {
+	in := &Interp{prog: prog, meter: meter, rngInt: 0x9E3779B97F4A7C15}
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// Output returns everything the program printed via System.out.
+func (in *Interp) Output() string { return in.out.String() }
+
+// Meter exposes the meter the interpreter charges.
+func (in *Interp) Meter() *energy.Meter { return in.meter }
+
+// --- error plumbing ---
+
+// javaPanic carries an in-flight mini-Java exception.
+type javaPanic struct{ t *Throwable }
+
+// bugPanic carries an interpreter-level error (type mismatch, unknown name).
+type bugPanic struct{ msg string }
+
+func (in *Interp) bugf(pos token.Pos, format string, args ...any) {
+	where := ""
+	if pos.Valid() {
+		where = pos.String() + ": "
+	}
+	panic(bugPanic{where + fmt.Sprintf(format, args...)})
+}
+
+func (in *Interp) throw(class, msg string) {
+	in.meter.Step(energy.OpThrow, 1)
+	panic(javaPanic{&Throwable{Class: class, Msg: msg}})
+}
+
+// UncaughtError is returned when the program lets an exception escape.
+type UncaughtError struct{ T *Throwable }
+
+func (e *UncaughtError) Error() string {
+	return "uncaught exception: " + (&Value{K: KThrow, R: e.T}).JavaString()
+}
+
+// run invokes f converting panics into errors at the API boundary.
+func (in *Interp) run(f func() Value) (v Value, err error) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case javaPanic:
+			err = &UncaughtError{T: r.t}
+		case bugPanic:
+			err = fmt.Errorf("interp: %s", r.msg)
+		default:
+			panic(r)
+		}
+	}()
+	if err := in.InitStatics(); err != nil {
+		return Value{}, err
+	}
+	return f(), nil
+}
+
+// --- public entry points ---
+
+// InitStatics runs every static field initializer once, in load order.
+func (in *Interp) InitStatics() (err error) {
+	if in.staticsReady {
+		return nil
+	}
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case javaPanic:
+			err = &UncaughtError{T: r.t}
+		case bugPanic:
+			err = fmt.Errorf("interp: %s", r.msg)
+		default:
+			panic(r)
+		}
+	}()
+	in.staticsReady = true
+	for _, name := range in.prog.order {
+		ci := in.prog.classes[name]
+		for _, fname := range ci.statOrd {
+			slot := ci.statics[fname]
+			slot.Addr = in.meter.Alloc(8)
+			if slot.Init != nil {
+				fr := &frame{class: ci, locals: map[string]*cell{}}
+				slot.V = in.coerceTo(in.evalInit(fr, slot.Init, slot.Type), slot.Type, slot.Init.NodePos())
+			} else {
+				slot.V = zeroValue(slot.Type)
+			}
+		}
+	}
+	return nil
+}
+
+// RunMain locates the main method of the named class (or the unique main in
+// the program when mainClass is "") and executes it.
+func (in *Interp) RunMain(mainClass string) error {
+	if mainClass == "" {
+		var candidates []string
+		for _, name := range in.prog.order {
+			if in.prog.classes[name].findMethod("main", 1) != nil {
+				candidates = append(candidates, name)
+			}
+		}
+		switch len(candidates) {
+		case 1:
+			mainClass = candidates[0]
+		case 0:
+			return fmt.Errorf("interp: no class with a main method")
+		default:
+			return fmt.Errorf("interp: multiple main classes: %v (choose one)", candidates)
+		}
+	}
+	ci, ok := in.prog.classes[mainClass]
+	if !ok {
+		return fmt.Errorf("interp: unknown main class %s", mainClass)
+	}
+	m := ci.findMethod("main", 1)
+	if m == nil {
+		return fmt.Errorf("interp: class %s has no main(String[]) method", mainClass)
+	}
+	args := in.newArray(ast.Type{Kind: ast.ClassType, Name: "String"}, []int{0})
+	_, err := in.run(func() Value {
+		return in.invoke(ci, nil, m, []Value{args})
+	})
+	return err
+}
+
+// CallStatic invokes a static method with the given values and returns its
+// result. It is the harness entry point for kernels.
+func (in *Interp) CallStatic(class, method string, args ...Value) (Value, error) {
+	ci, ok := in.prog.classes[class]
+	if !ok {
+		return Value{}, fmt.Errorf("interp: unknown class %s", class)
+	}
+	m := ci.findMethod(method, len(args))
+	if m == nil {
+		return Value{}, fmt.Errorf("interp: no method %s.%s/%d", class, method, len(args))
+	}
+	return in.run(func() Value { return in.invoke(ci, nil, m, args) })
+}
+
+// Bind overwrites a static field with a host-provided value, creating the
+// slot if the class declares it. It is how experiment harnesses inject
+// datasets without parsing gigantic literals.
+func (in *Interp) Bind(class, field string, v Value) error {
+	if err := in.InitStatics(); err != nil {
+		return err
+	}
+	ci, ok := in.prog.classes[class]
+	if !ok {
+		return fmt.Errorf("interp: unknown class %s", class)
+	}
+	slot := ci.findStatic(field)
+	if slot == nil {
+		return fmt.Errorf("interp: class %s has no static field %s", class, field)
+	}
+	slot.V = v
+	return nil
+}
+
+// NewIntArray, NewDoubleArray and friends build host arrays for Bind.
+func (in *Interp) NewIntArray(data []int64) Value {
+	a := in.newArrayRaw(ast.Type{Kind: ast.Int}, len(data))
+	copy(a.R.(*Array).I, data)
+	return a
+}
+
+// NewDoubleArray builds a double[] from host data.
+func (in *Interp) NewDoubleArray(data []float64) Value {
+	a := in.newArrayRaw(ast.Type{Kind: ast.Double}, len(data))
+	copy(a.R.(*Array).D, data)
+	return a
+}
+
+// NewDoubleMatrix builds a double[][] from host data.
+func (in *Interp) NewDoubleMatrix(data [][]float64) Value {
+	outer := in.newArrayRaw(ast.Type{Kind: ast.Double, Dims: 1}, len(data))
+	oa := outer.R.(*Array)
+	for i, row := range data {
+		oa.R[i] = in.NewDoubleArray(row)
+	}
+	return outer
+}
+
+// NewStringArray builds a String[] from host data.
+func (in *Interp) NewStringArray(data []string) Value {
+	a := in.newArrayRaw(ast.Type{Kind: ast.ClassType, Name: "String"}, len(data))
+	ar := a.R.(*Array)
+	for i, s := range data {
+		ar.R[i] = StringVal(s)
+	}
+	return a
+}
+
+// --- frames ---
+
+type cell struct {
+	t ast.Type
+	v Value
+}
+
+type frame struct {
+	class  *classInfo
+	this   *Object
+	locals map[string]*cell
+}
+
+func (fr *frame) lookup(name string) *cell { return fr.locals[name] }
+
+// --- statement execution ---
+
+type ctrlKind int
+
+const (
+	ctrlNormal ctrlKind = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type ctrl struct {
+	kind ctrlKind
+	v    Value
+}
+
+var normal = ctrl{}
+
+func (in *Interp) step() {
+	in.ops++
+	if in.maxOps > 0 && in.ops > in.maxOps {
+		panic(bugPanic{fmt.Sprintf("op budget of %d exceeded (likely an infinite loop)", in.maxOps)})
+	}
+}
+
+func (in *Interp) exec(fr *frame, s ast.Stmt) ctrl {
+	in.step()
+	switch n := s.(type) {
+	case *ast.Block:
+		for _, st := range n.Stmts {
+			if c := in.exec(fr, st); c.kind != ctrlNormal {
+				return c
+			}
+		}
+		return normal
+	case *ast.LocalVar:
+		v := zeroValue(n.Type)
+		if n.Init != nil {
+			v = in.coerceTo(in.evalInit(fr, n.Init, n.Type), n.Type, n.Pos)
+		}
+		fr.locals[n.Name] = &cell{t: n.Type, v: v}
+		in.meter.Step(energy.OpLocal, 1)
+		return normal
+	case *ast.ExprStmt:
+		in.eval(fr, n.X)
+		return normal
+	case *ast.If:
+		in.meter.Step(energy.OpBranch, 1)
+		if in.evalCond(fr, n.Cond) {
+			return in.exec(fr, n.Then)
+		}
+		if n.Else != nil {
+			return in.exec(fr, n.Else)
+		}
+		return normal
+	case *ast.While:
+		for {
+			in.meter.Step(energy.OpBranch, 1)
+			if !in.evalCond(fr, n.Cond) {
+				return normal
+			}
+			c := in.exec(fr, n.Body)
+			switch c.kind {
+			case ctrlBreak:
+				return normal
+			case ctrlReturn:
+				return c
+			}
+		}
+	case *ast.DoWhile:
+		for {
+			c := in.exec(fr, n.Body)
+			switch c.kind {
+			case ctrlBreak:
+				return normal
+			case ctrlReturn:
+				return c
+			}
+			in.meter.Step(energy.OpBranch, 1)
+			if !in.evalCond(fr, n.Cond) {
+				return normal
+			}
+		}
+	case *ast.Switch:
+		return in.execSwitch(fr, n)
+	case *ast.For:
+		if n.Init != nil {
+			if c := in.exec(fr, n.Init); c.kind != ctrlNormal {
+				return c
+			}
+		}
+		for {
+			if n.Cond != nil {
+				in.meter.Step(energy.OpBranch, 1)
+				if !in.evalCond(fr, n.Cond) {
+					return normal
+				}
+			}
+			c := in.exec(fr, n.Body)
+			switch c.kind {
+			case ctrlBreak:
+				return normal
+			case ctrlReturn:
+				return c
+			}
+			for _, post := range n.Post {
+				in.eval(fr, post)
+			}
+		}
+	case *ast.Return:
+		if n.X == nil {
+			return ctrl{kind: ctrlReturn}
+		}
+		return ctrl{kind: ctrlReturn, v: in.eval(fr, n.X)}
+	case *ast.Break:
+		return ctrl{kind: ctrlBreak}
+	case *ast.Continue:
+		return ctrl{kind: ctrlContinue}
+	case *ast.Empty:
+		return normal
+	case *ast.Throw:
+		v := in.eval(fr, n.X)
+		if v.K != KThrow {
+			in.bugf(n.Pos, "throw of non-throwable %v", v.K)
+		}
+		in.meter.Step(energy.OpThrow, 1)
+		panic(javaPanic{v.R.(*Throwable)})
+	case *ast.Try:
+		return in.execTry(fr, n)
+	}
+	in.bugf(s.NodePos(), "unsupported statement %T", s)
+	return normal
+}
+
+// execSwitch implements switch with Java fall-through: execution starts at
+// the first matching arm (or default) and continues into following arms
+// until a break. Each candidate comparison charges a branch plus the
+// comparison itself, modelling a lookupswitch.
+func (in *Interp) execSwitch(fr *frame, sw *ast.Switch) ctrl {
+	tag := in.eval(fr, sw.Tag)
+	if tag.K == KBox {
+		tag = in.unbox(tag, sw.Pos)
+	}
+	start := -1
+	defaultArm := -1
+	for ci, arm := range sw.Cases {
+		if len(arm.Values) == 0 {
+			defaultArm = ci
+			continue
+		}
+		for _, vexpr := range arm.Values {
+			v := in.eval(fr, vexpr)
+			in.meter.Step(energy.OpBranch, 1)
+			if in.switchMatches(tag, v, sw.Pos) {
+				start = ci
+				break
+			}
+		}
+		if start >= 0 {
+			break
+		}
+	}
+	if start < 0 {
+		start = defaultArm
+	}
+	if start < 0 {
+		return normal
+	}
+	for ci := start; ci < len(sw.Cases); ci++ {
+		for _, st := range sw.Cases[ci].Stmts {
+			c := in.exec(fr, st)
+			switch c.kind {
+			case ctrlBreak:
+				return normal
+			case ctrlNormal:
+			default:
+				return c
+			}
+		}
+	}
+	return normal
+}
+
+// switchMatches compares a switch tag to a case value: numeric equality for
+// integral tags, String.equals semantics for string tags.
+func (in *Interp) switchMatches(tag, v Value, pos token.Pos) bool {
+	if tag.K == KString {
+		if v.K != KString {
+			in.bugf(pos, "switch over String with non-String case")
+		}
+		in.meter.Step(energy.OpStrEqualsChar, min(len(tag.Str()), len(v.Str())))
+		return tag.Str() == v.Str()
+	}
+	if !tag.K.IsIntegral() || !v.K.IsIntegral() {
+		in.bugf(pos, "switch tag must be integral or String, got %v", tag.K)
+	}
+	in.meter.Step(energy.OpArithInt, 1)
+	return tag.I == v.I
+}
+
+// execTry implements try/catch/finally with Java's ordering: the finally
+// block always runs, and a non-normal completion inside it replaces the
+// pending control flow or exception.
+func (in *Interp) execTry(fr *frame, t *ast.Try) ctrl {
+	in.meter.Step(energy.OpTryEnter, 1)
+	c, thrown := in.runProtected(fr, t.Block)
+	if thrown != nil {
+		handled := false
+		for _, cat := range t.Catches {
+			if thrown.instanceOf(cat.Type) {
+				in.meter.Step(energy.OpCatch, 1)
+				fr.locals[cat.Name] = &cell{
+					t: ast.Type{Kind: ast.ClassType, Name: cat.Type},
+					v: Value{K: KThrow, R: thrown},
+				}
+				c, thrown = in.runProtected(fr, cat.Block)
+				handled = true
+				break
+			}
+		}
+		_ = handled
+	}
+	if t.Finally != nil {
+		if fc := in.exec(fr, t.Finally); fc.kind != ctrlNormal {
+			return fc // finally's control flow wins, discarding the exception
+		}
+	}
+	if thrown != nil {
+		panic(javaPanic{thrown})
+	}
+	return c
+}
+
+// runProtected executes a block, capturing a thrown mini-Java exception.
+func (in *Interp) runProtected(fr *frame, blk *ast.Block) (c ctrl, thrown *Throwable) {
+	defer func() {
+		if r := recover(); r != nil {
+			if jp, ok := r.(javaPanic); ok {
+				thrown = jp.t
+				return
+			}
+			panic(r)
+		}
+	}()
+	return in.exec(fr, blk), nil
+}
+
+// evalCond evaluates a boolean expression.
+func (in *Interp) evalCond(fr *frame, e ast.Expr) bool {
+	v := in.eval(fr, e)
+	if v.K == KBox {
+		v = in.unbox(v, e.NodePos())
+	}
+	if v.K != KBool {
+		in.bugf(e.NodePos(), "condition is %v, not boolean", v.K)
+	}
+	return v.I != 0
+}
+
+// --- method invocation ---
+
+// invoke runs a method with already-evaluated arguments.
+func (in *Interp) invoke(ci *classInfo, this *Object, m *ast.Method, args []Value) Value {
+	in.meter.Step(energy.OpCall, 1)
+	fr := &frame{class: ci, this: this, locals: make(map[string]*cell, len(m.Params)+4)}
+	for i, p := range m.Params {
+		fr.locals[p.Name] = &cell{t: p.Type, v: in.coerceTo(args[i], p.Type, m.Pos)}
+	}
+	c := in.exec(fr, m.Body)
+	if c.kind == ctrlReturn {
+		if m.Ret.Kind != ast.Void || m.Ret.Dims > 0 {
+			return in.coerceTo(c.v, m.Ret, m.Pos)
+		}
+		return Value{K: KVoid}
+	}
+	return Value{K: KVoid}
+}
+
+// construct builds a new instance of a user class and runs its constructor.
+func (in *Interp) construct(ci *classInfo, args []Value, pos token.Pos) Value {
+	in.meter.Step(energy.OpAllocObject, 1)
+	obj := &Object{
+		Class: ci,
+		Slots: make([]Value, len(ci.fields)),
+		Base:  in.meter.Alloc(16 + 8*len(ci.fields)),
+	}
+	// Zero-init then run declared initializers top-down.
+	for i, f := range ci.fields {
+		obj.Slots[i] = zeroValue(f.Type)
+	}
+	initFr := &frame{class: ci, this: obj, locals: map[string]*cell{}}
+	for i, f := range ci.fields {
+		if f.Init != nil {
+			obj.Slots[i] = in.coerceTo(in.evalInit(initFr, f.Init, f.Type), f.Type, pos)
+			in.meter.Step(energy.OpField, 1)
+			in.meter.Access(obj.Base+16+uint64(8*i), 8)
+		}
+	}
+	ctor := ci.findCtor(len(args))
+	if ctor == nil {
+		if len(args) != 0 {
+			in.bugf(pos, "no constructor %s/%d", ci.Name, len(args))
+		}
+		return Value{K: KRef, R: obj}
+	}
+	in.invoke(ci, obj, ctor, args)
+	return Value{K: KRef, R: obj}
+}
+
+// --- expression evaluation ---
+
+// evalInit evaluates an initializer, using the declared type to interpret
+// array literals.
+func (in *Interp) evalInit(fr *frame, e ast.Expr, t ast.Type) Value {
+	if lit, ok := e.(*ast.ArrayLit); ok {
+		return in.buildArrayLit(fr, lit, t)
+	}
+	return in.eval(fr, e)
+}
+
+func (in *Interp) buildArrayLit(fr *frame, lit *ast.ArrayLit, t ast.Type) Value {
+	if t.Dims == 0 {
+		in.bugf(lit.Pos, "array literal for non-array type %s", t)
+	}
+	v := in.newArrayRaw(t.Elem(), len(lit.Elems))
+	arr := v.R.(*Array)
+	elemT := t.Elem()
+	for i, el := range lit.Elems {
+		ev := in.evalInit(fr, el, elemT)
+		arr.set(i, in.coerceTo(ev, elemT, lit.Pos))
+		in.meter.Step(energy.OpArrayElem, 1)
+		in.meter.Access(arr.addr(i), arr.ES)
+	}
+	return v
+}
+
+func (in *Interp) eval(fr *frame, e ast.Expr) Value {
+	in.step()
+	switch n := e.(type) {
+	case *ast.Literal:
+		return in.evalLiteral(n)
+	case *ast.Ident:
+		return in.evalIdent(fr, n)
+	case *ast.This:
+		if fr.this == nil {
+			in.bugf(n.Pos, "this in static context")
+		}
+		return Value{K: KRef, R: fr.this}
+	case *ast.Select:
+		return in.evalSelect(fr, n)
+	case *ast.Index:
+		arr, idx := in.evalIndexOperands(fr, n)
+		in.meter.Step(energy.OpArrayElem, 1)
+		in.meter.Step(energy.OpBoundsCheck, 1)
+		in.meter.Access(arr.addr(idx), arr.ES)
+		return arr.get(idx)
+	case *ast.Call:
+		return in.evalCall(fr, n)
+	case *ast.New:
+		return in.evalNew(fr, n)
+	case *ast.NewArray:
+		return in.evalNewArray(fr, n)
+	case *ast.ArrayLit:
+		in.bugf(n.Pos, "array literal outside an initializer")
+	case *ast.Unary:
+		return in.evalUnary(fr, n)
+	case *ast.Binary:
+		return in.evalBinary(fr, n)
+	case *ast.Assign:
+		return in.evalAssign(fr, n)
+	case *ast.Ternary:
+		in.meter.Step(energy.OpBranch, 1)
+		in.meter.Step(energy.OpTernary, 1)
+		if in.evalCond(fr, n.Cond) {
+			return in.eval(fr, n.Then)
+		}
+		return in.eval(fr, n.Else)
+	case *ast.Cast:
+		return in.evalCast(fr, n)
+	case *ast.InstanceOf:
+		v := in.eval(fr, n.X)
+		in.meter.Step(energy.OpArithInt, 1)
+		return BoolVal(in.valueInstanceOf(v, n.Name))
+	}
+	in.bugf(e.NodePos(), "unsupported expression %T", e)
+	return Value{}
+}
+
+func (in *Interp) evalLiteral(n *ast.Literal) Value {
+	switch n.Kind {
+	case ast.LitInt:
+		in.meter.Step(energy.OpLocal, 1)
+		return IntVal(n.I)
+	case ast.LitLong:
+		in.meter.Step(energy.OpLocal, 1)
+		return LongVal(n.I)
+	case ast.LitFloat:
+		in.chargeConst(n.Sci)
+		return FloatVal(n.D)
+	case ast.LitDouble:
+		in.chargeConst(n.Sci)
+		return DoubleVal(n.D)
+	case ast.LitChar:
+		in.meter.Step(energy.OpLocal, 1)
+		return CharVal(n.I)
+	case ast.LitString:
+		in.meter.Step(energy.OpLocal, 1)
+		return StringVal(n.S)
+	case ast.LitBool:
+		in.meter.Step(energy.OpLocal, 1)
+		return BoolVal(n.I != 0)
+	case ast.LitNull:
+		in.meter.Step(energy.OpLocal, 1)
+		return NullVal()
+	}
+	return Value{}
+}
+
+func (in *Interp) chargeConst(sci bool) {
+	if sci {
+		in.meter.Step(energy.OpConstSci, 1)
+	} else {
+		in.meter.Step(energy.OpConstDecimal, 1)
+	}
+}
+
+// evalIdent resolves, in order: local, instance field, static field of the
+// enclosing class, then a class name.
+func (in *Interp) evalIdent(fr *frame, n *ast.Ident) Value {
+	if c := fr.lookup(n.Name); c != nil {
+		in.meter.Step(energy.OpLocal, 1)
+		return c.v
+	}
+	if fr.this != nil {
+		if ix, ok := fr.this.Class.fieldIx[n.Name]; ok {
+			in.meter.Step(energy.OpField, 1)
+			in.meter.Access(fr.this.Base+16+uint64(8*ix), 8)
+			return fr.this.Slots[ix]
+		}
+	}
+	if fr.class != nil {
+		if slot := fr.class.findStatic(n.Name); slot != nil {
+			in.meter.Step(energy.OpStatic, 1)
+			in.meter.Access(slot.Addr, 8)
+			return slot.V
+		}
+	}
+	if _, ok := in.prog.classes[n.Name]; ok || isBuiltinClass(n.Name) {
+		return Value{K: KClassRef, R: n.Name}
+	}
+	in.bugf(n.Pos, "unknown identifier %s", n.Name)
+	return Value{}
+}
+
+func (in *Interp) evalSelect(fr *frame, n *ast.Select) Value {
+	x := in.eval(fr, n.X)
+	switch x.K {
+	case KClassRef:
+		cls := x.R.(string)
+		if cls == "System" && n.Name == "out" {
+			return Value{K: KClassRef, R: "System.out"}
+		}
+		if ci, ok := in.prog.classes[cls]; ok {
+			if slot := ci.findStatic(n.Name); slot != nil {
+				in.meter.Step(energy.OpStatic, 1)
+				in.meter.Access(slot.Addr, 8)
+				return slot.V
+			}
+		}
+		if v, ok := builtinStaticField(cls, n.Name); ok {
+			in.meter.Step(energy.OpStatic, 1)
+			return v
+		}
+		in.bugf(n.Pos, "unknown static field %s.%s", cls, n.Name)
+	case KArr:
+		if n.Name == "length" {
+			in.meter.Step(energy.OpField, 1)
+			return IntVal(int64(x.R.(*Array).Len()))
+		}
+		in.bugf(n.Pos, "arrays have no field %s", n.Name)
+	case KRef:
+		obj := x.R.(*Object)
+		ix, ok := obj.Class.fieldIx[n.Name]
+		if !ok {
+			in.bugf(n.Pos, "class %s has no field %s", obj.Class.Name, n.Name)
+		}
+		in.meter.Step(energy.OpField, 1)
+		in.meter.Access(obj.Base+16+uint64(8*ix), 8)
+		return obj.Slots[ix]
+	case KNull:
+		in.throw("NullPointerException", "field "+n.Name+" on null")
+	}
+	in.bugf(n.Pos, "cannot select %s from %v", n.Name, x.K)
+	return Value{}
+}
+
+func (in *Interp) evalIndexOperands(fr *frame, n *ast.Index) (*Array, int) {
+	xv := in.eval(fr, n.X)
+	iv := in.eval(fr, n.I)
+	if xv.K == KNull {
+		in.throw("NullPointerException", "index on null array")
+	}
+	if xv.K != KArr {
+		in.bugf(n.Pos, "indexing non-array %v", xv.K)
+	}
+	if iv.K == KBox {
+		iv = in.unbox(iv, n.Pos)
+	}
+	if !iv.K.IsIntegral() {
+		in.bugf(n.Pos, "array index is %v, not integral", iv.K)
+	}
+	arr := xv.R.(*Array)
+	idx := int(iv.I)
+	if idx < 0 || idx >= arr.Len() {
+		in.throw("ArrayIndexOutOfBoundsException",
+			fmt.Sprintf("Index %d out of bounds for length %d", idx, arr.Len()))
+	}
+	return arr, idx
+}
+
+func (in *Interp) evalNew(fr *frame, n *ast.New) Value {
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = in.eval(fr, a)
+	}
+	if ci, ok := in.prog.classes[n.Name]; ok {
+		return in.construct(ci, args, n.Pos)
+	}
+	return in.constructBuiltin(n.Name, args, n.Pos)
+}
+
+func (in *Interp) evalNewArray(fr *frame, n *ast.NewArray) Value {
+	lens := make([]int, len(n.Lens))
+	for i, le := range n.Lens {
+		lv := in.eval(fr, le)
+		if lv.K == KBox {
+			lv = in.unbox(lv, n.Pos)
+		}
+		if !lv.K.IsIntegral() {
+			in.bugf(n.Pos, "array length is %v, not integral", lv.K)
+		}
+		if lv.I < 0 {
+			in.throw("NegativeArraySizeException", fmt.Sprintf("%d", lv.I))
+		}
+		lens[i] = int(lv.I)
+	}
+	return in.newArray(n.Elem, lens)
+}
+
+// newArray allocates a possibly multi-dimensional array. elem is the base
+// element type (its Dims are extra unsized dimensions).
+func (in *Interp) newArray(elem ast.Type, lens []int) Value {
+	t := elem
+	t.Dims += len(lens) - 1
+	v := in.newArrayRaw(t, lens[0])
+	if len(lens) > 1 {
+		arr := v.R.(*Array)
+		for i := 0; i < lens[0]; i++ {
+			arr.R[i] = in.newArray(elem, lens[1:])
+		}
+	}
+	return v
+}
+
+// newArrayRaw allocates a 1-D array whose elements have type elemT.
+func (in *Interp) newArrayRaw(elemT ast.Type, n int) Value {
+	k := kindOfType(elemT)
+	es := elemSize(k)
+	arr := &Array{Kind: k, Elem: elemT, ES: es, Base: in.meter.Alloc(16 + n*es)}
+	switch k {
+	case KInt, KLong, KShort, KByte, KChar, KBool:
+		arr.I = make([]int64, n)
+	case KFloat, KDouble:
+		arr.D = make([]float64, n)
+	default:
+		arr.R = make([]Value, n)
+		for i := range arr.R {
+			arr.R[i] = NullVal()
+		}
+	}
+	in.meter.Step(energy.OpAllocArrayElem, n)
+	return Value{K: KArr, R: arr}
+}
+
+func (in *Interp) evalUnary(fr *frame, n *ast.Unary) Value {
+	switch n.Op {
+	case token.Minus:
+		v := in.eval(fr, n.X)
+		if v.K == KBox {
+			v = in.unbox(v, n.Pos)
+		}
+		in.chargeArith(v.K, token.Minus)
+		switch v.K {
+		case KFloat:
+			return FloatVal(-v.D)
+		case KDouble:
+			return DoubleVal(-v.D)
+		case KLong:
+			return LongVal(-v.I)
+		case KInt, KShort, KByte, KChar:
+			return IntVal(-v.I)
+		}
+		in.bugf(n.Pos, "unary - on %v", v.K)
+	case token.Not:
+		v := in.eval(fr, n.X)
+		if v.K == KBox {
+			v = in.unbox(v, n.Pos)
+		}
+		if v.K != KBool {
+			in.bugf(n.Pos, "unary ! on %v", v.K)
+		}
+		in.meter.Step(energy.OpArithInt, 1)
+		return BoolVal(v.I == 0)
+	case token.Inc, token.Dec:
+		old := in.readLValue(fr, n.X)
+		if old.K == KBox {
+			old = in.unbox(old, n.Pos)
+		}
+		delta := int64(1)
+		if n.Op == token.Dec {
+			delta = -1
+		}
+		var updated Value
+		switch old.K {
+		case KFloat:
+			in.chargeArith(KFloat, token.Plus)
+			updated = FloatVal(old.D + float64(delta))
+		case KDouble:
+			in.chargeArith(KDouble, token.Plus)
+			updated = DoubleVal(old.D + float64(delta))
+		case KLong:
+			in.chargeArith(KLong, token.Plus)
+			updated = LongVal(old.I + delta)
+		case KInt, KShort, KByte, KChar:
+			in.chargeArith(old.K, token.Plus)
+			updated = Value{K: old.K, I: old.I + delta}
+		default:
+			in.bugf(n.Pos, "%v on %v", n.Op, old.K)
+		}
+		in.writeLValue(fr, n.X, updated)
+		if n.Postfix {
+			return old
+		}
+		return updated
+	}
+	in.bugf(n.Pos, "unsupported unary operator %v", n.Op)
+	return Value{}
+}
+
+func (in *Interp) evalBinary(fr *frame, n *ast.Binary) Value {
+	switch n.Op {
+	case token.AndAnd:
+		in.meter.Step(energy.OpBranch, 1)
+		if !in.evalCond(fr, n.X) {
+			return BoolVal(false)
+		}
+		return BoolVal(in.evalCond(fr, n.Y))
+	case token.OrOr:
+		in.meter.Step(energy.OpBranch, 1)
+		if in.evalCond(fr, n.X) {
+			return BoolVal(true)
+		}
+		return BoolVal(in.evalCond(fr, n.Y))
+	}
+	x := in.eval(fr, n.X)
+	y := in.eval(fr, n.Y)
+	return in.binary(n.Op, x, y, n.Pos)
+}
+
+// binary applies a (non-short-circuit) binary operator with Java's numeric
+// promotion, charging the promoted kind's arithmetic cost.
+func (in *Interp) binary(op token.Kind, x, y Value, pos token.Pos) Value {
+	// String concatenation.
+	if op == token.Plus && (x.K == KString || y.K == KString) {
+		xs, ys := x.JavaString(), y.JavaString()
+		in.meter.Step(energy.OpStrSetup, 1)
+		in.meter.Step(energy.OpStrConcatChar, len(xs)+len(ys))
+		in.meter.Alloc(16 + len(xs) + len(ys))
+		return StringVal(xs + ys)
+	}
+	if x.K == KBox {
+		x = in.unbox(x, pos)
+	}
+	if y.K == KBox {
+		y = in.unbox(y, pos)
+	}
+	// Reference / null / string equality.
+	if op == token.Eq || op == token.Ne {
+		if !x.K.IsNumeric() || !y.K.IsNumeric() {
+			in.meter.Step(energy.OpArithInt, 1)
+			eq := refEqual(x, y)
+			if op == token.Ne {
+				eq = !eq
+			}
+			return BoolVal(eq)
+		}
+	}
+	// Boolean logic without short circuit: & | ^.
+	if x.K == KBool && y.K == KBool {
+		in.meter.Step(energy.OpArithInt, 1)
+		a, b := x.I != 0, y.I != 0
+		switch op {
+		case token.BitAnd:
+			return BoolVal(a && b)
+		case token.BitOr:
+			return BoolVal(a || b)
+		case token.BitXor:
+			return BoolVal(a != b)
+		case token.Eq:
+			return BoolVal(a == b)
+		case token.Ne:
+			return BoolVal(a != b)
+		}
+		in.bugf(pos, "operator %v on booleans", op)
+	}
+	if !x.K.IsNumeric() || !y.K.IsNumeric() {
+		in.bugf(pos, "operator %v on %v and %v", op, x.K, y.K)
+	}
+	k := promote(x.K, y.K)
+	switch op {
+	case token.Lt, token.Le, token.Gt, token.Ge, token.Eq, token.Ne:
+		in.chargeArith(k, op)
+		return BoolVal(compare(op, x, y, k))
+	}
+	in.chargeArith(k, op)
+	if k == KFloat || k == KDouble {
+		return in.floatArith(op, x.AsF64(), y.AsF64(), k, pos)
+	}
+	return in.intArith(op, x.AsI64(), y.AsI64(), k, pos)
+}
+
+func refEqual(x, y Value) bool {
+	if x.K == KNull || y.K == KNull {
+		return x.K == y.K
+	}
+	if x.K == KString && y.K == KString {
+		// Deviation from the JLS: string == compares values, since the
+		// dialect does not model interning.
+		return x.Str() == y.Str()
+	}
+	return x.R == y.R
+}
+
+func promote(a, b Kind) Kind {
+	if a == KDouble || b == KDouble {
+		return KDouble
+	}
+	if a == KFloat || b == KFloat {
+		return KFloat
+	}
+	if a == KLong || b == KLong {
+		return KLong
+	}
+	return KInt
+}
+
+func compare(op token.Kind, x, y Value, k Kind) bool {
+	if k == KFloat || k == KDouble {
+		a, b := x.AsF64(), y.AsF64()
+		switch op {
+		case token.Lt:
+			return a < b
+		case token.Le:
+			return a <= b
+		case token.Gt:
+			return a > b
+		case token.Ge:
+			return a >= b
+		case token.Eq:
+			return a == b
+		default:
+			return a != b
+		}
+	}
+	a, b := x.AsI64(), y.AsI64()
+	switch op {
+	case token.Lt:
+		return a < b
+	case token.Le:
+		return a <= b
+	case token.Gt:
+		return a > b
+	case token.Ge:
+		return a >= b
+	case token.Eq:
+		return a == b
+	default:
+		return a != b
+	}
+}
+
+// chargeArith charges one arithmetic op of the promoted kind, with modulus
+// and division charged their special costs.
+func (in *Interp) chargeArith(k Kind, op token.Kind) {
+	switch {
+	case op == token.Percent && (k == KInt || k == KLong || k == KShort || k == KByte || k == KChar):
+		in.meter.Step(energy.OpModInt, 1)
+		return
+	case op == token.Slash && k.IsIntegral():
+		in.meter.Step(energy.OpDivInt, 1)
+		return
+	case (op == token.Slash || op == token.Percent) && (k == KFloat || k == KDouble):
+		in.meter.Step(energy.OpDivFP, 1)
+		return
+	}
+	switch k {
+	case KInt:
+		in.meter.Step(energy.OpArithInt, 1)
+	case KLong:
+		in.meter.Step(energy.OpArithLong, 1)
+	case KShort, KByte, KChar:
+		in.meter.Step(energy.OpArithNarrow, 1)
+	case KFloat:
+		in.meter.Step(energy.OpArithFloat, 1)
+	case KDouble:
+		in.meter.Step(energy.OpArithDouble, 1)
+	default:
+		in.meter.Step(energy.OpArithInt, 1)
+	}
+}
+
+func (in *Interp) intArith(op token.Kind, a, b int64, k Kind, pos token.Pos) Value {
+	mk := func(v int64) Value {
+		if k == KLong {
+			return LongVal(v)
+		}
+		return IntVal(v)
+	}
+	switch op {
+	case token.Plus:
+		return mk(a + b)
+	case token.Minus:
+		return mk(a - b)
+	case token.Star:
+		return mk(a * b)
+	case token.Slash:
+		if b == 0 {
+			in.throw("ArithmeticException", "/ by zero")
+		}
+		return mk(a / b)
+	case token.Percent:
+		if b == 0 {
+			in.throw("ArithmeticException", "/ by zero")
+		}
+		return mk(a % b)
+	case token.BitAnd:
+		return mk(a & b)
+	case token.BitOr:
+		return mk(a | b)
+	case token.BitXor:
+		return mk(a ^ b)
+	case token.Shl:
+		return mk(a << uint(b&63))
+	case token.Shr:
+		return mk(a >> uint(b&63))
+	}
+	in.bugf(pos, "unsupported integer operator %v", op)
+	return Value{}
+}
+
+func (in *Interp) floatArith(op token.Kind, a, b float64, k Kind, pos token.Pos) Value {
+	mk := func(v float64) Value {
+		if k == KFloat {
+			return FloatVal(v)
+		}
+		return DoubleVal(v)
+	}
+	switch op {
+	case token.Plus:
+		return mk(a + b)
+	case token.Minus:
+		return mk(a - b)
+	case token.Star:
+		return mk(a * b)
+	case token.Slash:
+		return mk(a / b) // Java FP division yields Inf/NaN, never throws
+	case token.Percent:
+		return mk(fmod(a, b))
+	}
+	in.bugf(pos, "unsupported floating operator %v", op)
+	return Value{}
+}
+
+func fmod(a, b float64) float64 { return math.Mod(a, b) }
+
+// --- assignment ---
+
+func (in *Interp) evalAssign(fr *frame, n *ast.Assign) Value {
+	var rhs Value
+	if n.Op == token.Assign {
+		if lit, ok := n.RHS.(*ast.ArrayLit); ok {
+			t := in.lvalueType(fr, n.LHS)
+			rhs = in.buildArrayLit(fr, lit, t)
+		} else {
+			rhs = in.eval(fr, n.RHS)
+		}
+	} else {
+		old := in.readLValue(fr, n.LHS)
+		r := in.eval(fr, n.RHS)
+		rhs = in.binary(compoundBase(n.Op), old, r, n.Pos)
+	}
+	in.writeLValue(fr, n.LHS, rhs)
+	return rhs
+}
+
+func compoundBase(op token.Kind) token.Kind {
+	switch op {
+	case token.PlusEq:
+		return token.Plus
+	case token.MinusEq:
+		return token.Minus
+	case token.StarEq:
+		return token.Star
+	case token.SlashEq:
+		return token.Slash
+	case token.PercentEq:
+		return token.Percent
+	case token.AndEq:
+		return token.BitAnd
+	case token.OrEq:
+		return token.BitOr
+	case token.XorEq:
+		return token.BitXor
+	}
+	return op
+}
+
+// lvalueType reports the declared type of an assignable expression, falling
+// back to a best-effort guess for array elements.
+func (in *Interp) lvalueType(fr *frame, lhs ast.Expr) ast.Type {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if c := fr.lookup(l.Name); c != nil {
+			return c.t
+		}
+		if fr.this != nil {
+			if ix, ok := fr.this.Class.fieldIx[l.Name]; ok {
+				return fr.this.Class.fields[ix].Type
+			}
+		}
+		if fr.class != nil {
+			if slot := fr.class.findStatic(l.Name); slot != nil {
+				return slot.Type
+			}
+		}
+	case *ast.Select:
+		x := in.eval(fr, l.X)
+		switch x.K {
+		case KRef:
+			obj := x.R.(*Object)
+			if ix, ok := obj.Class.fieldIx[l.Name]; ok {
+				return obj.Class.fields[ix].Type
+			}
+		case KClassRef:
+			if ci, ok := in.prog.classes[x.R.(string)]; ok {
+				if slot := ci.findStatic(l.Name); slot != nil {
+					return slot.Type
+				}
+			}
+		}
+	case *ast.Index:
+		xt := in.lvalueType(fr, l.X)
+		return xt.Elem()
+	}
+	in.bugf(lhs.NodePos(), "cannot determine type of assignment target")
+	return ast.Type{}
+}
+
+// readLValue evaluates an assignable expression for compound assignment.
+func (in *Interp) readLValue(fr *frame, lhs ast.Expr) Value {
+	return in.eval(fr, lhs)
+}
+
+// writeLValue stores v into an assignable expression, charging the store.
+func (in *Interp) writeLValue(fr *frame, lhs ast.Expr, v Value) {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if c := fr.lookup(l.Name); c != nil {
+			in.meter.Step(energy.OpLocal, 1)
+			c.v = in.coerceTo(v, c.t, l.Pos)
+			return
+		}
+		if fr.this != nil {
+			if ix, ok := fr.this.Class.fieldIx[l.Name]; ok {
+				in.meter.Step(energy.OpField, 1)
+				in.meter.Access(fr.this.Base+16+uint64(8*ix), 8)
+				fr.this.Slots[ix] = in.coerceTo(v, fr.this.Class.fields[ix].Type, l.Pos)
+				return
+			}
+		}
+		if fr.class != nil {
+			if slot := fr.class.findStatic(l.Name); slot != nil {
+				in.meter.Step(energy.OpStatic, 1)
+				in.meter.Access(slot.Addr, 8)
+				slot.V = in.coerceTo(v, slot.Type, l.Pos)
+				return
+			}
+		}
+		in.bugf(l.Pos, "assignment to unknown variable %s", l.Name)
+	case *ast.Select:
+		x := in.eval(fr, l.X)
+		switch x.K {
+		case KRef:
+			obj := x.R.(*Object)
+			ix, ok := obj.Class.fieldIx[l.Name]
+			if !ok {
+				in.bugf(l.Pos, "class %s has no field %s", obj.Class.Name, l.Name)
+			}
+			in.meter.Step(energy.OpField, 1)
+			in.meter.Access(obj.Base+16+uint64(8*ix), 8)
+			obj.Slots[ix] = in.coerceTo(v, obj.Class.fields[ix].Type, l.Pos)
+			return
+		case KClassRef:
+			if ci, ok := in.prog.classes[x.R.(string)]; ok {
+				if slot := ci.findStatic(l.Name); slot != nil {
+					in.meter.Step(energy.OpStatic, 1)
+					in.meter.Access(slot.Addr, 8)
+					slot.V = in.coerceTo(v, slot.Type, l.Pos)
+					return
+				}
+			}
+			in.bugf(l.Pos, "unknown static field %s.%s", x.R.(string), l.Name)
+		case KNull:
+			in.throw("NullPointerException", "store to field "+l.Name+" on null")
+		}
+		in.bugf(l.Pos, "cannot assign field of %v", x.K)
+	case *ast.Index:
+		arr, idx := in.evalIndexOperands(fr, l)
+		in.meter.Step(energy.OpArrayElem, 1)
+		in.meter.Step(energy.OpBoundsCheck, 1)
+		in.meter.Access(arr.addr(idx), arr.ES)
+		arr.set(idx, in.coerceTo(v, arr.Elem, l.Pos))
+		return
+	default:
+		in.bugf(lhs.NodePos(), "invalid assignment target %T", lhs)
+	}
+}
+
+// --- conversions ---
+
+func zeroValue(t ast.Type) Value {
+	if t.Dims > 0 {
+		return NullVal()
+	}
+	switch kindOfType(t) {
+	case KInt:
+		return IntVal(0)
+	case KLong:
+		return LongVal(0)
+	case KShort:
+		return ShortVal(0)
+	case KByte:
+		return ByteVal(0)
+	case KChar:
+		return CharVal(0)
+	case KBool:
+		return BoolVal(false)
+	case KFloat:
+		return FloatVal(0)
+	case KDouble:
+		return DoubleVal(0)
+	default:
+		return NullVal()
+	}
+}
+
+// coerceTo converts a value to a declared type, charging narrowing and boxing
+// costs. It is deliberately lenient about implicit narrowing (the JEPO
+// refactorer relies on double→float rewrites remaining executable).
+func (in *Interp) coerceTo(v Value, t ast.Type, pos token.Pos) Value {
+	if t.Dims > 0 {
+		if v.K == KArr || v.K == KNull {
+			return v
+		}
+		in.bugf(pos, "cannot assign %v to array type %s", v.K, t)
+	}
+	target := kindOfType(t)
+	if v.K == target {
+		return v
+	}
+	switch target {
+	case KInt, KLong, KShort, KByte, KChar:
+		if v.K == KBox {
+			v = in.unbox(v, pos)
+		}
+		if !v.K.IsNumeric() {
+			in.bugf(pos, "cannot convert %v to %s", v.K, t)
+		}
+		switch target {
+		case KInt:
+			return IntVal(v.AsI64())
+		case KLong:
+			return LongVal(v.AsI64())
+		case KShort:
+			in.meter.Step(energy.OpArithNarrow, 1)
+			return ShortVal(v.AsI64())
+		case KByte:
+			in.meter.Step(energy.OpArithNarrow, 1)
+			return ByteVal(v.AsI64())
+		case KChar:
+			in.meter.Step(energy.OpArithNarrow, 1)
+			return CharVal(v.AsI64())
+		}
+	case KFloat, KDouble:
+		if v.K == KBox {
+			v = in.unbox(v, pos)
+		}
+		if !v.K.IsNumeric() {
+			in.bugf(pos, "cannot convert %v to %s", v.K, t)
+		}
+		if target == KFloat {
+			return FloatVal(v.AsF64())
+		}
+		return DoubleVal(v.AsF64())
+	case KBool:
+		if v.K == KBox {
+			v = in.unbox(v, pos)
+		}
+		if v.K == KBool {
+			return v
+		}
+		in.bugf(pos, "cannot convert %v to boolean", v.K)
+	case KString:
+		if v.K == KNull {
+			return v
+		}
+		if v.K == KString {
+			return v
+		}
+		in.bugf(pos, "cannot convert %v to String", v.K)
+	case KSB:
+		if v.K == KSB || v.K == KNull {
+			return v
+		}
+		in.bugf(pos, "cannot convert %v to StringBuilder", v.K)
+	case KBox:
+		if v.K == KNull {
+			return v
+		}
+		if v.K == KBox {
+			return v
+		}
+		return in.box(t.Name, v, pos)
+	case KRef:
+		switch v.K {
+		case KRef, KNull, KThrow, KString, KArr, KSB, KBox:
+			// Object-typed storage accepts any reference.
+			return v
+		}
+		in.bugf(pos, "cannot convert %v to %s", v.K, t.Name)
+	case KVoid:
+		return v
+	}
+	in.bugf(pos, "cannot convert %v to %s", v.K, t)
+	return Value{}
+}
+
+// box wraps a primitive into a wrapper object, charging the Integer cache
+// when applicable — the mechanism behind Table I's wrapper-class row.
+func (in *Interp) box(wrapper string, v Value, pos token.Pos) Value {
+	pk := wrapperKind(wrapper)
+	if pk == KVoid {
+		in.bugf(pos, "unknown wrapper class %s", wrapper)
+	}
+	prim := in.coerceTo(v, typeOfKind(pk), pos)
+	if wrapper == "Integer" && prim.I >= -128 && prim.I <= 127 && pk == KInt {
+		in.meter.Step(energy.OpBoxCached, 1)
+		return Value{K: KBox, R: &Box{Class: wrapper, V: prim, Cached: true}}
+	}
+	in.meter.Step(energy.OpBoxAlloc, 1)
+	return Value{K: KBox, R: &Box{Class: wrapper, V: prim, Base: in.meter.Alloc(16)}}
+}
+
+func (in *Interp) unbox(v Value, pos token.Pos) Value {
+	if v.K != KBox {
+		return v
+	}
+	in.meter.Step(energy.OpUnbox, 1)
+	return v.R.(*Box).V
+}
+
+func typeOfKind(k Kind) ast.Type {
+	switch k {
+	case KInt:
+		return ast.Type{Kind: ast.Int}
+	case KLong:
+		return ast.Type{Kind: ast.Long}
+	case KShort:
+		return ast.Type{Kind: ast.Short}
+	case KByte:
+		return ast.Type{Kind: ast.Byte}
+	case KChar:
+		return ast.Type{Kind: ast.Char}
+	case KBool:
+		return ast.Type{Kind: ast.Boolean}
+	case KFloat:
+		return ast.Type{Kind: ast.Float}
+	case KDouble:
+		return ast.Type{Kind: ast.Double}
+	}
+	return ast.Type{Kind: ast.Void}
+}
+
+func (in *Interp) evalCast(fr *frame, n *ast.Cast) Value {
+	v := in.eval(fr, n.X)
+	t := n.Type
+	if t.Dims > 0 {
+		if v.K == KArr || v.K == KNull {
+			return v
+		}
+		in.throw("ClassCastException", fmt.Sprintf("%v to %s", v.K, t))
+	}
+	switch kindOfType(t) {
+	case KInt, KLong, KShort, KByte, KChar, KFloat, KDouble:
+		if v.K == KBox {
+			v = in.unbox(v, n.Pos)
+		}
+		if !v.K.IsNumeric() {
+			in.throw("ClassCastException", fmt.Sprintf("%v to %s", v.K, t))
+		}
+		in.chargeArith(kindOfType(t), token.Plus)
+		return in.coerceTo(v, t, n.Pos)
+	case KBool:
+		if v.K == KBool {
+			return v
+		}
+		in.throw("ClassCastException", fmt.Sprintf("%v to boolean", v.K))
+	case KString:
+		if v.K == KString || v.K == KNull {
+			return v
+		}
+		in.throw("ClassCastException", fmt.Sprintf("%v to String", v.K))
+	case KSB:
+		if v.K == KSB || v.K == KNull {
+			return v
+		}
+		in.throw("ClassCastException", fmt.Sprintf("%v to StringBuilder", v.K))
+	case KBox:
+		if v.K == KBox || v.K == KNull {
+			return v
+		}
+		return in.box(t.Name, v, n.Pos)
+	default:
+		if v.K == KNull {
+			return v
+		}
+		if v.K == KRef {
+			if in.valueInstanceOf(v, t.Name) || t.Name == "Object" {
+				return v
+			}
+			in.throw("ClassCastException",
+				fmt.Sprintf("%s to %s", v.R.(*Object).Class.Name, t.Name))
+		}
+		if v.K == KThrow && IsExceptionClass(t.Name) {
+			return v
+		}
+		if t.Name == "Object" {
+			return v
+		}
+		in.throw("ClassCastException", fmt.Sprintf("%v to %s", v.K, t.Name))
+	}
+	return Value{}
+}
+
+func (in *Interp) valueInstanceOf(v Value, name string) bool {
+	switch v.K {
+	case KNull:
+		return false
+	case KString:
+		return name == "String" || name == "Object"
+	case KSB:
+		return name == "StringBuilder" || name == "Object"
+	case KArr:
+		return name == "Object"
+	case KBox:
+		return v.R.(*Box).Class == name || name == "Object" || name == "Number"
+	case KThrow:
+		return v.R.(*Throwable).instanceOf(name) || name == "Object"
+	case KRef:
+		if name == "Object" {
+			return true
+		}
+		for c := v.R.(*Object).Class; c != nil; c = c.Super {
+			if c.Name == name {
+				return true
+			}
+		}
+		// Walk declared extends of built-in roots.
+		return false
+	}
+	return false
+}
+
+// --- calls ---
+
+func (in *Interp) evalCall(fr *frame, n *ast.Call) Value {
+	// Unqualified call: method of the enclosing class.
+	if n.Recv == nil {
+		args := in.evalArgs(fr, n.Args)
+		m := fr.class.findMethod(n.Name, len(args))
+		if m == nil {
+			in.bugf(n.Pos, "unknown method %s/%d in class %s", n.Name, len(args), fr.class.Name)
+		}
+		if m.Mods.Has(ast.ModStatic) {
+			return in.invoke(fr.class, nil, m, args)
+		}
+		if fr.this == nil {
+			in.bugf(n.Pos, "instance method %s called from static context", n.Name)
+		}
+		return in.invoke(fr.this.Class, fr.this, m, args)
+	}
+	recv := in.eval(fr, n.Recv)
+	args := in.evalArgs(fr, n.Args)
+	switch recv.K {
+	case KClassRef:
+		cls := recv.R.(string)
+		if cls == "System.out" {
+			if v, ok := in.callBuiltinInstance(recv, n.Name, args, n.Pos); ok {
+				return v
+			}
+			in.bugf(n.Pos, "unknown method System.out.%s", n.Name)
+		}
+		if ci, ok := in.prog.classes[cls]; ok {
+			if m := ci.findMethod(n.Name, len(args)); m != nil {
+				if !m.Mods.Has(ast.ModStatic) {
+					in.bugf(n.Pos, "instance method %s.%s called statically", cls, n.Name)
+				}
+				return in.invoke(ci, nil, m, args)
+			}
+		}
+		if v, ok := in.callBuiltinStatic(cls, n.Name, args, n.Pos); ok {
+			return v
+		}
+		in.bugf(n.Pos, "unknown static method %s.%s/%d", cls, n.Name, len(args))
+	case KRef:
+		obj := recv.R.(*Object)
+		m := obj.Class.findMethod(n.Name, len(args))
+		if m == nil {
+			in.bugf(n.Pos, "class %s has no method %s/%d", obj.Class.Name, n.Name, len(args))
+		}
+		return in.invoke(obj.Class, obj, m, args)
+	case KNull:
+		in.throw("NullPointerException", "call "+n.Name+" on null")
+	default:
+		if v, ok := in.callBuiltinInstance(recv, n.Name, args, n.Pos); ok {
+			return v
+		}
+		in.bugf(n.Pos, "no method %s on %v", n.Name, recv.K)
+	}
+	return Value{}
+}
+
+func (in *Interp) evalArgs(fr *frame, exprs []ast.Expr) []Value {
+	args := make([]Value, len(exprs))
+	for i, a := range exprs {
+		args[i] = in.eval(fr, a)
+	}
+	return args
+}

@@ -1,0 +1,133 @@
+package interp
+
+import (
+	"strings"
+
+	"jepo/internal/minijava/ast"
+)
+
+// Object is an instance of a user-defined class. Field storage is slot-based
+// and lives at a synthetic heap address so field accesses exercise the cache
+// model.
+type Object struct {
+	Class *classInfo
+	Slots []Value
+	Base  uint64
+}
+
+// Array is a mini-Java array. Integral and boolean elements live in I,
+// floating-point in D, references (strings, objects, nested arrays) in R.
+type Array struct {
+	Kind Kind // element kind
+	Elem ast.Type
+	Base uint64
+	ES   int // element size in bytes
+	I    []int64
+	D    []float64
+	R    []Value
+}
+
+// Len is the array length.
+func (a *Array) Len() int {
+	switch {
+	case a.I != nil:
+		return len(a.I)
+	case a.D != nil:
+		return len(a.D)
+	default:
+		return len(a.R)
+	}
+}
+
+// addr is the synthetic address of element i.
+func (a *Array) addr(i int) uint64 { return a.Base + uint64(i*a.ES) }
+
+// get reads element i without bounds checking (the interpreter checks).
+func (a *Array) get(i int) Value {
+	switch a.Kind {
+	case KInt, KLong, KShort, KByte, KChar:
+		return Value{K: a.Kind, I: a.I[i]}
+	case KBool:
+		return Value{K: KBool, I: a.I[i]}
+	case KFloat, KDouble:
+		return Value{K: a.Kind, D: a.D[i]}
+	default:
+		return a.R[i]
+	}
+}
+
+// set writes element i without bounds checking.
+func (a *Array) set(i int, v Value) {
+	switch a.Kind {
+	case KInt, KLong, KShort, KByte, KChar, KBool:
+		a.I[i] = v.I
+	case KFloat, KDouble:
+		a.D[i] = v.D
+	default:
+		a.R[i] = v
+	}
+}
+
+// SB is a StringBuilder instance.
+type SB struct {
+	B    strings.Builder
+	Base uint64
+}
+
+// Box is a wrapper-class instance (Integer, Double, ...). Cached indicates it
+// came from the small-integer valueOf cache, which is what makes Integer the
+// cheapest wrapper in the paper's Table I.
+type Box struct {
+	Class  string
+	V      Value
+	Base   uint64
+	Cached bool
+}
+
+// Throwable is an exception value. The class hierarchy is modelled by name:
+// every *Exception class extends Exception, and the runtime exception names
+// below extend RuntimeException.
+type Throwable struct {
+	Class string
+	Msg   string
+}
+
+var runtimeExceptions = map[string]bool{
+	"RuntimeException":                true,
+	"ArithmeticException":             true,
+	"ArrayIndexOutOfBoundsException":  true,
+	"IndexOutOfBoundsException":       true,
+	"NullPointerException":            true,
+	"NumberFormatException":           true,
+	"IllegalArgumentException":        true,
+	"IllegalStateException":           true,
+	"UnsupportedOperationException":   true,
+	"ClassCastException":              true,
+	"NegativeArraySizeException":      true,
+	"StringIndexOutOfBoundsException": true,
+}
+
+// instanceOf reports whether the throwable matches a catch clause type.
+func (t *Throwable) instanceOf(catchType string) bool {
+	if catchType == t.Class || catchType == "Throwable" || catchType == "Exception" {
+		return true
+	}
+	if catchType == "RuntimeException" {
+		return runtimeExceptions[t.Class]
+	}
+	if catchType == "IndexOutOfBoundsException" {
+		return t.Class == "ArrayIndexOutOfBoundsException" ||
+			t.Class == "StringIndexOutOfBoundsException"
+	}
+	if catchType == "IllegalArgumentException" {
+		return t.Class == "NumberFormatException"
+	}
+	return false
+}
+
+// IsExceptionClass reports whether a class name denotes a built-in throwable
+// that may be constructed without a user definition.
+func IsExceptionClass(name string) bool {
+	return name == "Exception" || name == "Throwable" || name == "Error" ||
+		strings.HasSuffix(name, "Exception")
+}

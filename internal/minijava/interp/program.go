@@ -1,0 +1,176 @@
+package interp
+
+import (
+	"fmt"
+
+	"jepo/internal/minijava/ast"
+)
+
+// classInfo is the loaded form of a class: resolved superclass, slot-indexed
+// instance fields (inherited first) and name-indexed methods.
+type classInfo struct {
+	Name    string
+	Decl    *ast.Class
+	Super   *classInfo
+	fields  []fieldInfo // instance fields, supers first, in declaration order
+	fieldIx map[string]int
+	methods map[string][]*ast.Method // instance and static, by name
+	ctors   []*ast.Method
+	statics map[string]*staticSlot
+	statOrd []string // static fields in declaration order
+}
+
+type fieldInfo struct {
+	Name string
+	Type ast.Type
+	Init ast.Expr
+	Own  bool // declared by this class (not inherited)
+}
+
+type staticSlot struct {
+	Type ast.Type
+	Init ast.Expr
+	V    Value
+	Addr uint64
+}
+
+// Program is a loaded set of classes ready to execute.
+type Program struct {
+	classes map[string]*classInfo
+	order   []string // load order, for static initialization
+}
+
+// Load links a set of parsed files into an executable program. It reports
+// duplicate classes, unknown superclasses and inheritance cycles.
+func Load(files ...*ast.File) (*Program, error) {
+	p := &Program{classes: make(map[string]*classInfo)}
+	for _, f := range files {
+		for _, c := range f.Classes {
+			if _, dup := p.classes[c.Name]; dup {
+				return nil, fmt.Errorf("interp: duplicate class %s", c.Name)
+			}
+			ci := &classInfo{
+				Name:    c.Name,
+				Decl:    c,
+				fieldIx: make(map[string]int),
+				methods: make(map[string][]*ast.Method),
+				statics: make(map[string]*staticSlot),
+			}
+			p.classes[c.Name] = ci
+			p.order = append(p.order, c.Name)
+		}
+	}
+	// Link superclasses and detect cycles.
+	for _, name := range p.order {
+		ci := p.classes[name]
+		ext := ci.Decl.Extends
+		if ext == "" {
+			continue
+		}
+		super, ok := p.classes[ext]
+		if !ok {
+			if IsExceptionClass(ext) || ext == "Object" {
+				continue // extending a built-in root is allowed and ignored
+			}
+			return nil, fmt.Errorf("interp: class %s extends unknown class %s", name, ext)
+		}
+		ci.Super = super
+	}
+	for _, name := range p.order {
+		seen := map[string]bool{}
+		for ci := p.classes[name]; ci != nil; ci = ci.Super {
+			if seen[ci.Name] {
+				return nil, fmt.Errorf("interp: inheritance cycle through %s", ci.Name)
+			}
+			seen[ci.Name] = true
+		}
+	}
+	// Build field/method tables bottom-up with memoization via buildInfo.
+	built := map[string]bool{}
+	var build func(ci *classInfo)
+	build = func(ci *classInfo) {
+		if built[ci.Name] {
+			return
+		}
+		built[ci.Name] = true
+		if ci.Super != nil {
+			build(ci.Super)
+			ci.fields = append(ci.fields, ci.Super.fields...)
+			for i := range ci.fields {
+				ci.fields[i].Own = false
+			}
+			for k, v := range ci.Super.fieldIx {
+				ci.fieldIx[k] = v
+			}
+		}
+		for _, fd := range ci.Decl.Fields {
+			if fd.Mods.Has(ast.ModStatic) {
+				ci.statics[fd.Name] = &staticSlot{Type: fd.Type, Init: fd.Init}
+				ci.statOrd = append(ci.statOrd, fd.Name)
+				continue
+			}
+			if ix, shadow := ci.fieldIx[fd.Name]; shadow {
+				// Field shadowing: reuse the slot (the dialect forbids
+				// distinct same-named fields).
+				ci.fields[ix] = fieldInfo{Name: fd.Name, Type: fd.Type, Init: fd.Init, Own: true}
+				continue
+			}
+			ci.fieldIx[fd.Name] = len(ci.fields)
+			ci.fields = append(ci.fields, fieldInfo{Name: fd.Name, Type: fd.Type, Init: fd.Init, Own: true})
+		}
+		// ci.methods holds only methods declared by this class; findMethod
+		// walks the superclass chain, so overriding falls out naturally.
+		for _, m := range ci.Decl.Methods {
+			if m.IsCtor {
+				ci.ctors = append(ci.ctors, m)
+				continue
+			}
+			ci.methods[m.Name] = append(ci.methods[m.Name], m)
+		}
+	}
+	for _, name := range p.order {
+		build(p.classes[name])
+	}
+	return p, nil
+}
+
+// Class looks up a loaded class.
+func (p *Program) Class(name string) (*classInfo, bool) {
+	ci, ok := p.classes[name]
+	return ci, ok
+}
+
+// Classes lists class names in load order.
+func (p *Program) Classes() []string { return append([]string(nil), p.order...) }
+
+// findMethod resolves a method by name and arity, walking up the hierarchy.
+func (ci *classInfo) findMethod(name string, arity int) *ast.Method {
+	for c := ci; c != nil; c = c.Super {
+		for _, m := range c.methods[name] {
+			if len(m.Params) == arity {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// findCtor resolves a constructor by arity.
+func (ci *classInfo) findCtor(arity int) *ast.Method {
+	for _, m := range ci.ctors {
+		if len(m.Params) == arity {
+			return m
+		}
+	}
+	return nil
+}
+
+// findStatic resolves a static field, walking up the hierarchy.
+func (ci *classInfo) findStatic(name string) *staticSlot {
+	for c := ci; c != nil; c = c.Super {
+		if s, ok := c.statics[name]; ok {
+			return s
+		}
+	}
+	return nil
+}

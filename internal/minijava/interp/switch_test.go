@@ -1,0 +1,170 @@
+package interp
+
+import (
+	"testing"
+)
+
+func TestSwitchBasicDispatch(t *testing.T) {
+	src := `class T {
+		static int pick(int v) {
+			switch (v) {
+			case 1:
+				return 10;
+			case 2:
+				return 20;
+			default:
+				return -1;
+			}
+		}
+		static int f() {
+			return pick(1) * 10000 + pick(2) * 100 + (pick(9) + 1);
+		}
+	}`
+	v, _ := runProgram(t, src, "T", "f")
+	if v.I != 10*10000+20*100+0 {
+		t.Errorf("switch dispatch = %d, want 102000", v.I)
+	}
+}
+
+func TestSwitchFallThrough(t *testing.T) {
+	src := `class T {
+		static int f() {
+			int hits = 0;
+			for (int v = 0; v < 4; v++) {
+				switch (v) {
+				case 0:
+				case 1:
+					hits += 1;
+					break;
+				case 2:
+					hits += 10;
+					// falls through
+				case 3:
+					hits += 100;
+					break;
+				}
+			}
+			return hits;
+		}
+	}`
+	// v=0: +1; v=1: +1; v=2: +10 then falls into +100; v=3: +100.
+	v, _ := runProgram(t, src, "T", "f")
+	if v.I != 1+1+110+100 {
+		t.Errorf("fall-through = %d, want 212", v.I)
+	}
+}
+
+func TestSwitchOnString(t *testing.T) {
+	src := `class T {
+		static int kind(String s) {
+			switch (s) {
+			case "delayed":
+				return 1;
+			case "ontime":
+				return 0;
+			default:
+				return -1;
+			}
+		}
+		static int f() {
+			return kind("delayed") * 100 + kind("ontime") * 10 + (kind("lost") + 1);
+		}
+	}`
+	v, _ := runProgram(t, src, "T", "f")
+	if v.I != 100 {
+		t.Errorf("string switch = %d, want 100", v.I)
+	}
+}
+
+func TestSwitchNoMatchNoDefault(t *testing.T) {
+	if got := evalInt(t, `
+		int r = 5;
+		switch (r) {
+		case 1:
+			r = 100;
+		}
+		return r;`); got != 5 {
+		t.Errorf("unmatched switch = %d, want 5", got)
+	}
+}
+
+func TestSwitchReturnAndContinueEscape(t *testing.T) {
+	src := `class T {
+		static int f() {
+			int s = 0;
+			for (int i = 0; i < 6; i++) {
+				switch (i & 1) {
+				case 0:
+					continue;
+				default:
+					s += i;
+				}
+			}
+			return s;
+		}
+	}`
+	v, _ := runProgram(t, src, "T", "f")
+	if v.I != 1+3+5 {
+		t.Errorf("continue-through-switch = %d, want 9", v.I)
+	}
+}
+
+func TestDoWhileExecutesBodyFirst(t *testing.T) {
+	if got := evalInt(t, `
+		int n = 0;
+		do {
+			n++;
+		} while (false);
+		return n;`); got != 1 {
+		t.Errorf("do-while ran body %d times, want 1", got)
+	}
+	if got := evalInt(t, `
+		int i = 0;
+		int s = 0;
+		do {
+			s += i;
+			i++;
+		} while (i < 5);
+		return s;`); got != 10 {
+		t.Errorf("do-while sum = %d, want 10", got)
+	}
+}
+
+func TestDoWhileBreak(t *testing.T) {
+	if got := evalInt(t, `
+		int i = 0;
+		do {
+			i++;
+			if (i == 3) {
+				break;
+			}
+		} while (true);
+		return i;`); got != 3 {
+		t.Errorf("do-while break = %d, want 3", got)
+	}
+}
+
+func TestSwitchErrors(t *testing.T) {
+	// Non-integral, non-String tag is an interpreter error.
+	src := `class T { static int f() {
+		double d = 1.5;
+		switch (d) {
+		case 1:
+			return 1;
+		}
+		return 0;
+	} }`
+	f, err := parseLoad(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CallStatic("T", "f"); err == nil {
+		t.Error("double switch tag accepted")
+	}
+}
+
+// parseLoad is a helper returning a ready interpreter.
+func parseLoad(t *testing.T, src string) (*Interp, error) {
+	t.Helper()
+	return newInterpFromSource(t, src)
+}

@@ -1,0 +1,62 @@
+package parser
+
+import (
+	"testing"
+
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/lexer"
+)
+
+// FuzzScan asserts the lexer never panics or loops on arbitrary input: it
+// either produces a token stream ending in EOF or returns an error.
+func FuzzScan(f *testing.F) {
+	for _, seed := range []string{
+		"", "class T { }", "int x = 5;", `"unterminated`, "'a'", "1e", "0x",
+		"/* open", "a %= b << 3;", "1_000_000L", "\x00\xff", "class 🚀 {}",
+		"for(;;){}", "новый int",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexer.Scan(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 {
+			t.Fatal("no tokens and no error")
+		}
+		if toks[len(toks)-1].Kind.String() != "EOF" {
+			t.Fatal("token stream not EOF-terminated")
+		}
+	})
+}
+
+// FuzzParse asserts the parser never panics, and that anything it accepts
+// prints to source that re-parses (a printer/parser round-trip invariant).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"class T { }",
+		"class T { int f(int a) { return a > 0 ? a : -a; } }",
+		"class T { void f() { try { } catch (E e) { } finally { } } }",
+		"class T { double[][] m = new double[3][4]; }",
+		"class T { String s = \"x\" + 1 + true; }",
+		"class T extends U { T() { this.x = 1; } }",
+		"class T { void f() { for (int i = 0, j = 1; i < j; i++, j--) { } } }",
+		"class T { static int x = 100000; }",
+		"package p.q; import a.b.*; class T { }",
+		"class T { boolean b = x instanceof Y; }",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse("fuzz.java", src)
+		if err != nil {
+			return
+		}
+		printed := ast.Print(file)
+		if _, err := Parse("fuzz2.java", printed); err != nil {
+			t.Fatalf("accepted source does not round-trip: %v\noriginal:\n%s\nprinted:\n%s",
+				err, src, printed)
+		}
+	})
+}

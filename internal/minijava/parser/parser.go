@@ -1,0 +1,1209 @@
+// Package parser implements a recursive-descent parser for the mini-Java
+// dialect. It produces the AST consumed by the suggestion engine, the
+// refactorer, the instrumenter, the metrics analyzer and the interpreter.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/lexer"
+	"jepo/internal/minijava/token"
+)
+
+// Error is a syntax error with its position.
+type Error struct {
+	Path string
+	Pos  token.Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Path != "" {
+		return fmt.Sprintf("%s:%s: %s", e.Path, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+// Parse parses one compilation unit. path is recorded on the File for
+// diagnostics and suggestions.
+func Parse(path, src string) (*ast.File, error) {
+	toks, err := lexer.Scan(src)
+	if err != nil {
+		if le, ok := err.(*lexer.Error); ok {
+			return nil, &Error{Path: path, Pos: le.Pos, Msg: le.Msg}
+		}
+		return nil, err
+	}
+	p := &parser{path: path, toks: toks}
+	return p.parseFile()
+}
+
+type parser struct {
+	path string
+	toks []token.Token
+	i    int
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.i] }
+func (p *parser) peek(n int) token.Token {
+	if p.i+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.i+n]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if !p.at(k) {
+		return token.Token{}, p.errf("expected %v, found %v %q", k, p.cur().Kind, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Path: p.path, Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// --- declarations ---
+
+func (p *parser) parseFile() (*ast.File, error) {
+	f := &ast.File{Path: p.path}
+	if p.accept(token.KwPackage) {
+		name, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		f.Package = name
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+	}
+	for p.accept(token.KwImport) {
+		name, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		f.Imports = append(f.Imports, name)
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+	}
+	for !p.at(token.EOF) {
+		c, err := p.parseClass()
+		if err != nil {
+			return nil, err
+		}
+		f.Classes = append(f.Classes, c)
+	}
+	return f, nil
+}
+
+func (p *parser) qualifiedName() (string, error) {
+	t, err := p.expect(token.IDENT)
+	if err != nil {
+		return "", err
+	}
+	name := t.Text
+	for p.accept(token.Dot) {
+		if p.accept(token.Star) {
+			name += ".*"
+			break
+		}
+		t, err := p.expect(token.IDENT)
+		if err != nil {
+			return "", err
+		}
+		name += "." + t.Text
+	}
+	return name, nil
+}
+
+func (p *parser) parseModifiers() ast.Modifiers {
+	var m ast.Modifiers
+	for {
+		switch p.cur().Kind {
+		case token.KwPublic:
+			m |= ast.ModPublic
+		case token.KwPrivate:
+			m |= ast.ModPrivate
+		case token.KwProtected:
+			m |= ast.ModProtected
+		case token.KwStatic:
+			m |= ast.ModStatic
+		case token.KwFinal:
+			m |= ast.ModFinal
+		default:
+			return m
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseClass() (*ast.Class, error) {
+	mods := p.parseModifiers()
+	kw, err := p.expect(token.KwClass)
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	c := &ast.Class{Pos: kw.Pos, Mods: mods, Name: nameTok.Text}
+	if p.accept(token.KwExtends) {
+		ext, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		c.Extends = ext.Text
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(token.RBrace) {
+		if p.at(token.EOF) {
+			return nil, p.errf("unexpected EOF in class %s", c.Name)
+		}
+		if err := p.parseMember(c); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // }
+	return c, nil
+}
+
+func (p *parser) parseMember(c *ast.Class) error {
+	mods := p.parseModifiers()
+	pos := p.cur().Pos
+
+	// Constructor: ClassName '('
+	if p.at(token.IDENT) && p.cur().Text == c.Name && p.peek(1).Kind == token.LParen {
+		p.next()
+		m := &ast.Method{Pos: pos, Mods: mods, Name: c.Name, IsCtor: true,
+			Ret: ast.Type{Kind: ast.Void}}
+		if err := p.parseMethodRest(m); err != nil {
+			return err
+		}
+		c.Methods = append(c.Methods, m)
+		return nil
+	}
+
+	typ, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expect(token.IDENT)
+	if err != nil {
+		return err
+	}
+	if p.at(token.LParen) {
+		m := &ast.Method{Pos: pos, Mods: mods, Ret: typ, Name: nameTok.Text}
+		if err := p.parseMethodRest(m); err != nil {
+			return err
+		}
+		c.Methods = append(c.Methods, m)
+		return nil
+	}
+	// Field declaration, possibly with multiple declarators.
+	for {
+		fld := &ast.Field{Pos: pos, Mods: mods, Type: typ, Name: nameTok.Text}
+		if p.accept(token.Assign) {
+			init, err := p.parseInitializer()
+			if err != nil {
+				return err
+			}
+			fld.Init = init
+		}
+		c.Fields = append(c.Fields, fld)
+		if !p.accept(token.Comma) {
+			break
+		}
+		nameTok, err = p.expect(token.IDENT)
+		if err != nil {
+			return err
+		}
+	}
+	_, err = p.expect(token.Semi)
+	return err
+}
+
+func (p *parser) parseMethodRest(m *ast.Method) error {
+	if _, err := p.expect(token.LParen); err != nil {
+		return err
+	}
+	for !p.at(token.RParen) {
+		typ, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		nameTok, err := p.expect(token.IDENT)
+		if err != nil {
+			return err
+		}
+		m.Params = append(m.Params, ast.Param{Type: typ, Name: nameTok.Text})
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return err
+	}
+	if p.accept(token.KwThrows) {
+		for {
+			t, err := p.expect(token.IDENT)
+			if err != nil {
+				return err
+			}
+			m.Throws = append(m.Throws, t.Text)
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	m.Body = body
+	return nil
+}
+
+func (p *parser) parseType() (ast.Type, error) {
+	t := p.cur()
+	var typ ast.Type
+	switch t.Kind {
+	case token.KwVoid:
+		typ = ast.Type{Kind: ast.Void}
+	case token.KwInt:
+		typ = ast.Type{Kind: ast.Int}
+	case token.KwLong:
+		typ = ast.Type{Kind: ast.Long}
+	case token.KwShort:
+		typ = ast.Type{Kind: ast.Short}
+	case token.KwByte:
+		typ = ast.Type{Kind: ast.Byte}
+	case token.KwChar:
+		typ = ast.Type{Kind: ast.Char}
+	case token.KwFloat:
+		typ = ast.Type{Kind: ast.Float}
+	case token.KwDouble:
+		typ = ast.Type{Kind: ast.Double}
+	case token.KwBoolean:
+		typ = ast.Type{Kind: ast.Boolean}
+	case token.IDENT:
+		typ = ast.Type{Kind: ast.ClassType, Name: t.Text}
+	default:
+		return ast.Type{}, p.errf("expected type, found %q", t.Text)
+	}
+	p.next()
+	for p.at(token.LBracket) && p.peek(1).Kind == token.RBracket {
+		p.next()
+		p.next()
+		typ.Dims++
+	}
+	return typ, nil
+}
+
+// --- statements ---
+
+func (p *parser) parseBlock() (*ast.Block, error) {
+	lb, err := p.expect(token.LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &ast.Block{Pos: lb.Pos}
+	for !p.at(token.RBrace) {
+		if p.at(token.EOF) {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next()
+	return blk, nil
+}
+
+// startsLocalVar reports whether the upcoming tokens begin a local variable
+// declaration rather than an expression.
+func (p *parser) startsLocalVar() bool {
+	j := p.i
+	if p.toks[j].Kind == token.KwFinal {
+		return true
+	}
+	if p.toks[j].IsType() && p.toks[j].Kind != token.KwVoid {
+		return true
+	}
+	if p.toks[j].Kind != token.IDENT {
+		return false
+	}
+	// IDENT IDENT → decl; IDENT[] → decl; IDENT[][]... IDENT → decl.
+	k := j + 1
+	for p.peekAt(k).Kind == token.LBracket && p.peekAt(k+1).Kind == token.RBracket {
+		k += 2
+	}
+	if k > j+1 {
+		return p.peekAt(k).Kind == token.IDENT
+	}
+	return p.peekAt(k).Kind == token.IDENT
+}
+
+func (p *parser) peekAt(idx int) token.Token {
+	if idx >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[idx]
+}
+
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.Semi:
+		p.next()
+		return &ast.Empty{Pos: pos}, nil
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwWhile:
+		return p.parseWhile()
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwReturn:
+		p.next()
+		if p.accept(token.Semi) {
+			return &ast.Return{Pos: pos}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.Return{Pos: pos, X: x}, nil
+	case token.KwBreak:
+		p.next()
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.Break{Pos: pos}, nil
+	case token.KwContinue:
+		p.next()
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.Continue{Pos: pos}, nil
+	case token.KwThrow:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.Throw{Pos: pos, X: x}, nil
+	case token.KwTry:
+		return p.parseTry()
+	case token.KwDo:
+		return p.parseDoWhile()
+	case token.KwSwitch:
+		return p.parseSwitch()
+	}
+	if p.startsLocalVar() {
+		s, err := p.parseLocalVar()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	return &ast.ExprStmt{Pos: pos, X: x}, nil
+}
+
+// parseLocalVar parses one declarator without the trailing semicolon. Multi-
+// declarator statements are desugared by the caller only in blocks; inside a
+// for-init a single declarator is required by the dialect.
+func (p *parser) parseLocalVar() (ast.Stmt, error) {
+	pos := p.cur().Pos
+	final := p.accept(token.KwFinal)
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	lv := &ast.LocalVar{Pos: pos, Final: final, Type: typ, Name: nameTok.Text}
+	if p.accept(token.Assign) {
+		init, err := p.parseInitializer()
+		if err != nil {
+			return nil, err
+		}
+		lv.Init = init
+	}
+	if p.at(token.Comma) {
+		// Desugar `int a = 1, b = 2;` into a block-less sequence by wrapping
+		// in a Block that the interpreter executes transparently.
+		seq := &ast.Block{Pos: pos, Stmts: []ast.Stmt{lv}}
+		for p.accept(token.Comma) {
+			nt, err := p.expect(token.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			next := &ast.LocalVar{Pos: nt.Pos, Final: final, Type: typ, Name: nt.Text}
+			if p.accept(token.Assign) {
+				init, err := p.parseInitializer()
+				if err != nil {
+					return nil, err
+				}
+				next.Init = init
+			}
+			seq.Stmts = append(seq.Stmts, next)
+		}
+		return seq, nil
+	}
+	return lv, nil
+}
+
+// parseInitializer parses either an expression or an array literal.
+func (p *parser) parseInitializer() (ast.Expr, error) {
+	if p.at(token.LBrace) {
+		pos := p.next().Pos
+		lit := &ast.ArrayLit{Pos: pos}
+		for !p.at(token.RBrace) {
+			e, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			lit.Elems = append(lit.Elems, e)
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(token.RBrace); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	}
+	return p.parseExpr()
+}
+
+func (p *parser) parseIf() (ast.Stmt, error) {
+	pos := p.next().Pos // if
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	node := &ast.If{Pos: pos, Cond: cond, Then: then}
+	if p.accept(token.KwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	return node, nil
+}
+
+func (p *parser) parseWhile() (ast.Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.While{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseFor() (ast.Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	node := &ast.For{Pos: pos}
+	if !p.at(token.Semi) {
+		if p.startsLocalVar() {
+			s, err := p.parseLocalVar()
+			if err != nil {
+				return nil, err
+			}
+			node.Init = s
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			node.Init = &ast.ExprStmt{Pos: x.NodePos(), X: x}
+		}
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(token.Semi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		node.Cond = cond
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	for !p.at(token.RParen) {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		node.Post = append(node.Post, x)
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	node.Body = body
+	return node, nil
+}
+
+func (p *parser) parseTry() (ast.Stmt, error) {
+	pos := p.next().Pos
+	blk, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node := &ast.Try{Pos: pos, Block: blk}
+	for p.at(token.KwCatch) {
+		cpos := p.next().Pos
+		if _, err := p.expect(token.LParen); err != nil {
+			return nil, err
+		}
+		typTok, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		nameTok, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		cblk, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		node.Catches = append(node.Catches, ast.Catch{
+			Pos: cpos, Type: typTok.Text, Name: nameTok.Text, Block: cblk,
+		})
+	}
+	if p.accept(token.KwFinally) {
+		fblk, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		node.Finally = fblk
+	}
+	if len(node.Catches) == 0 && node.Finally == nil {
+		return nil, p.errf("try without catch or finally")
+	}
+	return node, nil
+}
+
+func (p *parser) parseDoWhile() (ast.Stmt, error) {
+	pos := p.next().Pos // do
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	return &ast.DoWhile{Pos: pos, Body: body, Cond: cond}, nil
+}
+
+func (p *parser) parseSwitch() (ast.Stmt, error) {
+	pos := p.next().Pos // switch
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	node := &ast.Switch{Pos: pos, Tag: tag}
+	sawDefault := false
+	for !p.at(token.RBrace) {
+		if p.at(token.EOF) {
+			return nil, p.errf("unexpected EOF in switch")
+		}
+		var arm ast.SwitchCase
+		switch p.cur().Kind {
+		case token.KwCase:
+			cpos := p.next().Pos
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			arm = ast.SwitchCase{Pos: cpos, Values: []ast.Expr{v}}
+		case token.KwDefault:
+			if sawDefault {
+				return nil, p.errf("duplicate default label")
+			}
+			sawDefault = true
+			arm = ast.SwitchCase{Pos: p.next().Pos}
+		default:
+			return nil, p.errf("expected case or default in switch, found %q", p.cur().Text)
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		for !p.at(token.KwCase) && !p.at(token.KwDefault) && !p.at(token.RBrace) {
+			if p.at(token.EOF) {
+				return nil, p.errf("unexpected EOF in switch arm")
+			}
+			st, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			arm.Stmts = append(arm.Stmts, st)
+		}
+		node.Cases = append(node.Cases, arm)
+	}
+	p.next() // }
+	return node, nil
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseAssign() }
+
+func isAssignOp(k token.Kind) bool {
+	switch k {
+	case token.Assign, token.PlusEq, token.MinusEq, token.StarEq,
+		token.SlashEq, token.PercentEq, token.AndEq, token.OrEq, token.XorEq:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAssign() (ast.Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if isAssignOp(p.cur().Kind) {
+		op := p.next()
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		if !isLValue(lhs) {
+			return nil, &Error{Path: p.path, Pos: op.Pos, Msg: "assignment target is not a variable, field or array element"}
+		}
+		return &ast.Assign{Pos: op.Pos, Op: op.Kind, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func isLValue(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.Select, *ast.Index:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseTernary() (ast.Expr, error) {
+	cond, err := p.parseBinary(3)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(token.Question) {
+		qpos := p.next().Pos
+		then, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		els, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Ternary{Pos: qpos, Cond: cond, Then: then, Else: els}, nil
+	}
+	return cond, nil
+}
+
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.OrOr:
+		return 3
+	case token.AndAnd:
+		return 4
+	case token.BitOr:
+		return 5
+	case token.BitXor:
+		return 6
+	case token.BitAnd:
+		return 7
+	case token.Eq, token.Ne:
+		return 8
+	case token.Lt, token.Le, token.Gt, token.Ge, token.KwInstanceof:
+		return 9
+	case token.Shl, token.Shr:
+		return 10
+	case token.Plus, token.Minus:
+		return 11
+	case token.Star, token.Slash, token.Percent:
+		return 12
+	}
+	return 0
+}
+
+func (p *parser) parseBinary(min int) (ast.Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pr := binPrec(p.cur().Kind)
+		if pr == 0 || pr < min {
+			return lhs, nil
+		}
+		op := p.next()
+		if op.Kind == token.KwInstanceof {
+			t, err := p.expect(token.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			lhs = &ast.InstanceOf{Pos: op.Pos, X: lhs, Name: t.Text}
+			continue
+		}
+		rhs, err := p.parseBinary(pr + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ast.Binary{Pos: op.Pos, Op: op.Kind, X: lhs, Y: rhs}
+	}
+}
+
+// startsUnary reports whether a token can begin a unary expression (used by
+// the cast heuristic).
+func startsUnary(t token.Token) bool {
+	switch t.Kind {
+	case token.IDENT, token.INTLIT, token.LONGLIT, token.FLOATLIT,
+		token.DOUBLELIT, token.CHARLIT, token.STRINGLIT,
+		token.KwThis, token.KwNew, token.KwTrue, token.KwFalse, token.KwNull,
+		token.LParen, token.Not:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.Plus:
+		p.next()
+		return p.parseUnary() // unary plus is a no-op
+	case token.Minus, token.Not:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	case token.Inc, token.Dec:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	case token.LParen:
+		// Cast heuristic: "(primitive)" always; "(Ident)" when followed by a
+		// token that begins a unary expression and is not an operator.
+		if p.peek(1).IsType() && p.peek(1).Kind != token.KwVoid {
+			return p.parseCast()
+		}
+		if p.peek(1).Kind == token.IDENT {
+			j := 2
+			for p.peek(j).Kind == token.LBracket && p.peek(j+1).Kind == token.RBracket {
+				j += 2
+			}
+			if p.peek(j).Kind == token.RParen && startsUnary(p.peek(j+1)) {
+				return p.parseCast()
+			}
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parseCast() (ast.Expr, error) {
+	lp := p.next() // (
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Cast{Pos: lp.Pos, Type: typ, X: x}, nil
+}
+
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case token.Dot:
+			p.next()
+			nameTok, err := p.expect(token.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if p.at(token.LParen) {
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				x = &ast.Call{Pos: nameTok.Pos, Recv: x, Name: nameTok.Text, Args: args}
+			} else {
+				x = &ast.Select{Pos: nameTok.Pos, X: x, Name: nameTok.Text}
+			}
+		case token.LBracket:
+			lb := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBracket); err != nil {
+				return nil, err
+			}
+			x = &ast.Index{Pos: lb.Pos, X: x, I: idx}
+		case token.Inc, token.Dec:
+			op := p.next()
+			x = &ast.Unary{Pos: op.Pos, Op: op.Kind, X: x, Postfix: true}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseArgs() ([]ast.Expr, error) {
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	var args []ast.Expr
+	for !p.at(token.RParen) {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.INTLIT, token.LONGLIT, token.FLOATLIT, token.DOUBLELIT,
+		token.CHARLIT, token.STRINGLIT, token.KwTrue, token.KwFalse, token.KwNull:
+		p.next()
+		return decodeLiteral(t, p.path)
+	case token.IDENT:
+		p.next()
+		if p.at(token.LParen) {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Call{Pos: t.Pos, Name: t.Text, Args: args}, nil
+		}
+		return &ast.Ident{Pos: t.Pos, Name: t.Text}, nil
+	case token.KwThis:
+		p.next()
+		return &ast.This{Pos: t.Pos}, nil
+	case token.KwNew:
+		return p.parseNew()
+	case token.LParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("unexpected token %q in expression", t.Text)
+}
+
+func (p *parser) parseNew() (ast.Expr, error) {
+	pos := p.next().Pos // new
+	typTok := p.cur()
+	var elem ast.Type
+	switch {
+	case typTok.IsType() && typTok.Kind != token.KwVoid:
+		et, err := p.parseType() // consumes trailing [] pairs too
+		if err != nil {
+			return nil, err
+		}
+		elem = et
+	case typTok.Kind == token.IDENT:
+		p.next()
+		elem = ast.Type{Kind: ast.ClassType, Name: typTok.Text}
+	default:
+		return nil, p.errf("expected type after new, found %q", typTok.Text)
+	}
+
+	if p.at(token.LParen) {
+		if elem.Kind != ast.ClassType || elem.Dims > 0 {
+			return nil, p.errf("cannot construct %s", elem)
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.New{Pos: pos, Name: elem.Name, Args: args}, nil
+	}
+
+	// Array creation: sized dims, then optional unsized [] pairs.
+	var lens []ast.Expr
+	for p.at(token.LBracket) && p.peek(1).Kind != token.RBracket {
+		p.next()
+		l, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RBracket); err != nil {
+			return nil, err
+		}
+		lens = append(lens, l)
+	}
+	for p.at(token.LBracket) && p.peek(1).Kind == token.RBracket {
+		p.next()
+		p.next()
+		elem.Dims++
+	}
+	if len(lens) == 0 && elem.Dims == 0 {
+		return nil, p.errf("array creation needs at least one dimension")
+	}
+	if len(lens) == 0 {
+		return nil, p.errf("array creation needs at least one sized dimension")
+	}
+	return &ast.NewArray{Pos: pos, Elem: elem, Lens: lens}, nil
+}
+
+// decodeLiteral turns a literal token into an AST literal with decoded value.
+func decodeLiteral(t token.Token, path string) (ast.Expr, error) {
+	lit := &ast.Literal{Pos: t.Pos, Raw: t.Text}
+	fail := func(msg string) (ast.Expr, error) {
+		return nil, &Error{Path: path, Pos: t.Pos, Msg: msg}
+	}
+	clean := strings.ReplaceAll(t.Text, "_", "")
+	switch t.Kind {
+	case token.INTLIT:
+		v, err := strconv.ParseInt(clean, 0, 64)
+		if err != nil {
+			return fail("bad int literal " + t.Text)
+		}
+		if v > 1<<31-1 {
+			return fail("int literal out of range: " + t.Text)
+		}
+		lit.Kind, lit.I = ast.LitInt, v
+	case token.LONGLIT:
+		v, err := strconv.ParseInt(strings.TrimRight(clean, "Ll"), 0, 64)
+		if err != nil {
+			return fail("bad long literal " + t.Text)
+		}
+		lit.Kind, lit.I = ast.LitLong, v
+	case token.FLOATLIT:
+		v, err := strconv.ParseFloat(strings.TrimRight(clean, "Ff"), 64)
+		if err != nil {
+			return fail("bad float literal " + t.Text)
+		}
+		lit.Kind, lit.D = ast.LitFloat, float64(float32(v))
+		lit.Sci = lexer.IsScientific(t.Text)
+	case token.DOUBLELIT:
+		v, err := strconv.ParseFloat(strings.TrimRight(clean, "Dd"), 64)
+		if err != nil {
+			return fail("bad double literal " + t.Text)
+		}
+		lit.Kind, lit.D = ast.LitDouble, v
+		lit.Sci = lexer.IsScientific(t.Text)
+	case token.CHARLIT:
+		r, err := decodeChar(t.Text)
+		if err != nil {
+			return fail(err.Error())
+		}
+		lit.Kind, lit.I = ast.LitChar, int64(r)
+	case token.STRINGLIT:
+		s, err := decodeString(t.Text)
+		if err != nil {
+			return fail(err.Error())
+		}
+		lit.Kind, lit.S = ast.LitString, s
+	case token.KwTrue:
+		lit.Kind, lit.I = ast.LitBool, 1
+	case token.KwFalse:
+		lit.Kind, lit.I = ast.LitBool, 0
+	case token.KwNull:
+		lit.Kind = ast.LitNull
+	}
+	return lit, nil
+}
+
+func decodeChar(text string) (rune, error) {
+	body := text[1 : len(text)-1]
+	if body == "" {
+		return 0, fmt.Errorf("empty char literal")
+	}
+	if body[0] == '\\' {
+		r, ok := escape(body[1])
+		if !ok {
+			return 0, fmt.Errorf("bad escape %q", body)
+		}
+		return r, nil
+	}
+	return rune(body[0]), nil
+}
+
+func decodeString(text string) (string, error) {
+	body := text[1 : len(text)-1]
+	var sb strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape in string literal")
+		}
+		r, ok := escape(body[i])
+		if !ok {
+			return "", fmt.Errorf("bad escape \\%c", body[i])
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String(), nil
+}
+
+func escape(c byte) (rune, bool) {
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	case '0':
+		return 0, true
+	case 'b':
+		return '\b', true
+	case 'f':
+		return '\f', true
+	}
+	return 0, false
+}

@@ -1,0 +1,190 @@
+// Package token defines the lexical tokens of the mini-Java dialect the JEPO
+// reproduction analyses, refactors, instruments and executes. The dialect
+// covers every construct the paper's Table I reasons about: all eight
+// primitive types, wrapper classes, static members, the full operator set
+// (including modulus, ternary and short-circuit), String/StringBuilder,
+// exceptions, objects and one/two-dimensional arrays.
+package token
+
+import "fmt"
+
+// Kind is the lexical class of a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT    // 123
+	LONGLIT   // 123L
+	FLOATLIT  // 1.5f
+	DOUBLELIT // 1.5, 1e-3
+	CHARLIT   // 'a'
+	STRINGLIT // "abc"
+
+	// Keywords.
+	KwPackage
+	KwImport
+	KwClass
+	KwExtends
+	KwPublic
+	KwPrivate
+	KwProtected
+	KwStatic
+	KwFinal
+	KwVoid
+	KwInt
+	KwLong
+	KwShort
+	KwByte
+	KwChar
+	KwFloat
+	KwDouble
+	KwBoolean
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwNew
+	KwNull
+	KwTrue
+	KwFalse
+	KwBreak
+	KwContinue
+	KwThrow
+	KwThrows
+	KwTry
+	KwCatch
+	KwFinally
+	KwThis
+	KwInstanceof
+	KwSwitch
+	KwCase
+	KwDefault
+	KwDo
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Dot
+	Question
+	Colon
+
+	Assign    // =
+	Plus      // +
+	Minus     // -
+	Star      // *
+	Slash     // /
+	Percent   // %
+	Not       // !
+	BitAnd    // &
+	BitOr     // |
+	BitXor    // ^
+	Shl       // <<
+	Shr       // >>
+	AndAnd    // &&
+	OrOr      // ||
+	Eq        // ==
+	Ne        // !=
+	Lt        // <
+	Le        // <=
+	Gt        // >
+	Ge        // >=
+	Inc       // ++
+	Dec       // --
+	PlusEq    // +=
+	MinusEq   // -=
+	StarEq    // *=
+	SlashEq   // /=
+	PercentEq // %=
+	AndEq     // &=
+	OrEq      // |=
+	XorEq     // ^=
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier",
+	INTLIT: "int literal", LONGLIT: "long literal", FLOATLIT: "float literal",
+	DOUBLELIT: "double literal", CHARLIT: "char literal", STRINGLIT: "string literal",
+	KwPackage: "package", KwImport: "import", KwClass: "class", KwExtends: "extends",
+	KwPublic: "public", KwPrivate: "private", KwProtected: "protected",
+	KwStatic: "static", KwFinal: "final", KwVoid: "void",
+	KwInt: "int", KwLong: "long", KwShort: "short", KwByte: "byte", KwChar: "char",
+	KwFloat: "float", KwDouble: "double", KwBoolean: "boolean",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for", KwReturn: "return",
+	KwNew: "new", KwNull: "null", KwTrue: "true", KwFalse: "false",
+	KwBreak: "break", KwContinue: "continue", KwThrow: "throw", KwThrows: "throws",
+	KwTry: "try", KwCatch: "catch", KwFinally: "finally", KwThis: "this",
+	KwInstanceof: "instanceof", KwSwitch: "switch", KwCase: "case",
+	KwDefault: "default", KwDo: "do",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",", Dot: ".",
+	Question: "?", Colon: ":",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Not: "!", BitAnd: "&", BitOr: "|", BitXor: "^", Shl: "<<", Shr: ">>",
+	AndAnd: "&&", OrOr: "||", Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	Inc: "++", Dec: "--",
+	PlusEq: "+=", MinusEq: "-=", StarEq: "*=", SlashEq: "/=", PercentEq: "%=",
+	AndEq: "&=", OrEq: "|=", XorEq: "^=",
+}
+
+// String names the kind (operator spellings name themselves).
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Keywords maps spelling to keyword kind.
+var Keywords = map[string]Kind{
+	"package": KwPackage, "import": KwImport, "class": KwClass, "extends": KwExtends,
+	"public": KwPublic, "private": KwPrivate, "protected": KwProtected,
+	"static": KwStatic, "final": KwFinal, "void": KwVoid,
+	"int": KwInt, "long": KwLong, "short": KwShort, "byte": KwByte, "char": KwChar,
+	"float": KwFloat, "double": KwDouble, "boolean": KwBoolean,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor, "return": KwReturn,
+	"new": KwNew, "null": KwNull, "true": KwTrue, "false": KwFalse,
+	"break": KwBreak, "continue": KwContinue, "throw": KwThrow, "throws": KwThrows,
+	"try": KwTry, "catch": KwCatch, "finally": KwFinally, "this": KwThis,
+	"instanceof": KwInstanceof, "switch": KwSwitch, "case": KwCase,
+	"default": KwDefault, "do": KwDo,
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Valid reports whether the position has been set.
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string // raw source spelling (literals keep quotes/suffixes)
+	Pos  Pos
+}
+
+// Is reports whether the token has the given kind.
+func (t Token) Is(k Kind) bool { return t.Kind == k }
+
+// IsType reports whether the token begins a primitive type name.
+func (t Token) IsType() bool {
+	switch t.Kind {
+	case KwInt, KwLong, KwShort, KwByte, KwChar, KwFloat, KwDouble, KwBoolean, KwVoid:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+// Package profile implements JEPO's method-granularity energy profiler. It
+// receives the enter/exit events the instrumenter injects, reads the
+// simulated (or real) RAPL counters at each event through the same sampler
+// protocol hardware probes use, and records one measurement per method
+// execution — "if one method is executed more than once, then the
+// measurements are stored for each execution", as the paper specifies.
+package profile
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"jepo/internal/energy"
+	"jepo/internal/rapl"
+)
+
+// Record is one method execution's measurement.
+type Record struct {
+	Method  string
+	Seq     int // execution index for this method, starting at 1
+	Elapsed time.Duration
+	Package energy.Joules
+	Core    energy.Joules
+	DRAM    energy.Joules
+}
+
+// Profiler implements interp.ProbeHook over a RAPL source.
+type Profiler struct {
+	src   rapl.Source
+	clock func() time.Duration
+
+	stack   []frame
+	records []Record
+	counts  map[string]int
+	err     error
+}
+
+type frame struct {
+	method string
+	at     rapl.Snapshot
+	t      time.Duration
+}
+
+// New builds a profiler reading from src. clock supplies modelled elapsed
+// time (use the meter's snapshot elapsed time for simulated runs, or a
+// wall-clock function for real powercap runs).
+func New(src rapl.Source, clock func() time.Duration) *Profiler {
+	return &Profiler{src: src, clock: clock, counts: map[string]int{}}
+}
+
+// Enter implements interp.ProbeHook.
+func (p *Profiler) Enter(method string) {
+	snap, err := p.src.Snapshot()
+	if err != nil && p.err == nil {
+		p.err = fmt.Errorf("profile: reading counters at enter of %s: %w", method, err)
+		return
+	}
+	p.stack = append(p.stack, frame{method: method, at: snap, t: p.clock()})
+}
+
+// Exit implements interp.ProbeHook.
+func (p *Profiler) Exit(method string) {
+	if len(p.stack) == 0 {
+		if p.err == nil {
+			p.err = fmt.Errorf("profile: exit of %s with empty probe stack", method)
+		}
+		return
+	}
+	top := p.stack[len(p.stack)-1]
+	p.stack = p.stack[:len(p.stack)-1]
+	if top.method != method {
+		if p.err == nil {
+			p.err = fmt.Errorf("profile: probe mismatch: entered %s, exited %s", top.method, method)
+		}
+		return
+	}
+	snap, err := p.src.Snapshot()
+	if err != nil {
+		if p.err == nil {
+			p.err = fmt.Errorf("profile: reading counters at exit of %s: %w", method, err)
+		}
+		return
+	}
+	d := snap.Sub(top.at)
+	p.counts[method]++
+	p.records = append(p.records, Record{
+		Method:  method,
+		Seq:     p.counts[method],
+		Elapsed: p.clock() - top.t,
+		Package: d.Package,
+		Core:    d.Core,
+		DRAM:    d.DRAM,
+	})
+}
+
+// Err reports the first probe/counter error encountered, if any.
+func (p *Profiler) Err() error { return p.err }
+
+// Records returns every per-execution measurement in completion order.
+func (p *Profiler) Records() []Record { return p.records }
+
+// Summary is the aggregated per-method view.
+type Summary struct {
+	Method     string
+	Executions int
+	Elapsed    time.Duration // total inclusive time
+	Package    energy.Joules // total inclusive package energy
+	Core       energy.Joules
+}
+
+// Summaries aggregates records per method, ordered by descending package
+// energy — the energy-hungry methods the paper's profiler surfaces first.
+func (p *Profiler) Summaries() []Summary {
+	agg := map[string]*Summary{}
+	var order []string
+	for _, r := range p.records {
+		s, ok := agg[r.Method]
+		if !ok {
+			s = &Summary{Method: r.Method}
+			agg[r.Method] = s
+			order = append(order, r.Method)
+		}
+		s.Executions++
+		s.Elapsed += r.Elapsed
+		s.Package += r.Package
+		s.Core += r.Core
+	}
+	out := make([]Summary, 0, len(order))
+	for _, m := range order {
+		out = append(out, *agg[m])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Package > out[j].Package })
+	return out
+}
+
+// View renders the JEPO profiler view (Fig. 4): method name, execution time,
+// energy consumed.
+func (p *Profiler) View() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-48s %6s %14s %14s %14s\n", "Method", "Execs", "Time", "Package", "Core")
+	for _, s := range p.Summaries() {
+		fmt.Fprintf(&sb, "%-48s %6d %14s %14s %14s\n",
+			s.Method, s.Executions, s.Elapsed.Round(time.Microsecond), s.Package, s.Core)
+	}
+	return sb.String()
+}
+
+// ResultTxt renders the per-execution log the plugin stores as result.txt in
+// the project directory.
+func (p *Profiler) ResultTxt() string {
+	var sb strings.Builder
+	sb.WriteString("# JEPO profiler result: method, execution, time_ns, package_uj, core_uj\n")
+	for _, r := range p.records {
+		fmt.Fprintf(&sb, "%s\t%d\t%d\t%.3f\t%.3f\n",
+			r.Method, r.Seq, r.Elapsed.Nanoseconds(),
+			r.Package.Microjoules(), r.Core.Microjoules())
+	}
+	return sb.String()
+}
+
+// WriteResultTxt writes ResultTxt to path.
+func (p *Profiler) WriteResultTxt(path string) error {
+	return os.WriteFile(path, []byte(p.ResultTxt()), 0o644)
+}

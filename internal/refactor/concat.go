@@ -1,0 +1,246 @@
+package refactor
+
+import (
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/token"
+	"jepo/internal/suggest"
+)
+
+// concatToBuilder rewrites string-accumulation loops to StringBuilder:
+//
+//	String s = init;                StringBuilder s__sb = new StringBuilder(init);
+//	for (...) {             →      for (...) {
+//	    s = s + expr;                   s__sb.append(expr);
+//	}                               }
+//	... uses of s ...               String s = s__sb.toString(); ... uses ...
+//
+// The rewrite only fires when every reference to s inside the loop is an
+// accumulation of the form `s = s + expr` or `s += expr`; any other use
+// (including `s = expr + s`, which reverses order) bails out.
+func (rw *rewriter) concatToBuilder(b *ast.Block) {
+	for i := 0; i+1 < len(b.Stmts); i++ {
+		decl, ok := b.Stmts[i].(*ast.LocalVar)
+		if !ok || !decl.Type.IsString() || decl.Init == nil {
+			continue
+		}
+		// Find the accumulation loop, skipping intervening statements that
+		// never mention the accumulator.
+		j := i + 1
+		var body ast.Stmt
+	scan:
+		for ; j < len(b.Stmts); j++ {
+			switch l := b.Stmts[j].(type) {
+			case *ast.For:
+				body = l.Body
+				break scan
+			case *ast.While:
+				body = l.Body
+				break scan
+			default:
+				if stmtMentions(b.Stmts[j], decl.Name) {
+					break scan
+				}
+			}
+		}
+		if body == nil || j >= len(b.Stmts) {
+			continue
+		}
+		if !onlyAccumulates(body, decl.Name) {
+			continue
+		}
+		sbName := decl.Name + "__sb"
+		rewriteAccumulations(body, decl.Name, sbName)
+		pos := decl.Pos
+		b.Stmts[i] = &ast.LocalVar{
+			Pos:  pos,
+			Type: ast.Type{Kind: ast.ClassType, Name: "StringBuilder"},
+			Name: sbName,
+			Init: &ast.New{Pos: pos, Name: "StringBuilder", Args: []ast.Expr{decl.Init}},
+		}
+		// Materialize the String after the loop for the remaining uses.
+		materialize := &ast.LocalVar{
+			Pos:  pos,
+			Type: decl.Type,
+			Name: decl.Name,
+			Init: &ast.Call{Pos: pos, Recv: &ast.Ident{Pos: pos, Name: sbName}, Name: "toString"},
+		}
+		rest := append([]ast.Stmt{materialize}, b.Stmts[j+1:]...)
+		b.Stmts = append(b.Stmts[:j+1], rest...)
+		rw.res.add(suggest.RuleStringConcat, 1)
+		i = j + 1 // skip past the loop we just handled
+	}
+}
+
+// stmtMentions reports whether a statement references name anywhere.
+func stmtMentions(s ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// onlyAccumulates reports whether every reference to name inside s is part of
+// an accumulation statement `name = name + expr` or `name += expr`.
+func onlyAccumulates(s ast.Stmt, name string) bool {
+	total := 0
+	ast.Inspect(s, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			total++
+		}
+		return true
+	})
+	if total == 0 {
+		return false
+	}
+	accounted := 0
+	ast.Inspect(s, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if k := accumulationRefs(es.X, name); k > 0 {
+			accounted += k
+		}
+		return true
+	})
+	return accounted == total
+}
+
+// accumulationRefs returns how many references to name the expression makes
+// if it is a pure accumulation, and 0 otherwise.
+func accumulationRefs(e ast.Expr, name string) int {
+	as, ok := e.(*ast.Assign)
+	if !ok {
+		return 0
+	}
+	lhs, ok := as.LHS.(*ast.Ident)
+	if !ok || lhs.Name != name {
+		return 0
+	}
+	switch as.Op {
+	case token.PlusEq:
+		if mentions(as.RHS, name) {
+			return 0
+		}
+		return 1
+	case token.Assign:
+		bin, ok := as.RHS.(*ast.Binary)
+		if !ok || bin.Op != token.Plus {
+			return 0
+		}
+		l, ok := bin.X.(*ast.Ident)
+		if !ok || l.Name != name || mentions(bin.Y, name) {
+			return 0
+		}
+		return 2 // LHS and the leading RHS operand
+	}
+	return 0
+}
+
+func mentions(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rewriteAccumulations replaces accumulation statements with appends.
+func rewriteAccumulations(s ast.Stmt, name, sbName string) {
+	var fix func(st ast.Stmt)
+	fixBlock := func(b *ast.Block) {
+		for j, st := range b.Stmts {
+			if es, ok := st.(*ast.ExprStmt); ok {
+				if app := toAppend(es.X, name, sbName); app != nil {
+					b.Stmts[j] = &ast.ExprStmt{Pos: es.Pos, X: app}
+					continue
+				}
+			}
+			fix(st)
+		}
+	}
+	fix = func(st ast.Stmt) {
+		switch n := st.(type) {
+		case *ast.Block:
+			fixBlock(n)
+		case *ast.If:
+			n.Then = fixSingle(n.Then, name, sbName, fix)
+			if n.Else != nil {
+				n.Else = fixSingle(n.Else, name, sbName, fix)
+			}
+		case *ast.While:
+			n.Body = fixSingle(n.Body, name, sbName, fix)
+		case *ast.For:
+			n.Body = fixSingle(n.Body, name, sbName, fix)
+		case *ast.Try:
+			fixBlock(n.Block)
+			for _, c := range n.Catches {
+				fixBlock(c.Block)
+			}
+			if n.Finally != nil {
+				fixBlock(n.Finally)
+			}
+		}
+	}
+	fix(s)
+	// The loop body itself may be a bare accumulation statement.
+	if es, ok := s.(*ast.ExprStmt); ok {
+		if app := toAppend(es.X, name, sbName); app != nil {
+			es.X = app
+		}
+	}
+}
+
+func fixSingle(s ast.Stmt, name, sbName string, fix func(ast.Stmt)) ast.Stmt {
+	if es, ok := s.(*ast.ExprStmt); ok {
+		if app := toAppend(es.X, name, sbName); app != nil {
+			return &ast.ExprStmt{Pos: es.Pos, X: app}
+		}
+	}
+	fix(s)
+	return s
+}
+
+// toAppend converts an accumulation expression to `sbName.append(expr)`.
+func toAppend(e ast.Expr, name, sbName string) ast.Expr {
+	as, ok := e.(*ast.Assign)
+	if !ok {
+		return nil
+	}
+	lhs, ok := as.LHS.(*ast.Ident)
+	if !ok || lhs.Name != name {
+		return nil
+	}
+	var arg ast.Expr
+	switch as.Op {
+	case token.PlusEq:
+		arg = as.RHS
+	case token.Assign:
+		bin, ok := as.RHS.(*ast.Binary)
+		if !ok || bin.Op != token.Plus {
+			return nil
+		}
+		l, ok := bin.X.(*ast.Ident)
+		if !ok || l.Name != name {
+			return nil
+		}
+		arg = bin.Y
+	default:
+		return nil
+	}
+	return &ast.Call{
+		Pos:  as.Pos,
+		Recv: &ast.Ident{Pos: as.Pos, Name: sbName},
+		Name: "append",
+		Args: []ast.Expr{arg},
+	}
+}

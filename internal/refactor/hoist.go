@@ -1,0 +1,315 @@
+package refactor
+
+import (
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/token"
+	"jepo/internal/suggest"
+)
+
+// hoistStatics applies the static-keyword rule: a mutable static field whose
+// accesses all live in a single method is rewritten so that method loads the
+// field into a local once, works on the local, and stores it back at every
+// exit. This removes the per-access static penalty (the paper's +17,700%)
+// without changing semantics for non-reentrant methods.
+func hoistStatics(files []*ast.File, res *Result) {
+	type fieldKey struct{ class, field string }
+	type use struct {
+		method *ast.Method
+		class  *ast.Class
+		count  int
+	}
+	// Gather mutable static fields.
+	statics := map[fieldKey]*ast.Field{}
+	for _, f := range files {
+		for _, c := range f.Classes {
+			for _, fd := range c.Fields {
+				if fd.Mods.Has(ast.ModStatic) && !fd.Mods.Has(ast.ModFinal) {
+					statics[fieldKey{c.Name, fd.Name}] = fd
+				}
+			}
+		}
+	}
+	if len(statics) == 0 {
+		return
+	}
+	// Count accesses per (field, method). Unqualified idents are attributed
+	// to the enclosing class; Class.field selects are attributed explicitly.
+	uses := map[fieldKey][]*use{}
+	for _, f := range files {
+		for _, c := range f.Classes {
+			for _, m := range c.Methods {
+				if m.Body == nil {
+					continue
+				}
+				counts := map[fieldKey]int{}
+				locals := localNames(m)
+				ast.Inspect(m.Body, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.Ident:
+						if locals[x.Name] {
+							return true
+						}
+						k := fieldKey{c.Name, x.Name}
+						if _, ok := statics[k]; ok {
+							counts[k]++
+						}
+					case *ast.Select:
+						if cls, ok := x.X.(*ast.Ident); ok {
+							k := fieldKey{cls.Name, x.Name}
+							if _, ok := statics[k]; ok {
+								counts[k]++
+							}
+						}
+					}
+					return true
+				})
+				for k, n := range counts {
+					uses[k] = append(uses[k], &use{method: m, class: c, count: n})
+				}
+			}
+		}
+	}
+	for k, fd := range statics {
+		us := uses[k]
+		// Safe to hoist only when a single method touches the field, and it
+		// is worth it only when that method touches it repeatedly.
+		if len(us) != 1 || us[0].count < 2 {
+			continue
+		}
+		hoistInMethod(us[0].class, us[0].method, k.class, fd)
+		res.add(suggest.RuleStaticKeyword, 1)
+	}
+}
+
+// localNames collects parameter and local variable names of a method, which
+// shadow same-named statics.
+func localNames(m *ast.Method) map[string]bool {
+	names := map[string]bool{}
+	for _, p := range m.Params {
+		names[p.Name] = true
+	}
+	ast.Inspect(m.Body, func(n ast.Node) bool {
+		if lv, ok := n.(*ast.LocalVar); ok {
+			names[lv.Name] = true
+		}
+		return true
+	})
+	return names
+}
+
+// hoistInMethod rewrites m so accesses to the static field go through a local.
+func hoistInMethod(owner *ast.Class, m *ast.Method, className string, fd *ast.Field) {
+	pos := m.Pos
+	classIdent := func() ast.Expr { return &ast.Ident{Pos: pos, Name: className} }
+	// Qualified selects Class.field become plain idents so they hit the new
+	// local; unqualified idents already resolve to it.
+	replaceQualified(m.Body, className, fd.Name)
+	writeback := func(p token.Pos) ast.Stmt {
+		return &ast.ExprStmt{Pos: p, X: &ast.Assign{
+			Pos: p, Op: token.Assign,
+			LHS: &ast.Select{Pos: p, X: classIdent(), Name: fd.Name},
+			RHS: &ast.Ident{Pos: p, Name: fd.Name},
+		}}
+	}
+	insertWritebacks(m.Body, writeback)
+	load := &ast.LocalVar{
+		Pos:  pos,
+		Type: fd.Type,
+		Name: fd.Name,
+		Init: &ast.Select{Pos: pos, X: classIdent(), Name: fd.Name},
+	}
+	stmts := append([]ast.Stmt{load}, m.Body.Stmts...)
+	if !endsWithReturnOrThrow(m.Body) {
+		stmts = append(stmts, writeback(pos))
+	}
+	m.Body.Stmts = stmts
+}
+
+// replaceQualified rewrites Class.field selects to bare idents in-place.
+func replaceQualified(body *ast.Block, className, field string) {
+	var fixExpr func(e ast.Expr) ast.Expr
+	fixExpr = func(e ast.Expr) ast.Expr {
+		switch n := e.(type) {
+		case *ast.Select:
+			if cls, ok := n.X.(*ast.Ident); ok && cls.Name == className && n.Name == field {
+				return &ast.Ident{Pos: n.Pos, Name: field}
+			}
+			n.X = fixExpr(n.X)
+			return n
+		case *ast.Binary:
+			n.X, n.Y = fixExpr(n.X), fixExpr(n.Y)
+		case *ast.Unary:
+			n.X = fixExpr(n.X)
+		case *ast.Assign:
+			n.LHS, n.RHS = fixExpr(n.LHS), fixExpr(n.RHS)
+		case *ast.Ternary:
+			n.Cond, n.Then, n.Else = fixExpr(n.Cond), fixExpr(n.Then), fixExpr(n.Else)
+		case *ast.Call:
+			if n.Recv != nil {
+				n.Recv = fixExpr(n.Recv)
+			}
+			for i := range n.Args {
+				n.Args[i] = fixExpr(n.Args[i])
+			}
+		case *ast.Index:
+			n.X, n.I = fixExpr(n.X), fixExpr(n.I)
+		case *ast.New:
+			for i := range n.Args {
+				n.Args[i] = fixExpr(n.Args[i])
+			}
+		case *ast.NewArray:
+			for i := range n.Lens {
+				n.Lens[i] = fixExpr(n.Lens[i])
+			}
+		case *ast.Cast:
+			n.X = fixExpr(n.X)
+		case *ast.InstanceOf:
+			n.X = fixExpr(n.X)
+		}
+		return e
+	}
+	var fixStmt func(s ast.Stmt)
+	fixStmt = func(s ast.Stmt) {
+		switch n := s.(type) {
+		case *ast.Block:
+			for _, st := range n.Stmts {
+				fixStmt(st)
+			}
+		case *ast.LocalVar:
+			if n.Init != nil {
+				n.Init = fixExpr(n.Init)
+			}
+		case *ast.ExprStmt:
+			n.X = fixExpr(n.X)
+		case *ast.If:
+			n.Cond = fixExpr(n.Cond)
+			fixStmt(n.Then)
+			if n.Else != nil {
+				fixStmt(n.Else)
+			}
+		case *ast.While:
+			n.Cond = fixExpr(n.Cond)
+			fixStmt(n.Body)
+		case *ast.DoWhile:
+			fixStmt(n.Body)
+			n.Cond = fixExpr(n.Cond)
+		case *ast.Switch:
+			n.Tag = fixExpr(n.Tag)
+			for ci := range n.Cases {
+				for vi := range n.Cases[ci].Values {
+					n.Cases[ci].Values[vi] = fixExpr(n.Cases[ci].Values[vi])
+				}
+				for _, st := range n.Cases[ci].Stmts {
+					fixStmt(st)
+				}
+			}
+		case *ast.For:
+			if n.Init != nil {
+				fixStmt(n.Init)
+			}
+			if n.Cond != nil {
+				n.Cond = fixExpr(n.Cond)
+			}
+			for i := range n.Post {
+				n.Post[i] = fixExpr(n.Post[i])
+			}
+			fixStmt(n.Body)
+		case *ast.Return:
+			if n.X != nil {
+				n.X = fixExpr(n.X)
+			}
+		case *ast.Throw:
+			n.X = fixExpr(n.X)
+		case *ast.Try:
+			fixStmt(n.Block)
+			for _, c := range n.Catches {
+				fixStmt(c.Block)
+			}
+			if n.Finally != nil {
+				fixStmt(n.Finally)
+			}
+		}
+	}
+	fixStmt(body)
+}
+
+// insertWritebacks places the store-back before every return statement.
+func insertWritebacks(body *ast.Block, mk func(token.Pos) ast.Stmt) {
+	var fix func(s ast.Stmt)
+	fixBlock := func(b *ast.Block) {
+		out := make([]ast.Stmt, 0, len(b.Stmts))
+		for _, st := range b.Stmts {
+			if r, ok := st.(*ast.Return); ok {
+				out = append(out, mk(r.Pos), r)
+				continue
+			}
+			fix(st)
+			out = append(out, st)
+		}
+		b.Stmts = out
+	}
+	fix = func(s ast.Stmt) {
+		switch n := s.(type) {
+		case *ast.Block:
+			fixBlock(n)
+		case *ast.If:
+			n.Then = wrapReturn(n.Then, mk)
+			fix(n.Then)
+			if n.Else != nil {
+				n.Else = wrapReturn(n.Else, mk)
+				fix(n.Else)
+			}
+		case *ast.While:
+			n.Body = wrapReturn(n.Body, mk)
+			fix(n.Body)
+		case *ast.DoWhile:
+			n.Body = wrapReturn(n.Body, mk)
+			fix(n.Body)
+		case *ast.Switch:
+			for ci := range n.Cases {
+				out := make([]ast.Stmt, 0, len(n.Cases[ci].Stmts))
+				for _, st := range n.Cases[ci].Stmts {
+					if r, ok := st.(*ast.Return); ok {
+						out = append(out, mk(r.Pos), r)
+						continue
+					}
+					fix(st)
+					out = append(out, st)
+				}
+				n.Cases[ci].Stmts = out
+			}
+		case *ast.For:
+			n.Body = wrapReturn(n.Body, mk)
+			fix(n.Body)
+		case *ast.Try:
+			fixBlock(n.Block)
+			for _, c := range n.Catches {
+				fixBlock(c.Block)
+			}
+			if n.Finally != nil {
+				fixBlock(n.Finally)
+			}
+		}
+	}
+	fixBlock(body)
+}
+
+// wrapReturn turns a bare `return e;` body into a block so the writeback can
+// precede it.
+func wrapReturn(s ast.Stmt, mk func(token.Pos) ast.Stmt) ast.Stmt {
+	if r, ok := s.(*ast.Return); ok {
+		return &ast.Block{Pos: r.Pos, Stmts: []ast.Stmt{mk(r.Pos), r}}
+	}
+	return s
+}
+
+func endsWithReturnOrThrow(b *ast.Block) bool {
+	if len(b.Stmts) == 0 {
+		return false
+	}
+	switch b.Stmts[len(b.Stmts)-1].(type) {
+	case *ast.Return, *ast.Throw:
+		return true
+	}
+	return false
+}

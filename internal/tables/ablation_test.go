@@ -1,0 +1,66 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationDecomposesRandomForestImprovement(t *testing.T) {
+	cfg := AblationConfig{Seed: 20200518, Classifier: "RandomForest", Instances: 300, Reps: 4}
+	rows, err := Ablate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Variant] = r.PackagePct
+	}
+	full := byName["full"]
+	if full < 5 {
+		t.Fatalf("full-model improvement = %.2f%%, want a clear win", full)
+	}
+	// Every single-mechanism removal must reduce (or at most preserve) the
+	// improvement — nothing in the model should work against the refactorer.
+	for _, r := range rows {
+		if r.Variant == "full" {
+			continue
+		}
+		if r.PackagePct > full+1 {
+			t.Errorf("removing %s increased improvement: %.2f%% > full %.2f%%",
+				r.Variant, r.PackagePct, full)
+		}
+	}
+	// The Random Forest win is built from FP narrowing and static hoisting;
+	// removing either must visibly dent it.
+	for _, key := range []string{"uniform-fp", "cheap-static"} {
+		if byName[key] > full-0.5 {
+			t.Errorf("ablating %s barely moved the needle: %.2f%% vs full %.2f%%",
+				key, byName[key], full)
+		}
+	}
+	out := RenderAblation("RandomForest", rows)
+	if !strings.Contains(out, "full") || !strings.Contains(out, "uniform-fp") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestAblationFlatKernelStaysFlat(t *testing.T) {
+	cfg := AblationConfig{Seed: 20200518, Classifier: "RandomTree", Instances: 200, Reps: 2}
+	rows, err := Ablate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.PackagePct > 1 || r.PackagePct < -1 {
+			t.Errorf("RandomTree %s improvement = %.2f%%, want ≈0 under every variant",
+				r.Variant, r.PackagePct)
+		}
+	}
+}
+
+func TestAblationUnknownClassifier(t *testing.T) {
+	if _, err := Ablate(AblationConfig{Classifier: "Nope", Instances: 10, Reps: 1}); err == nil {
+		t.Error("unknown classifier accepted")
+	}
+}

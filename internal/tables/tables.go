@@ -1,0 +1,392 @@
+package tables
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"jepo/internal/airlines"
+	"jepo/internal/classify"
+	"jepo/internal/classify/bayes"
+	"jepo/internal/classify/eval"
+	"jepo/internal/classify/lazy"
+	"jepo/internal/classify/linear"
+	"jepo/internal/classify/svm"
+	"jepo/internal/classify/tree"
+	"jepo/internal/corpus"
+	"jepo/internal/dataset"
+	"jepo/internal/energy"
+	"jepo/internal/jmetrics"
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/interp"
+	"jepo/internal/minijava/parser"
+	"jepo/internal/refactor"
+	"jepo/internal/stats"
+)
+
+// Table2 generates the per-classifier corpora and measures the Table II
+// metrics rows for each.
+func Table2(seed uint64) ([]jmetrics.Metrics, error) {
+	rows := make([]jmetrics.Metrics, 0, len(corpus.Classifiers))
+	for _, name := range corpus.Classifiers {
+		p, err := corpus.Generate(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		files, err := p.Parse()
+		if err != nil {
+			return nil, err
+		}
+		srcs := make([]jmetrics.SourceFile, len(files))
+		for i := range files {
+			srcs[i] = jmetrics.SourceFile{AST: files[i], Source: p.Files[i].Source}
+		}
+		m, err := jmetrics.NewProject(srcs).Measure(name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, m)
+	}
+	return rows, nil
+}
+
+// Table3 renders the airlines schema with the realized distinct-value counts
+// the paper quotes (18 airlines, 293 airports).
+func Table3(instances int, seed uint64) string {
+	d := airlines.Generate(instances, seed)
+	var sb strings.Builder
+	sb.WriteString(airlines.TableIII())
+	fmt.Fprintf(&sb, "\nInstances: %d (reduced from %d as in the paper)\n",
+		d.NumInstances(), airlines.FullSize)
+	fmt.Fprintf(&sb, "Distinct airlines: %d, distinct origin airports: %d\n",
+		d.DistinctValues(airlines.ColAirline), d.DistinctValues(airlines.ColFrom))
+	counts := d.ClassCounts()
+	fmt.Fprintf(&sb, "Delay distribution: on-time %d, delayed %d\n", counts[0], counts[1])
+	return sb.String()
+}
+
+// Table4Row is one classifier's end-to-end validation result.
+type Table4Row struct {
+	Classifier  string
+	Changes     int
+	PackagePct  float64
+	CPUPct      float64
+	TimePct     float64
+	AccuracyPct float64 // accuracy drop (positive = refactoring lost accuracy)
+}
+
+// Table4Config parameterizes the §VIII experiment.
+type Table4Config struct {
+	Seed      uint64
+	Instances int            // airlines rows for kernels and cross-validation
+	Reps      int            // kernel repetitions per measurement
+	Protocol  stats.Protocol // the run/Tukey/replace loop
+	CVFolds   int            // stratified folds (paper: 10)
+	Slots     int            // classifiers evaluated concurrently (0 = GOMAXPROCS)
+	Quiet     bool
+	Progress  func(string) // optional progress callback
+}
+
+// DefaultTable4Config mirrors the paper's methodology at a tractable scale
+// for the simulated substrate.
+func DefaultTable4Config() Table4Config {
+	return Table4Config{
+		Seed:      20200518,
+		Instances: 2000,
+		Reps:      3,
+		Protocol:  stats.Protocol{Runs: 5, MaxRounds: 10},
+		CVFolds:   10,
+	}
+}
+
+// kernelMeasurement is one simulated run's package/core/time reading.
+type kernelMeasurement struct {
+	pkg, core energy.Joules
+	elapsed   time.Duration
+}
+
+// Table4 runs the full validation pipeline per classifier:
+//
+//  1. generate its WEKA-shaped corpus and apply every JEPO suggestion,
+//     counting changes;
+//  2. execute the classifier's hot kernel on airlines data before and after
+//     refactoring, under the paper's repeat/Tukey-outlier protocol, and
+//     compute package, CPU and execution-time improvements;
+//  3. run the real (Go) classifier under stratified k-fold cross-validation
+//     in double and single precision to measure the accuracy drop caused by
+//     the double→float / long→int changes.
+func Table4(cfg Table4Config) ([]Table4Row, error) {
+	var sayMu sync.Mutex
+	say := func(format string, args ...any) {
+		if cfg.Progress != nil {
+			sayMu.Lock()
+			cfg.Progress(fmt.Sprintf(format, args...))
+			sayMu.Unlock()
+		}
+	}
+	data := airlines.Generate(cfg.Instances, cfg.Seed)
+	feats, labels := kernelData(data)
+
+	// Every classifier's pipeline is independent (its own corpus, its own
+	// interpreters, its own deterministic streams), so rows are evaluated by
+	// a worker pool, like WEKA's execution slots. Results are identical at
+	// any parallelism.
+	slots := cfg.Slots
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	if slots > len(corpus.Classifiers) {
+		slots = len(corpus.Classifiers)
+	}
+	rows := make([]Table4Row, len(corpus.Classifiers))
+	errs := make([]error, len(corpus.Classifiers))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				rows[idx], errs[idx] = table4Row(corpus.Classifiers[idx], data, feats, labels, cfg, say)
+			}
+		}()
+	}
+	for idx := range corpus.Classifiers {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// table4Row runs the full pipeline for one classifier.
+func table4Row(name string, data *dataset.Dataset, feats [][]float64, labels []int64, cfg Table4Config, say func(string, ...any)) (Table4Row, error) {
+	say("=== %s ===", name)
+	proj, err := corpus.Generate(name, cfg.Seed)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	files, err := proj.Parse()
+	if err != nil {
+		return Table4Row{}, err
+	}
+	res := refactor.Apply(files)
+	say("%s: applied %d changes", name, res.Changes)
+
+	// Locate the original and refactored kernel ASTs.
+	orig, err := kernelAST(proj, name)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	var refd *ast.File
+	for _, f := range files {
+		if strings.HasSuffix(f.Path, corpus.KernelClass(name)+".java") {
+			refd = f
+		}
+	}
+	if refd == nil {
+		return Table4Row{}, fmt.Errorf("tables: refactored kernel for %s missing", name)
+	}
+
+	before, err := measureKernelProtocol(orig, name, feats, labels, cfg)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	after, err := measureKernelProtocol(refd, name, feats, labels, cfg)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	say("%s: package %v → %v", name, energy.Joules(before.pkg), energy.Joules(after.pkg))
+
+	drop, err := accuracyDrop(name, data, cfg)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	return Table4Row{
+		Classifier:  name,
+		Changes:     res.Changes,
+		PackagePct:  stats.Improvement(float64(before.pkg), float64(after.pkg)),
+		CPUPct:      stats.Improvement(float64(before.core), float64(after.core)),
+		TimePct:     stats.Improvement(float64(before.elapsed), float64(after.elapsed)),
+		AccuracyPct: drop,
+	}, nil
+}
+
+// kernelData converts airlines rows to the normalized matrix the kernels
+// consume: every feature scaled into [0,1], class column separated.
+func kernelData(d *dataset.Dataset) ([][]float64, []int64) {
+	n := d.NumInstances()
+	nf := d.NumAttrs() - 1
+	mins := make([]float64, nf)
+	maxs := make([]float64, nf)
+	for j := 0; j < nf; j++ {
+		mins[j] = d.X[0][j]
+		maxs[j] = d.X[0][j]
+		for _, row := range d.X {
+			if row[j] < mins[j] {
+				mins[j] = row[j]
+			}
+			if row[j] > maxs[j] {
+				maxs[j] = row[j]
+			}
+		}
+	}
+	feats := make([][]float64, n)
+	labels := make([]int64, n)
+	for i, row := range d.X {
+		feats[i] = make([]float64, nf)
+		for j := 0; j < nf; j++ {
+			span := maxs[j] - mins[j]
+			if span == 0 {
+				span = 1
+			}
+			feats[i][j] = (row[j] - mins[j]) / span
+		}
+		labels[i] = int64(d.Class(i))
+	}
+	return feats, labels
+}
+
+// kernelAST parses the pristine kernel of a project.
+func kernelAST(p *corpus.Project, name string) (*ast.File, error) {
+	want := corpus.KernelClass(name) + ".java"
+	for _, f := range p.Files {
+		if strings.HasSuffix(f.Path, want) {
+			return parser.Parse(f.Path, f.Source)
+		}
+	}
+	return nil, fmt.Errorf("tables: kernel source for %s not found", name)
+}
+
+// measureKernelProtocol runs one kernel variant under the repeat/Tukey
+// protocol and returns mean measurements.
+func measureKernelProtocol(kernel *ast.File, name string, feats [][]float64, labels []int64, cfg Table4Config) (kernelMeasurement, error) {
+	var firstErr error
+	var cores, times []float64
+	run := func() float64 {
+		m, err := runKernelOnce(kernel, name, feats, labels, cfg.Reps)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		cores = append(cores, float64(m.core))
+		times = append(times, float64(m.elapsed))
+		return float64(m.pkg)
+	}
+	meanPkg, _, err := cfg.Protocol.Measure(run)
+	if err != nil {
+		return kernelMeasurement{}, err
+	}
+	if firstErr != nil {
+		return kernelMeasurement{}, firstErr
+	}
+	return kernelMeasurement{
+		pkg:     energy.Joules(meanPkg),
+		core:    energy.Joules(stats.Mean(cores)),
+		elapsed: time.Duration(stats.Mean(times)),
+	}, nil
+}
+
+// runKernelOnce loads and executes one kernel variant.
+func runKernelOnce(kernel *ast.File, name string, feats [][]float64, labels []int64, reps int) (kernelMeasurement, error) {
+	prog, err := interp.Load(kernel)
+	if err != nil {
+		return kernelMeasurement{}, err
+	}
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000))
+	if err := in.InitStatics(); err != nil {
+		return kernelMeasurement{}, err
+	}
+	kc := corpus.KernelClass(name)
+	if err := in.Bind(kc, "DATA", in.NewDoubleMatrix(feats)); err != nil {
+		return kernelMeasurement{}, err
+	}
+	if err := in.Bind(kc, "LABELS", in.NewIntArray(labels)); err != nil {
+		return kernelMeasurement{}, err
+	}
+	before := in.Meter().Snapshot()
+	if _, err := in.CallStatic(kc, "run", interp.IntVal(int64(reps))); err != nil {
+		return kernelMeasurement{}, err
+	}
+	d := in.Meter().Snapshot().Sub(before)
+	return kernelMeasurement{pkg: d.Package, core: d.Core, elapsed: d.Elapsed}, nil
+}
+
+// Factory builds the Go classifier for a Table IV row.
+func Factory(name string, opts classify.Options) (eval.Factory, error) {
+	switch name {
+	case "J48":
+		return func() classify.Classifier { return tree.NewJ48(opts) }, nil
+	case "RandomTree":
+		return func() classify.Classifier { return tree.NewRandomTree(opts) }, nil
+	case "RandomForest":
+		return func() classify.Classifier { return tree.NewRandomForest(opts, 15) }, nil
+	case "REPTree":
+		return func() classify.Classifier { return tree.NewREPTree(opts) }, nil
+	case "NaiveBayes":
+		return func() classify.Classifier { return bayes.New(opts) }, nil
+	case "Logistic":
+		return func() classify.Classifier {
+			c := linear.NewLogistic(opts)
+			c.Epochs = 20
+			return c
+		}, nil
+	case "SMO":
+		return func() classify.Classifier {
+			c := svm.New(opts)
+			c.MaxPasses = 2
+			return c
+		}, nil
+	case "SGD":
+		return func() classify.Classifier {
+			c := linear.NewSGD(opts)
+			c.Epochs = 20
+			return c
+		}, nil
+	case "KStar":
+		return func() classify.Classifier { return lazy.NewKStar(opts) }, nil
+	case "IBk":
+		return func() classify.Classifier { return lazy.NewIBk(opts, 5) }, nil
+	}
+	return nil, fmt.Errorf("tables: unknown classifier %s", name)
+}
+
+// accuracyDrop cross-validates a classifier in double and single precision
+// and returns the accuracy loss in percentage points.
+func accuracyDrop(name string, d *dataset.Dataset, cfg Table4Config) (float64, error) {
+	dbl, err := Factory(name, classify.Options{Seed: cfg.Seed, FP: classify.Double})
+	if err != nil {
+		return 0, err
+	}
+	sgl, err := Factory(name, classify.Options{Seed: cfg.Seed, FP: classify.Single})
+	if err != nil {
+		return 0, err
+	}
+	rd, err := eval.CrossValidate(d, cfg.CVFolds, cfg.Seed, dbl)
+	if err != nil {
+		return 0, err
+	}
+	rs, err := eval.CrossValidate(d, cfg.CVFolds, cfg.Seed, sgl)
+	if err != nil {
+		return 0, err
+	}
+	return rd.Accuracy() - rs.Accuracy(), nil
+}
+
+// RenderTable4 lays the rows out like the paper's Table IV.
+func RenderTable4(rows []Table4Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %8s %12s %12s %12s %12s\n",
+		"Classifiers", "Changes", "Package (%)", "CPU (%)", "Time (%)", "AccDrop (%)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %8d %12.2f %12.2f %12.2f %12.2f\n",
+			r.Classifier, r.Changes, r.PackagePct, r.CPUPct, r.TimePct, r.AccuracyPct)
+	}
+	return sb.String()
+}
