@@ -1,0 +1,18 @@
+# Standard entry points for the reproduction repo.
+
+.PHONY: build test check bench-interp
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Formatting, vet and the race-enabled test suite in one gate.
+check:
+	sh scripts/check.sh
+
+# Interpreter benchmark trajectory: wall-clock ns/op + simulated µJ/op for
+# the Table I corpus, written to BENCH_interp.json.
+bench-interp:
+	go run ./cmd/jperf bench -o BENCH_interp.json

@@ -356,6 +356,88 @@ func BenchmarkInterpreter(b *testing.B) {
 	}
 }
 
+// --- interpreter hot-path micro-benchmarks ---
+//
+// These three isolate the costs the slot-resolved interpreter attacks:
+// identifier resolution (locals vs fields vs statics), call dispatch, and
+// per-invoke allocation. allocs/op is the headline metric — frame and
+// argument pooling should hold it near zero once the pools warm.
+
+// benchInterpCall loads src once and measures repeated CallStatic invocations
+// of B.f on a single interpreter, so pools and call-site caches stay warm
+// across iterations exactly as they do inside one simulated measurement run.
+func benchInterpCall(b *testing.B, src string, args ...interp.Value) {
+	b.Helper()
+	f, err := parser.Parse("micro.java", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := interp.Load(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000))
+	if err := in.InitStatics(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.CallStatic("B", "f", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpLocals is identifier-heavy straight-line code: every
+// iteration of the loop touches several locals and an instance field.
+func BenchmarkInterpLocals(b *testing.B) {
+	benchInterpCall(b, `class B {
+		int acc;
+		static double f() {
+			B o = new B();
+			int a = 1; int c = 2; int d = 3; int e = 4;
+			for (int i = 0; i < 2000; i++) {
+				int tmp = a + c;
+				o.acc = o.acc + tmp - d + e - c;
+				a = tmp - e;
+			}
+			return o.acc + a;
+		}
+	}`)
+}
+
+// BenchmarkInterpCalls is call-dispatch-heavy: a tight loop of static and
+// instance method invocations with arguments.
+func BenchmarkInterpCalls(b *testing.B) {
+	benchInterpCall(b, `class B {
+		int bias;
+		int step(int x) { return x + bias; }
+		static int twice(int x) { return x + x; }
+		static double f() {
+			B o = new B();
+			o.bias = 3;
+			int s = 0;
+			for (int i = 0; i < 1000; i++) {
+				s += o.step(twice(i)) + twice(o.step(i));
+			}
+			return s;
+		}
+	}`)
+}
+
+// BenchmarkInterpRecursion stresses frame setup/teardown with deep recursion,
+// the worst case for per-invoke allocation.
+func BenchmarkInterpRecursion(b *testing.B) {
+	benchInterpCall(b, `class B {
+		static int fib(int n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		static double f() { return fib(17); }
+	}`)
+}
+
 // A tiny sanity check so `go test .` is meaningful at the repo root too.
 func TestBenchHarnessSmoke(t *testing.T) {
 	rows, err := tables.Table1()

@@ -1,0 +1,118 @@
+// The bench subcommand runs the Table I interpreter benchmark corpus and
+// writes a JSON trajectory file pairing real wall-clock cost (ns/op) with
+// simulated energy (µJ/op). Wall time tracks interpreter engineering across
+// revisions; simulated energy is the modelled quantity and must stay fixed
+// for a given cost table — a drift there is a correctness bug, not a
+// performance change.
+//
+// Usage:
+//
+//	jperf bench [-o BENCH_interp.json] [-r repeats]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"jepo/internal/energy"
+	"jepo/internal/minijava/interp"
+	"jepo/internal/minijava/parser"
+	"jepo/internal/tables"
+)
+
+// benchPoint is one benchmark's trajectory sample.
+type benchPoint struct {
+	Name       string  `json:"name"`
+	Runs       int     `json:"runs"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	UJPerOp    float64 `json:"uj_per_op"`
+	SimUsPerOp float64 `json:"sim_us_per_op"`
+}
+
+// benchReport is the BENCH_interp.json document.
+type benchReport struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	Benchmarks  []benchPoint `json:"benchmarks"`
+}
+
+func runBenchCmd(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("o", "BENCH_interp.json", "output JSON path")
+	repeats := fs.Int("r", 5, "timed repeats per benchmark")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *repeats < 1 {
+		return fmt.Errorf("need at least 1 repeat, got %d", *repeats)
+	}
+
+	report := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+	}
+	for _, b := range tables.InterpBenches() {
+		pt, err := runBenchOne(b, *repeats)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		report.Benchmarks = append(report.Benchmarks, pt)
+		fmt.Printf("%-40s %12.0f ns/op %12.1f µJ/op\n", pt.Name, pt.NsPerOp, pt.UJPerOp)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+	return nil
+}
+
+// runBenchOne loads one program and measures repeats calls of B.f on a
+// single interpreter, so frame pools and call-site caches stay warm exactly
+// as they do inside one simulated measurement run. One untimed warmup call
+// precedes the timed window.
+func runBenchOne(b tables.InterpBench, repeats int) (benchPoint, error) {
+	f, err := parser.Parse("bench.java", b.Src)
+	if err != nil {
+		return benchPoint{}, err
+	}
+	prog, err := interp.Load(f)
+	if err != nil {
+		return benchPoint{}, err
+	}
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000))
+	if err := in.InitStatics(); err != nil {
+		return benchPoint{}, err
+	}
+	if _, err := in.CallStatic("B", "f"); err != nil {
+		return benchPoint{}, err
+	}
+
+	before := in.Meter().Snapshot()
+	t0 := time.Now()
+	for i := 0; i < repeats; i++ {
+		if _, err := in.CallStatic("B", "f"); err != nil {
+			return benchPoint{}, err
+		}
+	}
+	wall := time.Since(t0)
+	d := in.Meter().Snapshot().Sub(before)
+
+	r := float64(repeats)
+	return benchPoint{
+		Name:       b.Name,
+		Runs:       repeats,
+		NsPerOp:    float64(wall.Nanoseconds()) / r,
+		UJPerOp:    float64(d.Package) * 1e6 / r,
+		SimUsPerOp: d.Elapsed.Seconds() * 1e6 / r,
+	}, nil
+}

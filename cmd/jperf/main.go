@@ -8,6 +8,7 @@
 // Usage:
 //
 //	jperf [-main Class] [-r runs] [-tukey] <file.java>...
+//	jperf bench [-o BENCH_interp.json] [-r repeats]
 package main
 
 import (
@@ -27,6 +28,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := runBenchCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "jperf bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	mainClass := flag.String("main", "", "class whose main method to run")
 	runs := flag.Int("r", 10, "repeat count (perf -r), as in the paper")
 	tukey := flag.Bool("tukey", true, "replace Tukey outliers with fresh runs")

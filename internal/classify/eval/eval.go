@@ -136,7 +136,13 @@ func CrossValidate(d *dataset.Dataset, k int, seed uint64, make Factory) (*Resul
 		}
 		res.Correct += correct
 		res.Total += test.NumInstances()
-		res.PerFold = append(res.PerFold, 100*float64(correct)/float64(test.NumInstances()))
+		// A fold can end up with zero test instances when k is close to the
+		// dataset size; report 0 accuracy rather than NaN.
+		foldAcc := 0.0
+		if n := test.NumInstances(); n > 0 {
+			foldAcc = 100 * float64(correct) / float64(n)
+		}
+		res.PerFold = append(res.PerFold, foldAcc)
 	}
 	return res, nil
 }

@@ -176,6 +176,31 @@ func TestCrossValidateErrors(t *testing.T) {
 	}
 }
 
+// TestPerFoldFiniteAtMinimumFoldSize drives CrossValidate at the k == n
+// extreme where every test fold holds exactly one instance, the closest the
+// public API gets to the degenerate empty-fold case PerFold guards against:
+// every per-fold accuracy must be a finite 0 or 100, never NaN.
+func TestPerFoldFiniteAtMinimumFoldSize(t *testing.T) {
+	d := separable(8)
+	res, err := CrossValidate(d, 8, 5, func() classify.Classifier {
+		return bayes.New(classify.Options{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerFold) != 8 {
+		t.Fatalf("got %d folds, want 8", len(res.PerFold))
+	}
+	for f, acc := range res.PerFold {
+		if math.IsNaN(acc) || math.IsInf(acc, 0) {
+			t.Errorf("fold %d accuracy is %v, want finite", f, acc)
+		}
+		if acc != 0 && acc != 100 {
+			t.Errorf("fold %d accuracy %v, want 0 or 100 for 1-instance folds", f, acc)
+		}
+	}
+}
+
 func TestConfusionMatrixConsistent(t *testing.T) {
 	d := separable(200)
 	res, err := CrossValidate(d, 4, 3, func() classify.Classifier {

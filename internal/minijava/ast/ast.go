@@ -155,6 +155,10 @@ type Method struct {
 	Throws []string
 	Body   *Block // nil for abstract-like declarations (not produced)
 	IsCtor bool
+
+	// NSlots is the frame slot count computed by the interpreter's load-time
+	// resolver: parameters first, then every distinct local/catch name.
+	NSlots int32
 }
 
 // Node is any AST node carrying a position.
@@ -187,6 +191,10 @@ type LocalVar struct {
 	Type  Type
 	Name  string
 	Init  Expr // may be nil
+
+	// Slot is 1 + the frame slot assigned by the interpreter's load-time
+	// resolver (0 = unresolved).
+	Slot int32
 }
 
 // ExprStmt wraps an expression used as a statement.
@@ -265,6 +273,10 @@ type Catch struct {
 	Type  string // exception class name
 	Name  string
 	Block *Block
+
+	// Slot is 1 + the frame slot for the caught value, assigned by the
+	// interpreter's load-time resolver (0 = unresolved).
+	Slot int32
 }
 
 // Try is try/catch/finally.
@@ -333,10 +345,32 @@ type Literal struct {
 	Sci  bool    // floating literal written in scientific notation
 }
 
+// Resolution-cache kinds for Ident.RKind, written by the interpreter's
+// load-time resolver (internal/minijava/interp/resolve.go). They record what
+// a name resolves to when no live local variable claims it. ResNone (the zero
+// value, i.e. a freshly parsed or freshly constructed node) and ResDynamic
+// both mean the interpreter must fall back to fully dynamic lookup.
+const (
+	ResNone      uint8 = iota // unresolved: dynamic lookup
+	ResField                  // instance field; RIx is the object slot index
+	ResStatic                 // static field; looked up by name in the class's flat table
+	ResStaticRef              // static field; RIx indexes the program's static-ref table
+	ResClass                  // a class name used as a value
+	ResDynamic                // ambiguous across subclasses: dynamic lookup
+)
+
 // Ident is a bare identifier (local, field of this, or class name).
 type Ident struct {
 	Pos  token.Pos
 	Name string
+
+	// Interpreter resolution cache, maintained by interp.Load. RSlot is
+	// 1 + the frame slot when the enclosing method declares Name as a
+	// parameter, local or catch variable (0 otherwise); RKind/RIx cache
+	// what Name resolves to when no such local is live.
+	RSlot int32
+	RKind uint8
+	RIx   int32
 }
 
 // This is the `this` reference.
@@ -347,6 +381,10 @@ type Select struct {
 	Pos  token.Pos
 	X    Expr
 	Name string
+
+	// SiteIx is 1 + this site's index in the program's call-site tables,
+	// assigned by the interpreter's load-time resolver (0 = unresolved).
+	SiteIx int32
 }
 
 // Index is `X[I]`.
@@ -363,6 +401,10 @@ type Call struct {
 	Recv Expr // nil, or receiver expression / class name Ident
 	Name string
 	Args []Expr
+
+	// SiteIx is 1 + this site's index in the program's call-site tables,
+	// assigned by the interpreter's load-time resolver (0 = unresolved).
+	SiteIx int32
 }
 
 // New is `new C(args)`.
@@ -370,6 +412,10 @@ type New struct {
 	Pos  token.Pos
 	Name string
 	Args []Expr
+
+	// SiteIx is 1 + this site's index in the program's call-site tables,
+	// assigned by the interpreter's load-time resolver (0 = unresolved).
+	SiteIx int32
 }
 
 // NewArray is `new T[l0][l1]...` with possibly fewer sized dims than total.

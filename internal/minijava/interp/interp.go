@@ -29,6 +29,25 @@ type Interp struct {
 	rngInt uint64 // deterministic LCG for Math.random
 
 	staticsReady bool
+
+	// siteCache holds per-interpreter monomorphic inline caches, indexed by
+	// the SiteIx annotations the resolver leaves on Call/Select nodes. The
+	// interpreter is single-threaded by design, so no locking is needed.
+	siteCache []siteState
+
+	// framePool and argPool are free lists for frame slot arrays and
+	// argument slices; invoke-heavy programs recycle instead of allocating.
+	framePool [][]cell
+	argPool   [][]Value
+}
+
+// siteState is one monomorphic inline cache entry: the last dynamic class
+// seen at the site together with the resolved method (call sites) or field
+// slot index (select sites). A site is only ever one of the two.
+type siteState struct {
+	class *classInfo
+	m     *ast.Method
+	ix    int32
 }
 
 // Option configures an interpreter.
@@ -43,7 +62,12 @@ func WithMaxOps(n int64) Option { return func(in *Interp) { in.maxOps = n } }
 
 // New builds an interpreter for prog charging energy to meter.
 func New(prog *Program, meter *energy.Meter, opts ...Option) *Interp {
-	in := &Interp{prog: prog, meter: meter, rngInt: 0x9E3779B97F4A7C15}
+	in := &Interp{
+		prog:      prog,
+		meter:     meter,
+		rngInt:    0x9E3779B97F4A7C15,
+		siteCache: make([]siteState, len(prog.sites)),
+	}
 	for _, o := range opts {
 		o(in)
 	}
@@ -128,8 +152,8 @@ func (in *Interp) InitStatics() (err error) {
 			slot := ci.statics[fname]
 			slot.Addr = in.meter.Alloc(8)
 			if slot.Init != nil {
-				fr := &frame{class: ci, locals: map[string]*cell{}}
-				slot.V = in.coerceTo(in.evalInit(fr, slot.Init, slot.Type), slot.Type, slot.Init.NodePos())
+				fr := frame{class: ci}
+				slot.V = in.coerceTo(in.evalInit(&fr, slot.Init, slot.Type), slot.Type, slot.Init.NodePos())
 			} else {
 				slot.V = zeroValue(slot.Type)
 			}
@@ -186,8 +210,10 @@ func (in *Interp) CallStatic(class, method string, args ...Value) (Value, error)
 	return in.run(func() Value { return in.invoke(ci, nil, m, args) })
 }
 
-// Bind overwrites a static field with a host-provided value, creating the
-// slot if the class declares it. It is how experiment harnesses inject
+// Bind overwrites a static field with a host-provided value, coercing it to
+// the field's declared type (binding an int into a double slot stores 1.0,
+// not a raw int bit pattern). The coercion is host-side bookkeeping and
+// charges nothing to the meter. Bind is how experiment harnesses inject
 // datasets without parsing gigantic literals.
 func (in *Interp) Bind(class, field string, v Value) error {
 	if err := in.InitStatics(); err != nil {
@@ -201,8 +227,64 @@ func (in *Interp) Bind(class, field string, v Value) error {
 	if slot == nil {
 		return fmt.Errorf("interp: class %s has no static field %s", class, field)
 	}
-	slot.V = v
+	cv, err := hostCoerce(v, slot.Type)
+	if err != nil {
+		return fmt.Errorf("interp: bind %s.%s: %w", class, field, err)
+	}
+	slot.V = cv
 	return nil
+}
+
+// hostCoerce converts a host-provided value to a declared type without
+// touching the meter (unlike coerceTo, which models the program's own
+// conversions and charges narrowing/boxing costs).
+func hostCoerce(v Value, t ast.Type) (Value, error) {
+	if t.Dims > 0 {
+		if v.K == KArr || v.K == KNull {
+			return v, nil
+		}
+		return Value{}, fmt.Errorf("cannot bind %v to array type %s", v.K, t)
+	}
+	target := kindOfType(t)
+	if v.K == target {
+		return v, nil
+	}
+	switch target {
+	case KInt, KLong, KShort, KByte, KChar:
+		if !v.K.IsNumeric() {
+			return Value{}, fmt.Errorf("cannot bind %v to %s", v.K, t)
+		}
+		switch target {
+		case KInt:
+			return IntVal(v.AsI64()), nil
+		case KLong:
+			return LongVal(v.AsI64()), nil
+		case KShort:
+			return ShortVal(v.AsI64()), nil
+		case KByte:
+			return ByteVal(v.AsI64()), nil
+		default:
+			return CharVal(v.AsI64()), nil
+		}
+	case KFloat, KDouble:
+		if !v.K.IsNumeric() {
+			return Value{}, fmt.Errorf("cannot bind %v to %s", v.K, t)
+		}
+		if target == KFloat {
+			return FloatVal(v.AsF64()), nil
+		}
+		return DoubleVal(v.AsF64()), nil
+	case KBool, KString, KSB, KBox:
+		if v.K == KNull {
+			return v, nil
+		}
+	case KRef:
+		switch v.K {
+		case KRef, KNull, KThrow, KString, KArr, KSB, KBox:
+			return v, nil
+		}
+	}
+	return Value{}, fmt.Errorf("cannot bind %v to %s", v.K, t)
 }
 
 // NewIntArray, NewDoubleArray and friends build host arrays for Bind.
@@ -241,18 +323,81 @@ func (in *Interp) NewStringArray(data []string) Value {
 
 // --- frames ---
 
+// cell is one frame slot. live distinguishes a declared local from a slot
+// whose declaration statement has not executed yet (the dialect declares at
+// execution time, so on a loop's first iteration an identifier can run
+// before its declaration and must fall back to field/static lookup).
 type cell struct {
-	t ast.Type
-	v Value
+	t    ast.Type
+	v    Value
+	k    Kind // kindOfType(t), precomputed so stores can skip coerceTo on identity
+	live bool
 }
 
+// frame is one activation record. locals is a flat slot array sized by the
+// resolver's Method.NSlots; field-initializer and static-initializer frames
+// have no slots.
 type frame struct {
 	class  *classInfo
 	this   *Object
-	locals map[string]*cell
+	locals []cell
 }
 
-func (fr *frame) lookup(name string) *cell { return fr.locals[name] }
+// grabLocals returns a zeroed slot array of length n, recycling from the
+// frame free list when possible.
+func (in *Interp) grabLocals(n int) []cell {
+	if k := len(in.framePool) - 1; k >= 0 && cap(in.framePool[k]) >= n {
+		s := in.framePool[k][:n]
+		in.framePool = in.framePool[:k]
+		for i := range s {
+			s[i] = cell{}
+		}
+		return s
+	}
+	if n == 0 {
+		return nil
+	}
+	c := n
+	if c < 8 {
+		c = 8
+	}
+	return make([]cell, n, c)
+}
+
+// releaseLocals returns a slot array to the free list. Callers release via
+// defer so mini-Java exception unwinding keeps the pool balanced.
+func (in *Interp) releaseLocals(s []cell) {
+	if cap(s) > 0 {
+		in.framePool = append(in.framePool, s[:0])
+	}
+}
+
+// grabArgs returns an argument slice of length n from the free list. Every
+// element is overwritten by the caller before use.
+func (in *Interp) grabArgs(n int) []Value {
+	if n == 0 {
+		return nil
+	}
+	if k := len(in.argPool) - 1; k >= 0 && cap(in.argPool[k]) >= n {
+		s := in.argPool[k][:n]
+		in.argPool = in.argPool[:k]
+		return s
+	}
+	c := n
+	if c < 4 {
+		c = 4
+	}
+	return make([]Value, n, c)
+}
+
+// releaseArgs returns an argument slice to the free list once the callee has
+// copied the values out. Slices abandoned by exception unwinding are simply
+// collected by the GC.
+func (in *Interp) releaseArgs(s []Value) {
+	if cap(s) > 0 {
+		in.argPool = append(in.argPool, s[:0])
+	}
+}
 
 // --- statement execution ---
 
@@ -272,33 +417,28 @@ type ctrl struct {
 
 var normal = ctrl{}
 
+// step counts one interpreted node against the op budget. The panic lives in
+// a separate function so step stays within the inlining budget; it is charged
+// on every AST node.
 func (in *Interp) step() {
 	in.ops++
 	if in.maxOps > 0 && in.ops > in.maxOps {
-		panic(bugPanic{fmt.Sprintf("op budget of %d exceeded (likely an infinite loop)", in.maxOps)})
+		in.opBudgetExceeded()
 	}
+}
+
+//go:noinline
+func (in *Interp) opBudgetExceeded() {
+	panic(bugPanic{fmt.Sprintf("op budget of %d exceeded (likely an infinite loop)", in.maxOps)})
 }
 
 func (in *Interp) exec(fr *frame, s ast.Stmt) ctrl {
 	in.step()
+	// Cases ordered by dynamic frequency; expression statements and branches
+	// dominate loop bodies.
 	switch n := s.(type) {
-	case *ast.Block:
-		for _, st := range n.Stmts {
-			if c := in.exec(fr, st); c.kind != ctrlNormal {
-				return c
-			}
-		}
-		return normal
-	case *ast.LocalVar:
-		v := zeroValue(n.Type)
-		if n.Init != nil {
-			v = in.coerceTo(in.evalInit(fr, n.Init, n.Type), n.Type, n.Pos)
-		}
-		fr.locals[n.Name] = &cell{t: n.Type, v: v}
-		in.meter.Step(energy.OpLocal, 1)
-		return normal
 	case *ast.ExprStmt:
-		in.eval(fr, n.X)
+		in.evalStmtExpr(fr, n.X)
 		return normal
 	case *ast.If:
 		in.meter.Step(energy.OpBranch, 1)
@@ -308,6 +448,36 @@ func (in *Interp) exec(fr *frame, s ast.Stmt) ctrl {
 		if n.Else != nil {
 			return in.exec(fr, n.Else)
 		}
+		return normal
+	case *ast.Block:
+		for _, st := range n.Stmts {
+			if c := in.exec(fr, st); c.kind != ctrlNormal {
+				return c
+			}
+		}
+		return normal
+	case *ast.Return:
+		if n.X == nil {
+			return ctrl{kind: ctrlReturn}
+		}
+		return ctrl{kind: ctrlReturn, v: in.operand(fr, n.X)}
+	case *ast.LocalVar:
+		k := kindOfType(n.Type)
+		var v Value
+		if n.Init != nil {
+			v = in.evalInit(fr, n.Init, n.Type)
+			if v.K != k {
+				v = in.coerceTo(v, n.Type, n.Pos)
+			}
+		} else {
+			v = zeroValue(n.Type)
+		}
+		if s := int(n.Slot) - 1; s >= 0 && s < len(fr.locals) {
+			fr.locals[s] = cell{t: n.Type, k: k, v: v, live: true}
+		} else {
+			in.bugf(n.Pos, "unresolved local variable %s", n.Name)
+		}
+		in.meter.Step(energy.OpLocal, 1)
 		return normal
 	case *ast.While:
 		for {
@@ -360,14 +530,9 @@ func (in *Interp) exec(fr *frame, s ast.Stmt) ctrl {
 				return c
 			}
 			for _, post := range n.Post {
-				in.eval(fr, post)
+				in.evalStmtExpr(fr, post)
 			}
 		}
-	case *ast.Return:
-		if n.X == nil {
-			return ctrl{kind: ctrlReturn}
-		}
-		return ctrl{kind: ctrlReturn, v: in.eval(fr, n.X)}
 	case *ast.Break:
 		return ctrl{kind: ctrlBreak}
 	case *ast.Continue:
@@ -465,9 +630,16 @@ func (in *Interp) execTry(fr *frame, t *ast.Try) ctrl {
 		for _, cat := range t.Catches {
 			if thrown.instanceOf(cat.Type) {
 				in.meter.Step(energy.OpCatch, 1)
-				fr.locals[cat.Name] = &cell{
-					t: ast.Type{Kind: ast.ClassType, Name: cat.Type},
-					v: Value{K: KThrow, R: thrown},
+				if s := int(cat.Slot) - 1; s >= 0 && s < len(fr.locals) {
+					ct := ast.Type{Kind: ast.ClassType, Name: cat.Type}
+					fr.locals[s] = cell{
+						t:    ct,
+						k:    kindOfType(ct),
+						v:    Value{K: KThrow, R: thrown},
+						live: true,
+					}
+				} else {
+					in.bugf(cat.Pos, "unresolved catch variable %s", cat.Name)
 				}
 				c, thrown = in.runProtected(fr, cat.Block)
 				handled = true
@@ -503,7 +675,7 @@ func (in *Interp) runProtected(fr *frame, blk *ast.Block) (c ctrl, thrown *Throw
 
 // evalCond evaluates a boolean expression.
 func (in *Interp) evalCond(fr *frame, e ast.Expr) bool {
-	v := in.eval(fr, e)
+	v := in.operand(fr, e)
 	if v.K == KBox {
 		v = in.unbox(v, e.NodePos())
 	}
@@ -515,14 +687,27 @@ func (in *Interp) evalCond(fr *frame, e ast.Expr) bool {
 
 // --- method invocation ---
 
-// invoke runs a method with already-evaluated arguments.
+// invoke runs a method with already-evaluated arguments. The frame's slot
+// array comes from the free list and is returned on the way out, including
+// when a mini-Java exception unwinds through the call.
 func (in *Interp) invoke(ci *classInfo, this *Object, m *ast.Method, args []Value) Value {
 	in.meter.Step(energy.OpCall, 1)
-	fr := &frame{class: ci, this: this, locals: make(map[string]*cell, len(m.Params)+4)}
-	for i, p := range m.Params {
-		fr.locals[p.Name] = &cell{t: p.Type, v: in.coerceTo(args[i], p.Type, m.Pos)}
+	nslots := int(m.NSlots)
+	if nslots < len(m.Params) {
+		nslots = len(m.Params) // unresolved method; should not happen
 	}
-	c := in.exec(fr, m.Body)
+	fr := frame{class: ci, this: this, locals: in.grabLocals(nslots)}
+	defer in.releaseLocals(fr.locals)
+	for i := range m.Params {
+		p := &m.Params[i]
+		pk := kindOfType(p.Type)
+		av := args[i]
+		if av.K != pk {
+			av = in.coerceTo(av, p.Type, m.Pos)
+		}
+		fr.locals[i] = cell{t: p.Type, k: pk, v: av, live: true}
+	}
+	c := in.exec(&fr, m.Body)
 	if c.kind == ctrlReturn {
 		if m.Ret.Kind != ast.Void || m.Ret.Dims > 0 {
 			return in.coerceTo(c.v, m.Ret, m.Pos)
@@ -532,8 +717,9 @@ func (in *Interp) invoke(ci *classInfo, this *Object, m *ast.Method, args []Valu
 	return Value{K: KVoid}
 }
 
-// construct builds a new instance of a user class and runs its constructor.
-func (in *Interp) construct(ci *classInfo, args []Value, pos token.Pos) Value {
+// construct builds a new instance of a user class and runs the given
+// constructor (nil means the implicit zero-argument one).
+func (in *Interp) construct(ci *classInfo, ctor *ast.Method, args []Value, pos token.Pos) Value {
 	in.meter.Step(energy.OpAllocObject, 1)
 	obj := &Object{
 		Class: ci,
@@ -544,15 +730,14 @@ func (in *Interp) construct(ci *classInfo, args []Value, pos token.Pos) Value {
 	for i, f := range ci.fields {
 		obj.Slots[i] = zeroValue(f.Type)
 	}
-	initFr := &frame{class: ci, this: obj, locals: map[string]*cell{}}
+	initFr := frame{class: ci, this: obj}
 	for i, f := range ci.fields {
 		if f.Init != nil {
-			obj.Slots[i] = in.coerceTo(in.evalInit(initFr, f.Init, f.Type), f.Type, pos)
+			obj.Slots[i] = in.coerceTo(in.evalInit(&initFr, f.Init, f.Type), f.Type, pos)
 			in.meter.Step(energy.OpField, 1)
 			in.meter.Access(obj.Base+16+uint64(8*i), 8)
 		}
 	}
-	ctor := ci.findCtor(len(args))
 	if ctor == nil {
 		if len(args) != 0 {
 			in.bugf(pos, "no constructor %s/%d", ci.Name, len(args))
@@ -571,7 +756,7 @@ func (in *Interp) evalInit(fr *frame, e ast.Expr, t ast.Type) Value {
 	if lit, ok := e.(*ast.ArrayLit); ok {
 		return in.buildArrayLit(fr, lit, t)
 	}
-	return in.eval(fr, e)
+	return in.operand(fr, e)
 }
 
 func (in *Interp) buildArrayLit(fr *frame, lit *ast.ArrayLit, t ast.Type) Value {
@@ -592,38 +777,40 @@ func (in *Interp) buildArrayLit(fr *frame, lit *ast.ArrayLit, t ast.Type) Value 
 
 func (in *Interp) eval(fr *frame, e ast.Expr) Value {
 	in.step()
+	// Cases ordered by dynamic frequency: idents, literals and arithmetic
+	// dominate every workload in the benchmark suite.
 	switch n := e.(type) {
-	case *ast.Literal:
-		return in.evalLiteral(n)
 	case *ast.Ident:
 		return in.evalIdent(fr, n)
-	case *ast.This:
-		if fr.this == nil {
-			in.bugf(n.Pos, "this in static context")
-		}
-		return Value{K: KRef, R: fr.this}
+	case *ast.Literal:
+		return in.evalLiteral(n)
+	case *ast.Binary:
+		return in.evalBinary(fr, n)
+	case *ast.Assign:
+		return in.evalAssign(fr, n)
 	case *ast.Select:
 		return in.evalSelect(fr, n)
+	case *ast.Call:
+		return in.evalCall(fr, n)
 	case *ast.Index:
 		arr, idx := in.evalIndexOperands(fr, n)
 		in.meter.Step(energy.OpArrayElem, 1)
 		in.meter.Step(energy.OpBoundsCheck, 1)
 		in.meter.Access(arr.addr(idx), arr.ES)
 		return arr.get(idx)
-	case *ast.Call:
-		return in.evalCall(fr, n)
+	case *ast.Unary:
+		return in.evalUnary(fr, n)
+	case *ast.This:
+		if fr.this == nil {
+			in.bugf(n.Pos, "this in static context")
+		}
+		return Value{K: KRef, R: fr.this}
 	case *ast.New:
 		return in.evalNew(fr, n)
 	case *ast.NewArray:
 		return in.evalNewArray(fr, n)
 	case *ast.ArrayLit:
 		in.bugf(n.Pos, "array literal outside an initializer")
-	case *ast.Unary:
-		return in.evalUnary(fr, n)
-	case *ast.Binary:
-		return in.evalBinary(fr, n)
-	case *ast.Assign:
-		return in.evalAssign(fr, n)
 	case *ast.Ternary:
 		in.meter.Step(energy.OpBranch, 1)
 		in.meter.Step(energy.OpTernary, 1)
@@ -681,12 +868,51 @@ func (in *Interp) chargeConst(sci bool) {
 }
 
 // evalIdent resolves, in order: local, instance field, static field of the
-// enclosing class, then a class name.
+// enclosing class, then a class name. The resolver's annotations let the
+// common cases skip the map lookups; anything it could not pin down falls
+// through to evalIdentSlow, the original dynamic ladder.
 func (in *Interp) evalIdent(fr *frame, n *ast.Ident) Value {
-	if c := fr.lookup(n.Name); c != nil {
-		in.meter.Step(energy.OpLocal, 1)
-		return c.v
+	if s := int(n.RSlot) - 1; s >= 0 && s < len(fr.locals) {
+		if c := &fr.locals[s]; c.live {
+			in.meter.Step(energy.OpLocal, 1)
+			return c.v
+		}
 	}
+	switch n.RKind {
+	case ast.ResField:
+		if this := fr.this; this != nil {
+			if ix := int(n.RIx); ix < len(this.Slots) {
+				in.meter.Step(energy.OpField, 1)
+				in.meter.Access(this.Base+16+uint64(8*ix), 8)
+				return this.Slots[ix]
+			}
+		}
+	case ast.ResStaticRef:
+		if ix := int(n.RIx); ix < len(in.prog.statRefs) {
+			slot := in.prog.statRefs[ix]
+			in.meter.Step(energy.OpStatic, 1)
+			in.meter.Access(slot.Addr, 8)
+			return slot.V
+		}
+	case ast.ResStatic:
+		if fr.class != nil {
+			if slot := fr.class.flatStatics[n.Name]; slot != nil {
+				in.meter.Step(energy.OpStatic, 1)
+				in.meter.Access(slot.Addr, 8)
+				return slot.V
+			}
+		}
+	case ast.ResClass:
+		return Value{K: KClassRef, R: n.Name}
+	}
+	return in.evalIdentSlow(fr, n)
+}
+
+// evalIdentSlow is the fully dynamic resolution ladder for identifiers the
+// resolver left unresolved (and the error reporter for broken annotations).
+// Locals need no re-check here: a name is only ever a local if the resolver
+// assigned it a slot, which evalIdent already consulted.
+func (in *Interp) evalIdentSlow(fr *frame, n *ast.Ident) Value {
 	if fr.this != nil {
 		if ix, ok := fr.this.Class.fieldIx[n.Name]; ok {
 			in.meter.Step(energy.OpField, 1)
@@ -709,10 +935,25 @@ func (in *Interp) evalIdent(fr *frame, n *ast.Ident) Value {
 }
 
 func (in *Interp) evalSelect(fr *frame, n *ast.Select) Value {
-	x := in.eval(fr, n.X)
+	x := in.operand(fr, n.X)
 	switch x.K {
 	case KClassRef:
 		cls := x.R.(string)
+		if ix := int(n.SiteIx) - 1; ix >= 0 && ix < len(in.prog.sites) {
+			switch ps := &in.prog.sites[ix]; ps.kind {
+			case siteStaticSel:
+				if ps.cls == cls {
+					in.meter.Step(energy.OpStatic, 1)
+					in.meter.Access(ps.slot.Addr, 8)
+					return ps.slot.V
+				}
+			case siteBuiltinConstSel:
+				if ps.cls == cls {
+					in.meter.Step(energy.OpStatic, 1)
+					return ps.v
+				}
+			}
+		}
 		if cls == "System" && n.Name == "out" {
 			return Value{K: KClassRef, R: "System.out"}
 		}
@@ -736,9 +977,23 @@ func (in *Interp) evalSelect(fr *frame, n *ast.Select) Value {
 		in.bugf(n.Pos, "arrays have no field %s", n.Name)
 	case KRef:
 		obj := x.R.(*Object)
-		ix, ok := obj.Class.fieldIx[n.Name]
-		if !ok {
-			in.bugf(n.Pos, "class %s has no field %s", obj.Class.Name, n.Name)
+		var ix int
+		if si := int(n.SiteIx) - 1; si >= 0 && si < len(in.siteCache) {
+			sc := &in.siteCache[si]
+			if sc.class != obj.Class {
+				fix, ok := obj.Class.fieldIx[n.Name]
+				if !ok {
+					in.bugf(n.Pos, "class %s has no field %s", obj.Class.Name, n.Name)
+				}
+				sc.class, sc.ix = obj.Class, int32(fix)
+			}
+			ix = int(sc.ix)
+		} else {
+			fix, ok := obj.Class.fieldIx[n.Name]
+			if !ok {
+				in.bugf(n.Pos, "class %s has no field %s", obj.Class.Name, n.Name)
+			}
+			ix = fix
 		}
 		in.meter.Step(energy.OpField, 1)
 		in.meter.Access(obj.Base+16+uint64(8*ix), 8)
@@ -751,8 +1006,8 @@ func (in *Interp) evalSelect(fr *frame, n *ast.Select) Value {
 }
 
 func (in *Interp) evalIndexOperands(fr *frame, n *ast.Index) (*Array, int) {
-	xv := in.eval(fr, n.X)
-	iv := in.eval(fr, n.I)
+	xv := in.operand(fr, n.X)
+	iv := in.operand(fr, n.I)
 	if xv.K == KNull {
 		in.throw("NullPointerException", "index on null array")
 	}
@@ -775,14 +1030,27 @@ func (in *Interp) evalIndexOperands(fr *frame, n *ast.Index) (*Array, int) {
 }
 
 func (in *Interp) evalNew(fr *frame, n *ast.New) Value {
-	args := make([]Value, len(n.Args))
-	for i, a := range n.Args {
-		args[i] = in.eval(fr, a)
+	args := in.evalArgs(fr, n.Args)
+	if ix := int(n.SiteIx) - 1; ix >= 0 && ix < len(in.prog.sites) {
+		switch ps := &in.prog.sites[ix]; ps.kind {
+		case siteNewUser:
+			v := in.construct(ps.ci, ps.m, args, n.Pos)
+			in.releaseArgs(args)
+			return v
+		case siteNewBuiltin:
+			v := in.constructBuiltin(n.Name, args, n.Pos)
+			in.releaseArgs(args)
+			return v
+		}
 	}
 	if ci, ok := in.prog.classes[n.Name]; ok {
-		return in.construct(ci, args, n.Pos)
+		v := in.construct(ci, ci.findCtor(len(args)), args, n.Pos)
+		in.releaseArgs(args)
+		return v
 	}
-	return in.constructBuiltin(n.Name, args, n.Pos)
+	v := in.constructBuiltin(n.Name, args, n.Pos)
+	in.releaseArgs(args)
+	return v
 }
 
 func (in *Interp) evalNewArray(fr *frame, n *ast.NewArray) Value {
@@ -841,7 +1109,7 @@ func (in *Interp) newArrayRaw(elemT ast.Type, n int) Value {
 func (in *Interp) evalUnary(fr *frame, n *ast.Unary) Value {
 	switch n.Op {
 	case token.Minus:
-		v := in.eval(fr, n.X)
+		v := in.operand(fr, n.X)
 		if v.K == KBox {
 			v = in.unbox(v, n.Pos)
 		}
@@ -858,7 +1126,7 @@ func (in *Interp) evalUnary(fr *frame, n *ast.Unary) Value {
 		}
 		in.bugf(n.Pos, "unary - on %v", v.K)
 	case token.Not:
-		v := in.eval(fr, n.X)
+		v := in.operand(fr, n.X)
 		if v.K == KBox {
 			v = in.unbox(v, n.Pos)
 		}
@@ -903,6 +1171,71 @@ func (in *Interp) evalUnary(fr *frame, n *ast.Unary) Value {
 	return Value{}
 }
 
+// evalStmtExpr evaluates an expression in statement position (expression
+// statements and for-loop post clauses), which is nearly always an
+// assignment, a call or an increment; dispatch those directly with the same
+// step accounting as eval.
+func (in *Interp) evalStmtExpr(fr *frame, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Assign:
+		in.step()
+		in.evalAssign(fr, x)
+	case *ast.Call:
+		in.step()
+		in.evalCall(fr, x)
+	case *ast.Unary:
+		in.step()
+		in.evalUnary(fr, x)
+	default:
+		in.eval(fr, e)
+	}
+}
+
+// localCell returns the live cell of an identifier bound to a slot, or nil
+// when the identifier is not (yet) a local. Small enough to inline at the
+// hot call sites in evalBinary, evalArgs and evalAssign.
+func (fr *frame) localCell(n *ast.Ident) *cell {
+	if s := int(n.RSlot) - 1; s >= 0 && s < len(fr.locals) {
+		if c := &fr.locals[s]; c.live {
+			return c
+		}
+	}
+	return nil
+}
+
+// operand evaluates an expression that sits in operand position (binary
+// operands, call arguments, conditions, return values). It is semantically
+// identical to eval — same step accounting, same charges — but dispatches
+// the handful of node types that dominate operand position with a short
+// type-assertion ladder and reads live local slots in place, skipping a
+// call frame and the full dispatch switch per leaf.
+func (in *Interp) operand(fr *frame, e ast.Expr) Value {
+	switch n := e.(type) {
+	case *ast.Ident:
+		in.step()
+		if s := int(n.RSlot) - 1; s >= 0 && s < len(fr.locals) {
+			if c := &fr.locals[s]; c.live {
+				in.meter.Step(energy.OpLocal, 1)
+				return c.v
+			}
+		}
+		return in.evalIdent(fr, n)
+	case *ast.Literal:
+		in.step()
+		return in.evalLiteral(n)
+	case *ast.Binary:
+		in.step()
+		return in.evalBinary(fr, n)
+	case *ast.Select:
+		in.step()
+		return in.evalSelect(fr, n)
+	case *ast.Call:
+		in.step()
+		return in.evalCall(fr, n)
+	}
+	return in.eval(fr, e)
+}
+
 func (in *Interp) evalBinary(fr *frame, n *ast.Binary) Value {
 	switch n.Op {
 	case token.AndAnd:
@@ -918,9 +1251,121 @@ func (in *Interp) evalBinary(fr *frame, n *ast.Binary) Value {
 		}
 		return BoolVal(in.evalCond(fr, n.Y))
 	}
-	x := in.eval(fr, n.X)
-	y := in.eval(fr, n.Y)
+	// Ident operands are read in place (the step/charge sequence matches
+	// operand exactly); everything else goes through the operand dispatcher.
+	var x, y Value
+	if id, ok := n.X.(*ast.Ident); ok {
+		in.step()
+		if c := fr.localCell(id); c != nil {
+			in.meter.Step(energy.OpLocal, 1)
+			x = c.v
+		} else {
+			x = in.evalIdent(fr, id)
+		}
+	} else {
+		x = in.operand(fr, n.X)
+	}
+	if id, ok := n.Y.(*ast.Ident); ok {
+		in.step()
+		if c := fr.localCell(id); c != nil {
+			in.meter.Step(energy.OpLocal, 1)
+			y = c.v
+		} else {
+			y = in.evalIdent(fr, id)
+		}
+	} else {
+		y = in.operand(fr, n.Y)
+	}
+	if v, ok := in.binaryFast(n.Op, x, y); ok {
+		return v
+	}
 	return in.binary(n.Op, x, y, n.Pos)
+}
+
+// binaryFast handles homogeneous int/int and double/double operands, the
+// overwhelmingly common cases. The charges are exactly what the generic
+// path would produce: promote(int,int)=int and promote(double,double)=
+// double, so chargeArith charges OpArithInt/OpArithDouble for every
+// operator handled here. Division and modulus carry special costs and stay
+// on the generic path.
+func (in *Interp) binaryFast(op token.Kind, x, y Value) (Value, bool) {
+	if x.K == KInt && y.K == KInt {
+		switch op {
+		case token.Plus:
+			in.meter.Step(energy.OpArithInt, 1)
+			return IntVal(x.I + y.I), true
+		case token.Minus:
+			in.meter.Step(energy.OpArithInt, 1)
+			return IntVal(x.I - y.I), true
+		case token.Star:
+			in.meter.Step(energy.OpArithInt, 1)
+			return IntVal(x.I * y.I), true
+		case token.Lt:
+			in.meter.Step(energy.OpArithInt, 1)
+			return BoolVal(x.I < y.I), true
+		case token.Le:
+			in.meter.Step(energy.OpArithInt, 1)
+			return BoolVal(x.I <= y.I), true
+		case token.Gt:
+			in.meter.Step(energy.OpArithInt, 1)
+			return BoolVal(x.I > y.I), true
+		case token.Ge:
+			in.meter.Step(energy.OpArithInt, 1)
+			return BoolVal(x.I >= y.I), true
+		case token.Eq:
+			in.meter.Step(energy.OpArithInt, 1)
+			return BoolVal(x.I == y.I), true
+		case token.Ne:
+			in.meter.Step(energy.OpArithInt, 1)
+			return BoolVal(x.I != y.I), true
+		case token.BitAnd:
+			in.meter.Step(energy.OpArithInt, 1)
+			return IntVal(x.I & y.I), true
+		case token.BitOr:
+			in.meter.Step(energy.OpArithInt, 1)
+			return IntVal(x.I | y.I), true
+		case token.BitXor:
+			in.meter.Step(energy.OpArithInt, 1)
+			return IntVal(x.I ^ y.I), true
+		case token.Shl:
+			in.meter.Step(energy.OpArithInt, 1)
+			return IntVal(x.I << uint(y.I&63)), true
+		case token.Shr:
+			in.meter.Step(energy.OpArithInt, 1)
+			return IntVal(x.I >> uint(y.I&63)), true
+		}
+	} else if x.K == KDouble && y.K == KDouble {
+		switch op {
+		case token.Plus:
+			in.meter.Step(energy.OpArithDouble, 1)
+			return DoubleVal(x.D + y.D), true
+		case token.Minus:
+			in.meter.Step(energy.OpArithDouble, 1)
+			return DoubleVal(x.D - y.D), true
+		case token.Star:
+			in.meter.Step(energy.OpArithDouble, 1)
+			return DoubleVal(x.D * y.D), true
+		case token.Lt:
+			in.meter.Step(energy.OpArithDouble, 1)
+			return BoolVal(x.D < y.D), true
+		case token.Le:
+			in.meter.Step(energy.OpArithDouble, 1)
+			return BoolVal(x.D <= y.D), true
+		case token.Gt:
+			in.meter.Step(energy.OpArithDouble, 1)
+			return BoolVal(x.D > y.D), true
+		case token.Ge:
+			in.meter.Step(energy.OpArithDouble, 1)
+			return BoolVal(x.D >= y.D), true
+		case token.Eq:
+			in.meter.Step(energy.OpArithDouble, 1)
+			return BoolVal(x.D == y.D), true
+		case token.Ne:
+			in.meter.Step(energy.OpArithDouble, 1)
+			return BoolVal(x.D != y.D), true
+		}
+	}
+	return Value{}, false
 }
 
 // binary applies a (non-short-circuit) binary operator with Java's numeric
@@ -1148,12 +1593,29 @@ func (in *Interp) evalAssign(fr *frame, n *ast.Assign) Value {
 			t := in.lvalueType(fr, n.LHS)
 			rhs = in.buildArrayLit(fr, lit, t)
 		} else {
-			rhs = in.eval(fr, n.RHS)
+			rhs = in.operand(fr, n.RHS)
 		}
 	} else {
 		old := in.readLValue(fr, n.LHS)
-		r := in.eval(fr, n.RHS)
-		rhs = in.binary(compoundBase(n.Op), old, r, n.Pos)
+		r := in.operand(fr, n.RHS)
+		base := compoundBase(n.Op)
+		var ok bool
+		if rhs, ok = in.binaryFast(base, old, r); !ok {
+			rhs = in.binary(base, old, r, n.Pos)
+		}
+	}
+	// Store straight into a live local slot; writeLValue handles every
+	// other target (and unresolved idents) with identical charges.
+	if id, ok := n.LHS.(*ast.Ident); ok {
+		if c := fr.localCell(id); c != nil {
+			in.meter.Step(energy.OpLocal, 1)
+			if rhs.K == c.k {
+				c.v = rhs
+			} else {
+				c.v = in.coerceTo(rhs, c.t, id.Pos)
+			}
+			return rhs
+		}
 	}
 	in.writeLValue(fr, n.LHS, rhs)
 	return rhs
@@ -1186,8 +1648,10 @@ func compoundBase(op token.Kind) token.Kind {
 func (in *Interp) lvalueType(fr *frame, lhs ast.Expr) ast.Type {
 	switch l := lhs.(type) {
 	case *ast.Ident:
-		if c := fr.lookup(l.Name); c != nil {
-			return c.t
+		if s := int(l.RSlot) - 1; s >= 0 && s < len(fr.locals) {
+			if c := &fr.locals[s]; c.live {
+				return c.t
+			}
 		}
 		if fr.this != nil {
 			if ix, ok := fr.this.Class.fieldIx[l.Name]; ok {
@@ -1224,50 +1688,109 @@ func (in *Interp) lvalueType(fr *frame, lhs ast.Expr) ast.Type {
 
 // readLValue evaluates an assignable expression for compound assignment.
 func (in *Interp) readLValue(fr *frame, lhs ast.Expr) Value {
-	return in.eval(fr, lhs)
+	return in.operand(fr, lhs)
 }
 
 // writeLValue stores v into an assignable expression, charging the store.
+// Identifier and field targets use the same resolver annotations and caches
+// as the read paths; writeIdentSlow keeps the original dynamic ladder.
 func (in *Interp) writeLValue(fr *frame, lhs ast.Expr, v Value) {
 	switch l := lhs.(type) {
 	case *ast.Ident:
-		if c := fr.lookup(l.Name); c != nil {
-			in.meter.Step(energy.OpLocal, 1)
-			c.v = in.coerceTo(v, c.t, l.Pos)
-			return
-		}
-		if fr.this != nil {
-			if ix, ok := fr.this.Class.fieldIx[l.Name]; ok {
-				in.meter.Step(energy.OpField, 1)
-				in.meter.Access(fr.this.Base+16+uint64(8*ix), 8)
-				fr.this.Slots[ix] = in.coerceTo(v, fr.this.Class.fields[ix].Type, l.Pos)
+		if s := int(l.RSlot) - 1; s >= 0 && s < len(fr.locals) {
+			if c := &fr.locals[s]; c.live {
+				in.meter.Step(energy.OpLocal, 1)
+				if v.K == c.k {
+					c.v = v
+				} else {
+					c.v = in.coerceTo(v, c.t, l.Pos)
+				}
 				return
 			}
 		}
-		if fr.class != nil {
-			if slot := fr.class.findStatic(l.Name); slot != nil {
+		switch l.RKind {
+		case ast.ResField:
+			if this := fr.this; this != nil {
+				if ix := int(l.RIx); ix < len(this.Slots) {
+					in.meter.Step(energy.OpField, 1)
+					in.meter.Access(this.Base+16+uint64(8*ix), 8)
+					if fi := &this.Class.fields[ix]; v.K == fi.K {
+						this.Slots[ix] = v
+					} else {
+						this.Slots[ix] = in.coerceTo(v, fi.Type, l.Pos)
+					}
+					return
+				}
+			}
+		case ast.ResStaticRef:
+			if ix := int(l.RIx); ix < len(in.prog.statRefs) {
+				slot := in.prog.statRefs[ix]
 				in.meter.Step(energy.OpStatic, 1)
 				in.meter.Access(slot.Addr, 8)
-				slot.V = in.coerceTo(v, slot.Type, l.Pos)
+				if v.K == slot.K {
+					slot.V = v
+				} else {
+					slot.V = in.coerceTo(v, slot.Type, l.Pos)
+				}
 				return
 			}
+		case ast.ResStatic:
+			if fr.class != nil {
+				if slot := fr.class.flatStatics[l.Name]; slot != nil {
+					in.meter.Step(energy.OpStatic, 1)
+					in.meter.Access(slot.Addr, 8)
+					if v.K == slot.K {
+						slot.V = v
+					} else {
+						slot.V = in.coerceTo(v, slot.Type, l.Pos)
+					}
+					return
+				}
+			}
 		}
-		in.bugf(l.Pos, "assignment to unknown variable %s", l.Name)
+		in.writeIdentSlow(fr, l, v)
 	case *ast.Select:
-		x := in.eval(fr, l.X)
+		x := in.operand(fr, l.X)
 		switch x.K {
 		case KRef:
 			obj := x.R.(*Object)
-			ix, ok := obj.Class.fieldIx[l.Name]
-			if !ok {
-				in.bugf(l.Pos, "class %s has no field %s", obj.Class.Name, l.Name)
+			var ix int
+			if si := int(l.SiteIx) - 1; si >= 0 && si < len(in.siteCache) {
+				sc := &in.siteCache[si]
+				if sc.class != obj.Class {
+					fix, ok := obj.Class.fieldIx[l.Name]
+					if !ok {
+						in.bugf(l.Pos, "class %s has no field %s", obj.Class.Name, l.Name)
+					}
+					sc.class, sc.ix = obj.Class, int32(fix)
+				}
+				ix = int(sc.ix)
+			} else {
+				fix, ok := obj.Class.fieldIx[l.Name]
+				if !ok {
+					in.bugf(l.Pos, "class %s has no field %s", obj.Class.Name, l.Name)
+				}
+				ix = fix
 			}
 			in.meter.Step(energy.OpField, 1)
 			in.meter.Access(obj.Base+16+uint64(8*ix), 8)
-			obj.Slots[ix] = in.coerceTo(v, obj.Class.fields[ix].Type, l.Pos)
+			if fi := &obj.Class.fields[ix]; v.K == fi.K {
+				obj.Slots[ix] = v
+			} else {
+				obj.Slots[ix] = in.coerceTo(v, fi.Type, l.Pos)
+			}
 			return
 		case KClassRef:
-			if ci, ok := in.prog.classes[x.R.(string)]; ok {
+			cls := x.R.(string)
+			if si := int(l.SiteIx) - 1; si >= 0 && si < len(in.prog.sites) {
+				if ps := &in.prog.sites[si]; ps.kind == siteStaticSel && ps.cls == cls {
+					in.meter.Step(energy.OpStatic, 1)
+					in.meter.Access(ps.slot.Addr, 8)
+					ps.slot.V = in.coerceTo(v, ps.slot.Type, l.Pos)
+					return
+				}
+			}
+			if ci, ok := in.prog.classes[cls]; ok {
 				if slot := ci.findStatic(l.Name); slot != nil {
 					in.meter.Step(energy.OpStatic, 1)
 					in.meter.Access(slot.Addr, 8)
@@ -1275,7 +1798,7 @@ func (in *Interp) writeLValue(fr *frame, lhs ast.Expr, v Value) {
 					return
 				}
 			}
-			in.bugf(l.Pos, "unknown static field %s.%s", x.R.(string), l.Name)
+			in.bugf(l.Pos, "unknown static field %s.%s", cls, l.Name)
 		case KNull:
 			in.throw("NullPointerException", "store to field "+l.Name+" on null")
 		}
@@ -1290,6 +1813,28 @@ func (in *Interp) writeLValue(fr *frame, lhs ast.Expr, v Value) {
 	default:
 		in.bugf(lhs.NodePos(), "invalid assignment target %T", lhs)
 	}
+}
+
+// writeIdentSlow is the dynamic store ladder for identifiers the resolver
+// left unresolved. Locals were already handled by writeLValue's slot check.
+func (in *Interp) writeIdentSlow(fr *frame, l *ast.Ident, v Value) {
+	if fr.this != nil {
+		if ix, ok := fr.this.Class.fieldIx[l.Name]; ok {
+			in.meter.Step(energy.OpField, 1)
+			in.meter.Access(fr.this.Base+16+uint64(8*ix), 8)
+			fr.this.Slots[ix] = in.coerceTo(v, fr.this.Class.fields[ix].Type, l.Pos)
+			return
+		}
+	}
+	if fr.class != nil {
+		if slot := fr.class.findStatic(l.Name); slot != nil {
+			in.meter.Step(energy.OpStatic, 1)
+			in.meter.Access(slot.Addr, 8)
+			slot.V = in.coerceTo(v, slot.Type, l.Pos)
+			return
+		}
+	}
+	in.bugf(l.Pos, "assignment to unknown variable %s", l.Name)
 }
 
 // --- conversions ---
@@ -1324,6 +1869,17 @@ func zeroValue(t ast.Type) Value {
 // costs. It is deliberately lenient about implicit narrowing (the JEPO
 // refactorer relies on double→float rewrites remaining executable).
 func (in *Interp) coerceTo(v Value, t ast.Type, pos token.Pos) Value {
+	// Identity fast paths for the kinds that dominate stores; they skip the
+	// kindOfType call below without changing any conversion semantics.
+	if t.Dims == 0 {
+		switch {
+		case v.K == KInt && t.Kind == ast.Int,
+			v.K == KDouble && t.Kind == ast.Double,
+			v.K == KBool && t.Kind == ast.Boolean,
+			v.K == KLong && t.Kind == ast.Long:
+			return v
+		}
+	}
 	if t.Dims > 0 {
 		if v.K == KArr || v.K == KNull {
 			return v
@@ -1550,28 +2106,64 @@ func (in *Interp) valueInstanceOf(v Value, name string) bool {
 // --- calls ---
 
 func (in *Interp) evalCall(fr *frame, n *ast.Call) Value {
-	// Unqualified call: method of the enclosing class.
+	// Unqualified call: method of the enclosing class. The monomorphic site
+	// cache keys on the frame's dynamic class, so repeated calls skip the
+	// method-table lookup entirely.
 	if n.Recv == nil {
 		args := in.evalArgs(fr, n.Args)
-		m := fr.class.findMethod(n.Name, len(args))
+		var m *ast.Method
+		if ix := int(n.SiteIx) - 1; ix >= 0 && ix < len(in.siteCache) {
+			sc := &in.siteCache[ix]
+			if sc.class == fr.class {
+				m = sc.m
+			} else if m = fr.class.findMethod(n.Name, len(args)); m != nil {
+				sc.class, sc.m = fr.class, m
+			}
+		} else {
+			m = fr.class.findMethod(n.Name, len(args))
+		}
 		if m == nil {
 			in.bugf(n.Pos, "unknown method %s/%d in class %s", n.Name, len(args), fr.class.Name)
 		}
 		if m.Mods.Has(ast.ModStatic) {
-			return in.invoke(fr.class, nil, m, args)
+			v := in.invoke(fr.class, nil, m, args)
+			in.releaseArgs(args)
+			return v
 		}
 		if fr.this == nil {
 			in.bugf(n.Pos, "instance method %s called from static context", n.Name)
 		}
-		return in.invoke(fr.this.Class, fr.this, m, args)
+		v := in.invoke(fr.this.Class, fr.this, m, args)
+		in.releaseArgs(args)
+		return v
 	}
-	recv := in.eval(fr, n.Recv)
+	recv := in.operand(fr, n.Recv)
 	args := in.evalArgs(fr, n.Args)
 	switch recv.K {
 	case KClassRef:
 		cls := recv.R.(string)
+		// Load-resolved static dispatch: the site table pins the target
+		// when the receiver is a statically-known class name.
+		if ix := int(n.SiteIx) - 1; ix >= 0 && ix < len(in.prog.sites) {
+			switch ps := &in.prog.sites[ix]; ps.kind {
+			case siteStaticCall:
+				if ps.cls == cls {
+					v := in.invoke(ps.ci, nil, ps.m, args)
+					in.releaseArgs(args)
+					return v
+				}
+			case siteBuiltinStaticCall:
+				if ps.cls == cls {
+					if v, ok := in.callBuiltinStatic(cls, n.Name, args, n.Pos); ok {
+						in.releaseArgs(args)
+						return v
+					}
+				}
+			}
+		}
 		if cls == "System.out" {
 			if v, ok := in.callBuiltinInstance(recv, n.Name, args, n.Pos); ok {
+				in.releaseArgs(args)
 				return v
 			}
 			in.bugf(n.Pos, "unknown method System.out.%s", n.Name)
@@ -1581,24 +2173,40 @@ func (in *Interp) evalCall(fr *frame, n *ast.Call) Value {
 				if !m.Mods.Has(ast.ModStatic) {
 					in.bugf(n.Pos, "instance method %s.%s called statically", cls, n.Name)
 				}
-				return in.invoke(ci, nil, m, args)
+				v := in.invoke(ci, nil, m, args)
+				in.releaseArgs(args)
+				return v
 			}
 		}
 		if v, ok := in.callBuiltinStatic(cls, n.Name, args, n.Pos); ok {
+			in.releaseArgs(args)
 			return v
 		}
 		in.bugf(n.Pos, "unknown static method %s.%s/%d", cls, n.Name, len(args))
 	case KRef:
 		obj := recv.R.(*Object)
-		m := obj.Class.findMethod(n.Name, len(args))
+		var m *ast.Method
+		if ix := int(n.SiteIx) - 1; ix >= 0 && ix < len(in.siteCache) {
+			sc := &in.siteCache[ix]
+			if sc.class == obj.Class {
+				m = sc.m
+			} else if m = obj.Class.findMethod(n.Name, len(args)); m != nil {
+				sc.class, sc.m = obj.Class, m
+			}
+		} else {
+			m = obj.Class.findMethod(n.Name, len(args))
+		}
 		if m == nil {
 			in.bugf(n.Pos, "class %s has no method %s/%d", obj.Class.Name, n.Name, len(args))
 		}
-		return in.invoke(obj.Class, obj, m, args)
+		v := in.invoke(obj.Class, obj, m, args)
+		in.releaseArgs(args)
+		return v
 	case KNull:
 		in.throw("NullPointerException", "call "+n.Name+" on null")
 	default:
 		if v, ok := in.callBuiltinInstance(recv, n.Name, args, n.Pos); ok {
+			in.releaseArgs(args)
 			return v
 		}
 		in.bugf(n.Pos, "no method %s on %v", n.Name, recv.K)
@@ -1606,10 +2214,22 @@ func (in *Interp) evalCall(fr *frame, n *ast.Call) Value {
 	return Value{}
 }
 
+// evalArgs evaluates call arguments into a pooled slice; the caller releases
+// it once the callee has copied the values out.
 func (in *Interp) evalArgs(fr *frame, exprs []ast.Expr) []Value {
-	args := make([]Value, len(exprs))
+	args := in.grabArgs(len(exprs))
 	for i, a := range exprs {
-		args[i] = in.eval(fr, a)
+		if id, ok := a.(*ast.Ident); ok {
+			in.step()
+			if c := fr.localCell(id); c != nil {
+				in.meter.Step(energy.OpLocal, 1)
+				args[i] = c.v
+				continue
+			}
+			args[i] = in.evalIdent(fr, id)
+			continue
+		}
+		args[i] = in.operand(fr, a)
 	}
 	return args
 }

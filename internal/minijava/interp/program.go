@@ -18,17 +18,31 @@ type classInfo struct {
 	ctors   []*ast.Method
 	statics map[string]*staticSlot
 	statOrd []string // static fields in declaration order
+
+	// Flattened lookup tables built at the end of Load: the superclass chain
+	// walk of findMethod/findStatic precomputed, most-derived match first.
+	flatMethods map[methodKey]*ast.Method
+	flatStatics map[string]*staticSlot
+}
+
+// methodKey identifies a method by name and arity (the dialect overloads on
+// arity only).
+type methodKey struct {
+	name  string
+	arity int
 }
 
 type fieldInfo struct {
 	Name string
 	Type ast.Type
+	K    Kind // kindOfType(Type), precomputed for store identity checks
 	Init ast.Expr
 	Own  bool // declared by this class (not inherited)
 }
 
 type staticSlot struct {
 	Type ast.Type
+	K    Kind // kindOfType(Type), precomputed for store identity checks
 	Init ast.Expr
 	V    Value
 	Addr uint64
@@ -38,10 +52,51 @@ type staticSlot struct {
 type Program struct {
 	classes map[string]*classInfo
 	order   []string // load order, for static initialization
+
+	// Resolution tables built by resolveProgram. sites is indexed by the
+	// SiteIx annotations on Call/New/Select nodes and holds load-time
+	// resolved dispatch targets; statRefs is indexed by the RIx of
+	// ResStaticRef idents and points directly at unambiguous static slots.
+	sites    []progSite
+	statRefs []*staticSlot
+}
+
+// progSiteKind classifies what a call/new/select site resolved to at load
+// time. siteLazy (the zero value) means nothing could be pinned down
+// statically; the interpreter uses its per-instance monomorphic cache or the
+// fully dynamic path.
+type progSiteKind uint8
+
+const (
+	siteLazy              progSiteKind = iota
+	siteNewUser                        // new of a user class: ci + ctor (ctor may be nil)
+	siteNewBuiltin                     // new of a runtime-provided class
+	siteStaticCall                     // Class.m(...) on a user class: ci + method
+	siteBuiltinStaticCall              // Class.m(...) handled by the builtin runtime
+	siteStaticSel                      // Class.field on a user class: direct static slot
+	siteBuiltinConstSel                // Class.FIELD builtin constant: precomputed value
+)
+
+// progSite is the immutable load-time resolution of one call/new/select
+// site. cls guards the static-dispatch kinds: the fast path applies only
+// when the evaluated receiver is a class reference with exactly this name.
+type progSite struct {
+	kind progSiteKind
+	cls  string
+	ci   *classInfo
+	m    *ast.Method
+	slot *staticSlot
+	v    Value
 }
 
 // Load links a set of parsed files into an executable program. It reports
 // duplicate classes, unknown superclasses and inheritance cycles.
+//
+// Load also runs the resolution pass (see resolve.go), which annotates the
+// AST in place. Loading the same AST from two goroutines concurrently is
+// therefore a data race, and after re-loading a mutated AST (e.g. after
+// refactor.Apply), programs obtained from earlier loads of that AST must not
+// keep executing.
 func Load(files ...*ast.File) (*Program, error) {
 	p := &Program{classes: make(map[string]*classInfo)}
 	for _, f := range files {
@@ -105,18 +160,18 @@ func Load(files ...*ast.File) (*Program, error) {
 		}
 		for _, fd := range ci.Decl.Fields {
 			if fd.Mods.Has(ast.ModStatic) {
-				ci.statics[fd.Name] = &staticSlot{Type: fd.Type, Init: fd.Init}
+				ci.statics[fd.Name] = &staticSlot{Type: fd.Type, K: kindOfType(fd.Type), Init: fd.Init}
 				ci.statOrd = append(ci.statOrd, fd.Name)
 				continue
 			}
 			if ix, shadow := ci.fieldIx[fd.Name]; shadow {
 				// Field shadowing: reuse the slot (the dialect forbids
 				// distinct same-named fields).
-				ci.fields[ix] = fieldInfo{Name: fd.Name, Type: fd.Type, Init: fd.Init, Own: true}
+				ci.fields[ix] = fieldInfo{Name: fd.Name, Type: fd.Type, K: kindOfType(fd.Type), Init: fd.Init, Own: true}
 				continue
 			}
 			ci.fieldIx[fd.Name] = len(ci.fields)
-			ci.fields = append(ci.fields, fieldInfo{Name: fd.Name, Type: fd.Type, Init: fd.Init, Own: true})
+			ci.fields = append(ci.fields, fieldInfo{Name: fd.Name, Type: fd.Type, K: kindOfType(fd.Type), Init: fd.Init, Own: true})
 		}
 		// ci.methods holds only methods declared by this class; findMethod
 		// walks the superclass chain, so overriding falls out naturally.
@@ -131,6 +186,30 @@ func Load(files ...*ast.File) (*Program, error) {
 	for _, name := range p.order {
 		build(p.classes[name])
 	}
+	// Flatten the superclass-chain lookups. Walking self-to-super and
+	// keeping the first hit per key reproduces findMethod/findStatic's
+	// override-wins order exactly.
+	for _, name := range p.order {
+		ci := p.classes[name]
+		ci.flatMethods = make(map[methodKey]*ast.Method)
+		ci.flatStatics = make(map[string]*staticSlot, len(ci.statics))
+		for c := ci; c != nil; c = c.Super {
+			for mname, ms := range c.methods {
+				for _, m := range ms {
+					k := methodKey{mname, len(m.Params)}
+					if _, ok := ci.flatMethods[k]; !ok {
+						ci.flatMethods[k] = m
+					}
+				}
+			}
+			for sname, slot := range c.statics {
+				if _, ok := ci.flatStatics[sname]; !ok {
+					ci.flatStatics[sname] = slot
+				}
+			}
+		}
+	}
+	resolveProgram(p)
 	return p, nil
 }
 
@@ -143,16 +222,10 @@ func (p *Program) Class(name string) (*classInfo, bool) {
 // Classes lists class names in load order.
 func (p *Program) Classes() []string { return append([]string(nil), p.order...) }
 
-// findMethod resolves a method by name and arity, walking up the hierarchy.
+// findMethod resolves a method by name and arity via the flattened table
+// (equivalent to walking up the hierarchy).
 func (ci *classInfo) findMethod(name string, arity int) *ast.Method {
-	for c := ci; c != nil; c = c.Super {
-		for _, m := range c.methods[name] {
-			if len(m.Params) == arity {
-				return m
-			}
-		}
-	}
-	return nil
+	return ci.flatMethods[methodKey{name, arity}]
 }
 
 // findCtor resolves a constructor by arity.
@@ -165,12 +238,8 @@ func (ci *classInfo) findCtor(arity int) *ast.Method {
 	return nil
 }
 
-// findStatic resolves a static field, walking up the hierarchy.
+// findStatic resolves a static field via the flattened table (equivalent to
+// walking up the hierarchy).
 func (ci *classInfo) findStatic(name string) *staticSlot {
-	for c := ci; c != nil; c = c.Super {
-		if s, ok := c.statics[name]; ok {
-			return s
-		}
-	}
-	return nil
+	return ci.flatStatics[name]
 }

@@ -1,0 +1,216 @@
+package tables
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jepo/internal/airlines"
+	"jepo/internal/corpus"
+	"jepo/internal/energy"
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/interp"
+	"jepo/internal/minijava/parser"
+	"jepo/internal/refactor"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata/golden_energy.json")
+
+// goldenRecord pins one program's complete energy fingerprint. Joules and
+// cycles are stored as float64 bit patterns so the comparison is exact: the
+// interpreter optimization work (slot frames, call-site caches, pooling) must
+// not move a single charge.
+type goldenRecord struct {
+	Name     string            `json:"name"`
+	Output   string            `json:"output"`
+	OpCounts map[string]uint64 `json:"op_counts"`
+	Cycles   uint64            `json:"cycles_bits"`
+	Package  uint64            `json:"package_bits"`
+	Core     uint64            `json:"core_bits"`
+	DRAM     uint64            `json:"dram_bits"`
+	// Human-readable mirrors, ignored by the comparison.
+	PackageJ float64 `json:"package_joules"`
+	CycleF   float64 `json:"cycles"`
+}
+
+// fingerprint runs fn against a fresh meter and captures the full charge
+// fingerprint plus whatever the interpreter printed.
+func fingerprint(t *testing.T, name string, load func(t *testing.T) *interp.Program, drive func(t *testing.T, in *interp.Interp)) goldenRecord {
+	t.Helper()
+	prog := load(t)
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000))
+	drive(t, in)
+	m := in.Meter()
+	s := m.Snapshot()
+	counts := map[string]uint64{}
+	for op := 0; op < energy.NumOps; op++ {
+		if n := m.OpCount(energy.Op(op)); n > 0 {
+			counts[energy.Op(op).String()] = n
+		}
+	}
+	return goldenRecord{
+		Name:     name,
+		Output:   in.Output(),
+		OpCounts: counts,
+		Cycles:   math.Float64bits(s.Cycles),
+		Package:  math.Float64bits(float64(s.Package)),
+		Core:     math.Float64bits(float64(s.Core)),
+		DRAM:     math.Float64bits(float64(s.DRAM)),
+		PackageJ: float64(s.Package),
+		CycleF:   s.Cycles,
+	}
+}
+
+// goldenBattery builds the full determinism battery: every Table I variant
+// plus the RandomForest Table IV kernel, original and refactored.
+func goldenBattery(t *testing.T) []goldenRecord {
+	t.Helper()
+	var recs []goldenRecord
+
+	loadSrc := func(src string) func(t *testing.T) *interp.Program {
+		return func(t *testing.T) *interp.Program {
+			t.Helper()
+			f, err := parser.Parse("golden.java", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := interp.Load(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return prog
+		}
+	}
+	driveF := func(t *testing.T, in *interp.Interp) {
+		t.Helper()
+		if err := in.InitStatics(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.CallStatic("B", "f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range table1Benches {
+		recs = append(recs,
+			fingerprint(t, fmt.Sprintf("table1/%v/inefficient", b.rule), loadSrc(b.slow), driveF),
+			fingerprint(t, fmt.Sprintf("table1/%v/efficient", b.rule), loadSrc(b.fast), driveF),
+		)
+	}
+
+	// One Table IV kernel pair on real generated data, exercising statics,
+	// objects, arrays, calls and exceptions together.
+	const kernelName = "RandomForest"
+	const kernelRows = 300
+	proj, err := corpus.Generate(kernelName, 20200518)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := airlines.Generate(kernelRows, 20200518)
+	feats, labels := kernelData(data)
+	loadKernel := func(refactored bool) func(t *testing.T) *interp.Program {
+		return func(t *testing.T) *interp.Program {
+			t.Helper()
+			kernel, err := kernelAST(proj, kernelName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refactored {
+				refactor.Apply([]*ast.File{kernel})
+			}
+			prog, err := interp.Load(kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return prog
+		}
+	}
+	driveKernel := func(t *testing.T, in *interp.Interp) {
+		t.Helper()
+		if err := in.InitStatics(); err != nil {
+			t.Fatal(err)
+		}
+		kc := corpus.KernelClass(kernelName)
+		if err := in.Bind(kc, "DATA", in.NewDoubleMatrix(feats)); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Bind(kc, "LABELS", in.NewIntArray(labels)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.CallStatic(kc, "run", interp.IntVal(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs = append(recs,
+		fingerprint(t, "table4/"+kernelName+"/original", loadKernel(false), driveKernel),
+		fingerprint(t, "table4/"+kernelName+"/refactored", loadKernel(true), driveKernel),
+	)
+	return recs
+}
+
+// TestGoldenEnergyDeterminism is the tentpole invariant of the slot-resolved
+// interpreter: simulated energy is a pure function of the program and cost
+// table, independent of host-side interpreter optimizations. The golden file
+// was generated from the pre-optimization interpreter; any drift in op counts,
+// joules, cycles or program output fails the test bit-for-bit.
+//
+// Regenerate (only after an intentional cost-model or corpus change) with:
+//
+//	go test ./internal/tables -run GoldenEnergy -update
+func TestGoldenEnergyDeterminism(t *testing.T) {
+	path := filepath.Join("testdata", "golden_energy.json")
+	got := goldenBattery(t)
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d records)", path, len(got))
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("battery size changed: golden has %d records, run produced %d", len(want), len(got))
+	}
+	for i, w := range want {
+		g := got[i]
+		if w.Name != g.Name {
+			t.Errorf("record %d: name %q, golden %q", i, g.Name, w.Name)
+			continue
+		}
+		if g.Output != w.Output {
+			t.Errorf("%s: program output drifted", w.Name)
+		}
+		if g.Cycles != w.Cycles || g.Package != w.Package || g.Core != w.Core || g.DRAM != w.DRAM {
+			t.Errorf("%s: energy drifted: package %v (golden %v), cycles %v (golden %v)",
+				w.Name, math.Float64frombits(g.Package), math.Float64frombits(w.Package),
+				math.Float64frombits(g.Cycles), math.Float64frombits(w.Cycles))
+		}
+		for op, n := range w.OpCounts {
+			if g.OpCounts[op] != n {
+				t.Errorf("%s: op %s count = %d, golden %d", w.Name, op, g.OpCounts[op], n)
+			}
+		}
+		for op, n := range g.OpCounts {
+			if _, ok := w.OpCounts[op]; !ok {
+				t.Errorf("%s: new op %s charged %d times, absent from golden", w.Name, op, n)
+			}
+		}
+	}
+}

@@ -230,6 +230,27 @@ var table1Benches = []table1Bench{
 	},
 }
 
+// InterpBench is one named interpreter benchmark program: a Table I variant
+// exposing `static double f()` in class B.
+type InterpBench struct {
+	Name string
+	Src  string
+}
+
+// InterpBenches exposes the Table I benchmark corpus to external harnesses
+// (cmd/jperf bench) that track interpreter wall-clock and simulated-energy
+// trajectories across revisions.
+func InterpBenches() []InterpBench {
+	out := make([]InterpBench, 0, 2*len(table1Benches))
+	for _, b := range table1Benches {
+		out = append(out,
+			InterpBench{Name: fmt.Sprintf("%v/inefficient", b.rule), Src: b.slow},
+			InterpBench{Name: fmt.Sprintf("%v/efficient", b.rule), Src: b.fast},
+		)
+	}
+	return out
+}
+
 // measureBench runs one program variant and returns its package energy.
 func measureBench(src string) (energy.Joules, error) {
 	f, err := parser.Parse("bench.java", src)

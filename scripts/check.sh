@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh runs the full hygiene gate: formatting, vet, and the test suite
+# under the race detector. CI and `make check` both call this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"
