@@ -1,6 +1,6 @@
 # Standard entry points for the reproduction repo.
 
-.PHONY: build test check bench-interp
+.PHONY: build test check bench-interp faultmatrix
 
 build:
 	go build ./...
@@ -16,3 +16,8 @@ check:
 # the Table I corpus, written to BENCH_interp.json.
 bench-interp:
 	go run ./cmd/jperf bench -o BENCH_interp.json
+
+# Seeded fault-injection fuzz over the measurement layer: random fault mixes
+# against the resilient source, the sampler unwrap, and profiled runs.
+faultmatrix:
+	go test -tags faultmatrix -run FaultMatrix ./internal/rapl/... ./internal/profile/...

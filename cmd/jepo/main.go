@@ -196,6 +196,7 @@ func cmdProfile(args []string) error {
 	fmt.Print(res.View())
 	fmt.Printf("\ntotal: package=%v core=%v time=%v\n",
 		res.Sample.Package, res.Sample.Core, res.Sample.Elapsed)
+	fmt.Printf("measurement health: %s\n", res.Profiler.Health())
 	if err := res.Profiler.WriteResultTxt(*resultPath); err != nil {
 		return err
 	}

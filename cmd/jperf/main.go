@@ -45,11 +45,13 @@ func main() {
 	}
 }
 
-// measurement is one run's counters.
+// measurement is one run's counters, plus the degraded-path tally the
+// resilient source absorbed while producing them.
 type measurement struct {
 	pkg, core, dram energy.Joules
 	elapsed         time.Duration
 	cycles          float64
+	health          rapl.Health
 }
 
 func run(mainClass string, runs int, tukey bool, args []string) error {
@@ -88,6 +90,10 @@ func run(mainClass string, runs int, tukey bool, args []string) error {
 	}
 
 	var cores, drams, times, cycles []float64
+	var health rapl.Health
+	for _, m := range all {
+		health = health.Add(m.health)
+	}
 	for _, m := range all[len(all)-len(samples):] {
 		cores = append(cores, float64(m.core))
 		drams = append(drams, float64(m.dram))
@@ -110,6 +116,10 @@ func run(mainClass string, runs int, tukey bool, args []string) error {
 		fmt.Printf("  ( +- %.2f%% )", 100*sd/float64(meanTime))
 	}
 	fmt.Println()
+	fmt.Printf("\n Measurement health: %s\n", health)
+	if health.Degraded() {
+		fmt.Println(" WARNING: degraded reads occurred; energy figures include estimated values")
+	}
 	return nil
 }
 
@@ -120,7 +130,9 @@ func loadProg(files []*ast.File) (*interp.Program, error) {
 
 func runOnce(prog *interp.Program, mainClass string) (measurement, error) {
 	meter := energy.NewMeter(energy.DefaultCosts())
-	src := rapl.NewSimSource(meter)
+	// Measure through the resilient wrapper, as on hardware: transient read
+	// faults cost a retry, not the run. With no faults it is a passthrough.
+	src := rapl.NewResilient(rapl.NewSimSource(meter))
 	before, err := src.Snapshot()
 	if err != nil {
 		return measurement{}, err
@@ -142,6 +154,7 @@ func runOnce(prog *interp.Program, mainClass string) (measurement, error) {
 		dram:    d.DRAM,
 		elapsed: t1.Elapsed - t0.Elapsed,
 		cycles:  t1.Cycles - t0.Cycles,
+		health:  src.Health(),
 	}, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"jepo/internal/airlines"
 	"jepo/internal/corpus"
@@ -35,6 +36,8 @@ func main() {
 	arff := flag.String("arff", "", "also write the airlines data as ARFF to this path (table 3)")
 	dumpDir := flag.String("dump-corpus", "", "write a generated WEKA-shaped corpus under this directory")
 	dumpFor := flag.String("classifier", "J48", "classifier whose corpus -dump-corpus writes")
+	checkpoint := flag.String("checkpoint", "", "directory persisting completed Table IV rows; reruns resume from it")
+	rowTimeout := flag.Duration("row-timeout", 0, "per-classifier deadline for Table IV (0 = none)")
 	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
 
@@ -45,13 +48,17 @@ func main() {
 		}
 	}
 
+	// A failing table no longer aborts the run: remaining tables still
+	// regenerate, every failure is reported at the end, and only then does
+	// the process exit non-zero.
+	var failures []string
 	run := func(name string, f func() error) {
 		if *table != "all" && *table != name {
 			return
 		}
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "wekaexp: table %s: %v\n", name, err)
-			os.Exit(1)
+			failures = append(failures, name)
 		}
 	}
 
@@ -111,24 +118,38 @@ func main() {
 
 	run("4", func() error {
 		cfg := tables.Table4Config{
-			Seed:      *seed,
-			Instances: *instances,
-			Reps:      *reps,
-			Protocol:  stats.Protocol{Runs: *runs, MaxRounds: 10},
-			CVFolds:   *folds,
+			Seed:          *seed,
+			Instances:     *instances,
+			Reps:          *reps,
+			Protocol:      stats.Protocol{Runs: *runs, MaxRounds: 10},
+			CVFolds:       *folds,
+			RowTimeout:    *rowTimeout,
+			CheckpointDir: *checkpoint,
 		}
 		if *verbose {
 			cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 		}
 		fmt.Println("=== Table IV: WEKA evaluation ===")
-		rows, err := tables.Table4(cfg)
+		rows, err := tables.Table4Supervised(cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Print(tables.RenderTable4(rows))
 		fmt.Println()
+		if failed := tables.FailedRows(rows); len(failed) > 0 {
+			names := make([]string, len(failed))
+			for i, r := range failed {
+				names[i] = r.Classifier
+			}
+			return fmt.Errorf("%d classifier row(s) failed: %s", len(failed), strings.Join(names, ", "))
+		}
 		return nil
 	})
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "wekaexp: %d table(s) failed: %s\n", len(failures), strings.Join(failures, ", "))
+		os.Exit(1)
+	}
 }
 
 // dumpCorpus materializes one classifier's generated corpus as .java files on

@@ -1,0 +1,111 @@
+//go:build faultmatrix
+
+package profile
+
+import (
+	"testing"
+
+	"jepo/internal/energy"
+	"jepo/internal/rapl"
+)
+
+// matrixSrc is a small instrumented workload: nested calls plus a caught
+// exception, so the probe stream exercises both balanced pairs and the
+// finally path under every fault mix.
+const matrixSrc = `class B {
+	static int leaf() {
+		int s = 0;
+		for (int i = 0; i < 200; i++) { s += i % 3; }
+		return s;
+	}
+	static int boom() { throw new RuntimeException("x"); }
+	static double f() {
+		int s = leaf();
+		try { s += boom(); } catch (RuntimeException e) { s += leaf(); }
+		return s;
+	}
+}`
+
+// TestFaultMatrixProfiledRunsComplete fuzzes profiled interpreter runs over
+// randomly faulting measurement sources: every run must complete with a full
+// record set, non-negative energies, a balanced probe stream, and a health
+// ledger consistent with the faults actually delivered.
+func TestFaultMatrixProfiledRunsComplete(t *testing.T) {
+	mixes := []rapl.FaultRates{
+		{Transient: 0.20},
+		{Stale: 0.30},
+		{Transient: 0.15, Stale: 0.10, Permanent: 0.04},
+		{Permanent: 0.15},
+	}
+	const reps = 6
+	for mi, rates := range mixes {
+		for seed := uint64(1); seed <= 25; seed++ {
+			meter := energy.NewMeter(energy.DefaultCosts())
+			primary := rapl.NewRandomFaultySource(rapl.NewSimSource(meter), seed, rates)
+			res := rapl.NewResilient(primary,
+				rapl.WithFallback(rapl.NewSimSource(meter)),
+				rapl.WithRetries(2), noBackoff)
+			prof := driveBench(t, res, meter, matrixSrc, reps)
+
+			recs := prof.Records()
+			// f, leaf ×2, boom per rep — 4 records each.
+			if len(recs) != 4*reps {
+				t.Fatalf("mix %d seed %d: records = %d, want %d", mi, seed, len(recs), 4*reps)
+			}
+			for i, r := range recs {
+				if r.Package < 0 || r.Core < 0 || r.DRAM < 0 {
+					t.Errorf("mix %d seed %d record %d went negative: %+v", mi, seed, i, r)
+				}
+			}
+			h := prof.Health()
+			if h.Enters != h.Exits {
+				t.Errorf("mix %d seed %d: probes unbalanced: %s", mi, seed, h)
+			}
+			if h.UnbalancedExits != 0 || h.DroppedFrames != 0 {
+				t.Errorf("mix %d seed %d: finally probes lost frames: %s", mi, seed, h)
+			}
+			if h.ReadErrors != 0 {
+				t.Errorf("mix %d seed %d: resilient source with fallback leaked read errors: %s", mi, seed, h)
+			}
+			if prof.Err() != nil {
+				t.Errorf("mix %d seed %d: degraded run poisoned the profiler: %v", mi, seed, prof.Err())
+			}
+			if primary.Dead() && h.Source.Discontinuities != 1 {
+				t.Errorf("mix %d seed %d: primary died, discontinuities = %d: %s",
+					mi, seed, h.Source.Discontinuities, h)
+			}
+			if h.Source.Reads != 2*4*reps {
+				t.Errorf("mix %d seed %d: source reads = %d, want %d", mi, seed, h.Source.Reads, 2*4*reps)
+			}
+		}
+	}
+}
+
+// TestFaultMatrixSummariesStayOrdered checks the aggregation contract under
+// faults: summaries exist for every method and inclusive totals never go
+// negative, so degraded runs still produce a usable profiler view.
+func TestFaultMatrixSummariesStayOrdered(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		meter := energy.NewMeter(energy.DefaultCosts())
+		primary := rapl.NewRandomFaultySource(rapl.NewSimSource(meter), seed,
+			rapl.FaultRates{Transient: 0.2, Stale: 0.2, Permanent: 0.05})
+		res := rapl.NewResilient(primary,
+			rapl.WithFallback(rapl.NewSimSource(meter)), noBackoff)
+		prof := driveBench(t, res, meter, matrixSrc, 4)
+		sums := prof.Summaries()
+		if len(sums) != 3 {
+			t.Fatalf("seed %d: summaries = %d, want 3 (f, leaf, boom)", seed, len(sums))
+		}
+		for _, s := range sums {
+			if s.Package < 0 || s.Core < 0 || s.Elapsed < 0 {
+				t.Errorf("seed %d: summary went negative: %+v", seed, s)
+			}
+			if s.Degraded > s.Executions {
+				t.Errorf("seed %d: degraded count exceeds executions: %+v", seed, s)
+			}
+		}
+		// View and ResultTxt must render without panicking on degraded data.
+		_ = prof.View()
+		_ = prof.ResultTxt()
+	}
+}

@@ -4,6 +4,12 @@
 // protocol hardware probes use, and records one measurement per method
 // execution — "if one method is executed more than once, then the
 // measurements are stored for each execution", as the paper specifies.
+//
+// The profiler is fault tolerant: a failed counter read degrades the record
+// (flagged Estimated, measured against the last good reading) instead of
+// poisoning the whole run, unbalanced enter/exit pairs from unwinding
+// exceptions are recovered by dropping the orphaned frames, and Health()
+// summarizes every degraded path taken so reports can qualify their joules.
 package profile
 
 import (
@@ -25,6 +31,46 @@ type Record struct {
 	Package energy.Joules
 	Core    energy.Joules
 	DRAM    energy.Joules
+
+	// Degraded marks a record whose counters took a degraded read path
+	// (retry, interpolation, fallback, quarantine) or whose frame survived
+	// an exception unwind; the energy is real but lower-confidence.
+	Degraded bool
+	// Estimated marks a record whose enter or exit read failed outright and
+	// was served from the last-known-good snapshot; its delta is a floor.
+	Estimated bool
+}
+
+// Health summarizes the degraded paths a profiled run took. The zero value
+// means every probe balanced and every counter read succeeded first try.
+type Health struct {
+	Enters          int // enter probes received
+	Exits           int // exit probes received
+	ReadErrors      int // counter reads that failed even through the source's own resilience
+	UnbalancedExits int // exit probes with no matching enter on the stack
+	DroppedFrames   int // enters discarded while recovering from an unwind
+	Degraded        int // records flagged Degraded
+	Estimated       int // records flagged Estimated
+	// Source carries the measurement source's own tally when it implements
+	// rapl.HealthReporter (retries, interpolations, fallbacks, quarantines).
+	Source rapl.Health
+}
+
+// Clean reports whether the run completed with no degradation at all.
+func (h Health) Clean() bool {
+	return h.ReadErrors == 0 && h.UnbalancedExits == 0 && h.DroppedFrames == 0 &&
+		h.Degraded == 0 && h.Estimated == 0 && !h.Source.Degraded()
+}
+
+// String renders the summary in the form the CLIs print with every report.
+func (h Health) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "probes: enters=%d exits=%d read_errors=%d unbalanced_exits=%d dropped_frames=%d degraded=%d estimated=%d",
+		h.Enters, h.Exits, h.ReadErrors, h.UnbalancedExits, h.DroppedFrames, h.Degraded, h.Estimated)
+	if h.Source != (rapl.Health{}) {
+		fmt.Fprintf(&sb, "; source: %s", h.Source)
+	}
+	return sb.String()
 }
 
 // Profiler implements interp.ProbeHook over a RAPL source.
@@ -32,16 +78,20 @@ type Profiler struct {
 	src   rapl.Source
 	clock func() time.Duration
 
-	stack   []frame
-	records []Record
-	counts  map[string]int
-	err     error
+	stack    []frame
+	records  []Record
+	counts   map[string]int
+	health   Health
+	lastGood rapl.Snapshot
+	err      error
 }
 
 type frame struct {
-	method string
-	at     rapl.Snapshot
-	t      time.Duration
+	method    string
+	at        rapl.Snapshot
+	t         time.Duration
+	estimated bool
+	degraded  bool
 }
 
 // New builds a profiler reading from src. clock supplies modelled elapsed
@@ -51,53 +101,110 @@ func New(src rapl.Source, clock func() time.Duration) *Profiler {
 	return &Profiler{src: src, clock: clock, counts: map[string]int{}}
 }
 
-// Enter implements interp.ProbeHook.
-func (p *Profiler) Enter(method string) {
-	snap, err := p.src.Snapshot()
-	if err != nil && p.err == nil {
-		p.err = fmt.Errorf("profile: reading counters at enter of %s: %w", method, err)
-		return
-	}
-	p.stack = append(p.stack, frame{method: method, at: snap, t: p.clock()})
-}
-
-// Exit implements interp.ProbeHook.
-func (p *Profiler) Exit(method string) {
-	if len(p.stack) == 0 {
-		if p.err == nil {
-			p.err = fmt.Errorf("profile: exit of %s with empty probe stack", method)
-		}
-		return
-	}
-	top := p.stack[len(p.stack)-1]
-	p.stack = p.stack[:len(p.stack)-1]
-	if top.method != method {
-		if p.err == nil {
-			p.err = fmt.Errorf("profile: probe mismatch: entered %s, exited %s", top.method, method)
-		}
-		return
+// snapshot reads the source, classifying the read: estimated means the read
+// failed and the last good snapshot stands in; degraded means the source
+// itself took a degraded path (retry/interpolation/fallback/quarantine) to
+// produce it.
+func (p *Profiler) snapshot(context, method string) (snap rapl.Snapshot, estimated, degraded bool) {
+	var before rapl.Health
+	hr, hasHR := p.src.(rapl.HealthReporter)
+	if hasHR {
+		before = hr.Health()
 	}
 	snap, err := p.src.Snapshot()
+	if hasHR {
+		after := hr.Health()
+		if after.Retries > before.Retries || after.Fallbacks > before.Fallbacks ||
+			after.Quarantined > before.Quarantined || after.Resets > before.Resets {
+			degraded = true
+		}
+		if after.Interpolated > before.Interpolated {
+			degraded, estimated = true, true
+		}
+	}
 	if err != nil {
+		p.health.ReadErrors++
 		if p.err == nil {
-			p.err = fmt.Errorf("profile: reading counters at exit of %s: %w", method, err)
+			p.err = fmt.Errorf("profile: reading counters at %s of %s: %w", context, method, err)
+		}
+		return p.lastGood, true, true
+	}
+	p.lastGood = snap
+	return snap, estimated, degraded
+}
+
+// Enter implements interp.ProbeHook. A failed counter read no longer loses
+// the frame: the last good snapshot stands in and the eventual record is
+// flagged Estimated, so the probe stack stays balanced.
+func (p *Profiler) Enter(method string) {
+	p.health.Enters++
+	snap, est, deg := p.snapshot("enter", method)
+	p.stack = append(p.stack, frame{method: method, at: snap, t: p.clock(), estimated: est, degraded: deg})
+}
+
+// Exit implements interp.ProbeHook. A mismatched exit — the signature of an
+// exception unwinding through instrumented frames whose exit probes never
+// ran — is recovered by dropping the orphaned frames down to the matching
+// enter; the surviving record is flagged Degraded.
+func (p *Profiler) Exit(method string) {
+	p.health.Exits++
+	i := len(p.stack) - 1
+	for i >= 0 && p.stack[i].method != method {
+		i--
+	}
+	if i < 0 {
+		p.health.UnbalancedExits++
+		if p.err == nil {
+			p.err = fmt.Errorf("profile: exit of %s with no matching enter", method)
 		}
 		return
 	}
+	dropped := len(p.stack) - 1 - i
+	if dropped > 0 {
+		p.health.DroppedFrames += dropped
+		if p.err == nil {
+			p.err = fmt.Errorf("profile: probe mismatch: entered %s, exited %s (%d frame(s) unwound)",
+				p.stack[len(p.stack)-1].method, method, dropped)
+		}
+	}
+	top := p.stack[i]
+	p.stack = p.stack[:i]
+
+	snap, est, deg := p.snapshot("exit", method)
 	d := snap.Sub(top.at)
+	rec := Record{
+		Method:    method,
+		Elapsed:   p.clock() - top.t,
+		Package:   d.Package,
+		Core:      d.Core,
+		DRAM:      d.DRAM,
+		Estimated: est || top.estimated,
+		Degraded:  deg || top.degraded || dropped > 0 || est || top.estimated,
+	}
 	p.counts[method]++
-	p.records = append(p.records, Record{
-		Method:  method,
-		Seq:     p.counts[method],
-		Elapsed: p.clock() - top.t,
-		Package: d.Package,
-		Core:    d.Core,
-		DRAM:    d.DRAM,
-	})
+	rec.Seq = p.counts[method]
+	if rec.Degraded {
+		p.health.Degraded++
+	}
+	if rec.Estimated {
+		p.health.Estimated++
+	}
+	p.records = append(p.records, rec)
 }
 
-// Err reports the first probe/counter error encountered, if any.
+// Err reports the first probe/counter anomaly encountered, if any. The run
+// keeps recording past it; consult Health() for the full degradation tally.
 func (p *Profiler) Err() error { return p.err }
+
+// Health returns the degradation summary, including the source's own tally
+// when the source reports one.
+func (p *Profiler) Health() Health {
+	h := p.health
+	if hr, ok := p.src.(rapl.HealthReporter); ok {
+		h.Source = hr.Health()
+	}
+	return h
+}
 
 // Records returns every per-execution measurement in completion order.
 func (p *Profiler) Records() []Record { return p.records }
@@ -109,6 +216,7 @@ type Summary struct {
 	Elapsed    time.Duration // total inclusive time
 	Package    energy.Joules // total inclusive package energy
 	Core       energy.Joules
+	Degraded   int // executions whose measurement was degraded
 }
 
 // Summaries aggregates records per method, ordered by descending package
@@ -127,6 +235,9 @@ func (p *Profiler) Summaries() []Summary {
 		s.Elapsed += r.Elapsed
 		s.Package += r.Package
 		s.Core += r.Core
+		if r.Degraded {
+			s.Degraded++
+		}
 	}
 	out := make([]Summary, 0, len(order))
 	for _, m := range order {
@@ -137,13 +248,17 @@ func (p *Profiler) Summaries() []Summary {
 }
 
 // View renders the JEPO profiler view (Fig. 4): method name, execution time,
-// energy consumed.
+// energy consumed. Methods with degraded measurements are marked.
 func (p *Profiler) View() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-48s %6s %14s %14s %14s\n", "Method", "Execs", "Time", "Package", "Core")
 	for _, s := range p.Summaries() {
-		fmt.Fprintf(&sb, "%-48s %6d %14s %14s %14s\n",
-			s.Method, s.Executions, s.Elapsed.Round(time.Microsecond), s.Package, s.Core)
+		mark := ""
+		if s.Degraded > 0 {
+			mark = fmt.Sprintf("  [%d degraded]", s.Degraded)
+		}
+		fmt.Fprintf(&sb, "%-48s %6d %14s %14s %14s%s\n",
+			s.Method, s.Executions, s.Elapsed.Round(time.Microsecond), s.Package, s.Core, mark)
 	}
 	return sb.String()
 }
@@ -152,11 +267,18 @@ func (p *Profiler) View() string {
 // the project directory.
 func (p *Profiler) ResultTxt() string {
 	var sb strings.Builder
-	sb.WriteString("# JEPO profiler result: method, execution, time_ns, package_uj, core_uj\n")
+	sb.WriteString("# JEPO profiler result: method, execution, time_ns, package_uj, core_uj, flags\n")
 	for _, r := range p.records {
-		fmt.Fprintf(&sb, "%s\t%d\t%d\t%.3f\t%.3f\n",
+		flags := "ok"
+		switch {
+		case r.Estimated:
+			flags = "estimated"
+		case r.Degraded:
+			flags = "degraded"
+		}
+		fmt.Fprintf(&sb, "%s\t%d\t%d\t%.3f\t%.3f\t%s\n",
 			r.Method, r.Seq, r.Elapsed.Nanoseconds(),
-			r.Package.Microjoules(), r.Core.Microjoules())
+			r.Package.Microjoules(), r.Core.Microjoules(), flags)
 	}
 	return sb.String()
 }

@@ -1,0 +1,256 @@
+// Fault injection for the RAPL measurement path. Real powercap and MSR
+// reads fail in practice — permission loss on /dev/cpu/*/msr, zones
+// disappearing on hotplug, stale cached readings, counters wrapping with no
+// declared range — and every resilience claim in this package is tested by
+// actually running against such faults. The injectors here wrap a Source or
+// MSRReader and corrupt reads either from an explicit script (deterministic
+// regression tests) or from a seeded random stream (the fault-matrix fuzz).
+package rapl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Injected fault errors. Tests and the resilient wrapper distinguish
+// transient faults (a retry may succeed) from permanent ones (the source is
+// gone — fall back or give up).
+var (
+	ErrInjectedTransient  = errors.New("rapl: injected transient read fault")
+	ErrInjectedPermission = errors.New("rapl: injected permission loss")
+)
+
+// FaultKind enumerates the injectable measurement faults.
+type FaultKind int
+
+const (
+	FaultNone      FaultKind = iota
+	FaultTransient           // this read fails; the next may succeed
+	FaultPermanent           // this and every later read fail (permission loss)
+	FaultStale               // this read returns the previous value again
+)
+
+// String names the fault kind for logs and test failures.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultTransient:
+		return "transient"
+	case FaultPermanent:
+		return "permanent"
+	case FaultStale:
+		return "stale"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Script maps 0-based read indices to the fault injected at that read.
+// Reads not listed succeed normally.
+type Script map[int]FaultKind
+
+// FaultRates gives per-read probabilities for the random injector. Rates are
+// evaluated in field order; the first hit wins.
+type FaultRates struct {
+	Transient float64
+	Stale     float64
+	Permanent float64
+}
+
+// faultRNG is a splitmix64 stream: deterministic per seed, so every
+// fault-matrix failure reproduces from its seed alone.
+type faultRNG struct{ state uint64 }
+
+func (r *faultRNG) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *faultRNG) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// faultPlan decides which fault (if any) hits a given read index.
+type faultPlan struct {
+	script Script
+	rng    *faultRNG
+	rates  FaultRates
+}
+
+func (p *faultPlan) at(idx int) FaultKind {
+	if p.script != nil {
+		return p.script[idx]
+	}
+	if p.rng == nil {
+		return FaultNone
+	}
+	x := p.rng.float64()
+	switch {
+	case x < p.rates.Transient:
+		return FaultTransient
+	case x < p.rates.Transient+p.rates.Stale:
+		return FaultStale
+	case x < p.rates.Transient+p.rates.Stale+p.rates.Permanent:
+		return FaultPermanent
+	}
+	return FaultNone
+}
+
+// FaultySource wraps a Source and injects snapshot-level faults. It is the
+// harness the resilient wrapper and the profiler degrade tests run against.
+type FaultySource struct {
+	inner    Source
+	plan     faultPlan
+	reads    int
+	dead     bool
+	last     Snapshot
+	haveLast bool
+	injected int
+}
+
+// NewFaultySource injects the scripted faults into inner's snapshots.
+func NewFaultySource(inner Source, script Script) *FaultySource {
+	return &FaultySource{inner: inner, plan: faultPlan{script: script}}
+}
+
+// NewRandomFaultySource injects seeded-random faults at the given rates.
+func NewRandomFaultySource(inner Source, seed uint64, rates FaultRates) *FaultySource {
+	return &FaultySource{inner: inner, plan: faultPlan{rng: &faultRNG{state: seed}, rates: rates}}
+}
+
+// Injected reports how many reads were corrupted so far.
+func (f *FaultySource) Injected() int { return f.injected }
+
+// Dead reports whether a permanent fault has killed the source.
+func (f *FaultySource) Dead() bool { return f.dead }
+
+// Snapshot implements Source, applying the fault plan per read.
+func (f *FaultySource) Snapshot() (Snapshot, error) {
+	idx := f.reads
+	f.reads++
+	if f.dead {
+		f.injected++
+		return Snapshot{}, ErrInjectedPermission
+	}
+	switch f.plan.at(idx) {
+	case FaultTransient:
+		f.injected++
+		return Snapshot{}, ErrInjectedTransient
+	case FaultPermanent:
+		f.dead = true
+		f.injected++
+		return Snapshot{}, ErrInjectedPermission
+	case FaultStale:
+		if f.haveLast {
+			f.injected++
+			return f.last, nil
+		}
+	}
+	s, err := f.inner.Snapshot()
+	if err == nil {
+		f.last, f.haveLast = s, true
+	}
+	return s, err
+}
+
+// FaultyMSR wraps an MSRReader and injects register-read faults, exercising
+// the sampler exactly where hardware fails: on individual MSR reads.
+// MSR_RAPL_POWER_UNIT reads are never faulted (the unit is read once at
+// sampler construction; faulting it only tests the constructor).
+type FaultyMSR struct {
+	inner    MSRReader
+	plan     faultPlan
+	reads    int
+	dead     bool
+	last     map[uint32]uint64
+	injected int
+}
+
+// NewFaultyMSR injects the scripted faults into inner's counter reads.
+func NewFaultyMSR(inner MSRReader, script Script) *FaultyMSR {
+	return &FaultyMSR{inner: inner, plan: faultPlan{script: script}, last: map[uint32]uint64{}}
+}
+
+// NewRandomFaultyMSR injects seeded-random faults at the given rates.
+func NewRandomFaultyMSR(inner MSRReader, seed uint64, rates FaultRates) *FaultyMSR {
+	return &FaultyMSR{inner: inner, plan: faultPlan{rng: &faultRNG{state: seed}, rates: rates}, last: map[uint32]uint64{}}
+}
+
+// Injected reports how many reads were corrupted so far.
+func (f *FaultyMSR) Injected() int { return f.injected }
+
+// ReadMSR implements MSRReader, applying the fault plan per counter read.
+func (f *FaultyMSR) ReadMSR(reg uint32) (uint64, error) {
+	if reg == MSRPowerUnit {
+		return f.inner.ReadMSR(reg)
+	}
+	idx := f.reads
+	f.reads++
+	if f.dead {
+		f.injected++
+		return 0, ErrInjectedPermission
+	}
+	switch f.plan.at(idx) {
+	case FaultTransient:
+		f.injected++
+		return 0, ErrInjectedTransient
+	case FaultPermanent:
+		f.dead = true
+		f.injected++
+		return 0, ErrInjectedPermission
+	case FaultStale:
+		if v, ok := f.last[reg]; ok {
+			f.injected++
+			return v, nil
+		}
+	}
+	v, err := f.inner.ReadMSR(reg)
+	if err == nil {
+		f.last[reg] = v
+	}
+	return v, err
+}
+
+// ScriptedMSR replays exact per-register counter sequences. It is the tool
+// for boundary tests — wraps exactly at the 32-bit edge, double wraps
+// between snapshots, first-read initialization — where the value stream must
+// be controlled to the count. Once a sequence is exhausted its final value
+// is held, like a counter between increments.
+type ScriptedMSR struct {
+	// ESU is the energy-status-unit exponent reported via MSR_RAPL_POWER_UNIT
+	// (0 means the stock 2^-16 J).
+	ESU uint
+	// Seq holds the counter values returned for each register, in order.
+	Seq map[uint32][]uint64
+
+	pos map[uint32]int
+}
+
+// ReadMSR implements MSRReader over the scripted sequences.
+func (s *ScriptedMSR) ReadMSR(reg uint32) (uint64, error) {
+	if reg == MSRPowerUnit {
+		esu := s.ESU
+		if esu == 0 {
+			esu = defaultESU
+		}
+		return uint64(3) | uint64(esu)<<8 | uint64(10)<<16, nil
+	}
+	seq, ok := s.Seq[reg]
+	if !ok || len(seq) == 0 {
+		return 0, fmt.Errorf("rapl: scripted MSR has no sequence for 0x%x", reg)
+	}
+	if s.pos == nil {
+		s.pos = map[uint32]int{}
+	}
+	i := s.pos[reg]
+	if i >= len(seq) {
+		i = len(seq) - 1
+	} else {
+		s.pos[reg] = i + 1
+	}
+	return seq[i], nil
+}

@@ -1,0 +1,202 @@
+package rapl
+
+import (
+	"errors"
+	"testing"
+
+	"jepo/internal/energy"
+)
+
+func TestFaultKindString(t *testing.T) {
+	for k, want := range map[FaultKind]string{
+		FaultNone: "none", FaultTransient: "transient",
+		FaultPermanent: "permanent", FaultStale: "stale",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if FaultKind(99).String() == "" {
+		t.Error("unknown kind must still format")
+	}
+}
+
+func TestFaultySourceScript(t *testing.T) {
+	m := newTestMeter()
+	src := NewFaultySource(NewSimSource(m), Script{1: FaultTransient, 3: FaultStale, 5: FaultPermanent})
+
+	if _, err := src.Snapshot(); err != nil { // read 0: clean
+		t.Fatal(err)
+	}
+	if _, err := src.Snapshot(); !errors.Is(err, ErrInjectedTransient) { // read 1
+		t.Fatalf("read 1: err = %v, want transient", err)
+	}
+	m.Step(energy.OpModInt, 100_000)
+	s2, err := src.Snapshot() // read 2: clean, advanced
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step(energy.OpModInt, 100_000)
+	s3, err := src.Snapshot() // read 3: stale — repeats read 2 despite new energy
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != s2 {
+		t.Errorf("stale read = %+v, want repeat of %+v", s3, s2)
+	}
+	if _, err := src.Snapshot(); err != nil { // read 4: clean again
+		t.Fatal(err)
+	}
+	if _, err := src.Snapshot(); !errors.Is(err, ErrInjectedPermission) { // read 5: dies
+		t.Fatalf("read 5: err = %v, want permission", err)
+	}
+	if !src.Dead() {
+		t.Error("source must be dead after a permanent fault")
+	}
+	if _, err := src.Snapshot(); !errors.Is(err, ErrInjectedPermission) { // stays dead
+		t.Fatalf("read 6: err = %v, want permission", err)
+	}
+	if src.Injected() != 4 {
+		t.Errorf("injected = %d, want 4 (transient, stale, permanent, dead)", src.Injected())
+	}
+}
+
+func TestFaultyMSRNeverFaultsPowerUnit(t *testing.T) {
+	m := newTestMeter()
+	msr := NewFaultyMSR(NewSimMSR(m), Script{0: FaultPermanent})
+	if _, err := msr.ReadMSR(MSRPowerUnit); err != nil {
+		t.Fatalf("power unit read faulted: %v", err)
+	}
+	if _, err := msr.ReadMSR(MSRPkgEnergyStatus); !errors.Is(err, ErrInjectedPermission) {
+		t.Fatalf("counter read 0: err = %v, want permission", err)
+	}
+}
+
+func TestRandomFaultySourceDeterministic(t *testing.T) {
+	drive := func(seed uint64) (faults int) {
+		m := newTestMeter()
+		src := NewRandomFaultySource(NewSimSource(m), seed, FaultRates{Transient: 0.3, Stale: 0.2})
+		for i := 0; i < 100; i++ {
+			m.Step(energy.OpModInt, 1000)
+			src.Snapshot()
+		}
+		return src.Injected()
+	}
+	a, b := drive(7), drive(7)
+	if a != b {
+		t.Errorf("same seed injected %d then %d faults", a, b)
+	}
+	if a == 0 {
+		t.Error("rates 0.5 over 100 reads injected nothing")
+	}
+	if c := drive(8); c == a {
+		t.Logf("seeds 7 and 8 coincidentally injected %d faults each", a)
+	}
+}
+
+// newScriptedSampler builds a sampler whose package counter replays seq
+// (core and dram held at zero). The stock unit is 2^-16 J per count.
+func newScriptedSampler(t *testing.T, seq []uint64) *Sampler {
+	t.Helper()
+	msr := &ScriptedMSR{Seq: map[uint32][]uint64{
+		MSRPkgEnergyStatus:  seq,
+		MSRPP0EnergyStatus:  {0},
+		MSRDRAMEnergyStatus: {0},
+	}}
+	s, err := NewSampler(msr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSamplerUnwrapBoundary drives the unwrap logic with exact counter
+// values around the 32-bit edge: first-read initialization, a wrap exactly
+// at the boundary, wrap from the maximum value, and the aliasing limit of a
+// double wrap between snapshots.
+func TestSamplerUnwrapBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  []uint64 // raw counter per snapshot
+		want []uint64 // accumulated counts after each snapshot
+	}{
+		{
+			name: "first read initializes, not accumulates",
+			seq:  []uint64{0xFFFF_FFF0, 0xFFFF_FFF0},
+			want: []uint64{0, 0},
+		},
+		{
+			name: "wrap exactly at the boundary",
+			seq:  []uint64{0xFFFF_FFFF, 0x0000_0000, 0x0000_0001},
+			want: []uint64{0, 1, 2},
+		},
+		{
+			name: "wrap across the boundary mid-delta",
+			seq:  []uint64{0xFFFF_FFF0, 0x0000_0010},
+			want: []uint64{0, 0x20},
+		},
+		{
+			name: "largest plausible delta is kept",
+			seq:  []uint64{0, samplerMaxDelta - 1},
+			want: []uint64{0, samplerMaxDelta - 1},
+		},
+		{
+			// A counter advancing by exactly 2^32 between two snapshots is
+			// invisible: the modular delta is 0. This is the documented
+			// aliasing limit — sample faster than the wrap period.
+			name: "double wrap between snapshots aliases to zero",
+			seq:  []uint64{0x0000_0100, 0x0000_0100},
+			want: []uint64{0, 0},
+		},
+		{
+			// A backwards/stale reading would alias to a near-2^32 delta;
+			// the half-range guard skips it and resyncs.
+			name: "backwards reading skipped by half-range guard",
+			seq:  []uint64{0x0000_1000, 0x0000_0100, 0x0000_0200},
+			want: []uint64{0, 0, 0x100},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newScriptedSampler(t, tc.seq)
+			for i := range tc.seq {
+				snap, err := s.Snapshot()
+				if err != nil {
+					t.Fatalf("snapshot %d: %v", i, err)
+				}
+				got := uint64(float64(snap.Package) / float64(s.unit))
+				if got != tc.want[i] {
+					t.Errorf("after snapshot %d: accumulated %d counts, want %d", i, got, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSamplerHealthCountsStaleSkips(t *testing.T) {
+	s := newScriptedSampler(t, []uint64{0x1000, 0x100, 0x200})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := s.Health(); h.Resets != 1 {
+		t.Errorf("health resets = %d, want 1 skipped backwards delta", h.Resets)
+	}
+}
+
+func TestScriptedMSRHoldsLastValue(t *testing.T) {
+	msr := &ScriptedMSR{Seq: map[uint32][]uint64{MSRPkgEnergyStatus: {5, 9}}}
+	for i, want := range []uint64{5, 9, 9, 9} {
+		v, err := msr.ReadMSR(MSRPkgEnergyStatus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Errorf("read %d = %d, want %d", i, v, want)
+		}
+	}
+	if _, err := msr.ReadMSR(MSRPP0EnergyStatus); err == nil {
+		t.Error("register without a sequence must error")
+	}
+}

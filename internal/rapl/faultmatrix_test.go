@@ -1,0 +1,148 @@
+//go:build faultmatrix
+
+package rapl
+
+import (
+	"testing"
+
+	"jepo/internal/energy"
+)
+
+// TestFaultMatrixResilientSurvivesRandomFaults drives the resilient wrapper
+// over randomly faulting sources across many seeds and fault mixes. With a
+// fallback configured the wrapper must never surface an error, must keep
+// every domain monotonic, and must keep its health ledger consistent with
+// what the fault injector actually did.
+func TestFaultMatrixResilientSurvivesRandomFaults(t *testing.T) {
+	mixes := []FaultRates{
+		{Transient: 0.15},
+		{Stale: 0.25},
+		{Transient: 0.10, Stale: 0.10, Permanent: 0.02},
+		{Transient: 0.30, Stale: 0.20, Permanent: 0.05},
+		{Permanent: 0.10},
+	}
+	const reads = 200
+	for mi, rates := range mixes {
+		for seed := uint64(1); seed <= 40; seed++ {
+			meter := energy.NewMeter(energy.DefaultCosts())
+			primary := NewRandomFaultySource(NewSimSource(meter), seed, rates)
+			res := NewResilient(primary,
+				WithFallback(NewSimSource(meter)),
+				WithRetries(2), WithBackoff(func(int) {}))
+			var prev Snapshot
+			for i := 0; i < reads; i++ {
+				meter.Step(energy.OpModInt, 5_000)
+				snap, err := res.Snapshot()
+				if err != nil {
+					t.Fatalf("mix %d seed %d read %d: resilient source with fallback errored: %v", mi, seed, i, err)
+				}
+				for _, d := range []Domain{Package, Core, DRAM} {
+					if snap.Domain(d) < prev.Domain(d) {
+						t.Fatalf("mix %d seed %d read %d: %v went backwards: %v -> %v",
+							mi, seed, i, d, prev.Domain(d), snap.Domain(d))
+					}
+				}
+				prev = snap
+			}
+			h := res.Health()
+			if h.Reads != reads {
+				t.Errorf("mix %d seed %d: health reads = %d, want %d", mi, seed, h.Reads, reads)
+			}
+			if primary.Dead() {
+				if h.Discontinuities != 1 {
+					t.Errorf("mix %d seed %d: primary died but discontinuities = %d", mi, seed, h.Discontinuities)
+				}
+				if h.Fallbacks == 0 {
+					t.Errorf("mix %d seed %d: primary died but no fallback reads", mi, seed)
+				}
+			}
+			if primary.Injected() > 0 && !h.Degraded() {
+				// Stale injections can be absorbed invisibly (the repeat is a
+				// valid zero-delta snapshot), so only demand a degraded ledger
+				// when harder faults were actually delivered.
+				if h.Retries == 0 && h.Interpolated == 0 && h.Fallbacks == 0 && rates.Transient+rates.Permanent > 0 {
+					t.Errorf("mix %d seed %d: %d faults injected yet health clean: %s",
+						mi, seed, primary.Injected(), h)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultMatrixNoFallbackStaysMonotonic drops the fallback: reads may
+// error once the retry/interpolation ladder is exhausted, but every snapshot
+// that does come back must still be monotonic.
+func TestFaultMatrixNoFallbackStaysMonotonic(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		meter := energy.NewMeter(energy.DefaultCosts())
+		primary := NewRandomFaultySource(NewSimSource(meter), seed,
+			FaultRates{Transient: 0.25, Stale: 0.15, Permanent: 0.03})
+		res := NewResilient(primary, WithRetries(1), WithMaxMisses(2), WithBackoff(func(int) {}))
+		var prev Snapshot
+		for i := 0; i < 150; i++ {
+			meter.Step(energy.OpModInt, 2_000)
+			snap, err := res.Snapshot()
+			if err != nil {
+				continue // exhausted ladder with no fallback: error is the contract
+			}
+			for _, d := range []Domain{Package, Core, DRAM} {
+				if snap.Domain(d) < prev.Domain(d) {
+					t.Fatalf("seed %d read %d: %v went backwards after faults", seed, i, d)
+				}
+			}
+			prev = snap
+		}
+		if h := res.Health(); h.Reads != 150 {
+			t.Errorf("seed %d: health reads = %d, want 150", seed, h.Reads)
+		}
+	}
+}
+
+// TestFaultMatrixScriptedMSRSampler fuzzes the sampler's unwrap against
+// random wrapping/stale counter sequences generated from the seeded stream:
+// accumulated energy never decreases and stale skips are tallied.
+func TestFaultMatrixScriptedMSRSampler(t *testing.T) {
+	for seed := uint64(1); seed <= 80; seed++ {
+		rng := faultRNG{state: seed}
+		cur := uint64(rng.next() & 0xFFFF_FFFF)
+		seq := []uint64{cur}
+		staleWanted := 0
+		for i := 0; i < 100; i++ {
+			switch {
+			case rng.float64() < 0.10: // stale repeat
+				seq = append(seq, seq[len(seq)-1])
+			case rng.float64() < 0.05: // backwards glitch
+				glitch := (seq[len(seq)-1] - 1 - rng.next()%1000) & 0xFFFF_FFFF
+				seq = append(seq, glitch)
+				staleWanted++
+				cur = glitch
+			default:
+				cur = (cur + rng.next()%(1<<24)) & 0xFFFF_FFFF // may wrap
+				seq = append(seq, cur)
+			}
+		}
+		msr := &ScriptedMSR{Seq: map[uint32][]uint64{
+			MSRPkgEnergyStatus:  seq,
+			MSRPP0EnergyStatus:  {0},
+			MSRDRAMEnergyStatus: {0},
+		}}
+		s, err := NewSampler(msr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev Snapshot
+		for i := range seq {
+			snap, err := s.Snapshot()
+			if err != nil {
+				t.Fatalf("seed %d read %d: %v", seed, i, err)
+			}
+			if snap.Package < prev.Package {
+				t.Fatalf("seed %d read %d: package decreased", seed, i)
+			}
+			prev = snap
+		}
+		if h := s.Health(); h.Resets < staleWanted {
+			t.Errorf("seed %d: %d backwards glitches injected, only %d skips tallied", seed, staleWanted, h.Resets)
+		}
+	}
+}

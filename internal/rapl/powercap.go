@@ -20,13 +20,32 @@ type zone struct {
 	last     uint64
 	acc      uint64
 	init     bool
+
+	fails       int  // consecutive failed reads
+	quarantined bool // dropped after too many consecutive failures
+	resets      int  // backwards jumps with no declared wrap range
 }
+
+// DefaultQuarantineAfter is how many consecutive failed reads drop a zone.
+const DefaultQuarantineAfter = 3
 
 // Sysfs reads real RAPL counters through the Linux powercap interface. It
 // maps the top-level "package-N" zones to the Package domain and their
 // "core" / "dram" sub-zones to Core and DRAM, summing across sockets.
+//
+// The reader degrades instead of failing: a zone whose energy_uj read fails
+// (permission flip, hotplug removal) contributes its last accumulated value,
+// and after QuarantineAfter consecutive failures it is quarantined — never
+// read again, its accumulated energy frozen so totals stay monotonic. The
+// snapshot only errors once every package zone is quarantined, which is the
+// signal for the resilient wrapper to fall back.
 type Sysfs struct {
-	zones [numDomains][]*zone
+	// QuarantineAfter overrides the consecutive-failure threshold
+	// (DefaultQuarantineAfter when zero or unset).
+	QuarantineAfter int
+
+	zones  [numDomains][]*zone
+	health Health
 }
 
 // NewSysfs scans root (usually PowercapRoot) for intel-rapl zones. It returns
@@ -113,21 +132,62 @@ func (z *zone) read() (uint64, error) {
 	} else if z.maxRange > 0 {
 		z.acc += (z.maxRange - z.last) + v
 	} else {
-		z.acc += v // wrapped with unknown range: best effort
+		// Backwards with no declared range: a counter reset (hotplug,
+		// suspend) is indistinguishable from a stale duplicate reading, and
+		// accumulating v would re-count energy already charged whenever the
+		// glitch repeats. Count nothing, resync from the new value, and let
+		// the health tally record the discarded delta.
+		z.resets++
 	}
 	z.last = v
 	return z.acc, nil
 }
 
+// quarantineAfter resolves the configured consecutive-failure threshold.
+func (s *Sysfs) quarantineAfter() int {
+	if s.QuarantineAfter > 0 {
+		return s.QuarantineAfter
+	}
+	return DefaultQuarantineAfter
+}
+
+// Health reports the zone-level degradation tallies: quarantined zones,
+// reads served from a zone's last accumulated value, and discarded
+// backwards jumps.
+func (s *Sysfs) Health() Health {
+	h := s.health
+	for d := Domain(0); d < numDomains; d++ {
+		for _, z := range s.zones[d] {
+			h.Resets += z.resets
+		}
+	}
+	return h
+}
+
 // Snapshot implements Source, summing zones per domain across sockets.
+// Failed zone reads contribute the zone's last accumulated value; zones
+// failing quarantineAfter consecutive reads are quarantined with their
+// accumulation frozen. The snapshot errors only when no live package zone
+// remains.
 func (s *Sysfs) Snapshot() (Snapshot, error) {
 	var out Snapshot
 	for d := Domain(0); d < numDomains; d++ {
 		var uj uint64
 		for _, z := range s.zones[d] {
-			v, err := z.read()
-			if err != nil {
-				return Snapshot{}, fmt.Errorf("rapl: reading %v zone: %w", d, err)
+			v := z.acc
+			if !z.quarantined {
+				nv, err := z.read()
+				if err != nil {
+					z.fails++
+					s.health.Interpolated++
+					if z.fails >= s.quarantineAfter() {
+						z.quarantined = true
+						s.health.Quarantined++
+					}
+				} else {
+					z.fails = 0
+					v = nv
+				}
 			}
 			uj += v
 		}
@@ -140,6 +200,15 @@ func (s *Sysfs) Snapshot() (Snapshot, error) {
 		case DRAM:
 			out.DRAM = j
 		}
+	}
+	live := 0
+	for _, z := range s.zones[Package] {
+		if !z.quarantined {
+			live++
+		}
+	}
+	if live == 0 {
+		return Snapshot{}, fmt.Errorf("rapl: every package zone quarantined under powercap")
 	}
 	return out, nil
 }

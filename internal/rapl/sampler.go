@@ -47,12 +47,20 @@ type Source interface {
 // need, since MSR_PKG_ENERGY_STATUS wraps every minute or so under load on
 // real parts.
 type Sampler struct {
-	msr  MSRReader
-	unit energy.Joules
-	last [numDomains]uint64
-	acc  [numDomains]uint64 // accumulated counts, 64-bit so it never wraps
-	init bool
+	msr   MSRReader
+	unit  energy.Joules
+	last  [numDomains]uint64
+	acc   [numDomains]uint64 // accumulated counts, 64-bit so it never wraps
+	init  bool
+	stale int // skipped implausible deltas (stale/backwards readings)
 }
+
+// samplerMaxDelta is the half-range plausibility bound on one snapshot's
+// counter delta. A genuine wrap produces a small modular delta; a stale or
+// duplicated reading of an already-advanced counter aliases to a delta near
+// 2^32, which would charge ~65 kJ out of nowhere. Deltas above half the
+// counter range are treated as backwards readings and skipped.
+const samplerMaxDelta = 1 << 31
 
 // NewSampler builds a sampler over an MSR reader, decoding the energy unit
 // from MSR_RAPL_POWER_UNIT.
@@ -91,6 +99,12 @@ func (s *Sampler) Snapshot() (Snapshot, error) {
 	}
 	for d := Domain(0); d < numDomains; d++ {
 		delta := (raw[d] - s.last[d]) & 0xFFFFFFFF // modular: handles wrap
+		if delta >= samplerMaxDelta {
+			// Stale/backwards reading aliased through the modular unwrap;
+			// skip the delta and resync rather than charge a phantom wrap.
+			s.stale++
+			delta = 0
+		}
 		s.acc[d] += delta
 		s.last[d] = raw[d]
 	}
@@ -99,6 +113,12 @@ func (s *Sampler) Snapshot() (Snapshot, error) {
 		Core:    energy.Joules(float64(s.acc[Core])) * s.unit,
 		DRAM:    energy.Joules(float64(s.acc[DRAM])) * s.unit,
 	}, nil
+}
+
+// Health implements HealthReporter: skipped stale/backwards deltas surface
+// as Resets, so resilient wrappers and the profiler can flag the readings.
+func (s *Sampler) Health() Health {
+	return Health{Resets: s.stale}
 }
 
 // NewSimSource builds the full simulated read path — meter → simulated MSRs →

@@ -1,0 +1,167 @@
+// Supervised Table IV runner. The plain Table4 aborts the whole regeneration
+// on the first failing classifier; under real measurement conditions one bad
+// row must not kill a run that has already spent minutes measuring the other
+// nine. Table4Supervised runs every classifier under its own supervisor —
+// panic recovery, optional deadline — turns failures into per-row error
+// entries, and checkpoints completed rows so an interrupted run resumes
+// without re-measuring.
+package tables
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"jepo/internal/airlines"
+	"jepo/internal/corpus"
+	"jepo/internal/dataset"
+)
+
+// Table4Supervised runs the full §VIII validation with per-row supervision.
+// Every classifier produces a row: successful rows carry measurements,
+// failed ones carry Err. The returned error covers infrastructure problems
+// only (an unusable checkpoint directory), never a row failure.
+func Table4Supervised(cfg Table4Config) ([]Table4Row, error) {
+	var sayMu sync.Mutex
+	say := func(format string, args ...any) {
+		if cfg.Progress != nil {
+			sayMu.Lock()
+			cfg.Progress(fmt.Sprintf(format, args...))
+			sayMu.Unlock()
+		}
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("tables: checkpoint dir: %w", err)
+		}
+	}
+	data := airlines.Generate(cfg.Instances, cfg.Seed)
+	feats, labels := kernelData(data)
+
+	slots := cfg.Slots
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	if slots > len(corpus.Classifiers) {
+		slots = len(corpus.Classifiers)
+	}
+	rows := make([]Table4Row, len(corpus.Classifiers))
+	sem := make(chan struct{}, slots)
+	var wg sync.WaitGroup
+	for idx, name := range corpus.Classifiers {
+		wg.Add(1)
+		go func(idx int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if row, ok := loadCheckpoint(cfg.CheckpointDir, name); ok {
+				say("%s: resumed from checkpoint", name)
+				rows[idx] = row
+				return
+			}
+			rows[idx] = superviseRow(name, data, feats, labels, cfg, say)
+			if rows[idx].Err == "" {
+				if err := saveCheckpoint(cfg.CheckpointDir, rows[idx]); err != nil {
+					say("%s: checkpoint not written: %v", name, err)
+				}
+			}
+		}(idx, name)
+	}
+	wg.Wait()
+	return rows, nil
+}
+
+// FailedRows filters the rows the supervised runner could not measure.
+func FailedRows(rows []Table4Row) []Table4Row {
+	var out []Table4Row
+	for _, r := range rows {
+		if r.Err != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// superviseRow runs one classifier's pipeline in a child goroutine guarded
+// by panic recovery and the configured deadline. A timed-out pipeline is
+// abandoned (its goroutine drains into a buffered channel); the row reports
+// the deadline instead of blocking the run.
+func superviseRow(name string, data *dataset.Dataset, feats [][]float64, labels []int64, cfg Table4Config, say func(string, ...any)) Table4Row {
+	type outcome struct {
+		row Table4Row
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{err: fmt.Errorf("panic: %v", r)}
+			}
+		}()
+		if cfg.RowHook != nil {
+			if err := cfg.RowHook(name); err != nil {
+				done <- outcome{err: err}
+				return
+			}
+		}
+		row, err := table4Row(name, data, feats, labels, cfg, say)
+		done <- outcome{row: row, err: err}
+	}()
+
+	var deadline <-chan time.Time
+	if cfg.RowTimeout > 0 {
+		timer := time.NewTimer(cfg.RowTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	select {
+	case out := <-done:
+		if out.err != nil {
+			say("%s: FAILED: %v", name, out.err)
+			return Table4Row{Classifier: name, Err: out.err.Error()}
+		}
+		return out.row
+	case <-deadline:
+		say("%s: deadline %v exceeded; row abandoned", name, cfg.RowTimeout)
+		return Table4Row{Classifier: name, Err: fmt.Sprintf("deadline exceeded (%v)", cfg.RowTimeout)}
+	}
+}
+
+// checkpointPath names one classifier's persisted row.
+func checkpointPath(dir, name string) string {
+	return filepath.Join(dir, name+".json")
+}
+
+// loadCheckpoint restores a previously completed row. Corrupt or mismatched
+// files are ignored — the row is simply re-measured.
+func loadCheckpoint(dir, name string) (Table4Row, bool) {
+	if dir == "" {
+		return Table4Row{}, false
+	}
+	blob, err := os.ReadFile(checkpointPath(dir, name))
+	if err != nil {
+		return Table4Row{}, false
+	}
+	var row Table4Row
+	if err := json.Unmarshal(blob, &row); err != nil || row.Classifier != name || row.Err != "" {
+		return Table4Row{}, false
+	}
+	return row, true
+}
+
+// saveCheckpoint persists a completed row. Only successful rows are written,
+// so a rerun retries exactly the failures.
+func saveCheckpoint(dir string, row Table4Row) error {
+	if dir == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(row, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(checkpointPath(dir, row.Classifier), append(blob, '\n'), 0o644)
+}

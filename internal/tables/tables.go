@@ -75,6 +75,10 @@ type Table4Row struct {
 	CPUPct      float64
 	TimePct     float64
 	AccuracyPct float64 // accuracy drop (positive = refactoring lost accuracy)
+	// Err is set by the supervised runner when this classifier's pipeline
+	// failed (error, panic or deadline); the measurement columns are then
+	// meaningless and the row renders as a failure entry.
+	Err string
 }
 
 // Table4Config parameterizes the §VIII experiment.
@@ -87,6 +91,14 @@ type Table4Config struct {
 	Slots     int            // classifiers evaluated concurrently (0 = GOMAXPROCS)
 	Quiet     bool
 	Progress  func(string) // optional progress callback
+
+	// Supervision knobs, honored by Table4Supervised only.
+	RowTimeout    time.Duration // per-classifier deadline (0 = none)
+	CheckpointDir string        // persist completed rows; reruns resume from here
+	// RowHook runs inside the supervised worker before a row's pipeline; a
+	// non-nil error (or panic) fails the row. It is the fault-injection seam
+	// the resilience tests use.
+	RowHook func(classifier string) error
 }
 
 // DefaultTable4Config mirrors the paper's methodology at a tractable scale
@@ -379,12 +391,17 @@ func accuracyDrop(name string, d *dataset.Dataset, cfg Table4Config) (float64, e
 	return rd.Accuracy() - rs.Accuracy(), nil
 }
 
-// RenderTable4 lays the rows out like the paper's Table IV.
+// RenderTable4 lays the rows out like the paper's Table IV. Rows the
+// supervised runner failed render as failure entries instead of numbers.
 func RenderTable4(rows []Table4Row) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-14s %8s %12s %12s %12s %12s\n",
 		"Classifiers", "Changes", "Package (%)", "CPU (%)", "Time (%)", "AccDrop (%)")
 	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&sb, "%-14s FAILED: %s\n", r.Classifier, r.Err)
+			continue
+		}
 		fmt.Fprintf(&sb, "%-14s %8d %12.2f %12.2f %12.2f %12.2f\n",
 			r.Classifier, r.Changes, r.PackagePct, r.CPUPct, r.TimePct, r.AccuracyPct)
 	}

@@ -19,4 +19,7 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fault matrix =="
+go test -tags faultmatrix -run FaultMatrix ./internal/rapl/... ./internal/profile/...
+
 echo "OK"
