@@ -1,6 +1,6 @@
 # Standard entry points for the reproduction repo.
 
-.PHONY: build test check bench-interp faultmatrix
+.PHONY: build test check bench-interp bench-passes faultmatrix
 
 build:
 	go build ./...
@@ -16,6 +16,11 @@ check:
 # the Table I corpus, written to BENCH_interp.json.
 bench-interp:
 	go run ./cmd/jperf bench -o BENCH_interp.json
+
+# Pass-engine benchmark: one shared analysis traversal vs the seed's
+# per-rule traversals over the Table I corpus, written to BENCH_passes.json.
+bench-passes:
+	go run ./cmd/jperf bench -passes -o BENCH_passes.json
 
 # Seeded fault-injection fuzz over the measurement layer: random fault mixes
 # against the resilient source, the sampler unwrap, and profiled runs.

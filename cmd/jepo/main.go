@@ -8,6 +8,7 @@
 // Usage:
 //
 //	jepo suggest [-line N] <file.java>...
+//	jepo analyze [-main Class] <file.java>...
 //	jepo optimize [-o dir] [-dry] <file.java>...
 //	jepo profile [-main Class] [-result result.txt] <file.java>...
 //	jepo metrics -root Class <file.java>...
@@ -35,6 +36,8 @@ func main() {
 	switch os.Args[1] {
 	case "suggest":
 		err = cmdSuggest(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
 	case "optimize":
 		err = cmdOptimize(os.Args[2:])
 	case "profile":
@@ -62,6 +65,9 @@ func usage() {
 commands:
   suggest   show Table I energy-efficiency suggestions (optimizer view)
             -line N   order by proximity to line N (dynamic view)
+  analyze   unified diagnostic view: every finding with its fix status and,
+            when the program has a runnable main, the measured per-fix ΔE
+            -main C   main class for the measurement runs
   optimize  apply the suggestions automatically and report the changes
             -o DIR    write refactored sources under DIR (default: print)
             -dry      only report what would change
@@ -132,6 +138,24 @@ func cmdSuggest(args []string) error {
 	}
 	fmt.Print(core.OptimizerView(sugs))
 	fmt.Printf("\n%d suggestion(s) across %d file(s)\n", len(sugs), len(p))
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	mainClass := fs.String("main", "", "class whose main method anchors the measurement runs")
+	fs.Parse(args)
+	p, err := loadProject(fs.Args())
+	if err != nil {
+		return err
+	}
+	rep, err := core.Analyze(p, core.AnalyzeConfig{MainClass: *mainClass})
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.AnalysisView(rep))
+	fmt.Printf("\n%d diagnostic(s), %d fix(es) accepted under measurement\n",
+		len(rep.Diags), len(rep.Accepted()))
 	return nil
 }
 

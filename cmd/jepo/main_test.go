@@ -68,6 +68,19 @@ func TestCmdSuggest(t *testing.T) {
 	}
 }
 
+func TestCmdAnalyze(t *testing.T) {
+	dir := writeDemo(t)
+	if err := cmdAnalyze([]string{dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{"-main", "Demo", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{filepath.Join(dir, "nope.java")}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
 func TestCmdOptimize(t *testing.T) {
 	dir := writeDemo(t)
 	if err := cmdOptimize([]string{"-dry", dir}); err != nil {

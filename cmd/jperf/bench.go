@@ -5,9 +5,14 @@
 // for a given cost table — a drift there is a correctness bug, not a
 // performance change.
 //
+// With -passes the subcommand instead benchmarks the unified pass engine
+// (one shared traversal vs per-rule traversals, see passes_bench.go) and
+// writes BENCH_passes.json.
+//
 // Usage:
 //
 //	jperf bench [-o BENCH_interp.json] [-r repeats]
+//	jperf bench -passes [-o BENCH_passes.json] [-r repeats]
 package main
 
 import (
@@ -42,13 +47,23 @@ type benchReport struct {
 
 func runBenchCmd(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_interp.json", "output JSON path")
+	out := fs.String("o", "", "output JSON path")
 	repeats := fs.Int("r", 5, "timed repeats per benchmark")
+	passesBench := fs.Bool("passes", false, "benchmark the pass engine instead of the interpreter")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *repeats < 1 {
 		return fmt.Errorf("need at least 1 repeat, got %d", *repeats)
+	}
+	if *passesBench {
+		if *out == "" {
+			*out = "BENCH_passes.json"
+		}
+		return runPassesBench(*out, *repeats)
+	}
+	if *out == "" {
+		*out = "BENCH_interp.json"
 	}
 
 	report := benchReport{

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -52,6 +53,32 @@ func TestRunErrors(t *testing.T) {
 	empty := t.TempDir()
 	if err := run("", 3, true, []string{empty}); err == nil {
 		t.Error("empty dir accepted")
+	}
+}
+
+func TestPassesBenchWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_passes.json")
+	if err := runBenchCmd([]string{"-passes", "-r", "1", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep passesReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 2 || rep.CorpusFiles == 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	for _, pt := range rep.Benchmarks {
+		if pt.NsPerOp <= 0 || pt.Diagnostics == 0 {
+			t.Errorf("degenerate benchmark point: %+v", pt)
+		}
+	}
+	if rep.Speedup <= 0 {
+		t.Errorf("speedup = %v", rep.Speedup)
 	}
 }
 

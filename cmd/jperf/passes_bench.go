@@ -1,0 +1,114 @@
+// The passes benchmark quantifies the unified pass engine's headline claim:
+// every Table I rule runs in one shared AST traversal per file, where the
+// seed architecture walked the tree once per rule. It analyzes a generated
+// Table I corpus both ways — one unified analysis vs thirteen single-rule
+// analyses (each a full traversal that dispatches only that rule's hooks,
+// which is what the per-rule matchers amounted to) — and writes the wall
+// times to BENCH_passes.json.
+//
+// Usage:
+//
+//	jperf bench -passes [-o BENCH_passes.json] [-r repeats]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"jepo/internal/corpus"
+	"jepo/internal/minijava/ast"
+	"jepo/internal/passes"
+)
+
+// passesPoint is one analysis strategy's measurement.
+type passesPoint struct {
+	Name        string  `json:"name"`
+	Traversals  int     `json:"traversals_per_file"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Diagnostics int     `json:"diagnostics"`
+}
+
+// passesReport is the BENCH_passes.json document.
+type passesReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	Classifier  string        `json:"classifier"`
+	CorpusFiles int           `json:"corpus_files"`
+	Benchmarks  []passesPoint `json:"benchmarks"`
+	Speedup     float64       `json:"speedup"`
+}
+
+// runPassesBench measures unified vs per-rule analysis over one classifier's
+// Table I corpus and writes the report.
+func runPassesBench(out string, repeats int) error {
+	const classifier = "J48"
+	p, err := corpus.Generate(classifier, 20200518)
+	if err != nil {
+		return err
+	}
+	files, err := p.Parse()
+	if err != nil {
+		return err
+	}
+
+	unified := func() int { return len(passes.AnalyzeFiles(files)) }
+	perRule := func() int {
+		n := 0
+		for _, r := range passes.AllRules() {
+			n += len(passes.AnalyzeFilesRules(files, r))
+		}
+		return n
+	}
+
+	one := timeAnalysis("analyze/unified-one-traversal", 1, repeats, files, unified)
+	thirteen := timeAnalysis("analyze/per-rule-traversals", passes.NumRules, repeats, files, perRule)
+
+	report := passesReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Classifier:  classifier,
+		CorpusFiles: len(files),
+		Benchmarks:  []passesPoint{one, thirteen},
+	}
+	if one.NsPerOp > 0 {
+		report.Speedup = thirteen.NsPerOp / one.NsPerOp
+	}
+	for _, pt := range report.Benchmarks {
+		fmt.Printf("%-36s %12.0f ns/op %6d diagnostics\n", pt.Name, pt.NsPerOp, pt.Diagnostics)
+	}
+	fmt.Printf("one shared traversal is %.1fx cheaper than %d per-rule traversals\n",
+		report.Speedup, passes.NumRules)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// timeAnalysis runs f repeats times after one warmup and returns the mean
+// wall time. Analysis never mutates the ASTs, so the parsed corpus is shared.
+func timeAnalysis(name string, traversals, repeats int, files []*ast.File, f func() int) passesPoint {
+	diags := f() // warmup; also pins the diagnostic count
+	t0 := time.Now()
+	for i := 0; i < repeats; i++ {
+		f()
+	}
+	wall := time.Since(t0)
+	return passesPoint{
+		Name:        name,
+		Traversals:  traversals,
+		Runs:        repeats,
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(repeats),
+		Diagnostics: diags,
+	}
+}

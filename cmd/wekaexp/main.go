@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,37 +28,50 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, ablation or all")
-	seed := flag.Uint64("seed", 20200518, "experiment seed")
-	instances := flag.Int("instances", 2000, "airlines instances for Table IV")
-	reps := flag.Int("reps", 3, "kernel repetitions per Table IV measurement")
-	runs := flag.Int("runs", 5, "measurements per configuration (paper: 10)")
-	folds := flag.Int("folds", 10, "cross-validation folds for accuracy")
-	arff := flag.String("arff", "", "also write the airlines data as ARFF to this path (table 3)")
-	dumpDir := flag.String("dump-corpus", "", "write a generated WEKA-shaped corpus under this directory")
-	dumpFor := flag.String("classifier", "J48", "classifier whose corpus -dump-corpus writes")
-	checkpoint := flag.String("checkpoint", "", "directory persisting completed Table IV rows; reruns resume from it")
-	rowTimeout := flag.Duration("row-timeout", 0, "per-classifier deadline for Table IV (0 = none)")
-	verbose := flag.Bool("v", false, "print progress")
-	flag.Parse()
+	if err := realMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wekaexp:", err)
+		os.Exit(1)
+	}
+}
+
+// realMain is the whole command behind an injectable surface: argument list
+// in, output streams out, failures as an error. main() only maps the error
+// to the exit status, so tests drive every flag path in-process.
+func realMain(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wekaexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.String("table", "all", "which table to regenerate: 1, 2, 3, 4, ablation or all")
+	seed := fs.Uint64("seed", 20200518, "experiment seed")
+	instances := fs.Int("instances", 2000, "airlines instances for Table IV")
+	reps := fs.Int("reps", 3, "kernel repetitions per Table IV measurement")
+	runs := fs.Int("runs", 5, "measurements per configuration (paper: 10)")
+	folds := fs.Int("folds", 10, "cross-validation folds for accuracy")
+	arff := fs.String("arff", "", "also write the airlines data as ARFF to this path (table 3)")
+	dumpDir := fs.String("dump-corpus", "", "write a generated WEKA-shaped corpus under this directory")
+	dumpFor := fs.String("classifier", "J48", "classifier whose corpus -dump-corpus writes")
+	checkpoint := fs.String("checkpoint", "", "directory persisting completed Table IV rows; reruns resume from it")
+	rowTimeout := fs.Duration("row-timeout", 0, "per-classifier deadline for Table IV (0 = none)")
+	verbose := fs.Bool("v", false, "print progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *dumpDir != "" {
-		if err := dumpCorpus(*dumpDir, *dumpFor, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "wekaexp:", err)
-			os.Exit(1)
+		if err := dumpCorpus(stdout, *dumpDir, *dumpFor, *seed); err != nil {
+			return err
 		}
 	}
 
-	// A failing table no longer aborts the run: remaining tables still
+	// A failing table does not abort the run: remaining tables still
 	// regenerate, every failure is reported at the end, and only then does
-	// the process exit non-zero.
+	// the command fail.
 	var failures []string
 	run := func(name string, f func() error) {
 		if *table != "all" && *table != name {
 			return
 		}
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "wekaexp: table %s: %v\n", name, err)
+			fmt.Fprintf(stderr, "wekaexp: table %s: %v\n", name, err)
 			failures = append(failures, name)
 		}
 	}
@@ -67,9 +81,9 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== Table I: Java components & suggestions (measured) ===")
-		fmt.Print(tables.RenderTable1(rows))
-		fmt.Println()
+		fmt.Fprintln(stdout, "=== Table I: Java components & suggestions (measured) ===")
+		fmt.Fprint(stdout, tables.RenderTable1(rows))
+		fmt.Fprintln(stdout)
 		return nil
 	})
 
@@ -78,15 +92,15 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== Table II: WEKA classifier metrics ===")
-		fmt.Print(jmetrics.Table(rows))
-		fmt.Println()
+		fmt.Fprintln(stdout, "=== Table II: WEKA classifier metrics ===")
+		fmt.Fprint(stdout, jmetrics.Table(rows))
+		fmt.Fprintln(stdout)
 		return nil
 	})
 
 	run("3", func() error {
-		fmt.Println("=== Table III: MOA airlines data ===")
-		fmt.Print(tables.Table3(*instances, *seed))
+		fmt.Fprintln(stdout, "=== Table III: MOA airlines data ===")
+		fmt.Fprint(stdout, tables.Table3(*instances, *seed))
 		if *arff != "" {
 			f, err := os.Create(*arff)
 			if err != nil {
@@ -96,9 +110,9 @@ func main() {
 			if err := airlines.Generate(*instances, *seed).WriteARFF(f); err != nil {
 				return err
 			}
-			fmt.Printf("ARFF written to %s\n", *arff)
+			fmt.Fprintf(stdout, "ARFF written to %s\n", *arff)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		return nil
 	})
 
@@ -110,9 +124,9 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== Ablation: cost-model mechanisms behind the Table IV headline ===")
-		fmt.Print(tables.RenderAblation(cfg.Classifier, rows))
-		fmt.Println()
+		fmt.Fprintln(stdout, "=== Ablation: cost-model mechanisms behind the Table IV headline ===")
+		fmt.Fprint(stdout, tables.RenderAblation(cfg.Classifier, rows))
+		fmt.Fprintln(stdout)
 		return nil
 	})
 
@@ -127,15 +141,15 @@ func main() {
 			CheckpointDir: *checkpoint,
 		}
 		if *verbose {
-			cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+			cfg.Progress = func(msg string) { fmt.Fprintln(stderr, msg) }
 		}
-		fmt.Println("=== Table IV: WEKA evaluation ===")
+		fmt.Fprintln(stdout, "=== Table IV: WEKA evaluation ===")
 		rows, err := tables.Table4Supervised(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Print(tables.RenderTable4(rows))
-		fmt.Println()
+		fmt.Fprint(stdout, tables.RenderTable4(rows))
+		fmt.Fprintln(stdout)
 		if failed := tables.FailedRows(rows); len(failed) > 0 {
 			names := make([]string, len(failed))
 			for i, r := range failed {
@@ -147,14 +161,14 @@ func main() {
 	})
 
 	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "wekaexp: %d table(s) failed: %s\n", len(failures), strings.Join(failures, ", "))
-		os.Exit(1)
+		return fmt.Errorf("%d table(s) failed: %s", len(failures), strings.Join(failures, ", "))
 	}
+	return nil
 }
 
 // dumpCorpus materializes one classifier's generated corpus as .java files on
 // disk, so the jepo and jperf CLIs can be pointed at it directly.
-func dumpCorpus(dir, classifier string, seed uint64) error {
+func dumpCorpus(stdout io.Writer, dir, classifier string, seed uint64) error {
 	p, err := corpus.Generate(classifier, seed)
 	if err != nil {
 		return err
@@ -168,6 +182,6 @@ func dumpCorpus(dir, classifier string, seed uint64) error {
 			return err
 		}
 	}
-	fmt.Printf("corpus for %s written under %s (%d files)\n", classifier, dir, len(p.Files))
+	fmt.Fprintf(stdout, "corpus for %s written under %s (%d files)\n", classifier, dir, len(p.Files))
 	return nil
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jepo/internal/corpus"
+	"jepo/internal/tables"
+)
+
+// seedCheckpoints writes a completed Table4Row for every classifier, so the
+// supervised Table IV runner resumes every row from disk instead of spending
+// minutes measuring — exactly the resume path an interrupted run exercises.
+func seedCheckpoints(t *testing.T, dir string) {
+	t.Helper()
+	for i, name := range corpus.Classifiers {
+		row := tables.Table4Row{
+			Classifier: name,
+			Changes:    40 + i,
+			PackagePct: 12.5, CPUPct: 12.1, TimePct: 11.8, AccuracyPct: 0.05,
+		}
+		blob, err := json.MarshalIndent(row, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".json"), append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTableAllWithCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	seedCheckpoints(t, dir)
+	var out, errb bytes.Buffer
+	err := realMain([]string{
+		"-table", "all", "-checkpoint", dir,
+		"-instances", "120", "-reps", "1", "-runs", "2", "-folds", "2",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("realMain: %v\nstderr:\n%s", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"=== Table I:", "=== Table II:", "=== Table III:", "=== Table IV:", "=== Ablation:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Every classifier's resumed row must appear in the rendered Table IV.
+	for _, name := range corpus.Classifiers {
+		if !strings.Contains(s, name) {
+			t.Errorf("Table IV row for %s missing", name)
+		}
+	}
+	if strings.Contains(s, "FAILED") {
+		t.Errorf("resumed rows rendered as failures:\n%s", s)
+	}
+}
+
+func TestTable4ResumesFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	seedCheckpoints(t, dir)
+	var out, errb bytes.Buffer
+	err := realMain([]string{"-table", "4", "-checkpoint", dir, "-v"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("realMain: %v\nstderr:\n%s", err, errb.String())
+	}
+	if n := strings.Count(errb.String(), "resumed from checkpoint"); n != len(corpus.Classifiers) {
+		t.Errorf("resumed rows = %d, want %d\nstderr:\n%s", n, len(corpus.Classifiers), errb.String())
+	}
+	if !strings.Contains(out.String(), "Changes") {
+		t.Errorf("Table IV header missing:\n%s", out.String())
+	}
+}
+
+func TestTable3WritesARFF(t *testing.T) {
+	arff := filepath.Join(t.TempDir(), "airlines.arff")
+	var out, errb bytes.Buffer
+	if err := realMain([]string{"-table", "3", "-instances", "50", "-arff", arff}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(arff)
+	if err != nil {
+		t.Fatalf("ARFF not written: %v", err)
+	}
+	if !strings.Contains(string(b), "@relation") {
+		t.Error("ARFF file lacks @relation header")
+	}
+}
+
+func TestDumpCorpus(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	// -table 3 keeps the run cheap; -dump-corpus happens before table
+	// selection.
+	if err := realMain([]string{"-table", "3", "-instances", "50", "-dump-corpus", dir}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".java") {
+			found++
+		}
+		return nil
+	})
+	if found == 0 {
+		t.Error("no corpus .java files written")
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := realMain([]string{"-no-such-flag"}, &out, &errb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

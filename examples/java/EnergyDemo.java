@@ -1,0 +1,104 @@
+// Demonstration corpus for `jepo analyze`: each method trips a different
+// Table I rule, and the program has a runnable main, so every mechanical fix
+// is verified with a measured before/after energy delta. scripts/check.sh
+// diffs the analyzer's output over this directory against the checked-in
+// golden listing (golden_analyze.txt) to catch rule drift.
+class EnergyDemo {
+	static long total;
+
+	static int mod(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i++) {
+			s = s + i % 8;
+		}
+		return s;
+	}
+
+	static int copy(int n) {
+		int[] src = new int[n];
+		int[] dst = new int[n];
+		for (int i = 0; i < n; i++) {
+			src[i] = i;
+		}
+		for (int i = 0; i < n; i++) {
+			dst[i] = src[i];
+		}
+		return dst[n - 1];
+	}
+
+	static int join(int n) {
+		String s = "";
+		for (int i = 0; i < n; i++) {
+			s = s + "x";
+		}
+		return s.length();
+	}
+
+	static int cmp(String a, String b, int n) {
+		int k = 0;
+		for (int i = 0; i < n; i++) {
+			if (a.compareTo(b) == 0) {
+				k = k + 1;
+			}
+		}
+		return k;
+	}
+
+	static int sweepBig(int n) {
+		int[][] m = new int[128][128];
+		int s = 0;
+		for (int j = 0; j < 128; j++) {
+			for (int i = 0; i < 128; i++) {
+				s = s + m[i][j] + i + j;
+			}
+		}
+		return s + n;
+	}
+
+	// Column-major on a matrix this small stays cache-resident, so the
+	// interchange buys no misses and only adds inner-loop bookkeeping: the
+	// measured delta is negative and the analyzer refuses the fix.
+	static int sweepSmall(int n) {
+		int[][] m = new int[60][8];
+		int s = 0;
+		for (int j = 0; j < 8; j++) {
+			for (int i = 0; i < 60; i++) {
+				s = s + m[i][j];
+			}
+		}
+		return s + n;
+	}
+
+	static double accumulate(int n) {
+		double sum = 0.0;
+		for (int i = 0; i < n; i++) {
+			sum = sum + 100000.0;
+			total = total + 1;
+		}
+		return sum;
+	}
+
+	static int box(int n) {
+		Long wide = Long.valueOf(7);
+		return n + wide.intValue();
+	}
+
+	static boolean gate(int a, int b) {
+		return a > 0 && b > 0 && a != b;
+	}
+
+	public static void main(String[] args) {
+		int a = mod(400);
+		int b = copy(300);
+		int c = join(120);
+		int d = cmp("alpha", "beta", 100);
+		int e = sweepBig(5) + sweepSmall(2);
+		double f = accumulate(200);
+		int g = box(3);
+		int v = a > b ? a : b;
+		if (gate(a, b)) {
+			v = v + 1;
+		}
+		System.out.println(v + b + c + d + e + g + f);
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"jepo/internal/energy"
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/interp"
+	"jepo/internal/passes"
+)
+
+// Verdict is the measured judgement on one diagnostic's fix.
+type Verdict int
+
+const (
+	// VerdictAdvisory: the diagnostic carries no mechanical fix.
+	VerdictAdvisory Verdict = iota
+	// VerdictUnmeasured: the fix exists but could not be measured (no
+	// runnable main, the fix made no change when replayed alone, or the
+	// rewritten program failed to run).
+	VerdictUnmeasured
+	// VerdictAccepted: the fix was measured and does not cost energy.
+	VerdictAccepted
+	// VerdictRejected: the fix was measured to *increase* package energy on
+	// this program, so the engine refuses it.
+	VerdictRejected
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAccepted:
+		return "accepted"
+	case VerdictRejected:
+		return "rejected"
+	case VerdictUnmeasured:
+		return "unmeasured"
+	}
+	return "advisory"
+}
+
+// AnalyzedDiagnostic is one pass-engine finding plus its measured effect.
+type AnalyzedDiagnostic struct {
+	passes.Diagnostic
+	Verdict Verdict
+	// Delta is the package-domain energy saved by applying this fix alone:
+	// baseline minus fixed-run energy, so positive means the fix helps.
+	// Valid only when Verdict is Accepted or Rejected.
+	Delta energy.Joules
+	// DeltaPct is Delta as a percentage of the baseline package energy.
+	DeltaPct float64
+	// Note explains an Unmeasured verdict.
+	Note string
+}
+
+// AnalysisReport is the outcome of Analyze over a project.
+type AnalysisReport struct {
+	Diags []AnalyzedDiagnostic
+	// Executable reports whether the project ran end-to-end, enabling
+	// per-fix measurement; ExecNote says why when it did not.
+	Executable bool
+	ExecNote   string
+	// Baseline is the unmodified program's whole-run measurement.
+	Baseline energy.Sample
+}
+
+// Accepted lists the diagnostics whose fixes survived measurement.
+func (r *AnalysisReport) Accepted() []AnalyzedDiagnostic {
+	var out []AnalyzedDiagnostic
+	for _, d := range r.Diags {
+		if d.Verdict == VerdictAccepted {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AnalyzeConfig configures Analyze.
+type AnalyzeConfig struct {
+	// MainClass selects the entry point (empty = the unique main class).
+	MainClass string
+	// MaxOps bounds each measurement run (0 = default 500M).
+	MaxOps int64
+	// Rules restricts the engine to a rule subset (empty = all rules).
+	Rules []passes.Rule
+	// Costs overrides the simulator cost table (nil = DefaultCosts).
+	Costs *energy.CostTable
+}
+
+// Analyze is the detect/fix/verify pipeline: it runs every pass over the
+// project in one shared traversal per file, and — when the project has a
+// runnable main — measures each mechanical fix in isolation by re-parsing
+// the project, replaying just that fix, and running the program before and
+// after through the interpreter and energy model. Fixes whose measured
+// package-energy delta is negative are flagged VerdictRejected rather than
+// trusted on the rule's say-so.
+//
+// The interpreter and meter are deterministic, so a single before/after run
+// pair per fix is an exact measurement, and repeated Analyze calls agree.
+func Analyze(p Project, cfg AnalyzeConfig) (*AnalysisReport, error) {
+	files, err := ParseProject(p)
+	if err != nil {
+		return nil, err
+	}
+	diags := passes.AnalyzeFilesRules(files, cfg.Rules...)
+	report := &AnalysisReport{Diags: make([]AnalyzedDiagnostic, len(diags))}
+	for i, d := range diags {
+		v := VerdictAdvisory
+		if d.Fix != nil {
+			v = VerdictUnmeasured
+		}
+		report.Diags[i] = AnalyzedDiagnostic{Diagnostic: d, Verdict: v}
+	}
+
+	// Baseline run on a fresh parse, so measurement and analysis never share
+	// mutable ASTs.
+	base, err := ParseProject(p)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := measureRun(base, cfg)
+	if err != nil {
+		report.ExecNote = err.Error()
+		for i := range report.Diags {
+			if report.Diags[i].Verdict == VerdictUnmeasured {
+				report.Diags[i].Note = "program not runnable"
+			}
+		}
+		return report, nil
+	}
+	report.Executable = true
+	report.Baseline = baseline
+
+	for i := range report.Diags {
+		ad := &report.Diags[i]
+		if ad.Verdict != VerdictUnmeasured {
+			continue
+		}
+		delta, note, err := measureFix(p, cfg, i, len(diags), baseline)
+		if err != nil {
+			return nil, err
+		}
+		if note != "" {
+			ad.Note = note
+			continue
+		}
+		ad.Delta = delta
+		if baseline.Package != 0 {
+			ad.DeltaPct = 100 * float64(delta) / float64(baseline.Package)
+		}
+		if delta < 0 {
+			ad.Verdict = VerdictRejected
+		} else {
+			ad.Verdict = VerdictAccepted
+		}
+	}
+	return report, nil
+}
+
+// measureFix re-parses the project, re-derives the diagnostics (the engine is
+// deterministic, so index i names the same finding), applies only fix i, and
+// measures the resulting program. A non-empty note means the fix could not be
+// measured; an error means the project itself misbehaved.
+func measureFix(p Project, cfg AnalyzeConfig, i, want int, baseline energy.Sample) (energy.Joules, string, error) {
+	files, err := ParseProject(p)
+	if err != nil {
+		return 0, "", err
+	}
+	diags := passes.AnalyzeFilesRules(files, cfg.Rules...)
+	if len(diags) != want {
+		return 0, "", fmt.Errorf("core: analysis is not deterministic: %d diagnostics, then %d", want, len(diags))
+	}
+	res := passes.ApplyFixes(files, []passes.Diagnostic{diags[i]})
+	if res.Changes == 0 {
+		return 0, "fix made no change when replayed alone", nil
+	}
+	after, err := measureRun(files, cfg)
+	if err != nil {
+		return 0, "rewritten program failed: " + err.Error(), nil
+	}
+	return baseline.Package - after.Package, "", nil
+}
+
+// measureRun executes the project's main under a fresh meter and returns the
+// whole-run sample.
+func measureRun(files []*ast.File, cfg AnalyzeConfig) (energy.Sample, error) {
+	prog, err := interp.Load(files...)
+	if err != nil {
+		return energy.Sample{}, err
+	}
+	costs := energy.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	meter := energy.NewMeter(costs)
+	maxOps := cfg.MaxOps
+	if maxOps == 0 {
+		maxOps = 500_000_000
+	}
+	in := interp.New(prog, meter, interp.WithMaxOps(maxOps))
+	if err := in.RunMain(cfg.MainClass); err != nil {
+		return energy.Sample{}, err
+	}
+	return meter.Snapshot(), nil
+}
+
+// AnalysisView renders the unified diagnostic view: every finding with its
+// rule, whether a mechanical fix exists, and the measured ΔE verdict.
+func AnalysisView(r *AnalysisReport) string {
+	var sb strings.Builder
+	if r.Executable {
+		fmt.Fprintf(&sb, "baseline: package=%v core=%v time=%v\n",
+			r.Baseline.Package, r.Baseline.Core, r.Baseline.Elapsed)
+	} else {
+		fmt.Fprintf(&sb, "measurement disabled: %s\n", r.ExecNote)
+	}
+	for _, d := range r.Diags {
+		fmt.Fprintf(&sb, "%s\n", d.Diagnostic)
+		switch d.Verdict {
+		case VerdictAdvisory:
+			sb.WriteString("    advisory — no mechanical fix\n")
+		case VerdictUnmeasured:
+			fmt.Fprintf(&sb, "    fix available — unmeasured (%s)\n", d.Note)
+		case VerdictAccepted:
+			fmt.Fprintf(&sb, "    fix accepted — ΔE = %v (%.3f%% of package)\n", d.Delta, d.DeltaPct)
+		case VerdictRejected:
+			// Joules formatting picks its unit for magnitudes, so render the
+			// sign ourselves.
+			fmt.Fprintf(&sb, "    fix REJECTED — measured ΔE = -%v (costs energy on this program)\n", -d.Delta)
+		}
+	}
+	if len(r.Diags) == 0 {
+		sb.WriteString("(no diagnostics — the project already follows the Table I guidance)\n")
+	}
+	return sb.String()
+}

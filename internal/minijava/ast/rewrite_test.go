@@ -1,0 +1,245 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/parser"
+	"jepo/internal/minijava/token"
+)
+
+func parseBody(t *testing.T, body string) (*ast.File, *ast.Block) {
+	t.Helper()
+	f, err := parser.Parse("T.java", "class T { static int f(int a, int b) {\n"+body+"\n} }")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f, f.Classes[0].Methods[0].Body
+}
+
+func TestRewriteVisitsEveryInspectNode(t *testing.T) {
+	_, body := parseBody(t, `
+		int s = 0;
+		for (int i = 0; i < a; i++) {
+			if (i % 2 == 0) { s += i; } else { s -= i > 3 ? 1 : 2; }
+		}
+		while (s > 100) { s--; }
+		return s;
+	`)
+	var inspected, rewritten []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		inspected = append(inspected, nodeName(n))
+		return true
+	})
+	ast.Rewrite(body, func(c *ast.Cursor) bool {
+		rewritten = append(rewritten, nodeName(c.Node()))
+		return true
+	}, nil)
+	if strings.Join(inspected, " ") != strings.Join(rewritten, " ") {
+		t.Errorf("traversal order diverged:\ninspect: %v\nrewrite: %v", inspected, rewritten)
+	}
+}
+
+func TestRewriteReplaceDescendsIntoReplacement(t *testing.T) {
+	_, body := parseBody(t, `return a % 8;`)
+	var sawMask bool
+	ast.Rewrite(body, func(c *ast.Cursor) bool {
+		switch n := c.Node().(type) {
+		case *ast.Binary:
+			if n.Op == token.Percent {
+				c.Replace(&ast.Binary{Pos: n.Pos, Op: token.BitAnd, X: n.X,
+					Y: &ast.Literal{Pos: n.Pos, Kind: ast.LitInt, I: 7, Raw: "7"}})
+			}
+			if n.Op == token.BitAnd {
+				sawMask = true // only reachable via the replacement's children... parent
+			}
+		case *ast.Literal:
+			if n.Raw == "7" {
+				sawMask = true
+			}
+		}
+		return true
+	}, nil)
+	if !sawMask {
+		t.Error("traversal did not descend into the replacement's children")
+	}
+	out := ast.PrintStmt(body)
+	if !strings.Contains(out, "a & 7") {
+		t.Errorf("replacement missing: %s", out)
+	}
+}
+
+func TestRewriteInsertBeforeAndReplaceStatement(t *testing.T) {
+	_, body := parseBody(t, `
+		int v = a > b ? a : b;
+		return v;
+	`)
+	ast.Rewrite(body, func(c *ast.Cursor) bool {
+		lv, ok := c.Node().(*ast.LocalVar)
+		if !ok || lv.Init == nil {
+			return true
+		}
+		tern, ok := lv.Init.(*ast.Ternary)
+		if !ok {
+			return true
+		}
+		if !c.InSlice() {
+			t.Fatal("declaration not in a statement slice")
+		}
+		decl := &ast.LocalVar{Pos: lv.Pos, Type: lv.Type, Name: lv.Name}
+		c.InsertBefore(decl)
+		mk := func(e ast.Expr) ast.Stmt {
+			return &ast.ExprStmt{Pos: e.NodePos(), X: &ast.Assign{
+				Pos: e.NodePos(), Op: token.Assign,
+				LHS: &ast.Ident{Pos: lv.Pos, Name: lv.Name}, RHS: e,
+			}}
+		}
+		c.Replace(&ast.If{Pos: tern.Pos, Cond: tern.Cond,
+			Then: &ast.Block{Pos: tern.Pos, Stmts: []ast.Stmt{mk(tern.Then)}},
+			Else: &ast.Block{Pos: tern.Pos, Stmts: []ast.Stmt{mk(tern.Else)}}})
+		return true
+	}, nil)
+	out := ast.PrintStmt(body)
+	if strings.Contains(out, "?") || !strings.Contains(out, "if (a > b)") {
+		t.Errorf("expansion wrong:\n%s", out)
+	}
+	// Still parses after printing.
+	if _, err := parser.Parse("out.java", "class T { static int f(int a, int b) "+out+" }"); err != nil {
+		t.Fatalf("rewritten body does not re-parse: %v\n%s", err, out)
+	}
+}
+
+func TestRewriteDeleteAndInsertAfter(t *testing.T) {
+	_, body := parseBody(t, `
+		int x = 1;
+		int y = 2;
+		int z = 3;
+		return x + z;
+	`)
+	var visited []string
+	ast.Rewrite(body, func(c *ast.Cursor) bool {
+		lv, ok := c.Node().(*ast.LocalVar)
+		if !ok {
+			return true
+		}
+		visited = append(visited, lv.Name)
+		switch lv.Name {
+		case "y":
+			c.Delete()
+		case "z":
+			c.InsertAfter(&ast.LocalVar{Pos: lv.Pos, Type: lv.Type, Name: "w",
+				Init: &ast.Literal{Pos: lv.Pos, Kind: ast.LitInt, I: 4, Raw: "4"}})
+		}
+		return true
+	}, nil)
+	// The sweep continues past a delete without skipping, and reaches nodes
+	// inserted after the cursor.
+	want := "x y z w"
+	if got := strings.Join(visited, " "); got != want {
+		t.Errorf("visited %q, want %q", got, want)
+	}
+	out := ast.PrintStmt(body)
+	if strings.Contains(out, "int y") || !strings.Contains(out, "int w = 4") {
+		t.Errorf("slice surgery wrong:\n%s", out)
+	}
+}
+
+func TestRewritePostHookAndAbort(t *testing.T) {
+	_, body := parseBody(t, `
+		int x = 1;
+		int y = 2;
+		return x + y;
+	`)
+	var post []string
+	ast.Rewrite(body, nil, func(c *ast.Cursor) bool {
+		post = append(post, nodeName(c.Node()))
+		if lv, ok := c.Node().(*ast.LocalVar); ok && lv.Name == "y" {
+			return false // abort
+		}
+		return true
+	})
+	joined := strings.Join(post, " ")
+	if !strings.Contains(joined, "LocalVar") {
+		t.Fatalf("post hook never ran: %v", post)
+	}
+	if strings.Contains(joined, "Return") {
+		t.Errorf("abort did not stop the traversal: %v", post)
+	}
+}
+
+func TestRewriteSkipChildren(t *testing.T) {
+	_, body := parseBody(t, `
+		for (int i = 0; i < a; i++) { b = b + i; }
+		return b;
+	`)
+	var idents int
+	ast.Rewrite(body, func(c *ast.Cursor) bool {
+		if _, ok := c.Node().(*ast.For); ok {
+			return false // prune the whole loop
+		}
+		if _, ok := c.Node().(*ast.Ident); ok {
+			idents++
+		}
+		return true
+	}, nil)
+	if idents != 1 { // only the `b` in the return
+		t.Errorf("pruned traversal saw %d idents, want 1", idents)
+	}
+}
+
+func TestRewriteFileCoversFieldsAndMethods(t *testing.T) {
+	f, err := parser.Parse("T.java", `class T {
+		double big = 100000.0;
+		int g() { return 2; }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lits, returns int
+	ast.RewriteFile(f, func(c *ast.Cursor) bool {
+		switch c.Node().(type) {
+		case *ast.Literal:
+			lits++
+		case *ast.Return:
+			returns++
+		}
+		return true
+	}, nil)
+	if lits != 2 || returns != 1 {
+		t.Errorf("RewriteFile saw lits=%d returns=%d, want 2/1", lits, returns)
+	}
+}
+
+func nodeName(n ast.Node) string {
+	switch n.(type) {
+	case *ast.Block:
+		return "Block"
+	case *ast.LocalVar:
+		return "LocalVar"
+	case *ast.ExprStmt:
+		return "ExprStmt"
+	case *ast.If:
+		return "If"
+	case *ast.While:
+		return "While"
+	case *ast.For:
+		return "For"
+	case *ast.Return:
+		return "Return"
+	case *ast.Ident:
+		return "Ident"
+	case *ast.Literal:
+		return "Literal"
+	case *ast.Binary:
+		return "Binary"
+	case *ast.Unary:
+		return "Unary"
+	case *ast.Assign:
+		return "Assign"
+	case *ast.Ternary:
+		return "Ternary"
+	default:
+		return "Node"
+	}
+}

@@ -1,12 +1,14 @@
-package refactor
+package passes
 
 import (
+	"fmt"
+
 	"jepo/internal/minijava/ast"
 	"jepo/internal/minijava/token"
-	"jepo/internal/suggest"
 )
 
-// concatToBuilder rewrites string-accumulation loops to StringBuilder:
+// The string-accumulation cluster: a String declaration followed by a loop
+// whose every reference to it is an accumulation. The fix rewrites
 //
 //	String s = init;                StringBuilder s__sb = new StringBuilder(init);
 //	for (...) {             →      for (...) {
@@ -14,10 +16,12 @@ import (
 //	}                               }
 //	... uses of s ...               String s = s__sb.toString(); ... uses ...
 //
-// The rewrite only fires when every reference to s inside the loop is an
-// accumulation of the form `s = s + expr` or `s += expr`; any other use
-// (including `s = expr + s`, which reverses order) bails out.
-func (rw *rewriter) concatToBuilder(b *ast.Block) {
+// Any other use inside the loop (including `s = expr + s`, which reverses
+// order) keeps the cluster from matching.
+
+// concatBlock scans a statement block for accumulation clusters when the
+// traversal enters it, before the block's statements are visited.
+func (m *matcher) concatBlock(b *ast.Block) {
 	for i := 0; i+1 < len(b.Stmts); i++ {
 		decl, ok := b.Stmts[i].(*ast.LocalVar)
 		if !ok || !decl.Type.IsString() || decl.Init == nil {
@@ -26,15 +30,15 @@ func (rw *rewriter) concatToBuilder(b *ast.Block) {
 		// Find the accumulation loop, skipping intervening statements that
 		// never mention the accumulator.
 		j := i + 1
-		var body ast.Stmt
+		var loop, body ast.Stmt
 	scan:
 		for ; j < len(b.Stmts); j++ {
 			switch l := b.Stmts[j].(type) {
 			case *ast.For:
-				body = l.Body
+				loop, body = l, l.Body
 				break scan
 			case *ast.While:
-				body = l.Body
+				loop, body = l, l.Body
 				break scan
 			default:
 				if stmtMentions(b.Stmts[j], decl.Name) {
@@ -48,10 +52,48 @@ func (rw *rewriter) concatToBuilder(b *ast.Block) {
 		if !onlyAccumulates(body, decl.Name) {
 			continue
 		}
-		sbName := decl.Name + "__sb"
-		rewriteAccumulations(body, decl.Name, sbName)
+		// The cluster owns its declaration: a ternary initializer moves into
+		// the StringBuilder constructor instead of expanding to if/else.
+		m.clusterDecls[decl] = true
+		m.add(decl.Pos, RuleStringConcat,
+			fmt.Sprintf("string accumulation loop on '%s'", decl.Name),
+			concatFix(b, decl, loop))
+		i = j // resume scanning after the loop
+	}
+}
+
+// concatFix rewrites the cluster. It anchors at the enclosing block (the
+// surgery spans three statements) and locates the declaration and loop by
+// identity at apply time, so earlier cluster fixes in the same block may
+// shift their positions freely.
+func concatFix(b *ast.Block, decl *ast.LocalVar, loop ast.Stmt) *Fix {
+	return &Fix{anchor: b, apply: func(ap *applier, c *ast.Cursor) (int, bool) {
+		di, li := -1, -1
+		for idx, st := range b.Stmts {
+			if di < 0 && st == ast.Stmt(decl) {
+				di = idx
+			}
+			if li < 0 && st == loop {
+				li = idx
+			}
+		}
+		if di < 0 || li < 0 || li < di {
+			return 0, true
+		}
+		var body ast.Stmt
+		switch l := loop.(type) {
+		case *ast.For:
+			body = l.Body
+		case *ast.While:
+			body = l.Body
+		default:
+			return 0, true
+		}
+		name := decl.Name
+		sbName := name + "__sb"
+		rewriteAccumulations(body, name, sbName)
 		pos := decl.Pos
-		b.Stmts[i] = &ast.LocalVar{
+		b.Stmts[di] = &ast.LocalVar{
 			Pos:  pos,
 			Type: ast.Type{Kind: ast.ClassType, Name: "StringBuilder"},
 			Name: sbName,
@@ -61,14 +103,13 @@ func (rw *rewriter) concatToBuilder(b *ast.Block) {
 		materialize := &ast.LocalVar{
 			Pos:  pos,
 			Type: decl.Type,
-			Name: decl.Name,
+			Name: name,
 			Init: &ast.Call{Pos: pos, Recv: &ast.Ident{Pos: pos, Name: sbName}, Name: "toString"},
 		}
-		rest := append([]ast.Stmt{materialize}, b.Stmts[j+1:]...)
-		b.Stmts = append(b.Stmts[:j+1], rest...)
-		rw.res.add(suggest.RuleStringConcat, 1)
-		i = j + 1 // skip past the loop we just handled
-	}
+		rest := append([]ast.Stmt{materialize}, b.Stmts[li+1:]...)
+		b.Stmts = append(b.Stmts[:li+1], rest...)
+		return 1, true
+	}}
 }
 
 // stmtMentions reports whether a statement references name anywhere.
@@ -154,7 +195,9 @@ func mentions(e ast.Expr, name string) bool {
 	return found
 }
 
-// rewriteAccumulations replaces accumulation statements with appends.
+// rewriteAccumulations replaces accumulation statements with appends. The
+// append reuses the accumulated operand subtree, so fixes anchored inside it
+// still apply when the traversal descends.
 func rewriteAccumulations(s ast.Stmt, name, sbName string) {
 	var fix func(st ast.Stmt)
 	fixBlock := func(b *ast.Block) {

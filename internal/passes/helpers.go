@@ -1,0 +1,354 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/token"
+)
+
+// Shape matchers shared by the match hooks. These are the single home of the
+// Table I pattern recognizers; suggest re-exports the loop matchers for its
+// published API.
+
+func isShortCircuit(e ast.Expr) bool {
+	b, ok := e.(*ast.Binary)
+	return ok && (b.Op == token.AndAnd || b.Op == token.OrOr)
+}
+
+// isPowerOfTwoModulus reports whether `x % (1<<k)` can be rewritten to a mask.
+func isPowerOfTwoModulus(b *ast.Binary) bool {
+	lit, ok := b.Y.(*ast.Literal)
+	if !ok || lit.Kind != ast.LitInt && lit.Kind != ast.LitLong {
+		return false
+	}
+	v := lit.I
+	return v > 0 && v&(v-1) == 0
+}
+
+// wouldBenefitFromSci flags long plain-decimal spellings (many zeros) that
+// scientific notation would shorten — the shape the paper's rule targets.
+func wouldBenefitFromSci(raw string) bool {
+	digits, zeros := 0, 0
+	for _, c := range raw {
+		if c >= '0' && c <= '9' {
+			digits++
+			if c == '0' {
+				zeros++
+			}
+		}
+	}
+	return digits >= 5 && zeros >= 4
+}
+
+// CopyLoop describes a matched manual array-copy loop.
+type CopyLoop struct {
+	Src, Dst string
+	IndexVar string
+}
+
+// MatchManualArrayCopy recognizes `for (int i = 0; i < N; i++) dst[i] = src[i];`.
+func MatchManualArrayCopy(f *ast.For) *CopyLoop {
+	iv, ok := loopIndexVar(f)
+	if !ok {
+		return nil
+	}
+	body := singleStmt(f.Body)
+	es, ok := body.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	as, ok := es.X.(*ast.Assign)
+	if !ok || as.Op != token.Assign {
+		return nil
+	}
+	dst, ok := indexByVar(as.LHS, iv)
+	if !ok {
+		return nil
+	}
+	src, ok := indexByVar(as.RHS, iv)
+	if !ok {
+		return nil
+	}
+	return &CopyLoop{Src: src, Dst: dst, IndexVar: iv}
+}
+
+// ColumnLoop describes a matched column-major nested traversal.
+type ColumnLoop struct {
+	Array string
+	Outer string // outer loop variable (the column index)
+	Inner string // inner loop variable (the row index)
+}
+
+// MatchColumnTraversal recognizes
+//
+//	for (j...) { for (i...) { ... m[i][j] ... } }
+//
+// where the *inner* loop variable is the first (row) index — i.e. the
+// traversal walks down columns.
+func MatchColumnTraversal(f *ast.For) *ColumnLoop {
+	outerVar, ok := loopIndexVar(f)
+	if !ok {
+		return nil
+	}
+	innerFor, ok := singleStmt(f.Body).(*ast.For)
+	if !ok {
+		return nil
+	}
+	innerVar, ok := loopIndexVar(innerFor)
+	if !ok || innerVar == outerVar {
+		return nil
+	}
+	// Look for m[innerVar][outerVar] anywhere in the inner body.
+	var arr string
+	ast.Inspect(innerFor.Body, func(n ast.Node) bool {
+		idx, ok := n.(*ast.Index)
+		if !ok {
+			return true
+		}
+		innerIdx, ok := idx.I.(*ast.Ident)
+		if !ok || innerIdx.Name != outerVar {
+			return true
+		}
+		base, ok := idx.X.(*ast.Index)
+		if !ok {
+			return true
+		}
+		rowIdx, ok := base.I.(*ast.Ident)
+		if !ok || rowIdx.Name != innerVar {
+			return true
+		}
+		if m, ok := base.X.(*ast.Ident); ok {
+			arr = m.Name
+			return false
+		}
+		return true
+	})
+	if arr == "" {
+		return nil
+	}
+	return &ColumnLoop{Array: arr, Outer: outerVar, Inner: innerVar}
+}
+
+// loopIndexVar extracts the variable of a canonical counted loop
+// `for (int i = ...; i < ...; i++)`.
+func loopIndexVar(f *ast.For) (string, bool) {
+	lv, ok := f.Init.(*ast.LocalVar)
+	if !ok {
+		return "", false
+	}
+	if f.Cond == nil || len(f.Post) != 1 {
+		return "", false
+	}
+	u, ok := f.Post[0].(*ast.Unary)
+	if !ok || (u.Op != token.Inc && u.Op != token.Dec) {
+		return "", false
+	}
+	if id, ok := u.X.(*ast.Ident); !ok || id.Name != lv.Name {
+		return "", false
+	}
+	return lv.Name, true
+}
+
+// singleStmt unwraps a one-statement block.
+func singleStmt(s ast.Stmt) ast.Stmt {
+	if b, ok := s.(*ast.Block); ok && len(b.Stmts) == 1 {
+		return b.Stmts[0]
+	}
+	return s
+}
+
+// indexByVar matches `name[iv]` and returns name.
+func indexByVar(e ast.Expr, iv string) (string, bool) {
+	idx, ok := e.(*ast.Index)
+	if !ok {
+		return "", false
+	}
+	i, ok := idx.I.(*ast.Ident)
+	if !ok || i.Name != iv {
+		return "", false
+	}
+	base, ok := idx.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return base.Name, true
+}
+
+// isExceptionName reports whether a class name denotes a throwable (those
+// are reported under the exception rule, not the objects rule).
+func isExceptionName(name string) bool {
+	return name == "Exception" || name == "Throwable" || name == "Error" ||
+		strings.HasSuffix(name, "Exception")
+}
+
+// copyBound extracts N from `i < N` provided the loop starts at literal 0 —
+// the precondition for a plain arraycopy rewrite.
+func copyBound(f *ast.For, iv string) (ast.Expr, bool) {
+	cond, ok := f.Cond.(*ast.Binary)
+	if !ok || cond.Op != token.Lt {
+		return nil, false
+	}
+	id, ok := cond.X.(*ast.Ident)
+	if !ok || id.Name != iv {
+		return nil, false
+	}
+	lv, ok := f.Init.(*ast.LocalVar)
+	if !ok {
+		return nil, false
+	}
+	lit, ok := lv.Init.(*ast.Literal)
+	if !ok || lit.Kind != ast.LitInt || lit.I != 0 {
+		return nil, false
+	}
+	return cond.Y, true
+}
+
+func innerFor(f *ast.For) (*ast.For, bool) {
+	inner, ok := singleStmt(f.Body).(*ast.For)
+	return inner, ok
+}
+
+// Type and literal transforms — the fix-side primitives.
+
+// narrowType applies the primitive-type rule: long/short/byte→int,
+// double→float. It reports whether the type changed.
+func narrowType(t *ast.Type) bool {
+	switch t.Kind {
+	case ast.Long, ast.Short, ast.Byte:
+		t.Kind = ast.Int
+		return true
+	case ast.Double:
+		t.Kind = ast.Float
+		return true
+	}
+	return false
+}
+
+// narrowable reports whether narrowType would change the type, without
+// changing it.
+func narrowable(t ast.Type) bool {
+	switch t.Kind {
+	case ast.Long, ast.Short, ast.Byte, ast.Double:
+		return true
+	}
+	return false
+}
+
+// integerizeWrapper replaces integral wrappers with Integer.
+func integerizeWrapper(t *ast.Type) bool {
+	if t.Kind != ast.ClassType {
+		return false
+	}
+	switch t.Name {
+	case "Long", "Short", "Byte":
+		t.Name = "Integer"
+		return true
+	}
+	return false
+}
+
+func qualifiesForSci(lit *ast.Literal) bool {
+	return (lit.Kind == ast.LitDouble || lit.Kind == ast.LitFloat) && !lit.Sci &&
+		wouldBenefitFromSci(lit.Raw)
+}
+
+// scientificize rewrites one qualifying literal in place.
+func scientificize(lit *ast.Literal) {
+	lit.Raw = sciSpelling(lit)
+	lit.Sci = true
+}
+
+func sciSpelling(lit *ast.Literal) string {
+	s := fmt.Sprintf("%g", lit.D)
+	// %g already uses e-notation for large/small magnitudes; force it
+	// otherwise (1e+06 and 100000 both round-trip, we want the former).
+	if !containsE(s) {
+		s = fmt.Sprintf("%e", lit.D)
+		s = trimSciZeros(s)
+	}
+	if lit.Kind == ast.LitFloat {
+		s += "f"
+	}
+	return s
+}
+
+func containsE(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 'e' || s[i] == 'E' {
+			return true
+		}
+	}
+	return false
+}
+
+// trimSciZeros turns "1.000000e+05" into "1e+05".
+func trimSciZeros(s string) string {
+	e := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == 'e' {
+			e = i
+			break
+		}
+	}
+	if e < 0 {
+		return s
+	}
+	mant, exp := s[:e], s[e:]
+	for len(mant) > 1 && mant[len(mant)-1] == '0' {
+		mant = mant[:len(mant)-1]
+	}
+	if len(mant) > 1 && mant[len(mant)-1] == '.' {
+		mant = mant[:len(mant)-1]
+	}
+	return mant + exp
+}
+
+// matchCompareToEquality recognizes `a.compareTo(b) == 0` / `!= 0` and
+// returns the call, or nil. The rewrite itself lives in the fix closure.
+func matchCompareToEquality(b *ast.Binary) *ast.Call {
+	if b.Op != token.Eq && b.Op != token.Ne {
+		return nil
+	}
+	call, lit := matchCallLit(b.X, b.Y)
+	if call == nil {
+		call, lit = matchCallLit(b.Y, b.X)
+	}
+	if call == nil || lit == nil || lit.I != 0 || lit.Kind != ast.LitInt {
+		return nil
+	}
+	if call.Name != "compareTo" || len(call.Args) != 1 || call.Recv == nil {
+		return nil
+	}
+	return call
+}
+
+func matchCallLit(a, b ast.Expr) (*ast.Call, *ast.Literal) {
+	call, ok := a.(*ast.Call)
+	if !ok {
+		return nil, nil
+	}
+	lit, ok := b.(*ast.Literal)
+	if !ok {
+		return nil, nil
+	}
+	return call, lit
+}
+
+// compareToEquals builds `a.equals(b)` (or its negation for !=) from the
+// matched comparison.
+func compareToEquals(b *ast.Binary, call *ast.Call) ast.Expr {
+	eq := &ast.Call{Pos: call.Pos, Recv: call.Recv, Name: "equals", Args: call.Args}
+	if b.Op == token.Eq {
+		return eq
+	}
+	return &ast.Unary{Pos: b.Pos, Op: token.Not, X: eq}
+}
+
+// modulusMask builds `id & (2^k − 1)` from the matched modulus.
+func modulusMask(b *ast.Binary, id *ast.Ident, lit *ast.Literal) ast.Expr {
+	mask := &ast.Literal{Pos: lit.Pos, Kind: ast.LitInt, I: lit.I - 1,
+		Raw: fmt.Sprintf("%d", lit.I-1)}
+	return &ast.Binary{Pos: b.Pos, Op: token.BitAnd, X: id, Y: mask}
+}

@@ -1,23 +1,29 @@
-package refactor
+package passes
 
 import (
 	"jepo/internal/minijava/ast"
 	"jepo/internal/minijava/token"
-	"jepo/internal/suggest"
 )
 
-// hoistStatics applies the static-keyword rule: a mutable static field whose
-// accesses all live in a single method is rewritten so that method loads the
-// field into a local once, works on the local, and stores it back at every
-// exit. This removes the per-access static penalty (the paper's +17,700%)
-// without changing semantics for non-reentrant methods.
-func hoistStatics(files []*ast.File, res *Result) {
+// The static-keyword pass: a mutable static field whose accesses all live in
+// a single method is rewritten so that method loads the field into a local
+// once, works on the local, and stores it back at every exit. This removes
+// the per-access static penalty (the paper's +17,700%) without changing
+// semantics for non-reentrant methods.
+//
+// Hoistability is a cross-file property (another class may also touch the
+// field), so it is analyzed once up front; the per-field match hook then just
+// consults the plan map.
+
+type hoistPlan struct {
+	method    *ast.Method
+	className string
+	fd        *ast.Field
+}
+
+// analyzeStatics finds every hoistable mutable static field.
+func analyzeStatics(files []*ast.File) map[*ast.Field]*hoistPlan {
 	type fieldKey struct{ class, field string }
-	type use struct {
-		method *ast.Method
-		class  *ast.Class
-		count  int
-	}
 	// Gather mutable static fields.
 	statics := map[fieldKey]*ast.Field{}
 	for _, f := range files {
@@ -30,10 +36,14 @@ func hoistStatics(files []*ast.File, res *Result) {
 		}
 	}
 	if len(statics) == 0 {
-		return
+		return nil
 	}
 	// Count accesses per (field, method). Unqualified idents are attributed
 	// to the enclosing class; Class.field selects are attributed explicitly.
+	type use struct {
+		method *ast.Method
+		count  int
+	}
 	uses := map[fieldKey][]*use{}
 	for _, f := range files {
 		for _, c := range f.Classes {
@@ -64,11 +74,12 @@ func hoistStatics(files []*ast.File, res *Result) {
 					return true
 				})
 				for k, n := range counts {
-					uses[k] = append(uses[k], &use{method: m, class: c, count: n})
+					uses[k] = append(uses[k], &use{method: m, count: n})
 				}
 			}
 		}
 	}
+	plans := map[*ast.Field]*hoistPlan{}
 	for k, fd := range statics {
 		us := uses[k]
 		// Safe to hoist only when a single method touches the field, and it
@@ -76,9 +87,32 @@ func hoistStatics(files []*ast.File, res *Result) {
 		if len(us) != 1 || us[0].count < 2 {
 			continue
 		}
-		hoistInMethod(us[0].class, us[0].method, k.class, fd)
-		res.add(suggest.RuleStaticKeyword, 1)
+		// Already hoisted (the method starts with the load this fix would
+		// insert): applying again would shadow the load with a duplicate.
+		if alreadyHoisted(us[0].method, k.class, fd) {
+			continue
+		}
+		plans[fd] = &hoistPlan{method: us[0].method, className: k.class, fd: fd}
 	}
+	return plans
+}
+
+// alreadyHoisted reports whether the method body already begins with
+// `T field = Class.field;` — the load hoistInMethod inserts.
+func alreadyHoisted(m *ast.Method, className string, fd *ast.Field) bool {
+	if m.Body == nil || len(m.Body.Stmts) == 0 {
+		return false
+	}
+	lv, ok := m.Body.Stmts[0].(*ast.LocalVar)
+	if !ok || lv.Name != fd.Name {
+		return false
+	}
+	sel, ok := lv.Init.(*ast.Select)
+	if !ok || sel.Name != fd.Name {
+		return false
+	}
+	cls, ok := sel.X.(*ast.Ident)
+	return ok && cls.Name == className
 }
 
 // localNames collects parameter and local variable names of a method, which
@@ -97,8 +131,20 @@ func localNames(m *ast.Method) map[string]bool {
 	return names
 }
 
-// hoistInMethod rewrites m so accesses to the static field go through a local.
-func hoistInMethod(owner *ast.Class, m *ast.Method, className string, fd *ast.Field) {
+// hoistFix restructures the using method. It runs in the first apply phase,
+// before declaration surgery, so the load keeps the field's original type;
+// the applier then mirrors the field's declaration fixes onto the load.
+func hoistFix(plan *hoistPlan) *Fix {
+	return &Fix{phase: phaseHoist, direct: func(ap *applier) int {
+		load := hoistInMethod(plan.method, plan.className, plan.fd)
+		ap.hoisted = append(ap.hoisted, hoistRecord{field: plan.fd, local: load})
+		return 1
+	}}
+}
+
+// hoistInMethod rewrites m so accesses to the static field go through a
+// local, returning the inserted load declaration.
+func hoistInMethod(m *ast.Method, className string, fd *ast.Field) *ast.LocalVar {
 	pos := m.Pos
 	classIdent := func() ast.Expr { return &ast.Ident{Pos: pos, Name: className} }
 	// Qualified selects Class.field become plain idents so they hit the new
@@ -123,114 +169,22 @@ func hoistInMethod(owner *ast.Class, m *ast.Method, className string, fd *ast.Fi
 		stmts = append(stmts, writeback(pos))
 	}
 	m.Body.Stmts = stmts
+	return load
 }
 
 // replaceQualified rewrites Class.field selects to bare idents in-place.
 func replaceQualified(body *ast.Block, className, field string) {
-	var fixExpr func(e ast.Expr) ast.Expr
-	fixExpr = func(e ast.Expr) ast.Expr {
-		switch n := e.(type) {
-		case *ast.Select:
-			if cls, ok := n.X.(*ast.Ident); ok && cls.Name == className && n.Name == field {
-				return &ast.Ident{Pos: n.Pos, Name: field}
-			}
-			n.X = fixExpr(n.X)
-			return n
-		case *ast.Binary:
-			n.X, n.Y = fixExpr(n.X), fixExpr(n.Y)
-		case *ast.Unary:
-			n.X = fixExpr(n.X)
-		case *ast.Assign:
-			n.LHS, n.RHS = fixExpr(n.LHS), fixExpr(n.RHS)
-		case *ast.Ternary:
-			n.Cond, n.Then, n.Else = fixExpr(n.Cond), fixExpr(n.Then), fixExpr(n.Else)
-		case *ast.Call:
-			if n.Recv != nil {
-				n.Recv = fixExpr(n.Recv)
-			}
-			for i := range n.Args {
-				n.Args[i] = fixExpr(n.Args[i])
-			}
-		case *ast.Index:
-			n.X, n.I = fixExpr(n.X), fixExpr(n.I)
-		case *ast.New:
-			for i := range n.Args {
-				n.Args[i] = fixExpr(n.Args[i])
-			}
-		case *ast.NewArray:
-			for i := range n.Lens {
-				n.Lens[i] = fixExpr(n.Lens[i])
-			}
-		case *ast.Cast:
-			n.X = fixExpr(n.X)
-		case *ast.InstanceOf:
-			n.X = fixExpr(n.X)
+	ast.Rewrite(body, func(c *ast.Cursor) bool {
+		sel, ok := c.Node().(*ast.Select)
+		if !ok {
+			return true
 		}
-		return e
-	}
-	var fixStmt func(s ast.Stmt)
-	fixStmt = func(s ast.Stmt) {
-		switch n := s.(type) {
-		case *ast.Block:
-			for _, st := range n.Stmts {
-				fixStmt(st)
-			}
-		case *ast.LocalVar:
-			if n.Init != nil {
-				n.Init = fixExpr(n.Init)
-			}
-		case *ast.ExprStmt:
-			n.X = fixExpr(n.X)
-		case *ast.If:
-			n.Cond = fixExpr(n.Cond)
-			fixStmt(n.Then)
-			if n.Else != nil {
-				fixStmt(n.Else)
-			}
-		case *ast.While:
-			n.Cond = fixExpr(n.Cond)
-			fixStmt(n.Body)
-		case *ast.DoWhile:
-			fixStmt(n.Body)
-			n.Cond = fixExpr(n.Cond)
-		case *ast.Switch:
-			n.Tag = fixExpr(n.Tag)
-			for ci := range n.Cases {
-				for vi := range n.Cases[ci].Values {
-					n.Cases[ci].Values[vi] = fixExpr(n.Cases[ci].Values[vi])
-				}
-				for _, st := range n.Cases[ci].Stmts {
-					fixStmt(st)
-				}
-			}
-		case *ast.For:
-			if n.Init != nil {
-				fixStmt(n.Init)
-			}
-			if n.Cond != nil {
-				n.Cond = fixExpr(n.Cond)
-			}
-			for i := range n.Post {
-				n.Post[i] = fixExpr(n.Post[i])
-			}
-			fixStmt(n.Body)
-		case *ast.Return:
-			if n.X != nil {
-				n.X = fixExpr(n.X)
-			}
-		case *ast.Throw:
-			n.X = fixExpr(n.X)
-		case *ast.Try:
-			fixStmt(n.Block)
-			for _, c := range n.Catches {
-				fixStmt(c.Block)
-			}
-			if n.Finally != nil {
-				fixStmt(n.Finally)
-			}
+		if cls, ok := sel.X.(*ast.Ident); ok && cls.Name == className && sel.Name == field {
+			c.Replace(&ast.Ident{Pos: sel.Pos, Name: field})
+			return false
 		}
-	}
-	fixStmt(body)
+		return true
+	}, nil)
 }
 
 // insertWritebacks places the store-back before every return statement.

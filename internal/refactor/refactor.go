@@ -1,21 +1,16 @@
 // Package refactor applies the mechanical Table I transformations the paper's
-// validation performed on WEKA: narrowing primitive declarations
-// (double→float, long→int, …), rewriting plain decimals to scientific
-// notation, replacing non-Integer wrappers, eliminating hot static-field
-// traffic, strength-reducing power-of-two modulus, expanding ternaries to
-// if-then-else, converting string concatenation loops to StringBuilder,
-// replacing compareTo equality tests with equals, replacing manual array-copy
-// loops with System.arraycopy, and interchanging column-major loops.
+// validation performed on WEKA. It is a thin facade over the unified pass
+// engine (internal/passes): Apply analyzes the files once — every rule in one
+// shared traversal per file — and then applies the fixes attached to the
+// resulting diagnostics. Detection is never duplicated here.
 //
 // Apply mutates the given ASTs in place; callers who need the original keep
 // the source text and re-parse.
 package refactor
 
 import (
-	"fmt"
-
 	"jepo/internal/minijava/ast"
-	"jepo/internal/minijava/token"
+	"jepo/internal/passes"
 	"jepo/internal/suggest"
 )
 
@@ -25,533 +20,11 @@ type Result struct {
 	ByRule  map[suggest.Rule]int
 }
 
-func (r *Result) add(rule suggest.Rule, n int) {
-	r.Changes += n
-	r.ByRule[rule] += n
-}
-
-// Apply runs the requested rules (all auto rules when none are given) over
-// the files and reports how many changes were made. The count corresponds to
-// the "Changes" column of the paper's Table IV.
+// Apply runs the requested rules (all rules when none are given) over the
+// files and reports how many changes were made. The count corresponds to the
+// "Changes" column of the paper's Table IV.
 func Apply(files []*ast.File, rules ...suggest.Rule) *Result {
-	enabled := map[suggest.Rule]bool{}
-	if len(rules) == 0 {
-		for _, r := range suggest.AllRules() {
-			enabled[r] = true
-		}
-	} else {
-		for _, r := range rules {
-			enabled[r] = true
-		}
-	}
-	res := &Result{ByRule: map[suggest.Rule]int{}}
-	if enabled[suggest.RuleStaticKeyword] {
-		hoistStatics(files, res)
-	}
-	for _, f := range files {
-		for _, c := range f.Classes {
-			for _, fd := range c.Fields {
-				if enabled[suggest.RulePrimitiveTypes] {
-					if narrowType(&fd.Type) {
-						res.add(suggest.RulePrimitiveTypes, 1)
-					}
-				}
-				if enabled[suggest.RuleWrapperClasses] {
-					if integerizeWrapper(&fd.Type) {
-						res.add(suggest.RuleWrapperClasses, 1)
-					}
-				}
-				if fd.Init != nil && enabled[suggest.RuleScientificNotation] {
-					res.add(suggest.RuleScientificNotation, scientificizeExpr(fd.Init))
-				}
-			}
-			for _, m := range c.Methods {
-				rw := &rewriter{res: res, enabled: enabled}
-				for i := range m.Params {
-					if enabled[suggest.RulePrimitiveTypes] && narrowType(&m.Params[i].Type) {
-						res.add(suggest.RulePrimitiveTypes, 1)
-					}
-					if enabled[suggest.RuleWrapperClasses] && integerizeWrapper(&m.Params[i].Type) {
-						res.add(suggest.RuleWrapperClasses, 1)
-					}
-				}
-				if m.Body != nil {
-					rw.block(m.Body)
-				}
-			}
-		}
-	}
-	return res
-}
-
-// narrowType applies the primitive-type rule: long/short/byte→int,
-// double→float. It reports whether the type changed.
-func narrowType(t *ast.Type) bool {
-	switch t.Kind {
-	case ast.Long, ast.Short, ast.Byte:
-		t.Kind = ast.Int
-		return true
-	case ast.Double:
-		t.Kind = ast.Float
-		return true
-	}
-	return false
-}
-
-// integerizeWrapper replaces integral wrappers with Integer.
-func integerizeWrapper(t *ast.Type) bool {
-	if t.Kind != ast.ClassType {
-		return false
-	}
-	switch t.Name {
-	case "Long", "Short", "Byte":
-		t.Name = "Integer"
-		return true
-	}
-	return false
-}
-
-// scientificizeExpr rewrites qualifying decimal literals inside an expression
-// to scientific notation and reports how many were rewritten.
-func scientificizeExpr(e ast.Expr) int {
-	n := 0
-	ast.Inspect(e, func(node ast.Node) bool {
-		lit, ok := node.(*ast.Literal)
-		if !ok {
-			return true
-		}
-		if (lit.Kind == ast.LitDouble || lit.Kind == ast.LitFloat) && !lit.Sci && qualifiesForSci(lit.Raw) {
-			lit.Raw = sciSpelling(lit)
-			lit.Sci = true
-			n++
-		}
-		return true
-	})
-	return n
-}
-
-func qualifiesForSci(raw string) bool {
-	digits, zeros := 0, 0
-	for _, c := range raw {
-		if c >= '0' && c <= '9' {
-			digits++
-			if c == '0' {
-				zeros++
-			}
-		}
-	}
-	return digits >= 5 && zeros >= 4
-}
-
-func sciSpelling(lit *ast.Literal) string {
-	s := fmt.Sprintf("%g", lit.D)
-	// %g already uses e-notation for large/small magnitudes; force it
-	// otherwise (1e+06 and 100000 both round-trip, we want the former).
-	if !containsE(s) {
-		s = fmt.Sprintf("%e", lit.D)
-		s = trimSciZeros(s)
-	}
-	if lit.Kind == ast.LitFloat {
-		s += "f"
-	}
-	return s
-}
-
-func containsE(s string) bool {
-	for i := 0; i < len(s); i++ {
-		if s[i] == 'e' || s[i] == 'E' {
-			return true
-		}
-	}
-	return false
-}
-
-// trimSciZeros turns "1.000000e+05" into "1e+05".
-func trimSciZeros(s string) string {
-	e := -1
-	for i := 0; i < len(s); i++ {
-		if s[i] == 'e' {
-			e = i
-			break
-		}
-	}
-	if e < 0 {
-		return s
-	}
-	mant, exp := s[:e], s[e:]
-	for len(mant) > 1 && mant[len(mant)-1] == '0' {
-		mant = mant[:len(mant)-1]
-	}
-	if len(mant) > 1 && mant[len(mant)-1] == '.' {
-		mant = mant[:len(mant)-1]
-	}
-	return mant + exp
-}
-
-// rewriter walks statements applying in-body rules.
-type rewriter struct {
-	res     *Result
-	enabled map[suggest.Rule]bool
-	// loop-index vars known to start at a non-negative literal and only
-	// increment — safe targets for modulus strength reduction.
-	nonNegLoopVars map[string]bool
-}
-
-func (rw *rewriter) block(b *ast.Block) {
-	if rw.enabled[suggest.RuleStringConcat] {
-		rw.concatToBuilder(b)
-	}
-	out := make([]ast.Stmt, 0, len(b.Stmts))
-	for _, s := range b.Stmts {
-		out = append(out, rw.stmt(s)...)
-	}
-	b.Stmts = out
-}
-
-// stmt rewrites one statement, possibly expanding it into several.
-func (rw *rewriter) stmt(s ast.Stmt) []ast.Stmt {
-	switch n := s.(type) {
-	case *ast.Block:
-		rw.block(n)
-		return []ast.Stmt{n}
-	case *ast.LocalVar:
-		if rw.enabled[suggest.RulePrimitiveTypes] && narrowType(&n.Type) {
-			rw.res.add(suggest.RulePrimitiveTypes, 1)
-		}
-		if rw.enabled[suggest.RuleWrapperClasses] && integerizeWrapper(&n.Type) {
-			rw.res.add(suggest.RuleWrapperClasses, 1)
-		}
-		if n.Init != nil {
-			// Ternary initializer → declare then if/else assign.
-			if tern, ok := n.Init.(*ast.Ternary); ok && rw.enabled[suggest.RuleTernaryOperator] {
-				rw.res.add(suggest.RuleTernaryOperator, 1)
-				decl := &ast.LocalVar{Pos: n.Pos, Type: n.Type, Name: n.Name}
-				ifs := rw.ternaryToIf(tern, func(e ast.Expr) ast.Stmt {
-					return &ast.ExprStmt{Pos: e.NodePos(), X: &ast.Assign{
-						Pos: e.NodePos(), Op: token.Assign,
-						LHS: &ast.Ident{Pos: n.Pos, Name: n.Name}, RHS: e,
-					}}
-				})
-				return append([]ast.Stmt{decl}, rw.stmt(ifs)...)
-			}
-			n.Init = rw.expr(n.Init)
-		}
-		return []ast.Stmt{n}
-	case *ast.ExprStmt:
-		if as, ok := n.X.(*ast.Assign); ok && as.Op == token.Assign && rw.enabled[suggest.RuleTernaryOperator] {
-			if tern, ok := as.RHS.(*ast.Ternary); ok {
-				rw.res.add(suggest.RuleTernaryOperator, 1)
-				ifs := rw.ternaryToIf(tern, func(e ast.Expr) ast.Stmt {
-					return &ast.ExprStmt{Pos: e.NodePos(), X: &ast.Assign{
-						Pos: as.Pos, Op: token.Assign, LHS: as.LHS, RHS: e,
-					}}
-				})
-				return rw.stmt(ifs)
-			}
-		}
-		n.X = rw.expr(n.X)
-		return []ast.Stmt{n}
-	case *ast.If:
-		n.Cond = rw.expr(n.Cond)
-		n.Then = rw.one(n.Then)
-		if n.Else != nil {
-			n.Else = rw.one(n.Else)
-		}
-		return []ast.Stmt{n}
-	case *ast.While:
-		n.Cond = rw.expr(n.Cond)
-		n.Body = rw.one(n.Body)
-		return []ast.Stmt{n}
-	case *ast.DoWhile:
-		n.Body = rw.one(n.Body)
-		n.Cond = rw.expr(n.Cond)
-		return []ast.Stmt{n}
-	case *ast.Switch:
-		n.Tag = rw.expr(n.Tag)
-		for ci := range n.Cases {
-			for vi := range n.Cases[ci].Values {
-				n.Cases[ci].Values[vi] = rw.expr(n.Cases[ci].Values[vi])
-			}
-			out := make([]ast.Stmt, 0, len(n.Cases[ci].Stmts))
-			for _, st := range n.Cases[ci].Stmts {
-				out = append(out, rw.stmt(st)...)
-			}
-			n.Cases[ci].Stmts = out
-		}
-		return []ast.Stmt{n}
-	case *ast.For:
-		return rw.forStmt(n)
-	case *ast.Return:
-		if tern, ok := n.X.(*ast.Ternary); ok && rw.enabled[suggest.RuleTernaryOperator] {
-			rw.res.add(suggest.RuleTernaryOperator, 1)
-			ifs := rw.ternaryToIf(tern, func(e ast.Expr) ast.Stmt {
-				return &ast.Return{Pos: n.Pos, X: e}
-			})
-			return rw.stmt(ifs)
-		}
-		if n.X != nil {
-			n.X = rw.expr(n.X)
-		}
-		return []ast.Stmt{n}
-	case *ast.Throw:
-		n.X = rw.expr(n.X)
-		return []ast.Stmt{n}
-	case *ast.Try:
-		rw.block(n.Block)
-		for _, c := range n.Catches {
-			rw.block(c.Block)
-		}
-		if n.Finally != nil {
-			rw.block(n.Finally)
-		}
-		return []ast.Stmt{n}
-	}
-	return []ast.Stmt{s}
-}
-
-// one rewrites a single nested statement, wrapping in a block if it expands.
-func (rw *rewriter) one(s ast.Stmt) ast.Stmt {
-	out := rw.stmt(s)
-	if len(out) == 1 {
-		return out[0]
-	}
-	return &ast.Block{Pos: s.NodePos(), Stmts: out}
-}
-
-func (rw *rewriter) ternaryToIf(t *ast.Ternary, mk func(ast.Expr) ast.Stmt) ast.Stmt {
-	return &ast.If{
-		Pos:  t.Pos,
-		Cond: rw.expr(t.Cond),
-		Then: &ast.Block{Pos: t.Pos, Stmts: []ast.Stmt{mk(t.Then)}},
-		Else: &ast.Block{Pos: t.Pos, Stmts: []ast.Stmt{mk(t.Else)}},
-	}
-}
-
-func (rw *rewriter) forStmt(n *ast.For) []ast.Stmt {
-	// Manual copy loop → System.arraycopy.
-	if rw.enabled[suggest.RuleArraysCopy] {
-		if cl := suggest.MatchManualArrayCopy(n); cl != nil {
-			if bound, ok := copyBound(n, cl.IndexVar); ok {
-				rw.res.add(suggest.RuleArraysCopy, 1)
-				zero := func() ast.Expr { return &ast.Literal{Pos: n.Pos, Kind: ast.LitInt, Raw: "0"} }
-				call := &ast.Call{
-					Pos:  n.Pos,
-					Recv: &ast.Ident{Pos: n.Pos, Name: "System"},
-					Name: "arraycopy",
-					Args: []ast.Expr{
-						&ast.Ident{Pos: n.Pos, Name: cl.Src}, zero(),
-						&ast.Ident{Pos: n.Pos, Name: cl.Dst}, zero(),
-						bound,
-					},
-				}
-				return []ast.Stmt{&ast.ExprStmt{Pos: n.Pos, X: call}}
-			}
-		}
-	}
-	// Column-major nested loop → interchange.
-	if rw.enabled[suggest.RuleArrayTraversal] {
-		if suggest.MatchColumnTraversal(n) != nil {
-			if inner, ok := innerFor(n); ok {
-				rw.res.add(suggest.RuleArrayTraversal, 1)
-				outerHdr := *n
-				innerHdr := *inner
-				// Swap loop headers, keep the innermost body.
-				n.Init, n.Cond, n.Post = innerHdr.Init, innerHdr.Cond, innerHdr.Post
-				inner.Init, inner.Cond, inner.Post = outerHdr.Init, outerHdr.Cond, outerHdr.Post
-			}
-		}
-	}
-	// Track non-negative counted loop vars for modulus strength reduction.
-	if rw.nonNegLoopVars == nil {
-		rw.nonNegLoopVars = map[string]bool{}
-	}
-	var tracked string
-	if lv, ok := n.Init.(*ast.LocalVar); ok {
-		if lit, isLit := lv.Init.(*ast.Literal); isLit && lit.Kind == ast.LitInt && lit.I >= 0 {
-			if len(n.Post) == 1 {
-				if u, isU := n.Post[0].(*ast.Unary); isU && u.Op == token.Inc {
-					tracked = lv.Name
-					rw.nonNegLoopVars[tracked] = true
-				}
-			}
-		}
-	}
-	if n.Init != nil {
-		n.Init = rw.one(n.Init)
-	}
-	if n.Cond != nil {
-		n.Cond = rw.expr(n.Cond)
-	}
-	for i := range n.Post {
-		n.Post[i] = rw.expr(n.Post[i])
-	}
-	n.Body = rw.one(n.Body)
-	if tracked != "" {
-		delete(rw.nonNegLoopVars, tracked)
-	}
-	return []ast.Stmt{n}
-}
-
-// copyBound extracts N from `i < N` (or `i <= N-…` is not handled).
-func copyBound(f *ast.For, iv string) (ast.Expr, bool) {
-	cond, ok := f.Cond.(*ast.Binary)
-	if !ok || cond.Op != token.Lt {
-		return nil, false
-	}
-	id, ok := cond.X.(*ast.Ident)
-	if !ok || id.Name != iv {
-		return nil, false
-	}
-	// The start index must be 0 for a plain arraycopy rewrite.
-	lv, ok := f.Init.(*ast.LocalVar)
-	if !ok {
-		return nil, false
-	}
-	lit, ok := lv.Init.(*ast.Literal)
-	if !ok || lit.Kind != ast.LitInt || lit.I != 0 {
-		return nil, false
-	}
-	return cond.Y, true
-}
-
-func innerFor(f *ast.For) (*ast.For, bool) {
-	body := f.Body
-	if b, ok := body.(*ast.Block); ok && len(b.Stmts) == 1 {
-		body = b.Stmts[0]
-	}
-	inner, ok := body.(*ast.For)
-	return inner, ok
-}
-
-// expr rewrites expressions: ternary (nested, counted but left in place is
-// wrong — nested ternaries in expressions are expanded only at statement
-// level, so here we rewrite children), compareTo equality, power-of-two
-// modulus, scientific notation.
-func (rw *rewriter) expr(e ast.Expr) ast.Expr {
-	switch n := e.(type) {
-	case *ast.Literal:
-		if rw.enabled[suggest.RuleScientificNotation] {
-			rw.res.add(suggest.RuleScientificNotation, scientificizeExpr(n))
-		}
-		return n
-	case *ast.Binary:
-		n.X = rw.expr(n.X)
-		n.Y = rw.expr(n.Y)
-		if rw.enabled[suggest.RuleStringComparison] {
-			if repl := compareToEquality(n); repl != nil {
-				rw.res.add(suggest.RuleStringComparison, 1)
-				return repl
-			}
-		}
-		if rw.enabled[suggest.RuleModulusOperator] {
-			if repl := rw.modulusToMask(n); repl != nil {
-				rw.res.add(suggest.RuleModulusOperator, 1)
-				return repl
-			}
-		}
-		return n
-	case *ast.Unary:
-		n.X = rw.expr(n.X)
-		return n
-	case *ast.Assign:
-		n.LHS = rw.expr(n.LHS)
-		n.RHS = rw.expr(n.RHS)
-		return n
-	case *ast.Ternary:
-		n.Cond = rw.expr(n.Cond)
-		n.Then = rw.expr(n.Then)
-		n.Else = rw.expr(n.Else)
-		return n
-	case *ast.Call:
-		if n.Recv != nil {
-			n.Recv = rw.expr(n.Recv)
-		}
-		for i := range n.Args {
-			n.Args[i] = rw.expr(n.Args[i])
-		}
-		return n
-	case *ast.Select:
-		n.X = rw.expr(n.X)
-		return n
-	case *ast.Index:
-		n.X = rw.expr(n.X)
-		n.I = rw.expr(n.I)
-		return n
-	case *ast.New:
-		for i := range n.Args {
-			n.Args[i] = rw.expr(n.Args[i])
-		}
-		return n
-	case *ast.NewArray:
-		// Array allocations narrow along with the declarations that hold
-		// them, otherwise a float[][] variable would keep double storage.
-		if rw.enabled[suggest.RulePrimitiveTypes] && narrowType(&n.Elem) {
-			rw.res.add(suggest.RulePrimitiveTypes, 1)
-		}
-		for i := range n.Lens {
-			n.Lens[i] = rw.expr(n.Lens[i])
-		}
-		return n
-	case *ast.Cast:
-		n.X = rw.expr(n.X)
-		return n
-	case *ast.InstanceOf:
-		n.X = rw.expr(n.X)
-		return n
-	}
-	return e
-}
-
-// compareToEquality rewrites `a.compareTo(b) == 0` → `a.equals(b)` and
-// `!= 0` → `!a.equals(b)`.
-func compareToEquality(b *ast.Binary) ast.Expr {
-	if b.Op != token.Eq && b.Op != token.Ne {
-		return nil
-	}
-	call, lit := matchCallLit(b.X, b.Y)
-	if call == nil {
-		call, lit = matchCallLit(b.Y, b.X)
-	}
-	if call == nil || lit == nil || lit.I != 0 || lit.Kind != ast.LitInt {
-		return nil
-	}
-	if call.Name != "compareTo" || len(call.Args) != 1 || call.Recv == nil {
-		return nil
-	}
-	eq := &ast.Call{Pos: call.Pos, Recv: call.Recv, Name: "equals", Args: call.Args}
-	if b.Op == token.Eq {
-		return eq
-	}
-	return &ast.Unary{Pos: b.Pos, Op: token.Not, X: eq}
-}
-
-func matchCallLit(a, b ast.Expr) (*ast.Call, *ast.Literal) {
-	call, ok := a.(*ast.Call)
-	if !ok {
-		return nil, nil
-	}
-	lit, ok := b.(*ast.Literal)
-	if !ok {
-		return nil, nil
-	}
-	return call, lit
-}
-
-// modulusToMask strength-reduces `i % 2^k` to `i & (2^k − 1)` when i is a
-// counted loop variable known to stay non-negative.
-func (rw *rewriter) modulusToMask(b *ast.Binary) ast.Expr {
-	if b.Op != token.Percent {
-		return nil
-	}
-	lit, ok := b.Y.(*ast.Literal)
-	if !ok || lit.Kind != ast.LitInt || lit.I <= 0 || lit.I&(lit.I-1) != 0 {
-		return nil
-	}
-	id, ok := b.X.(*ast.Ident)
-	if !ok || !rw.nonNegLoopVars[id.Name] {
-		return nil
-	}
-	mask := &ast.Literal{Pos: lit.Pos, Kind: ast.LitInt, I: lit.I - 1,
-		Raw: fmt.Sprintf("%d", lit.I-1)}
-	return &ast.Binary{Pos: b.Pos, Op: token.BitAnd, X: id, Y: mask}
+	diags := passes.AnalyzeFilesRules(files, rules...)
+	res := passes.ApplyFixes(files, diags)
+	return &Result{Changes: res.Changes, ByRule: res.ByRule}
 }

@@ -1,116 +1,50 @@
-// Package suggest implements JEPO's suggestion engine: the eleven
-// energy-efficiency rules of the paper's Table I. The engine analyzes parsed
-// mini-Java files and emits positioned suggestions; the refactor package can
-// apply the mechanical ones automatically.
+// Package suggest renders JEPO's suggestion view: the eleven energy-efficiency
+// rules of the paper's Table I, as positioned suggestions over parsed
+// mini-Java files. Detection itself lives in the unified pass engine
+// (internal/passes); this package adapts its diagnostics to the suggestion
+// shape the dynamic view (Fig. 2) and optimizer view (Fig. 5) print, and
+// re-exports the rule identifiers and loop matchers of its published API.
 package suggest
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"jepo/internal/minijava/ast"
-	"jepo/internal/minijava/token"
+	"jepo/internal/passes"
 )
 
 // Rule identifies one Table I row.
-type Rule int
+type Rule = passes.Rule
 
 // The eleven Table I rules, in the table's order, followed by the extension
-// rules for the "exception" and "objects" components the paper's abstract
-// lists but Table I does not quantify (its §IX names "more suggestions" as
-// future work).
+// rules for the "exception" and "objects" components.
 const (
-	RulePrimitiveTypes Rule = iota
-	RuleScientificNotation
-	RuleWrapperClasses
-	RuleStaticKeyword
-	RuleModulusOperator
-	RuleTernaryOperator
-	RuleShortCircuit
-	RuleStringConcat
-	RuleStringComparison
-	RuleArraysCopy
-	RuleArrayTraversal
-	numTableIRules
-
-	// Extension rules (suggestion-only; not mechanically applied).
-	RuleExceptionInLoop Rule = iota - 1 // account for the numTableIRules slot
-	RuleObjectInLoop
-	numRules
+	RulePrimitiveTypes     = passes.RulePrimitiveTypes
+	RuleScientificNotation = passes.RuleScientificNotation
+	RuleWrapperClasses     = passes.RuleWrapperClasses
+	RuleStaticKeyword      = passes.RuleStaticKeyword
+	RuleModulusOperator    = passes.RuleModulusOperator
+	RuleTernaryOperator    = passes.RuleTernaryOperator
+	RuleShortCircuit       = passes.RuleShortCircuit
+	RuleStringConcat       = passes.RuleStringConcat
+	RuleStringComparison   = passes.RuleStringComparison
+	RuleArraysCopy         = passes.RuleArraysCopy
+	RuleArrayTraversal     = passes.RuleArrayTraversal
+	RuleExceptionInLoop    = passes.RuleExceptionInLoop
+	RuleObjectInLoop       = passes.RuleObjectInLoop
 )
 
 // NumTableIRules is the number of rules Table I quantifies.
-const NumTableIRules = int(numTableIRules)
+const NumTableIRules = passes.NumTableIRules
 
 // NumRules is the total rule count including the extension rules.
-const NumRules = int(numRules)
-
-var ruleMeta = [...]struct {
-	component  string
-	suggestion string
-}{
-	RulePrimitiveTypes: {"Primitive data types",
-		"int is the most energy-efficient primitive data type. Replace if possible."},
-	RuleScientificNotation: {"Scientific notation",
-		"Scientific notation results in lower energy consumption of decimal numbers."},
-	RuleWrapperClasses: {"Wrapper classes",
-		"Integer Wrapper class object is the most energy-efficient. Replace if possible."},
-	RuleStaticKeyword: {"Static keyword",
-		"static keyword consumes up to 17,700% more energy. Avoid if possible."},
-	RuleModulusOperator: {"Arithmetic operators",
-		"Modulus arithmetic operator consumes up to 1,620% more energy than other arithmetic operators."},
-	RuleTernaryOperator: {"Ternary operator",
-		"Ternary operator consumes up to 37% more energy than if-then-else statement."},
-	RuleShortCircuit: {"Short circuit operator",
-		"Put most common case first for lower energy consumption."},
-	RuleStringConcat: {"String concatenation operator",
-		"StringBuilder append method consumes much lower energy than String concatenation operator."},
-	RuleStringComparison: {"String comparison",
-		"String compareTo method consumes up to 33% more energy than the String equals method."},
-	RuleArraysCopy: {"Arrays copy",
-		"System.arraycopy() is the most energy-efficient way to copy Arrays."},
-	RuleArrayTraversal: {"Array traversal",
-		"Two-dimensional Array column traversal result in up to 793% more energy."},
-	RuleExceptionInLoop: {"Exceptions",
-		"Exception handling inside a hot loop pays the try/throw cost every iteration. Restructure if possible."},
-	RuleObjectInLoop: {"Objects",
-		"Object allocation inside a loop churns the heap. Reuse an instance if possible."},
-}
-
-// Component is the Table I "Java Components" label for the rule.
-func (r Rule) Component() string { return ruleMeta[r].component }
-
-// Text is the Table I suggestion text for the rule.
-func (r Rule) Text() string { return ruleMeta[r].suggestion }
-
-// String names the rule by component.
-func (r Rule) String() string {
-	if r < 0 || r >= numRules {
-		return fmt.Sprintf("rule(%d)", int(r))
-	}
-	return ruleMeta[r].component
-}
+const NumRules = passes.NumRules
 
 // TableIRules lists only the rules Table I quantifies, in the table's order.
-func TableIRules() []Rule {
-	out := make([]Rule, NumTableIRules)
-	for i := range out {
-		out[i] = Rule(i)
-	}
-	return out
-}
+func TableIRules() []Rule { return passes.TableIRules() }
 
-// AllRules lists every rule — Table I plus the extension rules. (The
-// extension rules start at the value of the numTableIRules sentinel, so the
-// rule values are contiguous.)
-func AllRules() []Rule {
-	out := make([]Rule, NumRules)
-	for i := range out {
-		out[i] = Rule(i)
-	}
-	return out
-}
+// AllRules lists every rule — Table I plus the extension rules.
+func AllRules() []Rule { return passes.AllRules() }
 
 // Suggestion is one positioned finding.
 type Suggestion struct {
@@ -128,45 +62,34 @@ func (s Suggestion) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s (%s)", s.Class, s.Line, s.Rule.Component(), s.Rule.Text(), s.Detail)
 }
 
-// Analyze runs every rule over a file and returns suggestions ordered by
-// line. It is the engine behind both the dynamic view (Fig. 2) and the
-// optimizer view (Fig. 5).
-func Analyze(file *ast.File) []Suggestion {
-	var out []Suggestion
-	for _, c := range file.Classes {
-		a := &analyzer{file: file, class: c, types: map[string]ast.Type{}}
-		for _, f := range c.Fields {
-			a.types[f.Name] = f.Type
-		}
-		fieldTypes := a.types
-		for _, f := range c.Fields {
-			a.field(f)
-		}
-		for _, m := range c.Methods {
-			a.types = map[string]ast.Type{}
-			for k, v := range fieldTypes {
-				a.types[k] = v
-			}
-			a.method(m)
-		}
-		out = append(out, a.found...)
+func fromDiagnostics(diags []passes.Diagnostic) []Suggestion {
+	out := make([]Suggestion, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, Suggestion{
+			File:   d.File,
+			Class:  d.Class,
+			Method: d.Method,
+			Line:   d.Line,
+			Rule:   d.Rule,
+			Detail: d.Detail,
+			// A suggestion is mechanically applicable exactly when the pass
+			// attached a fix: the suggest and refactor sides can no longer
+			// disagree about what is automatic.
+			CanAuto: d.Fix != nil,
+		})
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].File != out[j].File {
-			return out[i].File < out[j].File
-		}
-		return out[i].Line < out[j].Line
-	})
 	return out
+}
+
+// Analyze runs every pass over a file and returns suggestions ordered by
+// line.
+func Analyze(file *ast.File) []Suggestion {
+	return fromDiagnostics(passes.AnalyzeFiles([]*ast.File{file}))
 }
 
 // AnalyzeAll analyzes many files.
 func AnalyzeAll(files []*ast.File) []Suggestion {
-	var out []Suggestion
-	for _, f := range files {
-		out = append(out, Analyze(f)...)
-	}
-	return out
+	return fromDiagnostics(passes.AnalyzeFiles(files))
 }
 
 // CountByRule tallies suggestions per rule.
@@ -178,386 +101,14 @@ func CountByRule(sugs []Suggestion) map[Rule]int {
 	return m
 }
 
-type analyzer struct {
-	file      *ast.File
-	class     *ast.Class
-	curMethod string
-	loopDepth int
-	found     []Suggestion
-	// types records declared types of fields, params and locals in scope so
-	// the string rules can distinguish String '+' from numeric '+'.
-	types map[string]ast.Type
-}
-
-func (a *analyzer) add(pos token.Pos, r Rule, detail string, auto bool) {
-	a.found = append(a.found, Suggestion{
-		File:    a.file.Path,
-		Class:   a.class.Name,
-		Method:  a.curMethod,
-		Line:    pos.Line,
-		Rule:    r,
-		Detail:  detail,
-		CanAuto: auto,
-	})
-}
-
-func (a *analyzer) field(f *ast.Field) {
-	a.curMethod = ""
-	a.checkDeclType(f.Pos, f.Type, "field '"+f.Name+"'")
-	if f.Mods.Has(ast.ModStatic) && !f.Mods.Has(ast.ModFinal) {
-		// static final constants are folded by javac; the paper's 17,700%
-		// penalty is about mutable static state.
-		a.add(f.Pos, RuleStaticKeyword, "mutable static field '"+f.Name+"'", true)
-	}
-	if f.Init != nil {
-		a.expr(f.Init)
-	}
-}
-
-func (a *analyzer) method(m *ast.Method) {
-	a.curMethod = m.Name
-	for _, p := range m.Params {
-		a.types[p.Name] = p.Type
-		a.checkDeclType(m.Pos, p.Type, "parameter '"+p.Name+"'")
-	}
-	if m.Body != nil {
-		a.stmt(m.Body)
-	}
-}
-
-// checkDeclType flags non-int primitive declarations (rule 1) and non-Integer
-// wrapper declarations (rule 3).
-func (a *analyzer) checkDeclType(pos token.Pos, t ast.Type, what string) {
-	if t.Dims > 0 {
-		t = ast.Type{Kind: t.Kind, Name: t.Name} // look through arrays
-	}
-	switch t.Kind {
-	case ast.Long, ast.Short, ast.Byte, ast.Double, ast.Float:
-		auto := t.Kind == ast.Long || t.Kind == ast.Short || t.Kind == ast.Byte || t.Kind == ast.Double
-		a.add(pos, RulePrimitiveTypes, fmt.Sprintf("%s declared %s", what, t.Kind), auto)
-	case ast.ClassType:
-		switch t.Name {
-		case "Long", "Short", "Byte", "Double", "Float", "Character":
-			a.add(pos, RuleWrapperClasses, fmt.Sprintf("%s declared %s", what, t.Name), t.Name == "Long" || t.Name == "Short" || t.Name == "Byte")
-		}
-	}
-}
-
-func (a *analyzer) stmt(s ast.Stmt) {
-	switch n := s.(type) {
-	case *ast.Block:
-		for _, st := range n.Stmts {
-			a.stmt(st)
-		}
-	case *ast.LocalVar:
-		a.types[n.Name] = n.Type
-		a.checkDeclType(n.Pos, n.Type, "local '"+n.Name+"'")
-		if n.Init != nil {
-			a.expr(n.Init)
-		}
-	case *ast.ExprStmt:
-		a.expr(n.X)
-	case *ast.If:
-		a.expr(n.Cond)
-		a.stmt(n.Then)
-		if n.Else != nil {
-			a.stmt(n.Else)
-		}
-	case *ast.While:
-		a.expr(n.Cond)
-		a.loopDepth++
-		a.stmt(n.Body)
-		a.loopDepth--
-	case *ast.DoWhile:
-		a.loopDepth++
-		a.stmt(n.Body)
-		a.loopDepth--
-		a.expr(n.Cond)
-	case *ast.Switch:
-		a.expr(n.Tag)
-		for _, c := range n.Cases {
-			for _, v := range c.Values {
-				a.expr(v)
-			}
-			for _, st := range c.Stmts {
-				a.stmt(st)
-			}
-		}
-	case *ast.For:
-		a.checkFor(n)
-	case *ast.Return:
-		if n.X != nil {
-			a.expr(n.X)
-		}
-	case *ast.Throw:
-		if a.loopDepth > 0 {
-			a.add(n.Pos, RuleExceptionInLoop, "throw inside a loop", false)
-		}
-		a.expr(n.X)
-	case *ast.Try:
-		if a.loopDepth > 0 {
-			a.add(n.Pos, RuleExceptionInLoop, "try/catch inside a loop", false)
-		}
-		a.stmt(n.Block)
-		for _, c := range n.Catches {
-			a.stmt(c.Block)
-		}
-		if n.Finally != nil {
-			a.stmt(n.Finally)
-		}
-	}
-}
-
-func (a *analyzer) checkFor(n *ast.For) {
-	if n.Init != nil {
-		a.stmt(n.Init)
-	}
-	if n.Cond != nil {
-		a.expr(n.Cond)
-	}
-	for _, p := range n.Post {
-		a.expr(p)
-	}
-	if copied := MatchManualArrayCopy(n); copied != nil {
-		a.add(n.Pos, RuleArraysCopy,
-			fmt.Sprintf("manual copy loop from '%s' to '%s'", copied.Src, copied.Dst), true)
-	}
-	if swap := MatchColumnTraversal(n); swap != nil {
-		a.add(n.Pos, RuleArrayTraversal,
-			fmt.Sprintf("column-major traversal of '%s'", swap.Array), true)
-	}
-	a.loopDepth++
-	a.stmt(n.Body)
-	a.loopDepth--
-}
-
-func (a *analyzer) expr(e ast.Expr) {
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.Literal:
-			if (x.Kind == ast.LitDouble || x.Kind == ast.LitFloat) && !x.Sci && wouldBenefitFromSci(x.Raw) {
-				a.add(x.Pos, RuleScientificNotation, "decimal literal "+x.Raw, true)
-			}
-		case *ast.Binary:
-			switch x.Op {
-			case token.Percent:
-				a.add(x.Pos, RuleModulusOperator, "modulus expression "+ast.PrintExpr(x), isPowerOfTwoModulus(x))
-			case token.AndAnd, token.OrOr:
-				// Only flag the outermost chain node, not every link.
-				if _, inner := x.X.(*ast.Binary); !inner || !isShortCircuit(x.X) {
-					a.add(x.Pos, RuleShortCircuit, "short-circuit chain "+ast.PrintExpr(x), false)
-				}
-			case token.Plus:
-				if a.isStringExpr(x.X) || a.isStringExpr(x.Y) {
-					a.add(x.Pos, RuleStringConcat, "string concatenation "+ast.PrintExpr(x), false)
-				}
-			}
-		case *ast.Assign:
-			if x.Op == token.PlusEq && a.isStringExpr(x.LHS) {
-				a.add(x.Pos, RuleStringConcat, "string += concatenation", false)
-			}
-		case *ast.Ternary:
-			a.add(x.Pos, RuleTernaryOperator, "ternary "+ast.PrintExpr(x), true)
-		case *ast.Call:
-			if x.Name == "compareTo" && len(x.Args) == 1 {
-				a.add(x.Pos, RuleStringComparison, "compareTo call "+ast.PrintExpr(x), false)
-			}
-		case *ast.New:
-			if a.loopDepth > 0 && !isExceptionName(x.Name) {
-				a.add(x.Pos, RuleObjectInLoop, "allocation of "+x.Name+" inside a loop", false)
-			}
-		}
-		return true
-	})
-}
-
-func isShortCircuit(e ast.Expr) bool {
-	b, ok := e.(*ast.Binary)
-	return ok && (b.Op == token.AndAnd || b.Op == token.OrOr)
-}
-
-// isPowerOfTwoModulus reports whether `x % (1<<k)` can be rewritten to a mask.
-func isPowerOfTwoModulus(b *ast.Binary) bool {
-	lit, ok := b.Y.(*ast.Literal)
-	if !ok || lit.Kind != ast.LitInt && lit.Kind != ast.LitLong {
-		return false
-	}
-	v := lit.I
-	return v > 0 && v&(v-1) == 0
-}
-
-// wouldBenefitFromSci flags long plain-decimal spellings (many zeros) that
-// scientific notation would shorten — the shape the paper's rule targets.
-func wouldBenefitFromSci(raw string) bool {
-	digits, zeros := 0, 0
-	for _, c := range raw {
-		if c >= '0' && c <= '9' {
-			digits++
-			if c == '0' {
-				zeros++
-			}
-		}
-	}
-	return digits >= 5 && zeros >= 4
-}
-
-// isStringExpr reports whether an expression is statically known to be a
-// String: a string literal, a String-typed name, or itself a string concat.
-func (a *analyzer) isStringExpr(e ast.Expr) bool {
-	switch x := e.(type) {
-	case *ast.Literal:
-		return x.Kind == ast.LitString
-	case *ast.Ident:
-		t, ok := a.types[x.Name]
-		return ok && t.IsString()
-	case *ast.Binary:
-		return x.Op == token.Plus && (a.isStringExpr(x.X) || a.isStringExpr(x.Y))
-	case *ast.Call:
-		switch x.Name {
-		case "toString", "substring", "trim", "concat":
-			return true
-		}
-	}
-	return false
-}
-
 // CopyLoop describes a matched manual array-copy loop.
-type CopyLoop struct {
-	Src, Dst string
-	IndexVar string
-}
-
-// MatchManualArrayCopy recognizes `for (int i = 0; i < N; i++) dst[i] = src[i];`.
-func MatchManualArrayCopy(f *ast.For) *CopyLoop {
-	iv, ok := loopIndexVar(f)
-	if !ok {
-		return nil
-	}
-	body := singleStmt(f.Body)
-	es, ok := body.(*ast.ExprStmt)
-	if !ok {
-		return nil
-	}
-	as, ok := es.X.(*ast.Assign)
-	if !ok || as.Op != token.Assign {
-		return nil
-	}
-	dst, ok := indexByVar(as.LHS, iv)
-	if !ok {
-		return nil
-	}
-	src, ok := indexByVar(as.RHS, iv)
-	if !ok {
-		return nil
-	}
-	return &CopyLoop{Src: src, Dst: dst, IndexVar: iv}
-}
+type CopyLoop = passes.CopyLoop
 
 // ColumnLoop describes a matched column-major nested traversal.
-type ColumnLoop struct {
-	Array string
-	Outer string // outer loop variable (the column index)
-	Inner string // inner loop variable (the row index)
-}
+type ColumnLoop = passes.ColumnLoop
 
-// MatchColumnTraversal recognizes
-//
-//	for (j...) { for (i...) { ... m[i][j] ... } }
-//
-// where the *inner* loop variable is the first (row) index — i.e. the
-// traversal walks down columns.
-func MatchColumnTraversal(f *ast.For) *ColumnLoop {
-	outerVar, ok := loopIndexVar(f)
-	if !ok {
-		return nil
-	}
-	innerFor, ok := singleStmt(f.Body).(*ast.For)
-	if !ok {
-		return nil
-	}
-	innerVar, ok := loopIndexVar(innerFor)
-	if !ok || innerVar == outerVar {
-		return nil
-	}
-	// Look for m[innerVar][outerVar] anywhere in the inner body.
-	var arr string
-	ast.Inspect(innerFor.Body, func(n ast.Node) bool {
-		idx, ok := n.(*ast.Index)
-		if !ok {
-			return true
-		}
-		innerIdx, ok := idx.I.(*ast.Ident)
-		if !ok || innerIdx.Name != outerVar {
-			return true
-		}
-		base, ok := idx.X.(*ast.Index)
-		if !ok {
-			return true
-		}
-		rowIdx, ok := base.I.(*ast.Ident)
-		if !ok || rowIdx.Name != innerVar {
-			return true
-		}
-		if m, ok := base.X.(*ast.Ident); ok {
-			arr = m.Name
-			return false
-		}
-		return true
-	})
-	if arr == "" {
-		return nil
-	}
-	return &ColumnLoop{Array: arr, Outer: outerVar, Inner: innerVar}
-}
+// MatchManualArrayCopy recognizes `for (int i = 0; i < N; i++) dst[i] = src[i];`.
+func MatchManualArrayCopy(f *ast.For) *CopyLoop { return passes.MatchManualArrayCopy(f) }
 
-// loopIndexVar extracts the variable of a canonical counted loop
-// `for (int i = ...; i < ...; i++)`.
-func loopIndexVar(f *ast.For) (string, bool) {
-	lv, ok := f.Init.(*ast.LocalVar)
-	if !ok {
-		return "", false
-	}
-	if f.Cond == nil || len(f.Post) != 1 {
-		return "", false
-	}
-	u, ok := f.Post[0].(*ast.Unary)
-	if !ok || (u.Op != token.Inc && u.Op != token.Dec) {
-		return "", false
-	}
-	if id, ok := u.X.(*ast.Ident); !ok || id.Name != lv.Name {
-		return "", false
-	}
-	return lv.Name, true
-}
-
-// singleStmt unwraps a one-statement block.
-func singleStmt(s ast.Stmt) ast.Stmt {
-	if b, ok := s.(*ast.Block); ok && len(b.Stmts) == 1 {
-		return b.Stmts[0]
-	}
-	return s
-}
-
-// indexByVar matches `name[iv]` and returns name.
-func indexByVar(e ast.Expr, iv string) (string, bool) {
-	idx, ok := e.(*ast.Index)
-	if !ok {
-		return "", false
-	}
-	i, ok := idx.I.(*ast.Ident)
-	if !ok || i.Name != iv {
-		return "", false
-	}
-	base, ok := idx.X.(*ast.Ident)
-	if !ok {
-		return "", false
-	}
-	return base.Name, true
-}
-
-// isExceptionName reports whether a class name denotes a throwable (those
-// are reported under the exception rule, not the objects rule).
-func isExceptionName(name string) bool {
-	return name == "Exception" || name == "Throwable" || name == "Error" ||
-		strings.HasSuffix(name, "Exception")
-}
+// MatchColumnTraversal recognizes a column-major nested loop traversal.
+func MatchColumnTraversal(f *ast.For) *ColumnLoop { return passes.MatchColumnTraversal(f) }

@@ -22,4 +22,15 @@ go test -race ./...
 echo "== fault matrix =="
 go test -tags faultmatrix -run FaultMatrix ./internal/rapl/... ./internal/profile/...
 
+echo "== jepo analyze golden =="
+# Rule drift shows up here the way energy drift shows up in golden_test.go:
+# the analyzer's measured diagnostic listing over the example corpus must
+# match the checked-in golden byte for byte.
+if ! go run ./cmd/jepo analyze examples/java | diff -u examples/java/golden_analyze.txt -; then
+    echo "jepo analyze output drifted from examples/java/golden_analyze.txt" >&2
+    echo "regenerate (after auditing the diff) with:" >&2
+    echo "    go run ./cmd/jepo analyze examples/java > examples/java/golden_analyze.txt" >&2
+    exit 1
+fi
+
 echo "OK"
