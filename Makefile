@@ -1,6 +1,6 @@
 # Standard entry points for the reproduction repo.
 
-.PHONY: build test check bench-interp bench-passes faultmatrix
+.PHONY: build test check bench-interp bench-passes bench-vm enginediff faultmatrix
 
 build:
 	go build ./...
@@ -21,6 +21,17 @@ bench-interp:
 # per-rule traversals over the Table I corpus, written to BENCH_passes.json.
 bench-passes:
 	go run ./cmd/jperf bench -passes -o BENCH_passes.json
+
+# Engine comparison benchmark: tree-walker vs bytecode VM wall clock over
+# the Table I corpus plus the probe-opcode overhead, written to BENCH_vm.json.
+bench-vm:
+	go run ./cmd/jperf bench -vm -o BENCH_vm.json
+
+# Differential engine fuzz: the bytecode VM and the tree-walker must agree
+# bit-for-bit (results, output, op counts, Joules) on the Table I corpus and
+# seeded random programs.
+enginediff:
+	go test -tags enginediff -run EngineDiff ./internal/minijava/interp
 
 # Seeded fault-injection fuzz over the measurement layer: random fault mixes
 # against the resilient source, the sampler unwrap, and profiled runs.

@@ -440,7 +440,7 @@ func BenchmarkInterpRecursion(b *testing.B) {
 
 // A tiny sanity check so `go test .` is meaningful at the repo root too.
 func TestBenchHarnessSmoke(t *testing.T) {
-	rows, err := tables.Table1()
+	rows, err := tables.Table1(interp.EngineVM)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"jepo/internal/core"
+	"jepo/internal/minijava/interp"
 	"jepo/internal/suggest"
 	"jepo/internal/tables"
 )
@@ -45,7 +46,7 @@ func main() {
 	case "metrics":
 		err = cmdMetrics(os.Args[2:])
 	case "table1":
-		err = cmdTable1()
+		err = cmdTable1(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -68,15 +69,18 @@ commands:
   analyze   unified diagnostic view: every finding with its fix status and,
             when the program has a runnable main, the measured per-fix ΔE
             -main C   main class for the measurement runs
+            -engine E execution engine: vm (bytecode, default) or ast
   optimize  apply the suggestions automatically and report the changes
             -o DIR    write refactored sources under DIR (default: print)
             -dry      only report what would change
   profile   run a program with injected RAPL probes, print per-method energy
             -main C   main class (required when several classes have main)
             -result F write the per-execution log (default result.txt)
+            -engine E execution engine: vm (bytecode, default) or ast
   metrics   dependency/attribute/method/package/LOC metrics for a class
             -root C   root class (required)
   table1    measure the component-energy ratios behind the suggestions
+            -engine E execution engine: vm (bytecode, default) or ast
 `)
 }
 
@@ -144,12 +148,17 @@ func cmdSuggest(args []string) error {
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	mainClass := fs.String("main", "", "class whose main method anchors the measurement runs")
+	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
 	fs.Parse(args)
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
 	p, err := loadProject(fs.Args())
 	if err != nil {
 		return err
 	}
-	rep, err := core.Analyze(p, core.AnalyzeConfig{MainClass: *mainClass})
+	rep, err := core.Analyze(p, core.AnalyzeConfig{MainClass: *mainClass, Engine: engine})
 	if err != nil {
 		return err
 	}
@@ -204,12 +213,17 @@ func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	mainClass := fs.String("main", "", "class whose main method to run")
 	resultPath := fs.String("result", "result.txt", "path for the per-execution log")
+	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
 	fs.Parse(args)
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
 	p, err := loadProject(fs.Args())
 	if err != nil {
 		return err
 	}
-	res, err := core.Profile(p, core.ProfileConfig{MainClass: *mainClass})
+	res, err := core.Profile(p, core.ProfileConfig{MainClass: *mainClass, Engine: engine})
 	if err != nil {
 		return err
 	}
@@ -250,8 +264,15 @@ func cmdMetrics(args []string) error {
 	return nil
 }
 
-func cmdTable1() error {
-	rows, err := tables.Table1()
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
+	fs.Parse(args)
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	rows, err := tables.Table1(engine)
 	if err != nil {
 		return err
 	}

@@ -9,10 +9,16 @@
 // (one shared traversal vs per-rule traversals, see passes_bench.go) and
 // writes BENCH_passes.json.
 //
+// With -vm the subcommand compares the two execution engines (see vm_bench.go)
+// over the same corpus — wall clock under the tree-walker vs the bytecode VM,
+// plus the probe-opcode overhead — and writes BENCH_vm.json. Simulated energy
+// must be bit-identical between engines; a mismatch fails the run.
+//
 // Usage:
 //
 //	jperf bench [-o BENCH_interp.json] [-r repeats]
 //	jperf bench -passes [-o BENCH_passes.json] [-r repeats]
+//	jperf bench -vm [-o BENCH_vm.json] [-r repeats]
 package main
 
 import (
@@ -50,7 +56,13 @@ func runBenchCmd(args []string) error {
 	out := fs.String("o", "", "output JSON path")
 	repeats := fs.Int("r", 5, "timed repeats per benchmark")
 	passesBench := fs.Bool("passes", false, "benchmark the pass engine instead of the interpreter")
+	vmBench := fs.Bool("vm", false, "compare the bytecode VM against the tree-walker")
+	engineName := fs.String("engine", "vm", "execution engine for the plain trajectory: vm or ast")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
 		return err
 	}
 	if *repeats < 1 {
@@ -62,6 +74,12 @@ func runBenchCmd(args []string) error {
 		}
 		return runPassesBench(*out, *repeats)
 	}
+	if *vmBench {
+		if *out == "" {
+			*out = "BENCH_vm.json"
+		}
+		return runVMBench(*out, *repeats)
+	}
 	if *out == "" {
 		*out = "BENCH_interp.json"
 	}
@@ -71,7 +89,7 @@ func runBenchCmd(args []string) error {
 		GoVersion:   runtime.Version(),
 	}
 	for _, b := range tables.InterpBenches() {
-		pt, err := runBenchOne(b, *repeats)
+		pt, err := runBenchOne(b, *repeats, engine)
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -95,7 +113,7 @@ func runBenchCmd(args []string) error {
 // single interpreter, so frame pools and call-site caches stay warm exactly
 // as they do inside one simulated measurement run. One untimed warmup call
 // precedes the timed window.
-func runBenchOne(b tables.InterpBench, repeats int) (benchPoint, error) {
+func runBenchOne(b tables.InterpBench, repeats int, engine interp.Engine) (benchPoint, error) {
 	f, err := parser.Parse("bench.java", b.Src)
 	if err != nil {
 		return benchPoint{}, err
@@ -104,7 +122,7 @@ func runBenchOne(b tables.InterpBench, repeats int) (benchPoint, error) {
 	if err != nil {
 		return benchPoint{}, err
 	}
-	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000))
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000), interp.WithEngine(engine))
 	if err := in.InitStatics(); err != nil {
 		return benchPoint{}, err
 	}

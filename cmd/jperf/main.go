@@ -7,8 +7,10 @@
 //
 // Usage:
 //
-//	jperf [-main Class] [-r runs] [-tukey] <file.java>...
+//	jperf [-main Class] [-r runs] [-tukey] [-engine vm|ast] <file.java>...
 //	jperf bench [-o BENCH_interp.json] [-r repeats]
+//	jperf bench -vm [-o BENCH_vm.json] [-r repeats]
+//	jperf disasm <file.java>...
 package main
 
 import (
@@ -35,14 +37,45 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "disasm" {
+		if err := runDisasmCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "jperf disasm:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	mainClass := flag.String("main", "", "class whose main method to run")
 	runs := flag.Int("r", 10, "repeat count (perf -r), as in the paper")
 	tukey := flag.Bool("tukey", true, "replace Tukey outliers with fresh runs")
+	engineName := flag.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
 	flag.Parse()
-	if err := run(*mainClass, *runs, *tukey, flag.Args()); err != nil {
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "jperf:", err)
 		os.Exit(1)
 	}
+	if err := run(*mainClass, *runs, *tukey, engine, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "jperf:", err)
+		os.Exit(1)
+	}
+}
+
+// runDisasmCmd prints the compiled bytecode of every method in the given
+// files; methods without a lowering are listed with a tree-walker marker.
+func runDisasmCmd(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no input files")
+	}
+	files, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	prog, err := interp.Load(files...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Disasm())
+	return nil
 }
 
 // measurement is one run's counters, plus the degraded-path tally the
@@ -54,7 +87,7 @@ type measurement struct {
 	health          rapl.Health
 }
 
-func run(mainClass string, runs int, tukey bool, args []string) error {
+func run(mainClass string, runs int, tukey bool, engine interp.Engine, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("no input files")
 	}
@@ -69,7 +102,7 @@ func run(mainClass string, runs int, tukey bool, args []string) error {
 
 	var all []measurement
 	measure := func() float64 {
-		m, err2 := runOnce(prog, mainClass)
+		m, err2 := runOnce(prog, mainClass, engine)
 		if err2 != nil && err == nil {
 			err = err2
 		}
@@ -128,7 +161,7 @@ func loadProg(files []*ast.File) (*interp.Program, error) {
 	return interp.Load(files...)
 }
 
-func runOnce(prog *interp.Program, mainClass string) (measurement, error) {
+func runOnce(prog *interp.Program, mainClass string, engine interp.Engine) (measurement, error) {
 	meter := energy.NewMeter(energy.DefaultCosts())
 	// Measure through the resilient wrapper, as on hardware: transient read
 	// faults cost a retry, not the run. With no faults it is a passthrough.
@@ -138,7 +171,7 @@ func runOnce(prog *interp.Program, mainClass string) (measurement, error) {
 		return measurement{}, err
 	}
 	t0 := meter.Snapshot()
-	in := interp.New(prog, meter, interp.WithMaxOps(2_000_000_000))
+	in := interp.New(prog, meter, interp.WithMaxOps(2_000_000_000), interp.WithEngine(engine))
 	if err := in.RunMain(mainClass); err != nil {
 		return measurement{}, err
 	}

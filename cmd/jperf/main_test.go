@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"jepo/internal/minijava/interp"
 )
 
 func writeDemo(t *testing.T) string {
@@ -26,32 +28,32 @@ func writeDemo(t *testing.T) string {
 
 func TestRunMeasures(t *testing.T) {
 	dir := writeDemo(t)
-	if err := run("", 4, true, []string{dir}); err != nil {
+	if err := run("", 4, true, interp.EngineVM, []string{dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", 3, false, []string{filepath.Join(dir, "Demo.java")}); err != nil {
+	if err := run("", 3, false, interp.EngineAST, []string{filepath.Join(dir, "Demo.java")}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", 3, true, nil); err == nil {
+	if err := run("", 3, true, interp.EngineVM, nil); err == nil {
 		t.Error("no input accepted")
 	}
-	if err := run("", 3, true, []string{"missing.java"}); err == nil {
+	if err := run("", 3, true, interp.EngineVM, []string{"missing.java"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	dir := writeDemo(t)
-	if err := run("NoSuchClass", 3, true, []string{dir}); err == nil {
+	if err := run("NoSuchClass", 3, true, interp.EngineVM, []string{dir}); err == nil {
 		t.Error("unknown main class accepted")
 	}
 	bad := t.TempDir()
 	os.WriteFile(filepath.Join(bad, "Bad.java"), []byte("class {"), 0o644)
-	if err := run("", 3, true, []string{bad}); err == nil {
+	if err := run("", 3, true, interp.EngineVM, []string{bad}); err == nil {
 		t.Error("syntax error accepted")
 	}
 	empty := t.TempDir()
-	if err := run("", 3, true, []string{empty}); err == nil {
+	if err := run("", 3, true, interp.EngineVM, []string{empty}); err == nil {
 		t.Error("empty dir accepted")
 	}
 }
@@ -92,11 +94,11 @@ func TestRunOnceDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := runOnce(prog, "")
+	a, err := runOnce(prog, "", interp.EngineVM)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := runOnce(prog, "")
+	b, err := runOnce(prog, "", interp.EngineVM)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,5 +107,13 @@ func TestRunOnceDeterministic(t *testing.T) {
 	}
 	if a.pkg <= 0 || a.elapsed <= 0 {
 		t.Errorf("degenerate measurement: %+v", a)
+	}
+	// Both engines must report bit-identical simulated energy.
+	c, err := runOnce(prog, "", interp.EngineAST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.pkg != c.pkg || a.cycles != c.cycles {
+		t.Errorf("engines diverged: vm %+v vs ast %+v", a, c)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"jepo/internal/airlines"
 	"jepo/internal/corpus"
 	"jepo/internal/jmetrics"
+	"jepo/internal/minijava/interp"
 	"jepo/internal/stats"
 	"jepo/internal/tables"
 )
@@ -51,8 +52,13 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 	dumpFor := fs.String("classifier", "J48", "classifier whose corpus -dump-corpus writes")
 	checkpoint := fs.String("checkpoint", "", "directory persisting completed Table IV rows; reruns resume from it")
 	rowTimeout := fs.Duration("row-timeout", 0, "per-classifier deadline for Table IV (0 = none)")
+	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
 	verbose := fs.Bool("v", false, "print progress")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
 		return err
 	}
 
@@ -77,7 +83,7 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 	}
 
 	run("1", func() error {
-		rows, err := tables.Table1()
+		rows, err := tables.Table1(engine)
 		if err != nil {
 			return err
 		}
@@ -120,6 +126,7 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 		cfg := tables.DefaultAblationConfig()
 		cfg.Seed = *seed
 		cfg.Instances = *instances
+		cfg.Engine = engine
 		rows, err := tables.Ablate(cfg)
 		if err != nil {
 			return err
@@ -139,6 +146,7 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 			CVFolds:       *folds,
 			RowTimeout:    *rowTimeout,
 			CheckpointDir: *checkpoint,
+			Engine:        engine,
 		}
 		if *verbose {
 			cfg.Progress = func(msg string) { fmt.Fprintln(stderr, msg) }

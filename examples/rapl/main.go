@@ -75,7 +75,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	in := interp.New(prog, meter)
+	in := interp.New(prog, meter, interp.WithEngine(interp.EngineVM))
 	v, err := in.CallStatic("W", "f")
 	if err != nil {
 		log.Fatal(err)
@@ -90,4 +90,19 @@ func main() {
 		d.Package, d.Core, d.DRAM)
 	fmt.Printf("  raw meter says package=%v — the difference is counter quantization\n",
 		meter.Snapshot().Package)
+
+	// The tree-walking engine charges the same meter ops in the same order
+	// as the bytecode VM, so an independent run reads identical energy —
+	// the determinism invariant the golden tests pin.
+	astMeter := energy.NewMeter(energy.DefaultCosts())
+	astIn := interp.New(prog, astMeter, interp.WithEngine(interp.EngineAST))
+	if _, err := astIn.CallStatic("W", "f"); err != nil {
+		log.Fatal(err)
+	}
+	match := "bit-identical"
+	if astMeter.Snapshot().Package != meter.Snapshot().Package {
+		match = "MISMATCH — engine divergence"
+	}
+	fmt.Printf("  tree-walker cross-check: package=%v (%s)\n",
+		astMeter.Snapshot().Package, match)
 }

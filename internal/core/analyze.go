@@ -85,6 +85,10 @@ type AnalyzeConfig struct {
 	Rules []passes.Rule
 	// Costs overrides the simulator cost table (nil = DefaultCosts).
 	Costs *energy.CostTable
+	// Engine selects the execution engine for the measurement runs
+	// (zero value = bytecode VM). Both engines charge identically, so the
+	// verdicts do not depend on this; it exists for cross-checking.
+	Engine interp.Engine
 }
 
 // Analyze is the detect/fix/verify pipeline: it runs every pass over the
@@ -197,7 +201,7 @@ func measureRun(files []*ast.File, cfg AnalyzeConfig) (energy.Sample, error) {
 	if maxOps == 0 {
 		maxOps = 500_000_000
 	}
-	in := interp.New(prog, meter, interp.WithMaxOps(maxOps))
+	in := interp.New(prog, meter, interp.WithMaxOps(maxOps), interp.WithEngine(cfg.Engine))
 	if err := in.RunMain(cfg.MainClass); err != nil {
 		return energy.Sample{}, err
 	}

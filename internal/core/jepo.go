@@ -143,6 +143,8 @@ type ProfileConfig struct {
 	MaxOps int64
 	// Costs overrides the cost table (zero value = DefaultCosts).
 	Costs *energy.CostTable
+	// Engine selects the execution engine (zero value = bytecode VM).
+	Engine interp.Engine
 }
 
 // Profile instruments every method of the project with JEPO.enter/exit
@@ -169,7 +171,7 @@ func Profile(p Project, cfg ProfileConfig) (*ProfileResult, error) {
 	if maxOps == 0 {
 		maxOps = 500_000_000
 	}
-	in := interp.New(prog, meter, interp.WithHook(prof), interp.WithMaxOps(maxOps))
+	in := interp.New(prog, meter, interp.WithHook(prof), interp.WithMaxOps(maxOps), interp.WithEngine(cfg.Engine))
 	if err := in.RunMain(cfg.MainClass); err != nil {
 		return nil, err
 	}

@@ -8,11 +8,17 @@ type Cache struct {
 	lineBits uint
 	sets     int
 	ways     int
-	tags     []uint64 // sets × ways; 0 = invalid (addresses never map to tag 0)
-	stamps   []uint64 // LRU timestamps, parallel to tags
+	data     []cacheWay // sets × ways
+	lastWay  []int32    // per-set way of the most recent hit/install
 	clock    uint64
 
 	hits, misses uint64
+}
+
+// cacheWay is one line slot: tag 0 = invalid (real tags are offset by 1, so
+// line 0 is representable), stamp is the LRU timestamp.
+type cacheWay struct {
+	tag, stamp uint64
 }
 
 // CacheConfig describes a cache geometry.
@@ -51,8 +57,8 @@ func NewCache(cfg CacheConfig) *Cache {
 		lineBits: bits,
 		sets:     sets,
 		ways:     cfg.Ways,
-		tags:     make([]uint64, sets*cfg.Ways),
-		stamps:   make([]uint64, sets*cfg.Ways),
+		data:     make([]cacheWay, sets*cfg.Ways),
+		lastWay:  make([]int32, sets),
 	}
 }
 
@@ -65,6 +71,12 @@ func (c *Cache) Access(addr uint64, size int) (lines, missed int) {
 	}
 	first := addr >> c.lineBits
 	last := (addr + uint64(size) - 1) >> c.lineBits
+	if first == last { // common case: the access fits in one line
+		if c.touch(first) {
+			return 1, 0
+		}
+		return 1, 1
+	}
 	for line := first; ; line++ {
 		lines++
 		if !c.touch(line) {
@@ -78,27 +90,40 @@ func (c *Cache) Access(addr uint64, size int) (lines, missed int) {
 }
 
 // touch looks up one line, installing it on a miss, and reports a hit.
+//
+// The per-set lastWay memo short-circuits the way scan when a set's most
+// recently touched line is touched again — the dominant pattern for
+// sequential traversals, where 16 consecutive 4-byte accesses share a line.
+// The memo is self-validating (the tag is re-checked), and the fast path
+// performs exactly the state transitions the full scan would on that hit, so
+// hit/miss counts, stamps and evictions are bit-identical with or without it.
 func (c *Cache) touch(line uint64) bool {
 	// Tag 0 marks an invalid way; offset real tags by 1 so line 0 is valid.
 	tag := line + 1
 	set := int(line) % c.sets
 	base := set * c.ways
 	c.clock++
-	victim, oldest := base, c.stamps[base]
+	if i := base + int(c.lastWay[set]); c.data[i].tag == tag {
+		c.data[i].stamp = c.clock
+		c.hits++
+		return true
+	}
+	victim, oldest := base, c.data[base].stamp
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.tags[i] == tag {
-			c.stamps[i] = c.clock
+		if c.data[i].tag == tag {
+			c.data[i].stamp = c.clock
 			c.hits++
+			c.lastWay[set] = int32(w)
 			return true
 		}
-		if c.stamps[i] < oldest {
-			victim, oldest = i, c.stamps[i]
+		if c.data[i].stamp < oldest {
+			victim, oldest = i, c.data[i].stamp
 		}
 	}
-	c.tags[victim] = tag
-	c.stamps[victim] = c.clock
+	c.data[victim] = cacheWay{tag: tag, stamp: c.clock}
 	c.misses++
+	c.lastWay[set] = int32(victim - base)
 	return false
 }
 
@@ -110,9 +135,11 @@ func (c *Cache) Misses() uint64 { return c.misses }
 
 // Reset invalidates every line and zeroes the counters.
 func (c *Cache) Reset() {
-	for i := range c.tags {
-		c.tags[i] = 0
-		c.stamps[i] = 0
+	for i := range c.data {
+		c.data[i] = cacheWay{}
+	}
+	for i := range c.lastWay {
+		c.lastWay[i] = 0
 	}
 	c.clock = 0
 	c.hits = 0

@@ -1,0 +1,36 @@
+package instrument
+
+import (
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/bytecode"
+)
+
+// BytecodeBody recognises the AST-level probe pattern injectMethod wraps
+// around a body and returns the original inner block together with the probe
+// label. The bytecode compiler uses it to lower the *uninstrumented* body and
+// splice probe opcodes instead of executing the JEPO.enter/exit scaffolding —
+// the Javassist-style bytecode mode of this package.
+func BytecodeBody(m *ast.Method) (*ast.Block, string, bool) {
+	if !IsInstrumented(m) {
+		return nil, "", false
+	}
+	call := m.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Call)
+	if len(call.Args) != 1 {
+		return nil, "", false
+	}
+	lit, ok := call.Args[0].(*ast.Literal)
+	if !ok || lit.Kind != ast.LitString {
+		return nil, "", false
+	}
+	tr := m.Body.Stmts[1].(*ast.Try)
+	if len(tr.Catches) != 0 {
+		return nil, "", false // not the plain probe pattern; stay on the walker
+	}
+	return tr.Block, lit.S, true
+}
+
+// InjectBytecode splices PROBE_ENTER/PROBE_EXIT opcodes into a compiled
+// function under the given label — the bytecode-level counterpart of Inject.
+func InjectBytecode(fn *bytecode.Func, label string) {
+	bytecode.InjectProbes(fn, label)
+}

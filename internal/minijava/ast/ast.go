@@ -159,6 +159,12 @@ type Method struct {
 	// NSlots is the frame slot count computed by the interpreter's load-time
 	// resolver: parameters first, then every distinct local/catch name.
 	NSlots int32
+
+	// CIx is 1 + the method's index into the loaded program's compiled
+	// function table (0 = not compiled; the tree-walker runs it). Like
+	// NSlots it is a load-time annotation and deterministic across repeated
+	// loads of the same AST.
+	CIx int32
 }
 
 // Node is any AST node carrying a position.

@@ -1,0 +1,17 @@
+package bytecode
+
+import "testing"
+
+// TestEveryOpcodeNamed keeps opNames in lockstep with the opcode list: a new
+// opcode without a mnemonic would disassemble as "op?" and silently degrade
+// every golden-disasm diff.
+func TestEveryOpcodeNamed(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		if o.String() == "op?" {
+			t.Errorf("opcode %d has no name in opNames", o)
+		}
+	}
+	if numOps.String() != "op?" || Op(255).String() != "op?" {
+		t.Error("out-of-range opcodes must render as op?")
+	}
+}

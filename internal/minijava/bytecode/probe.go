@@ -1,0 +1,74 @@
+package bytecode
+
+// InjectProbes splices PROBE_ENTER / PROBE_EXIT opcodes around a compiled
+// body — the bytecode analogue of the Javassist injection the paper performs
+// on real class files. The entry probe is prepended (all jumps are relative,
+// so the shift is free) and every return is rewritten into a jump to a probe
+// epilogue, one per return shape (value return, explicit `return;`, implicit
+// fall-off), keeping a single exit opcode per shape so the disassembly stays
+// readable. Probe opcodes charge nothing: the delta between an instrumented
+// AST run and an instrumented VM run is the measurable probe overhead.
+//
+// Exception unwinds bypass the epilogues; the VM fires the exit hook from a
+// recover handler when a mini-Java exception leaves a probed frame (see
+// interp's probed invoke), mirroring the finally block of the AST-level
+// instrumentation.
+func InjectProbes(fn *Func, label string) {
+	code := make([]Instr, len(fn.Code)+1)
+	code[0] = Instr{Op: OpProbeEnter}
+	copy(code[1:], fn.Code)
+
+	// One epilogue per return shape that actually occurs. OpRetVoid's B
+	// distinguishes explicit `return;` (B=1) from falling off the end (B=0);
+	// the distinction controls return-value coercion, so it survives the
+	// rewrite.
+	needVal, needExpl, needImpl := false, false, false
+	for i := 1; i < len(code); i++ {
+		switch code[i].Op {
+		case OpRet:
+			needVal = true
+		case OpRetVoid:
+			if code[i].B != 0 {
+				needExpl = true
+			} else {
+				needImpl = true
+			}
+		}
+	}
+	valEpi, explEpi, implEpi := -1, -1, -1
+	next := len(code)
+	if needVal {
+		valEpi = next
+		next += 2
+	}
+	if needExpl {
+		explEpi = next
+		next += 2
+	}
+	if needImpl {
+		implEpi = next
+	}
+	for i := 1; i < len(code); i++ {
+		switch code[i].Op {
+		case OpRet:
+			code[i] = Instr{Op: OpJmp, Steps: code[i].Steps, A: int32(valEpi - i)}
+		case OpRetVoid:
+			epi := implEpi
+			if code[i].B != 0 {
+				epi = explEpi
+			}
+			code[i] = Instr{Op: OpJmp, Steps: code[i].Steps, A: int32(epi - i)}
+		}
+	}
+	if needVal {
+		code = append(code, Instr{Op: OpProbeExit}, Instr{Op: OpRet})
+	}
+	if needExpl {
+		code = append(code, Instr{Op: OpProbeExit}, Instr{Op: OpRetVoid, B: 1})
+	}
+	if needImpl {
+		code = append(code, Instr{Op: OpProbeExit}, Instr{Op: OpRetVoid})
+	}
+	fn.Code = code
+	fn.Probe = label
+}

@@ -1,0 +1,54 @@
+package interp_test
+
+import (
+	"testing"
+
+	"jepo/internal/energy"
+	"jepo/internal/minijava/interp"
+	"jepo/internal/minijava/parser"
+)
+
+// benchSrc is an arithmetic/array/call mix that keeps the dispatch loop hot
+// without spending most of its time in shared runtime helpers.
+const benchSrc = `class B {
+	static int work(int n) {
+		int[] a = new int[64];
+		int s = 0;
+		for (int i = 0; i < n; i++) {
+			a[i % 64] = a[i % 64] + i;
+			s += a[i % 64] - (i / 3);
+			if (s > 1000000) { s = s - 1000000; }
+		}
+		return s;
+	}
+	static double f() {
+		double t = 0;
+		for (int r = 0; r < 20; r++) { t += work(5000); }
+		return t;
+	}
+}`
+
+func benchEngine(b *testing.B, e interp.Engine) {
+	f, err := parser.Parse("bench.java", benchSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := interp.Load(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()),
+		interp.WithMaxOps(0), interp.WithEngine(e))
+	if err := in.InitStatics(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.CallStatic("B", "f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineAST(b *testing.B) { benchEngine(b, interp.EngineAST) }
+func BenchmarkEngineVM(b *testing.B)  { benchEngine(b, interp.EngineVM) }

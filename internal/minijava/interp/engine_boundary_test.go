@@ -1,0 +1,149 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"jepo/internal/energy"
+	"jepo/internal/minijava/parser"
+)
+
+// boundaryRun executes class.f() on one engine and captures the observable
+// boundary behaviour: the error text (empty on success), the printed output
+// and the meter's package-energy bits.
+func boundaryRun(t *testing.T, src string, maxOps int64, e Engine) (errText, out string, pkgBits uint64) {
+	t.Helper()
+	f, err := parser.Parse("boundary.java", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := Load(f)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	in := New(prog, energy.NewMeter(energy.DefaultCosts()), WithMaxOps(maxOps), WithEngine(e))
+	if err := in.InitStatics(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	if _, err := in.CallStatic("T", "f"); err != nil {
+		errText = err.Error()
+	}
+	return errText, in.Output(), math.Float64bits(float64(in.Meter().Snapshot().Package))
+}
+
+// TestEngineBoundaryParity runs each edge-condition program on both engines
+// and demands the same error text, output and energy. Exception unwinding
+// goes through completely different machinery in the two engines (Go panics
+// through the walker's recursion vs the VM's frame exit), so these shapes
+// are where divergence would hide.
+func TestEngineBoundaryParity(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string // substring of the uncaught error, "" = must succeed
+	}{
+		{
+			name:    "int division by zero",
+			src:     `class T { static int f() { int a = 7; int b = 0; return a / b; } }`,
+			wantErr: "ArithmeticException: / by zero",
+		},
+		{
+			name:    "int remainder by zero",
+			src:     `class T { static int f() { int a = 7; int b = 0; return a % b; } }`,
+			wantErr: "ArithmeticException: / by zero",
+		},
+		{
+			name:    "long division by zero",
+			src:     `class T { static long f() { long a = 7; long b = 0; return a / b; } }`,
+			wantErr: "ArithmeticException: / by zero",
+		},
+		{
+			name: "compound divide by zero",
+			src:  `class T { static int f() { int a = 9; int b = 0; a /= b; return a; } }`,
+
+			wantErr: "ArithmeticException: / by zero",
+		},
+		{
+			name: "caught division by zero",
+			src: `class T { static int f() {
+				int a = 7; int b = 0; int r = -1;
+				try { r = a / b; } catch (ArithmeticException e) { r = 42; }
+				System.out.println(r);
+				return r;
+			} }`,
+		},
+		{
+			name:    "array index out of bounds",
+			src:     `class T { static int f() { int[] a = new int[3]; int i = 5; return a[i]; } }`,
+			wantErr: "ArrayIndexOutOfBoundsException",
+		},
+		{
+			name:    "array store out of bounds",
+			src:     `class T { static int f() { int[] a = new int[3]; int i = 9; a[i] = 1; return 0; } }`,
+			wantErr: "ArrayIndexOutOfBoundsException",
+		},
+		{
+			name:    "negative array size",
+			src:     `class T { static int f() { int n = -2; int[] a = new int[n]; return a.length; } }`,
+			wantErr: "NegativeArraySizeException",
+		},
+		{
+			name: "null field access",
+			src: `class P { int v; }
+			class T { static int f() { P p = null; return p.v; } }`,
+			wantErr: "NullPointerException",
+		},
+		{
+			name: "double division by zero succeeds",
+			src: `class T { static boolean f() {
+				double a = 1.0; double b = 0.0;
+				return (a / b) > 0.0;
+			} }`,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			vmErr, vmOut, vmPkg := boundaryRun(t, tc.src, 1_000_000, EngineVM)
+			astErr, astOut, astPkg := boundaryRun(t, tc.src, 1_000_000, EngineAST)
+			if vmErr != astErr {
+				t.Errorf("error text diverged:\n  vm:  %q\n  ast: %q", vmErr, astErr)
+			}
+			if vmOut != astOut {
+				t.Errorf("output diverged:\n  vm:  %q\n  ast: %q", vmOut, astOut)
+			}
+			if vmPkg != astPkg {
+				t.Errorf("package energy diverged: vm %#x ast %#x", vmPkg, astPkg)
+			}
+			if tc.wantErr == "" {
+				if vmErr != "" {
+					t.Errorf("unexpected error: %s", vmErr)
+				}
+			} else if !strings.Contains(vmErr, tc.wantErr) {
+				t.Errorf("error %q does not mention %q", vmErr, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestEngineOpBudgetParity pins that the op budget trips on both engines with
+// the same message. The trip point is instruction-granular on the VM (steps
+// are accounted in folded batches), so only the failure itself — not the
+// meter state at failure — is comparable.
+func TestEngineOpBudgetParity(t *testing.T) {
+	src := `class T { static int f() { int s = 0; while (true) { s = s + 1; } } }`
+	for _, budget := range []int64{100, 10_000} {
+		vmErr, _, _ := boundaryRun(t, src, budget, EngineVM)
+		astErr, _, _ := boundaryRun(t, src, budget, EngineAST)
+		if vmErr == "" || astErr == "" {
+			t.Fatalf("budget %d: infinite loop must trip both engines (vm=%q ast=%q)", budget, vmErr, astErr)
+		}
+		if vmErr != astErr {
+			t.Errorf("budget %d: messages diverged:\n  vm:  %q\n  ast: %q", budget, vmErr, astErr)
+		}
+		if !strings.Contains(vmErr, "op budget") {
+			t.Errorf("budget %d: error %q does not mention the op budget", budget, vmErr)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package interp
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"jepo/internal/energy"
+	"jepo/internal/minijava/parser"
+)
+
+// TestConcurrentInstancesShareProgram pins that a loaded Program (including
+// its compiled bytecode and constant pools) is safe to share across
+// interpreter instances: all mutable VM state — stacks, frame pools,
+// monomorphic caches, meters — is per-instance. The race detector turns any
+// shared-state slip into a hard failure under scripts/check.sh's
+// `go test -race` gate.
+func TestConcurrentInstancesShareProgram(t *testing.T) {
+	src := `class B {
+		static double f() {
+			double s = 0.0;
+			int[] a = new int[16];
+			for (int i = 0; i < 16; i++) { a[i] = i * 3 - 7; }
+			for (int i = 0; i < 200; i++) {
+				s += a[i % 16] * 0.5;
+				if (i % 7 == 0) { s = s * 1.01; }
+			}
+			return s;
+		}
+	}`
+	f, err := parser.Parse("race.java", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []Engine{EngineVM, EngineAST} {
+		engine := engine
+		t.Run(engine.String(), func(t *testing.T) {
+			const workers = 8
+			results := make([]uint64, workers)
+			joules := make([]uint64, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					in := New(prog, energy.NewMeter(energy.DefaultCosts()),
+						WithMaxOps(10_000_000), WithEngine(engine))
+					v, err := in.CallStatic("B", "f")
+					if err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+					results[w] = math.Float64bits(v.D)
+					joules[w] = math.Float64bits(float64(in.Meter().Snapshot().Package))
+				}()
+			}
+			wg.Wait()
+			for w := 1; w < workers; w++ {
+				if results[w] != results[0] || joules[w] != joules[0] {
+					t.Errorf("worker %d diverged: result %#x/%#x joules %#x/%#x",
+						w, results[w], results[0], joules[w], joules[0])
+				}
+			}
+		})
+	}
+}

@@ -28,6 +28,7 @@ type Interp struct {
 	ops    int64
 	rngInt uint64 // deterministic LCG for Math.random
 
+	engine       Engine
 	staticsReady bool
 
 	// siteCache holds per-interpreter monomorphic inline caches, indexed by
@@ -79,6 +80,12 @@ func (in *Interp) Output() string { return in.out.String() }
 
 // Meter exposes the meter the interpreter charges.
 func (in *Interp) Meter() *energy.Meter { return in.meter }
+
+// Ops reports the number of budget-counted steps executed so far. Both
+// engines account the same step per AST node (the VM folds step-only
+// prefixes into Instr.Steps), so the count is engine-independent — the
+// differential fuzz pins this.
+func (in *Interp) Ops() int64 { return in.ops }
 
 // --- error plumbing ---
 
@@ -691,6 +698,13 @@ func (in *Interp) evalCond(fr *frame, e ast.Expr) bool {
 // array comes from the free list and is returned on the way out, including
 // when a mini-Java exception unwinds through the call.
 func (in *Interp) invoke(ci *classInfo, this *Object, m *ast.Method, args []Value) Value {
+	if in.engine == EngineVM {
+		if ix := int(m.CIx) - 1; uint(ix) < uint(len(in.prog.funcs)) {
+			if cf := &in.prog.funcs[ix]; cf.fn != nil {
+				return in.invokeVM(ci, this, m, cf, args)
+			}
+		}
+	}
 	in.meter.Step(energy.OpCall, 1)
 	nslots := int(m.NSlots)
 	if nslots < len(m.Params) {
@@ -935,7 +949,12 @@ func (in *Interp) evalIdentSlow(fr *frame, n *ast.Ident) Value {
 }
 
 func (in *Interp) evalSelect(fr *frame, n *ast.Select) Value {
-	x := in.operand(fr, n.X)
+	return in.selectFrom(in.operand(fr, n.X), n)
+}
+
+// selectFrom reads field n.Name from an already-evaluated receiver — shared
+// by the tree-walk above and the VM's OpLoadSelect.
+func (in *Interp) selectFrom(x Value, n *ast.Select) Value {
 	switch x.K {
 	case KClassRef:
 		cls := x.R.(string)
@@ -1008,6 +1027,12 @@ func (in *Interp) evalSelect(fr *frame, n *ast.Select) Value {
 func (in *Interp) evalIndexOperands(fr *frame, n *ast.Index) (*Array, int) {
 	xv := in.operand(fr, n.X)
 	iv := in.operand(fr, n.I)
+	return in.indexCheck(xv, iv, n)
+}
+
+// indexCheck validates an already-evaluated array/index pair (null check,
+// unbox, integral check, bounds) — shared by the tree-walk and the VM.
+func (in *Interp) indexCheck(xv, iv Value, n *ast.Index) (*Array, int) {
 	if xv.K == KNull {
 		in.throw("NullPointerException", "index on null array")
 	}
@@ -1030,7 +1055,12 @@ func (in *Interp) evalIndexOperands(fr *frame, n *ast.Index) (*Array, int) {
 }
 
 func (in *Interp) evalNew(fr *frame, n *ast.New) Value {
-	args := in.evalArgs(fr, n.Args)
+	return in.newDispatch(n, in.evalArgs(fr, n.Args))
+}
+
+// newDispatch constructs n with already-evaluated arguments — shared by the
+// tree-walk and the VM's OpNew.
+func (in *Interp) newDispatch(n *ast.New, args []Value) Value {
 	if ix := int(n.SiteIx) - 1; ix >= 0 && ix < len(in.prog.sites) {
 		switch ps := &in.prog.sites[ix]; ps.kind {
 		case siteNewUser:
@@ -1285,9 +1315,9 @@ func (in *Interp) evalBinary(fr *frame, n *ast.Binary) Value {
 // binaryFast handles homogeneous int/int and double/double operands, the
 // overwhelmingly common cases. The charges are exactly what the generic
 // path would produce: promote(int,int)=int and promote(double,double)=
-// double, so chargeArith charges OpArithInt/OpArithDouble for every
-// operator handled here. Division and modulus carry special costs and stay
-// on the generic path.
+// double, so the charges per operator (including the special division and
+// modulus costs, and the charge-before-zero-check order) reproduce the
+// generic path exactly.
 func (in *Interp) binaryFast(op token.Kind, x, y Value) (Value, bool) {
 	if x.K == KInt && y.K == KInt {
 		switch op {
@@ -1333,6 +1363,20 @@ func (in *Interp) binaryFast(op token.Kind, x, y Value) (Value, bool) {
 		case token.Shr:
 			in.meter.Step(energy.OpArithInt, 1)
 			return IntVal(x.I >> uint(y.I&63)), true
+		case token.Slash:
+			// Same order as the generic path: the division cost is charged
+			// before the zero check throws.
+			in.meter.Step(energy.OpDivInt, 1)
+			if y.I == 0 {
+				in.throw("ArithmeticException", "/ by zero")
+			}
+			return IntVal(x.I / y.I), true
+		case token.Percent:
+			in.meter.Step(energy.OpModInt, 1)
+			if y.I == 0 {
+				in.throw("ArithmeticException", "/ by zero")
+			}
+			return IntVal(x.I % y.I), true
 		}
 	} else if x.K == KDouble && y.K == KDouble {
 		switch op {
@@ -1363,6 +1407,108 @@ func (in *Interp) binaryFast(op token.Kind, x, y Value) (Value, bool) {
 		case token.Ne:
 			in.meter.Step(energy.OpArithDouble, 1)
 			return BoolVal(x.D != y.D), true
+		case token.Slash:
+			in.meter.Step(energy.OpDivFP, 1)
+			return DoubleVal(x.D / y.D), true // Java FP division yields Inf/NaN, never throws
+		case token.Percent:
+			in.meter.Step(energy.OpDivFP, 1)
+			return DoubleVal(fmod(x.D, y.D)), true
+		}
+	} else if x.K == KLong && y.K == KLong {
+		switch op {
+		case token.Plus:
+			in.meter.Step(energy.OpArithLong, 1)
+			return LongVal(x.I + y.I), true
+		case token.Minus:
+			in.meter.Step(energy.OpArithLong, 1)
+			return LongVal(x.I - y.I), true
+		case token.Star:
+			in.meter.Step(energy.OpArithLong, 1)
+			return LongVal(x.I * y.I), true
+		case token.Lt:
+			in.meter.Step(energy.OpArithLong, 1)
+			return BoolVal(x.I < y.I), true
+		case token.Le:
+			in.meter.Step(energy.OpArithLong, 1)
+			return BoolVal(x.I <= y.I), true
+		case token.Gt:
+			in.meter.Step(energy.OpArithLong, 1)
+			return BoolVal(x.I > y.I), true
+		case token.Ge:
+			in.meter.Step(energy.OpArithLong, 1)
+			return BoolVal(x.I >= y.I), true
+		case token.Eq:
+			in.meter.Step(energy.OpArithLong, 1)
+			return BoolVal(x.I == y.I), true
+		case token.Ne:
+			in.meter.Step(energy.OpArithLong, 1)
+			return BoolVal(x.I != y.I), true
+		case token.Slash:
+			in.meter.Step(energy.OpDivInt, 1)
+			if y.I == 0 {
+				in.throw("ArithmeticException", "/ by zero")
+			}
+			return LongVal(x.I / y.I), true
+		case token.Percent:
+			in.meter.Step(energy.OpModInt, 1)
+			if y.I == 0 {
+				in.throw("ArithmeticException", "/ by zero")
+			}
+			return LongVal(x.I % y.I), true
+		}
+	} else if x.K == KFloat && y.K == KFloat {
+		switch op {
+		case token.Plus:
+			in.meter.Step(energy.OpArithFloat, 1)
+			return FloatVal(x.D + y.D), true
+		case token.Minus:
+			in.meter.Step(energy.OpArithFloat, 1)
+			return FloatVal(x.D - y.D), true
+		case token.Star:
+			in.meter.Step(energy.OpArithFloat, 1)
+			return FloatVal(x.D * y.D), true
+		case token.Lt:
+			in.meter.Step(energy.OpArithFloat, 1)
+			return BoolVal(x.D < y.D), true
+		case token.Le:
+			in.meter.Step(energy.OpArithFloat, 1)
+			return BoolVal(x.D <= y.D), true
+		case token.Gt:
+			in.meter.Step(energy.OpArithFloat, 1)
+			return BoolVal(x.D > y.D), true
+		case token.Ge:
+			in.meter.Step(energy.OpArithFloat, 1)
+			return BoolVal(x.D >= y.D), true
+		case token.Eq:
+			in.meter.Step(energy.OpArithFloat, 1)
+			return BoolVal(x.D == y.D), true
+		case token.Ne:
+			in.meter.Step(energy.OpArithFloat, 1)
+			return BoolVal(x.D != y.D), true
+		case token.Slash:
+			in.meter.Step(energy.OpDivFP, 1)
+			return FloatVal(x.D / y.D), true
+		case token.Percent:
+			in.meter.Step(energy.OpDivFP, 1)
+			return FloatVal(fmod(x.D, y.D)), true
+		}
+	} else if x.K.IsNumeric() && y.K.IsNumeric() {
+		// Mixed-kind numeric pairs: promote and delegate to the same arith
+		// helpers the generic path uses, skipping only its non-numeric
+		// preamble (string concat, unboxing, reference equality, booleans),
+		// none of which can apply here. The position is only consulted for
+		// unsupported operators, which this lane never forwards.
+		k := promote(x.K, y.K)
+		switch op {
+		case token.Lt, token.Le, token.Gt, token.Ge, token.Eq, token.Ne:
+			in.chargeArith(k, op)
+			return BoolVal(compare(op, x, y, k)), true
+		case token.Plus, token.Minus, token.Star, token.Slash, token.Percent:
+			in.chargeArith(k, op)
+			if k == KFloat || k == KDouble {
+				return in.floatArith(op, x.AsF64(), y.AsF64(), k, token.Pos{}), true
+			}
+			return in.intArith(op, x.AsI64(), y.AsI64(), k, token.Pos{}), true
 		}
 	}
 	return Value{}, false
@@ -2014,7 +2160,12 @@ func typeOfKind(k Kind) ast.Type {
 }
 
 func (in *Interp) evalCast(fr *frame, n *ast.Cast) Value {
-	v := in.eval(fr, n.X)
+	return in.castValue(in.eval(fr, n.X), n)
+}
+
+// castValue applies a cast to an already-evaluated value — shared by the
+// tree-walk and the VM's OpCast.
+func (in *Interp) castValue(v Value, n *ast.Cast) Value {
 	t := n.Type
 	if t.Dims > 0 {
 		if v.K == KArr || v.K == KNull {
@@ -2106,11 +2257,23 @@ func (in *Interp) valueInstanceOf(v Value, name string) bool {
 // --- calls ---
 
 func (in *Interp) evalCall(fr *frame, n *ast.Call) Value {
+	if n.Recv == nil {
+		return in.dispatchCall(fr, n, Value{}, false, in.evalArgs(fr, n.Args))
+	}
+	recv := in.operand(fr, n.Recv)
+	return in.dispatchCall(fr, n, recv, true, in.evalArgs(fr, n.Args))
+}
+
+// dispatchCall resolves and invokes a call site with an already-evaluated
+// receiver and arguments — shared by the tree-walk and the VM's OpCall. It
+// releases args on every successful return path (an interpreter error or
+// mini-Java exception abandons the slice to the GC, like the walker always
+// has).
+func (in *Interp) dispatchCall(fr *frame, n *ast.Call, recv Value, hasRecv bool, args []Value) Value {
 	// Unqualified call: method of the enclosing class. The monomorphic site
 	// cache keys on the frame's dynamic class, so repeated calls skip the
 	// method-table lookup entirely.
-	if n.Recv == nil {
-		args := in.evalArgs(fr, n.Args)
+	if !hasRecv {
 		var m *ast.Method
 		if ix := int(n.SiteIx) - 1; ix >= 0 && ix < len(in.siteCache) {
 			sc := &in.siteCache[ix]
@@ -2137,8 +2300,6 @@ func (in *Interp) evalCall(fr *frame, n *ast.Call) Value {
 		in.releaseArgs(args)
 		return v
 	}
-	recv := in.operand(fr, n.Recv)
-	args := in.evalArgs(fr, n.Args)
 	switch recv.K {
 	case KClassRef:
 		cls := recv.R.(string)

@@ -59,6 +59,11 @@ type Program struct {
 	// ResStaticRef idents and points directly at unambiguous static slots.
 	sites    []progSite
 	statRefs []*staticSlot
+
+	// funcs is the compiled-bytecode table built by compileProgram, indexed
+	// by the CIx annotations on methods (nil fn = no lowering, the
+	// tree-walker runs that method).
+	funcs []compiledFn
 }
 
 // progSiteKind classifies what a call/new/select site resolved to at load
@@ -210,6 +215,7 @@ func Load(files ...*ast.File) (*Program, error) {
 		}
 	}
 	resolveProgram(p)
+	compileProgram(p)
 	return p, nil
 }
 

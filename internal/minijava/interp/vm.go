@@ -1,0 +1,721 @@
+package interp
+
+import (
+	"strconv"
+
+	"jepo/internal/energy"
+	"jepo/internal/minijava/ast"
+	"jepo/internal/minijava/bytecode"
+	"jepo/internal/minijava/token"
+)
+
+// This file is the bytecode engine's dispatch loop. The compiler
+// (internal/minijava/bytecode) guarantees that executing the instruction
+// stream issues the same energy.Meter calls in the same order as tree-walking
+// the same body; every non-trivial operation below therefore delegates to the
+// walker's own helpers (selectFrom, writeLValue, dispatchCall, coerceTo, ...)
+// so the charge sequences are shared code, not transcriptions.
+
+// invokeVM runs a compiled method. It mirrors invoke exactly: the call
+// charge, parameter coercion into pooled frame slots, and return-value
+// coercion only for an explicit return in a non-void method.
+func (in *Interp) invokeVM(ci *classInfo, this *Object, m *ast.Method, cf *compiledFn, args []Value) Value {
+	fn := cf.fn
+	in.meter.Step(energy.OpCall, 1)
+	fr := frame{class: ci, this: this, locals: in.grabLocals(fn.NSlots)}
+	stack := in.grabArgs(fn.MaxStack)
+	defer func() {
+		in.releaseLocals(fr.locals)
+		in.releaseArgs(stack)
+	}()
+	for i := range m.Params {
+		p := &m.Params[i]
+		pk := kindOfType(p.Type)
+		av := args[i]
+		if av.K != pk {
+			av = in.coerceTo(av, p.Type, m.Pos)
+		}
+		fr.locals[i] = cell{t: p.Type, k: pk, v: av, live: true}
+	}
+	var ret Value
+	var explicit bool
+	if fn.Probe != "" && in.hook != nil {
+		ret, explicit = in.execVMProbed(cf, &fr, stack)
+	} else {
+		ret, explicit = in.execVM(cf, &fr, stack)
+	}
+	if explicit {
+		if m.Ret.Kind != ast.Void || m.Ret.Dims > 0 {
+			return in.coerceTo(ret, m.Ret, m.Pos)
+		}
+	}
+	return Value{K: KVoid}
+}
+
+// execVMProbed wraps execVM with the exception-unwind half of the probe
+// contract: a mini-Java exception leaving the frame fires the exit hook (the
+// AST instrumentation's finally block), while interpreter-level errors do not
+// (runProtected never catches those either).
+func (in *Interp) execVMProbed(cf *compiledFn, fr *frame, stack []Value) (Value, bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(javaPanic); ok {
+				in.hook.Exit(cf.fn.Probe)
+			}
+			panic(r)
+		}
+	}()
+	return in.execVM(cf, fr, stack)
+}
+
+// liveCell returns the live cell at a compiled slot operand, or nil when the
+// declaration has not executed yet (the dialect declares at execution time)
+// or the operand is -1 (identifier without a slot).
+func liveCell(fr *frame, slot int32) *cell {
+	if s := int(slot); uint(s) < uint(len(fr.locals)) {
+		if c := &fr.locals[s]; c.live {
+			return c
+		}
+	}
+	return nil
+}
+
+// intCmp applies an int comparison operator. Callers charge the single
+// OpArithInt step themselves (the charge vmIntFast's comparison lanes issue).
+func intCmp(op token.Kind, a, b int64) bool {
+	switch op {
+	case token.Lt:
+		return a < b
+	case token.Le:
+		return a <= b
+	case token.Gt:
+		return a > b
+	case token.Ge:
+		return a >= b
+	case token.Eq:
+		return a == b
+	default: // token.Ne — fused compares carry comparison tokens only
+		return a != b
+	}
+}
+
+// vmIntFast applies an int,int binary operator, charging exactly what
+// binaryFast's KInt lane charges. It exists so the dispatch loop's binary
+// handlers pass two scalars instead of copying two full Values into a call;
+// operators it skips (division, shifts, bitwise) fall through to binaryFast.
+func vmIntFast(in *Interp, op token.Kind, a, b int64) (Value, bool) {
+	switch op {
+	case token.Plus:
+		in.meter.Step(energy.OpArithInt, 1)
+		return IntVal(a + b), true
+	case token.Minus:
+		in.meter.Step(energy.OpArithInt, 1)
+		return IntVal(a - b), true
+	case token.Star:
+		in.meter.Step(energy.OpArithInt, 1)
+		return IntVal(a * b), true
+	case token.Lt:
+		in.meter.Step(energy.OpArithInt, 1)
+		return BoolVal(a < b), true
+	case token.Le:
+		in.meter.Step(energy.OpArithInt, 1)
+		return BoolVal(a <= b), true
+	case token.Gt:
+		in.meter.Step(energy.OpArithInt, 1)
+		return BoolVal(a > b), true
+	case token.Ge:
+		in.meter.Step(energy.OpArithInt, 1)
+		return BoolVal(a >= b), true
+	case token.Eq:
+		in.meter.Step(energy.OpArithInt, 1)
+		return BoolVal(a == b), true
+	case token.Ne:
+		in.meter.Step(energy.OpArithInt, 1)
+		return BoolVal(a != b), true
+	}
+	return Value{}, false
+}
+
+// execVM is the dispatch loop. The boolean result reports whether the method
+// completed through an explicit return statement (which triggers invoke's
+// return-value coercion) as opposed to falling off the end of the body.
+//
+// Identifier operands are read inline (liveCell + the walker's local charge)
+// so the hot path does no interface type assertion; the assertions happen
+// only on the slow resolution ladder.
+func (in *Interp) execVM(cf *compiledFn, fr *frame, stack []Value) (Value, bool) {
+	fn := cf.fn
+	code := fn.Code
+	consts := cf.consts
+	pc, sp := 0, 0
+	for {
+		ins := &code[pc]
+		if ins.Steps != 0 {
+			in.ops += int64(ins.Steps)
+			if in.maxOps > 0 && in.ops > in.maxOps {
+				in.opBudgetExceeded()
+			}
+		}
+		switch ins.Op {
+		case bytecode.OpLoadLocal:
+			if c := liveCell(fr, ins.A); c != nil {
+				in.meter.Step(energy.OpLocal, 1)
+				stack[sp] = c.v
+			} else {
+				stack[sp] = in.evalIdent(fr, ins.Node.(*ast.Ident))
+			}
+			sp++
+		case bytecode.OpConst:
+			cv := &consts[ins.A]
+			if cv.charge {
+				in.meter.Step(cv.op, 1)
+			}
+			stack[sp] = cv.v
+			sp++
+		case bytecode.OpBinLL:
+			var x, y Value
+			if c := liveCell(fr, ins.A); c != nil {
+				in.meter.Step(energy.OpLocal, 1)
+				x = c.v
+			} else {
+				x = in.evalIdent(fr, ins.Node.(*ast.Binary).X.(*ast.Ident))
+			}
+			if c := liveCell(fr, ins.B); c != nil {
+				in.meter.Step(energy.OpLocal, 1)
+				y = c.v
+			} else {
+				y = in.evalIdent(fr, ins.Node.(*ast.Binary).Y.(*ast.Ident))
+			}
+			if x.K == KInt && y.K == KInt {
+				if v, ok := vmIntFast(in, ins.Tok, x.I, y.I); ok {
+					stack[sp] = v
+					sp++
+					break
+				}
+			}
+			v, ok := in.binaryFast(ins.Tok, x, y)
+			if !ok {
+				v = in.binary(ins.Tok, x, y, ins.Node.NodePos())
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpBinLC:
+			var x Value
+			if c := liveCell(fr, ins.A); c != nil {
+				in.meter.Step(energy.OpLocal, 1)
+				x = c.v
+			} else {
+				x = in.evalIdent(fr, ins.Node.(*ast.Binary).X.(*ast.Ident))
+			}
+			cv := &consts[ins.B]
+			if cv.charge {
+				in.meter.Step(cv.op, 1)
+			}
+			if x.K == KInt && cv.v.K == KInt {
+				if v, ok := vmIntFast(in, ins.Tok, x.I, cv.v.I); ok {
+					stack[sp] = v
+					sp++
+					break
+				}
+			}
+			v, ok := in.binaryFast(ins.Tok, x, cv.v)
+			if !ok {
+				v = in.binary(ins.Tok, x, cv.v, ins.Node.NodePos())
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpBinary:
+			y := stack[sp-1]
+			x := stack[sp-2]
+			sp--
+			if x.K == KInt && y.K == KInt {
+				if v, ok := vmIntFast(in, ins.Tok, x.I, y.I); ok {
+					stack[sp-1] = v
+					break
+				}
+			}
+			v, ok := in.binaryFast(ins.Tok, x, y)
+			if !ok {
+				v = in.binary(ins.Tok, x, y, ins.Node.NodePos())
+			}
+			stack[sp-1] = v
+		case bytecode.OpJmp:
+			pc += int(ins.A)
+			continue
+		case bytecode.OpJmpBranch:
+			in.meter.Step(energy.OpBranch, 1)
+			pc += int(ins.A)
+			continue
+		case bytecode.OpJmpCmpLLFalse, bytecode.OpJmpCmpLLTrue:
+			// Fused OpBinLL + conditional jump: identical charge sequence,
+			// and a comparison always yields a normalised boolean, so the
+			// jump's unbox/type checks are unreachable.
+			var x, y Value
+			if c := liveCell(fr, ins.C); c != nil {
+				in.meter.Step(energy.OpLocal, 1)
+				x = c.v
+			} else {
+				x = in.evalIdent(fr, ins.Node.(*ast.Binary).X.(*ast.Ident))
+			}
+			if c := liveCell(fr, ins.B); c != nil {
+				in.meter.Step(energy.OpLocal, 1)
+				y = c.v
+			} else {
+				y = in.evalIdent(fr, ins.Node.(*ast.Binary).Y.(*ast.Ident))
+			}
+			var take bool
+			if x.K == KInt && y.K == KInt {
+				in.meter.Step(energy.OpArithInt, 1)
+				take = intCmp(ins.Tok, x.I, y.I)
+			} else {
+				v, ok := in.binaryFast(ins.Tok, x, y)
+				if !ok {
+					v = in.binary(ins.Tok, x, y, ins.Node.NodePos())
+				}
+				take = v.I != 0
+			}
+			if take == (ins.Op == bytecode.OpJmpCmpLLTrue) {
+				pc += int(ins.A)
+				continue
+			}
+		case bytecode.OpJmpCmpLCFalse, bytecode.OpJmpCmpLCTrue:
+			var x Value
+			if c := liveCell(fr, ins.C); c != nil {
+				in.meter.Step(energy.OpLocal, 1)
+				x = c.v
+			} else {
+				x = in.evalIdent(fr, ins.Node.(*ast.Binary).X.(*ast.Ident))
+			}
+			cv := &consts[ins.B]
+			if cv.charge {
+				in.meter.Step(cv.op, 1)
+			}
+			var take bool
+			if x.K == KInt && cv.v.K == KInt {
+				in.meter.Step(energy.OpArithInt, 1)
+				take = intCmp(ins.Tok, x.I, cv.v.I)
+			} else {
+				v, ok := in.binaryFast(ins.Tok, x, cv.v)
+				if !ok {
+					v = in.binary(ins.Tok, x, cv.v, ins.Node.NodePos())
+				}
+				take = v.I != 0
+			}
+			if take == (ins.Op == bytecode.OpJmpCmpLCTrue) {
+				pc += int(ins.A)
+				continue
+			}
+		case bytecode.OpJmpCmpFalse, bytecode.OpJmpCmpTrue:
+			y := stack[sp-1]
+			x := stack[sp-2]
+			sp -= 2
+			var take bool
+			if x.K == KInt && y.K == KInt {
+				in.meter.Step(energy.OpArithInt, 1)
+				take = intCmp(ins.Tok, x.I, y.I)
+			} else {
+				v, ok := in.binaryFast(ins.Tok, x, y)
+				if !ok {
+					v = in.binary(ins.Tok, x, y, ins.Node.NodePos())
+				}
+				take = v.I != 0
+			}
+			if take == (ins.Op == bytecode.OpJmpCmpTrue) {
+				pc += int(ins.A)
+				continue
+			}
+		case bytecode.OpJmpFalse:
+			v := stack[sp-1]
+			sp--
+			if v.K == KBox {
+				v = in.unbox(v, ins.Node.NodePos())
+			}
+			if v.K != KBool {
+				in.bugf(ins.Node.NodePos(), "condition is %v, not boolean", v.K)
+			}
+			if v.I == 0 {
+				pc += int(ins.A)
+				continue
+			}
+		case bytecode.OpJmpTrue:
+			v := stack[sp-1]
+			sp--
+			if v.K == KBox {
+				v = in.unbox(v, ins.Node.NodePos())
+			}
+			if v.K != KBool {
+				in.bugf(ins.Node.NodePos(), "condition is %v, not boolean", v.K)
+			}
+			if v.I != 0 {
+				pc += int(ins.A)
+				continue
+			}
+		case bytecode.OpStoreLocal, bytecode.OpStoreLocalX:
+			rhs := stack[sp-1]
+			id := ins.Node.(*ast.Ident)
+			if c := liveCell(fr, ins.A); c != nil {
+				in.meter.Step(energy.OpLocal, 1)
+				if rhs.K == c.k {
+					c.v = rhs
+				} else {
+					c.v = in.coerceTo(rhs, c.t, id.Pos)
+				}
+			} else {
+				in.writeLValue(fr, id, rhs)
+			}
+			if ins.Op == bytecode.OpStoreLocal {
+				sp--
+			}
+		case bytecode.OpIncLocal, bytecode.OpIncLocalX:
+			n := ins.Node.(*ast.Unary)
+			var res Value
+			if c := liveCell(fr, ins.A); c != nil {
+				// Inline ++/--: the walker's readLValue step+charge, unbox,
+				// arithmetic charge, and writeLValue live-slot store.
+				in.step()
+				in.meter.Step(energy.OpLocal, 1)
+				old := c.v
+				if old.K == KBox {
+					old = in.unbox(old, n.Pos)
+				}
+				delta := int64(ins.B)
+				var updated Value
+				switch old.K {
+				case KInt:
+					in.meter.Step(energy.OpArithInt, 1)
+					updated = Value{K: KInt, I: old.I + delta}
+				case KFloat:
+					in.chargeArith(KFloat, token.Plus)
+					updated = FloatVal(old.D + float64(delta))
+				case KDouble:
+					in.chargeArith(KDouble, token.Plus)
+					updated = DoubleVal(old.D + float64(delta))
+				case KLong:
+					in.chargeArith(KLong, token.Plus)
+					updated = LongVal(old.I + delta)
+				case KShort, KByte, KChar:
+					in.chargeArith(old.K, token.Plus)
+					updated = Value{K: old.K, I: old.I + delta}
+				default:
+					in.bugf(n.Pos, "%v on %v", n.Op, old.K)
+				}
+				in.meter.Step(energy.OpLocal, 1)
+				if updated.K == c.k {
+					c.v = updated
+				} else {
+					c.v = in.coerceTo(updated, c.t, n.X.(*ast.Ident).Pos)
+				}
+				if n.Postfix {
+					res = old
+				} else {
+					res = updated
+				}
+			} else {
+				res = in.evalUnary(fr, n)
+			}
+			if ins.Op == bytecode.OpIncLocalX {
+				stack[sp] = res
+				sp++
+			}
+		case bytecode.OpCall:
+			n := ins.Node.(*ast.Call)
+			argc := int(ins.A)
+			args := in.grabArgs(argc)
+			copy(args, stack[sp-argc:sp])
+			sp -= argc
+			var recv Value
+			hasRecv := ins.B != 0
+			if hasRecv {
+				recv = stack[sp-1]
+				sp--
+			}
+			stack[sp] = in.dispatchCall(fr, n, recv, hasRecv, args)
+			sp++
+		case bytecode.OpLoadIndex:
+			iv := stack[sp-1]
+			xv := stack[sp-2]
+			sp--
+			var arr *Array
+			var idx int
+			if xv.K == KArr && iv.K == KInt {
+				// In-bounds int index on an array: skip the generic ladder
+				// (which charges nothing up to this point, so parity holds).
+				arr = xv.R.(*Array)
+				if idx = int(iv.I); uint(idx) >= uint(arr.Len()) {
+					arr, idx = in.indexCheck(xv, iv, ins.Node.(*ast.Index))
+				}
+			} else {
+				arr, idx = in.indexCheck(xv, iv, ins.Node.(*ast.Index))
+			}
+			in.meter.Step(energy.OpArrayElem, 1)
+			in.meter.Step(energy.OpBoundsCheck, 1)
+			in.meter.Access(arr.addr(idx), arr.ES)
+			stack[sp-1] = arr.get(idx)
+		case bytecode.OpLoadIndexL:
+			// Fused a[i] with a local index: the index read is charged
+			// exactly where the stand-alone load instruction would have.
+			n := ins.Node.(*ast.Index)
+			var iv Value
+			if c := liveCell(fr, ins.A); c != nil {
+				in.meter.Step(energy.OpLocal, 1)
+				iv = c.v
+			} else {
+				iv = in.evalIdent(fr, n.I.(*ast.Ident))
+			}
+			xv := stack[sp-1]
+			var arr *Array
+			var idx int
+			if xv.K == KArr && iv.K == KInt {
+				arr = xv.R.(*Array)
+				if idx = int(iv.I); uint(idx) >= uint(arr.Len()) {
+					arr, idx = in.indexCheck(xv, iv, n)
+				}
+			} else {
+				arr, idx = in.indexCheck(xv, iv, n)
+			}
+			in.meter.Step(energy.OpArrayElem, 1)
+			in.meter.Step(energy.OpBoundsCheck, 1)
+			in.meter.Access(arr.addr(idx), arr.ES)
+			stack[sp-1] = arr.get(idx)
+		case bytecode.OpStoreIndexL, bytecode.OpStoreIndexLX:
+			n := ins.Node.(*ast.Index)
+			var iv Value
+			if c := liveCell(fr, ins.A); c != nil {
+				in.meter.Step(energy.OpLocal, 1)
+				iv = c.v
+			} else {
+				iv = in.evalIdent(fr, n.I.(*ast.Ident))
+			}
+			xv := stack[sp-1]
+			rhs := stack[sp-2]
+			sp -= 2
+			var arr *Array
+			var idx int
+			if xv.K == KArr && iv.K == KInt {
+				arr = xv.R.(*Array)
+				if idx = int(iv.I); uint(idx) >= uint(arr.Len()) {
+					arr, idx = in.indexCheck(xv, iv, n)
+				}
+			} else {
+				arr, idx = in.indexCheck(xv, iv, n)
+			}
+			in.meter.Step(energy.OpArrayElem, 1)
+			in.meter.Step(energy.OpBoundsCheck, 1)
+			in.meter.Access(arr.addr(idx), arr.ES)
+			arr.set(idx, in.coerceTo(rhs, arr.Elem, n.Pos))
+			if ins.Op == bytecode.OpStoreIndexLX {
+				stack[sp] = rhs
+				sp++
+			}
+		case bytecode.OpStoreIndex, bytecode.OpStoreIndexX:
+			n := ins.Node.(*ast.Index)
+			iv := stack[sp-1]
+			xv := stack[sp-2]
+			rhs := stack[sp-3]
+			sp -= 3
+			var arr *Array
+			var idx int
+			if xv.K == KArr && iv.K == KInt {
+				arr = xv.R.(*Array)
+				if idx = int(iv.I); uint(idx) >= uint(arr.Len()) {
+					arr, idx = in.indexCheck(xv, iv, n)
+				}
+			} else {
+				arr, idx = in.indexCheck(xv, iv, n)
+			}
+			in.meter.Step(energy.OpArrayElem, 1)
+			in.meter.Step(energy.OpBoundsCheck, 1)
+			in.meter.Access(arr.addr(idx), arr.ES)
+			arr.set(idx, in.coerceTo(rhs, arr.Elem, n.Pos))
+			if ins.Op == bytecode.OpStoreIndexX {
+				stack[sp] = rhs
+				sp++
+			}
+		case bytecode.OpLoadSelect:
+			stack[sp-1] = in.selectFrom(stack[sp-1], ins.Node.(*ast.Select))
+		case bytecode.OpStoreSelect, bytecode.OpStoreSelectX:
+			// The receiver expression is evaluated inside writeLValue, after
+			// the RHS — the walker's assignment order.
+			rhs := stack[sp-1]
+			in.writeLValue(fr, ins.Node.(*ast.Select), rhs)
+			if ins.Op == bytecode.OpStoreSelect {
+				sp--
+			}
+		case bytecode.OpStoreIdent, bytecode.OpStoreIdentX:
+			rhs := stack[sp-1]
+			in.writeLValue(fr, ins.Node.(*ast.Ident), rhs)
+			if ins.Op == bytecode.OpStoreIdent {
+				sp--
+			}
+		case bytecode.OpLoadIdent:
+			stack[sp] = in.evalIdent(fr, ins.Node.(*ast.Ident))
+			sp++
+		case bytecode.OpLoadThis:
+			if fr.this == nil {
+				in.bugf(ins.Node.NodePos(), "this in static context")
+			}
+			stack[sp] = Value{K: KRef, R: fr.this}
+			sp++
+		case bytecode.OpEval:
+			stack[sp] = in.operand(fr, ins.Node.(ast.Expr))
+			sp++
+		case bytecode.OpAssign, bytecode.OpAssignX:
+			v := in.evalAssign(fr, ins.Node.(*ast.Assign))
+			if ins.Op == bytecode.OpAssignX {
+				stack[sp] = v
+				sp++
+			}
+		case bytecode.OpLocalDecl:
+			n := ins.Node.(*ast.LocalVar)
+			k := kindOfType(n.Type)
+			var v Value
+			if ins.B != 0 {
+				v = in.evalInit(fr, n.Init, n.Type)
+			} else {
+				v = stack[sp-1]
+				sp--
+			}
+			if v.K != k {
+				v = in.coerceTo(v, n.Type, n.Pos)
+			}
+			fr.locals[ins.A] = cell{t: n.Type, k: k, v: v, live: true}
+			in.meter.Step(energy.OpLocal, 1)
+		case bytecode.OpLocalZero:
+			n := ins.Node.(*ast.LocalVar)
+			fr.locals[ins.A] = cell{t: n.Type, k: kindOfType(n.Type), v: zeroValue(n.Type), live: true}
+			in.meter.Step(energy.OpLocal, 1)
+		case bytecode.OpNeg:
+			n := ins.Node.(*ast.Unary)
+			v := stack[sp-1]
+			if v.K == KBox {
+				v = in.unbox(v, n.Pos)
+			}
+			in.chargeArith(v.K, token.Minus)
+			switch v.K {
+			case KFloat:
+				stack[sp-1] = FloatVal(-v.D)
+			case KDouble:
+				stack[sp-1] = DoubleVal(-v.D)
+			case KLong:
+				stack[sp-1] = LongVal(-v.I)
+			case KInt, KShort, KByte, KChar:
+				stack[sp-1] = IntVal(-v.I)
+			default:
+				in.bugf(n.Pos, "unary - on %v", v.K)
+			}
+		case bytecode.OpNot:
+			n := ins.Node.(*ast.Unary)
+			v := stack[sp-1]
+			if v.K == KBox {
+				v = in.unbox(v, n.Pos)
+			}
+			if v.K != KBool {
+				in.bugf(n.Pos, "unary ! on %v", v.K)
+			}
+			in.meter.Step(energy.OpArithInt, 1)
+			stack[sp-1] = BoolVal(v.I == 0)
+		case bytecode.OpToBool:
+			v := stack[sp-1]
+			if v.K == KBox {
+				v = in.unbox(v, ins.Node.NodePos())
+			}
+			if v.K != KBool {
+				in.bugf(ins.Node.NodePos(), "condition is %v, not boolean", v.K)
+			}
+			stack[sp-1] = BoolVal(v.I != 0)
+		case bytecode.OpPushBool:
+			stack[sp] = BoolVal(ins.A != 0)
+			sp++
+		case bytecode.OpPop:
+			sp--
+		case bytecode.OpCharge:
+			in.meter.Step(energy.Op(ins.A), int(ins.B))
+		case bytecode.OpStep, bytecode.OpNop:
+			// Steps were accounted above.
+		case bytecode.OpNew:
+			n := ins.Node.(*ast.New)
+			argc := int(ins.A)
+			args := in.grabArgs(argc)
+			copy(args, stack[sp-argc:sp])
+			sp -= argc
+			stack[sp] = in.newDispatch(n, args)
+			sp++
+		case bytecode.OpLenCheck:
+			n := ins.Node.(*ast.NewArray)
+			lv := stack[sp-1]
+			if lv.K == KBox {
+				lv = in.unbox(lv, n.Pos)
+			}
+			if !lv.K.IsIntegral() {
+				in.bugf(n.Pos, "array length is %v, not integral", lv.K)
+			}
+			if lv.I < 0 {
+				in.throw("NegativeArraySizeException", strconv.FormatInt(lv.I, 10))
+			}
+			stack[sp-1] = lv
+		case bytecode.OpNewArray:
+			n := ins.Node.(*ast.NewArray)
+			nd := int(ins.A)
+			var buf [8]int
+			lens := buf[:0]
+			if nd > len(buf) {
+				lens = make([]int, 0, nd)
+			}
+			for i := 0; i < nd; i++ {
+				lens = append(lens, int(stack[sp-nd+i].I))
+			}
+			sp -= nd
+			stack[sp] = in.newArray(n.Elem, lens)
+			sp++
+		case bytecode.OpCast:
+			stack[sp-1] = in.castValue(stack[sp-1], ins.Node.(*ast.Cast))
+		case bytecode.OpInstanceOf:
+			n := ins.Node.(*ast.InstanceOf)
+			v := stack[sp-1]
+			in.meter.Step(energy.OpArithInt, 1)
+			stack[sp-1] = BoolVal(in.valueInstanceOf(v, n.Name))
+		case bytecode.OpThrow:
+			n := ins.Node.(*ast.Throw)
+			v := stack[sp-1]
+			sp--
+			if v.K != KThrow {
+				in.bugf(n.Pos, "throw of non-throwable %v", v.K)
+			}
+			in.meter.Step(energy.OpThrow, 1)
+			panic(javaPanic{v.R.(*Throwable)})
+		case bytecode.OpSwitchTag:
+			if stack[sp-1].K == KBox {
+				stack[sp-1] = in.unbox(stack[sp-1], ins.Node.NodePos())
+			}
+		case bytecode.OpCaseCmp:
+			n := ins.Node.(*ast.Switch)
+			v := stack[sp-1]
+			sp--
+			in.meter.Step(energy.OpBranch, 1)
+			if in.switchMatches(stack[sp-1], v, n.Pos) {
+				sp-- // pop the tag; jump to the matched arm
+				pc += int(ins.A)
+				continue
+			}
+		case bytecode.OpSwitchEnd:
+			sp--
+			pc += int(ins.A)
+			continue
+		case bytecode.OpRet:
+			return stack[sp-1], true
+		case bytecode.OpRetVoid:
+			return Value{}, ins.B != 0
+		case bytecode.OpProbeEnter:
+			if in.hook != nil {
+				in.hook.Enter(fn.Probe)
+			}
+		case bytecode.OpProbeExit:
+			if in.hook != nil {
+				in.hook.Exit(fn.Probe)
+			}
+		default:
+			panic(bugPanic{"vm: unknown opcode " + ins.Op.String()})
+		}
+		pc++
+	}
+}

@@ -59,6 +59,7 @@ type AblationConfig struct {
 	Classifier string // default RandomForest
 	Instances  int
 	Reps       int
+	Engine     interp.Engine // execution engine (zero value = bytecode VM)
 }
 
 // DefaultAblationConfig matches the Table IV defaults at reduced repetition.
@@ -97,11 +98,11 @@ func Ablate(cfg AblationConfig) ([]AblationRow, error) {
 		if err := costs.Validate(); err != nil {
 			return nil, fmt.Errorf("tables: ablation %s produced invalid costs: %w", v.name, err)
 		}
-		before, err := runKernelWithCosts(orig, cfg.Classifier, feats, labels, cfg.Reps, costs)
+		before, err := runKernelWithCosts(orig, cfg.Classifier, feats, labels, cfg.Reps, costs, cfg.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("tables: ablation %s: %w", v.name, err)
 		}
-		after, err := runKernelWithCosts(refd, cfg.Classifier, feats, labels, cfg.Reps, costs)
+		after, err := runKernelWithCosts(refd, cfg.Classifier, feats, labels, cfg.Reps, costs, cfg.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("tables: ablation %s: %w", v.name, err)
 		}
@@ -115,12 +116,12 @@ func Ablate(cfg AblationConfig) ([]AblationRow, error) {
 }
 
 // runKernelWithCosts is runKernelOnce with an explicit cost table.
-func runKernelWithCosts(kernel *ast.File, name string, feats [][]float64, labels []int64, reps int, costs energy.CostTable) (kernelMeasurement, error) {
+func runKernelWithCosts(kernel *ast.File, name string, feats [][]float64, labels []int64, reps int, costs energy.CostTable, engine interp.Engine) (kernelMeasurement, error) {
 	prog, err := interp.Load(kernel)
 	if err != nil {
 		return kernelMeasurement{}, err
 	}
-	in := interp.New(prog, energy.NewMeter(costs), interp.WithMaxOps(2_000_000_000))
+	in := interp.New(prog, energy.NewMeter(costs), interp.WithMaxOps(2_000_000_000), interp.WithEngine(engine))
 	if err := in.InitStatics(); err != nil {
 		return kernelMeasurement{}, err
 	}

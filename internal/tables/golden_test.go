@@ -39,10 +39,10 @@ type goldenRecord struct {
 
 // fingerprint runs fn against a fresh meter and captures the full charge
 // fingerprint plus whatever the interpreter printed.
-func fingerprint(t *testing.T, name string, load func(t *testing.T) *interp.Program, drive func(t *testing.T, in *interp.Interp)) goldenRecord {
+func fingerprint(t *testing.T, engine interp.Engine, name string, load func(t *testing.T) *interp.Program, drive func(t *testing.T, in *interp.Interp)) goldenRecord {
 	t.Helper()
 	prog := load(t)
-	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000))
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000), interp.WithEngine(engine))
 	drive(t, in)
 	m := in.Meter()
 	s := m.Snapshot()
@@ -67,7 +67,7 @@ func fingerprint(t *testing.T, name string, load func(t *testing.T) *interp.Prog
 
 // goldenBattery builds the full determinism battery: every Table I variant
 // plus the RandomForest Table IV kernel, original and refactored.
-func goldenBattery(t *testing.T) []goldenRecord {
+func goldenBattery(t *testing.T, engine interp.Engine) []goldenRecord {
 	t.Helper()
 	var recs []goldenRecord
 
@@ -96,8 +96,8 @@ func goldenBattery(t *testing.T) []goldenRecord {
 	}
 	for _, b := range table1Benches {
 		recs = append(recs,
-			fingerprint(t, fmt.Sprintf("table1/%v/inefficient", b.rule), loadSrc(b.slow), driveF),
-			fingerprint(t, fmt.Sprintf("table1/%v/efficient", b.rule), loadSrc(b.fast), driveF),
+			fingerprint(t, engine, fmt.Sprintf("table1/%v/inefficient", b.rule), loadSrc(b.slow), driveF),
+			fingerprint(t, engine, fmt.Sprintf("table1/%v/efficient", b.rule), loadSrc(b.fast), driveF),
 		)
 	}
 
@@ -145,25 +145,27 @@ func goldenBattery(t *testing.T) []goldenRecord {
 		}
 	}
 	recs = append(recs,
-		fingerprint(t, "table4/"+kernelName+"/original", loadKernel(false), driveKernel),
-		fingerprint(t, "table4/"+kernelName+"/refactored", loadKernel(true), driveKernel),
+		fingerprint(t, engine, "table4/"+kernelName+"/original", loadKernel(false), driveKernel),
+		fingerprint(t, engine, "table4/"+kernelName+"/refactored", loadKernel(true), driveKernel),
 	)
 	return recs
 }
 
-// TestGoldenEnergyDeterminism is the tentpole invariant of the slot-resolved
-// interpreter: simulated energy is a pure function of the program and cost
-// table, independent of host-side interpreter optimizations. The golden file
-// was generated from the pre-optimization interpreter; any drift in op counts,
-// joules, cycles or program output fails the test bit-for-bit.
+// TestGoldenEnergyDeterminism is the tentpole invariant of the interpreter:
+// simulated energy is a pure function of the program and cost table,
+// independent of host-side interpreter optimizations AND of the execution
+// engine. The golden file was generated from the pre-optimization
+// tree-walker; both the current walker and the bytecode VM must reproduce
+// it bit-for-bit — any drift in op counts, joules, cycles or program output
+// fails the test.
 //
 // Regenerate (only after an intentional cost-model or corpus change) with:
 //
 //	go test ./internal/tables -run GoldenEnergy -update
 func TestGoldenEnergyDeterminism(t *testing.T) {
 	path := filepath.Join("testdata", "golden_energy.json")
-	got := goldenBattery(t)
 	if *updateGolden {
+		got := goldenBattery(t, interp.EngineVM)
 		blob, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
 			t.Fatal(err)
@@ -185,6 +187,17 @@ func TestGoldenEnergyDeterminism(t *testing.T) {
 	if err := json.Unmarshal(blob, &want); err != nil {
 		t.Fatal(err)
 	}
+	for _, engine := range []interp.Engine{interp.EngineVM, interp.EngineAST} {
+		engine := engine
+		t.Run(engine.String(), func(t *testing.T) {
+			compareGolden(t, want, goldenBattery(t, engine))
+		})
+	}
+}
+
+// compareGolden diffs one engine's battery against the golden records.
+func compareGolden(t *testing.T, want, got []goldenRecord) {
+	t.Helper()
 	if len(want) != len(got) {
 		t.Fatalf("battery size changed: golden has %d records, run produced %d", len(want), len(got))
 	}

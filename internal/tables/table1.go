@@ -252,7 +252,7 @@ func InterpBenches() []InterpBench {
 }
 
 // measureBench runs one program variant and returns its package energy.
-func measureBench(src string) (energy.Joules, error) {
+func measureBench(src string, engine interp.Engine) (energy.Joules, error) {
 	f, err := parser.Parse("bench.java", src)
 	if err != nil {
 		return 0, err
@@ -261,7 +261,7 @@ func measureBench(src string) (energy.Joules, error) {
 	if err != nil {
 		return 0, err
 	}
-	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(200_000_000))
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(200_000_000), interp.WithEngine(engine))
 	if err := in.InitStatics(); err != nil {
 		return 0, err
 	}
@@ -275,14 +275,14 @@ func measureBench(src string) (energy.Joules, error) {
 // Table1 measures every component pair and returns the rows in the paper's
 // order. Every number is produced by executing both variants on the
 // energy-model interpreter and comparing package energy.
-func Table1() ([]Table1Row, error) {
+func Table1(engine interp.Engine) ([]Table1Row, error) {
 	rows := make([]Table1Row, 0, len(table1Benches))
 	for _, b := range table1Benches {
-		slow, err := measureBench(b.slow)
+		slow, err := measureBench(b.slow, engine)
 		if err != nil {
 			return nil, fmt.Errorf("tables: %v slow variant: %w", b.rule, err)
 		}
-		fast, err := measureBench(b.fast)
+		fast, err := measureBench(b.fast, engine)
 		if err != nil {
 			return nil, fmt.Errorf("tables: %v fast variant: %w", b.rule, err)
 		}

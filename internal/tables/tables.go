@@ -89,6 +89,7 @@ type Table4Config struct {
 	Protocol  stats.Protocol // the run/Tukey/replace loop
 	CVFolds   int            // stratified folds (paper: 10)
 	Slots     int            // classifiers evaluated concurrently (0 = GOMAXPROCS)
+	Engine    interp.Engine  // execution engine (zero value = bytecode VM)
 	Quiet     bool
 	Progress  func(string) // optional progress callback
 
@@ -283,7 +284,7 @@ func measureKernelProtocol(kernel *ast.File, name string, feats [][]float64, lab
 	var firstErr error
 	var cores, times []float64
 	run := func() float64 {
-		m, err := runKernelOnce(kernel, name, feats, labels, cfg.Reps)
+		m, err := runKernelOnce(kernel, name, feats, labels, cfg.Reps, cfg.Engine)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -306,12 +307,12 @@ func measureKernelProtocol(kernel *ast.File, name string, feats [][]float64, lab
 }
 
 // runKernelOnce loads and executes one kernel variant.
-func runKernelOnce(kernel *ast.File, name string, feats [][]float64, labels []int64, reps int) (kernelMeasurement, error) {
+func runKernelOnce(kernel *ast.File, name string, feats [][]float64, labels []int64, reps int, engine interp.Engine) (kernelMeasurement, error) {
 	prog, err := interp.Load(kernel)
 	if err != nil {
 		return kernelMeasurement{}, err
 	}
-	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000))
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000), interp.WithEngine(engine))
 	if err := in.InitStatics(); err != nil {
 		return kernelMeasurement{}, err
 	}

@@ -7,12 +7,13 @@ import (
 
 	"jepo/internal/classify"
 	"jepo/internal/corpus"
+	"jepo/internal/minijava/interp"
 	"jepo/internal/stats"
 	"jepo/internal/suggest"
 )
 
 func TestTable1RatiosHavePaperShape(t *testing.T) {
-	rows, err := Table1()
+	rows, err := Table1(interp.EngineVM)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,12 @@ go test -race ./...
 echo "== fault matrix =="
 go test -tags faultmatrix -run FaultMatrix ./internal/rapl/... ./internal/profile/...
 
+echo "== engine diff =="
+# The bytecode VM and the tree-walker must be observationally identical:
+# results, output, op counts and energy bits, over the Table I corpus and
+# seeded random programs.
+go test -tags enginediff -run EngineDiff ./internal/minijava/interp
+
 echo "== jepo analyze golden =="
 # Rule drift shows up here the way energy drift shows up in golden_test.go:
 # the analyzer's measured diagnostic listing over the example corpus must
@@ -30,6 +36,16 @@ if ! go run ./cmd/jepo analyze examples/java | diff -u examples/java/golden_anal
     echo "jepo analyze output drifted from examples/java/golden_analyze.txt" >&2
     echo "regenerate (after auditing the diff) with:" >&2
     echo "    go run ./cmd/jepo analyze examples/java > examples/java/golden_analyze.txt" >&2
+    exit 1
+fi
+
+echo "== jperf disasm golden =="
+# Compiler drift shows up as a bytecode diff: the example program's
+# disassembly must match the checked-in golden byte for byte.
+if ! go run ./cmd/jperf disasm examples/java/EnergyDemo.java | diff -u examples/java/golden_disasm.txt -; then
+    echo "jperf disasm output drifted from examples/java/golden_disasm.txt" >&2
+    echo "regenerate (after auditing the diff) with:" >&2
+    echo "    go run ./cmd/jperf disasm examples/java/EnergyDemo.java > examples/java/golden_disasm.txt" >&2
     exit 1
 fi
 
