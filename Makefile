@@ -1,6 +1,6 @@
 # Standard entry points for the reproduction repo.
 
-.PHONY: build test check bench-interp bench-passes bench-vm enginediff faultmatrix
+.PHONY: build test check bench-interp bench-passes bench-vm bench-sched enginediff faultmatrix scheddiff
 
 build:
 	go build ./...
@@ -37,3 +37,15 @@ enginediff:
 # against the resilient source, the sampler unwrap, and profiled runs.
 faultmatrix:
 	go test -tags faultmatrix -run FaultMatrix ./internal/rapl/... ./internal/profile/...
+
+# Differential fuzz for the deterministic worker pool: random task counts,
+# worker counts and fault plans must produce identical merged results and
+# Health ledgers at any parallelism.
+scheddiff:
+	go test -tags scheddiff -run SchedDifferentialFuzz ./internal/sched
+
+# Worker-pool benchmark: sequential vs -jobs {2,4,8} for a reduced Table IV
+# and a corpus-wide analysis, with in-bench bit-identity assertions, written
+# to BENCH_sched.json.
+bench-sched:
+	go run ./cmd/jperf bench -sched -o BENCH_sched.json

@@ -8,11 +8,17 @@
 // Usage:
 //
 //	jepo suggest [-line N] <file.java>...
-//	jepo analyze [-main Class] <file.java>...
+//	jepo analyze [-main Class] [-jobs N] <file.java>...
 //	jepo optimize [-o dir] [-dry] <file.java>...
 //	jepo profile [-main Class] [-result result.txt] <file.java>...
 //	jepo metrics -root Class <file.java>...
-//	jepo table1
+//	jepo corpus [-classifier C] [-jobs N]
+//	jepo table1 [-jobs N]
+//
+// All -jobs flags are pure wall-clock knobs: the work shards across the
+// deterministic sched pool, results commit in input order, and stdout is
+// byte-identical at any value. Pool telemetry (timing-dependent) prints to
+// stderr only.
 package main
 
 import (
@@ -20,9 +26,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"jepo/internal/core"
+	"jepo/internal/corpus"
 	"jepo/internal/minijava/interp"
 	"jepo/internal/suggest"
 	"jepo/internal/tables"
@@ -45,6 +53,8 @@ func main() {
 		err = cmdProfile(os.Args[2:])
 	case "metrics":
 		err = cmdMetrics(os.Args[2:])
+	case "corpus":
+		err = cmdCorpus(os.Args[2:])
 	case "table1":
 		err = cmdTable1(os.Args[2:])
 	case "-h", "--help", "help":
@@ -70,6 +80,8 @@ commands:
             when the program has a runnable main, the measured per-fix ΔE
             -main C   main class for the measurement runs
             -engine E execution engine: vm (bytecode, default) or ast
+            -jobs N   per-fix measurement workers (default GOMAXPROCS);
+                      output is bit-identical at any value
   optimize  apply the suggestions automatically and report the changes
             -o DIR    write refactored sources under DIR (default: print)
             -dry      only report what would change
@@ -79,8 +91,13 @@ commands:
             -engine E execution engine: vm (bytecode, default) or ast
   metrics   dependency/attribute/method/package/LOC metrics for a class
             -root C   root class (required)
+  corpus    fan the analyzer across a generated WEKA-shaped corpus
+            -classifier C  whose closure to analyze (default J48)
+            -seed N   corpus generation seed
+            -jobs N   analysis workers (default GOMAXPROCS)
   table1    measure the component-energy ratios behind the suggestions
             -engine E execution engine: vm (bytecode, default) or ast
+            -jobs N   bench-pair workers (default GOMAXPROCS)
 `)
 }
 
@@ -149,6 +166,7 @@ func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	mainClass := fs.String("main", "", "class whose main method anchors the measurement runs")
 	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "per-fix measurement workers (output is identical at any value)")
 	fs.Parse(args)
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
@@ -158,7 +176,7 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.Analyze(p, core.AnalyzeConfig{MainClass: *mainClass, Engine: engine})
+	rep, err := core.Analyze(p, core.AnalyzeConfig{MainClass: *mainClass, Engine: engine, Jobs: *jobs})
 	if err != nil {
 		return err
 	}
@@ -264,18 +282,44 @@ func cmdMetrics(args []string) error {
 	return nil
 }
 
-func cmdTable1(args []string) error {
-	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+func cmdCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	classifier := fs.String("classifier", "J48", "classifier whose generated closure to analyze")
+	seed := fs.Uint64("seed", 20200518, "corpus generation seed")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "analysis workers (output is identical at any value)")
 	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
 	fs.Parse(args)
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		return err
 	}
-	rows, err := tables.Table1(engine)
+	p, err := corpus.Generate(*classifier, *seed)
+	if err != nil {
+		return err
+	}
+	rep, tel, err := core.AnalyzeAll(p, core.AnalyzeConfig{Engine: engine, Jobs: *jobs})
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.CorpusView(rep))
+	fmt.Fprintln(os.Stderr, tel)
+	return nil
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "bench-pair workers (output is identical at any value)")
+	fs.Parse(args)
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	rows, tel, err := tables.Table1Jobs(engine, *jobs)
 	if err != nil {
 		return err
 	}
 	fmt.Print(tables.RenderTable1(rows))
+	fmt.Fprintln(os.Stderr, tel)
 	return nil
 }

@@ -57,6 +57,7 @@ func runBenchCmd(args []string) error {
 	repeats := fs.Int("r", 5, "timed repeats per benchmark")
 	passesBench := fs.Bool("passes", false, "benchmark the pass engine instead of the interpreter")
 	vmBench := fs.Bool("vm", false, "compare the bytecode VM against the tree-walker")
+	schedBench := fs.Bool("sched", false, "benchmark the deterministic worker pool: sequential vs -jobs {2,4,8}")
 	engineName := fs.String("engine", "vm", "execution engine for the plain trajectory: vm or ast")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +80,12 @@ func runBenchCmd(args []string) error {
 			*out = "BENCH_vm.json"
 		}
 		return runVMBench(*out, *repeats)
+	}
+	if *schedBench {
+		if *out == "" {
+			*out = "BENCH_sched.json"
+		}
+		return runSchedBench(*out)
 	}
 	if *out == "" {
 		*out = "BENCH_interp.json"

@@ -7,10 +7,16 @@
 //
 // Usage:
 //
-//	jperf [-main Class] [-r runs] [-tukey] [-engine vm|ast] <file.java>...
+//	jperf [-main Class] [-r runs] [-jobs N] [-tukey] [-engine vm|ast] <file.java>...
 //	jperf bench [-o BENCH_interp.json] [-r repeats]
 //	jperf bench -vm [-o BENCH_vm.json] [-r repeats]
+//	jperf bench -sched [-o BENCH_sched.json]
 //	jperf disasm <file.java>...
+//
+// -jobs N shards the repeated measurement runs across the deterministic
+// sched pool. Every run builds its own meter and interpreter and runs are
+// replayed into the Tukey protocol in index order, so the printed report is
+// bit-identical at any -jobs value; pool telemetry goes to stderr.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +33,7 @@ import (
 	"jepo/internal/minijava/interp"
 	"jepo/internal/minijava/parser"
 	"jepo/internal/rapl"
+	"jepo/internal/sched"
 	"jepo/internal/stats"
 )
 
@@ -48,13 +56,14 @@ func main() {
 	runs := flag.Int("r", 10, "repeat count (perf -r), as in the paper")
 	tukey := flag.Bool("tukey", true, "replace Tukey outliers with fresh runs")
 	engineName := flag.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "measurement workers (the report is identical at any value)")
 	flag.Parse()
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jperf:", err)
 		os.Exit(1)
 	}
-	if err := run(*mainClass, *runs, *tukey, engine, flag.Args()); err != nil {
+	if err := run(*mainClass, *runs, *tukey, engine, *jobs, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "jperf:", err)
 		os.Exit(1)
 	}
@@ -87,7 +96,7 @@ type measurement struct {
 	health          rapl.Health
 }
 
-func run(mainClass string, runs int, tukey bool, engine interp.Engine, args []string) error {
+func run(mainClass string, runs int, tukey bool, engine interp.Engine, jobs int, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("no input files")
 	}
@@ -100,8 +109,26 @@ func run(mainClass string, runs int, tukey bool, engine interp.Engine, args []st
 		return err
 	}
 
+	// The protocol's initial runs shard across the sched pool — each run has
+	// its own meter and interpreter, so they are independent — and replay
+	// into the protocol in index order. Tukey replacement rounds, if any,
+	// fall back to live sequential runs; the report is the same either way.
+	pre, tel, err := sched.Map(sched.Config{Jobs: jobs}, make([]struct{}, runs),
+		func(sched.Task, struct{}) (measurement, error) {
+			return runOnce(prog, mainClass, engine)
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, tel)
+
 	var all []measurement
 	measure := func() float64 {
+		if len(all) < len(pre) {
+			m := pre[len(all)]
+			all = append(all, m)
+			return float64(m.pkg)
+		}
 		m, err2 := runOnce(prog, mainClass, engine)
 		if err2 != nil && err == nil {
 			err = err2

@@ -1,0 +1,172 @@
+// The sched benchmark (jperf bench -sched) measures what the deterministic
+// worker pool buys on this machine: wall-clock for a reduced Table IV
+// regeneration and a corpus-wide pass analysis, sequential vs -jobs {2,4,8}.
+// Determinism is asserted inside the bench — every parallel run's results
+// must be bit-identical (same float64 bit patterns for every Joule-derived
+// column) to the sequential run, or the bench fails.
+//
+// The report records NumCPU and GOMAXPROCS: speedup is bounded by physical
+// parallelism, so on a single-CPU host the jobs>1 points measure pool
+// overhead (and must still be bit-identical), not speedup.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"jepo/internal/core"
+	"jepo/internal/corpus"
+	"jepo/internal/stats"
+	"jepo/internal/tables"
+)
+
+// schedPoint is one jobs setting's measurement for a workload.
+type schedPoint struct {
+	Jobs    int     `json:"jobs"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup_vs_sequential"`
+	// BitIdentical reports the in-bench determinism check: the workload's
+	// full result fingerprint (every float64 as raw bits) matched the
+	// sequential run exactly.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// schedWorkload is one benchmarked fan-out.
+type schedWorkload struct {
+	Name   string       `json:"name"`
+	Tasks  int          `json:"tasks"`
+	Points []schedPoint `json:"points"`
+}
+
+// schedBenchReport is the BENCH_sched.json document.
+type schedBenchReport struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	NumCPU      int             `json:"num_cpu"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Note        string          `json:"note"`
+	Workloads   []schedWorkload `json:"workloads"`
+}
+
+var schedBenchJobs = []int{2, 4, 8}
+
+// runSchedBench measures both workloads at every jobs setting and writes the
+// report. A fingerprint mismatch — parallel results diverging from the
+// sequential run — is a correctness failure and aborts the bench.
+func runSchedBench(out string) error {
+	report := schedBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note: "results are asserted bit-identical at every jobs value; " +
+			"speedup is bounded by num_cpu, so single-CPU hosts measure pool overhead",
+	}
+
+	workloads := []struct {
+		name  string
+		tasks int
+		run   func(jobs int) (string, error)
+	}{
+		{"table4-reduced", len(corpus.Classifiers), schedBenchTable4},
+		{"corpus-analyze", 0, schedBenchCorpus}, // tasks filled on first run
+	}
+	for _, w := range workloads {
+		wl := schedWorkload{Name: w.name, Tasks: w.tasks}
+		t0 := time.Now()
+		seqFP, err := w.run(1)
+		if err != nil {
+			return fmt.Errorf("%s sequential: %w", w.name, err)
+		}
+		seq := time.Since(t0).Seconds()
+		wl.Points = append(wl.Points, schedPoint{Jobs: 1, Seconds: seq, Speedup: 1, BitIdentical: true})
+		fmt.Printf("%-16s jobs=1 %8.2fs (baseline)\n", w.name, seq)
+		for _, jobs := range schedBenchJobs {
+			t0 = time.Now()
+			fp, err := w.run(jobs)
+			if err != nil {
+				return fmt.Errorf("%s jobs=%d: %w", w.name, jobs, err)
+			}
+			secs := time.Since(t0).Seconds()
+			identical := fp == seqFP
+			wl.Points = append(wl.Points, schedPoint{
+				Jobs: jobs, Seconds: secs, Speedup: seq / secs, BitIdentical: identical,
+			})
+			fmt.Printf("%-16s jobs=%d %8.2fs (%.2fx)\n", w.name, jobs, secs, seq/secs)
+			if !identical {
+				return fmt.Errorf("%s: jobs=%d results are NOT bit-identical to sequential", w.name, jobs)
+			}
+		}
+		if wl.Tasks == 0 {
+			wl.Tasks = schedCorpusTasks
+		}
+		report.Workloads = append(report.Workloads, wl)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d workloads)\n", out, len(report.Workloads))
+	return nil
+}
+
+// schedBenchTable4 regenerates a reduced Table IV (fewer instances, minimum
+// protocol runs) at the given row parallelism and fingerprints every column.
+func schedBenchTable4(jobs int) (string, error) {
+	cfg := tables.Table4Config{
+		Seed:      20200518,
+		Instances: 400,
+		Reps:      1,
+		Protocol:  stats.Protocol{Runs: 3, MaxRounds: 2},
+		CVFolds:   3,
+		Slots:     jobs,
+	}
+	rows, err := tables.Table4(cfg)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s|%d|%x|%x|%x|%x\n", r.Classifier, r.Changes,
+			math.Float64bits(r.PackagePct), math.Float64bits(r.CPUPct),
+			math.Float64bits(r.TimePct), math.Float64bits(r.AccuracyPct))
+	}
+	return sb.String(), nil
+}
+
+var schedCorpusTasks int
+
+// schedBenchCorpus fans the pass engine across one generated classifier
+// closure and fingerprints every per-file report, energy bits included.
+func schedBenchCorpus(jobs int) (string, error) {
+	p, err := corpus.Generate("RandomTree", 20200518)
+	if err != nil {
+		return "", err
+	}
+	schedCorpusTasks = len(p.Files)
+	rep, _, err := core.AnalyzeAll(p, core.AnalyzeConfig{Jobs: jobs})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, fa := range rep.Files {
+		fmt.Fprintf(&sb, "%s|%v|%x\n", fa.Path, fa.Report.Executable,
+			math.Float64bits(float64(fa.Report.Baseline.Package)))
+		for _, d := range fa.Report.Diags {
+			fmt.Fprintf(&sb, "  %s|%v|%x|%q\n", d.Diagnostic, d.Verdict,
+				math.Float64bits(float64(d.Delta)), d.Note)
+		}
+	}
+	sb.WriteString(core.CorpusView(rep))
+	return sb.String(), nil
+}

@@ -10,6 +10,9 @@
 // JEPO refactoring, kernel energy measurement under the repeat/Tukey
 // protocol, and double-vs-float cross-validation — and prints the same
 // columns the paper reports.
+//
+// -jobs N shards table rows across the deterministic sched pool: stdout is
+// bit-identical at any value, and the pool's timing telemetry goes to stderr.
 package main
 
 import (
@@ -18,12 +21,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"jepo/internal/airlines"
 	"jepo/internal/corpus"
 	"jepo/internal/jmetrics"
 	"jepo/internal/minijava/interp"
+	"jepo/internal/sched"
 	"jepo/internal/stats"
 	"jepo/internal/tables"
 )
@@ -53,6 +58,7 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 	checkpoint := fs.String("checkpoint", "", "directory persisting completed Table IV rows; reruns resume from it")
 	rowTimeout := fs.Duration("row-timeout", 0, "per-classifier deadline for Table IV (0 = none)")
 	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "table workers; stdout is bit-identical at any value (telemetry goes to stderr)")
 	verbose := fs.Bool("v", false, "print progress")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,10 +89,11 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 	}
 
 	run("1", func() error {
-		rows, err := tables.Table1(engine)
+		rows, tel, err := tables.Table1Jobs(engine, *jobs)
 		if err != nil {
 			return err
 		}
+		fmt.Fprintln(stderr, tel)
 		fmt.Fprintln(stdout, "=== Table I: Java components & suggestions (measured) ===")
 		fmt.Fprint(stdout, tables.RenderTable1(rows))
 		fmt.Fprintln(stdout)
@@ -94,10 +101,11 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 	})
 
 	run("2", func() error {
-		rows, err := tables.Table2(*seed)
+		rows, tel, err := tables.Table2Parallel(*seed, *jobs)
 		if err != nil {
 			return err
 		}
+		fmt.Fprintln(stderr, tel)
 		fmt.Fprintln(stdout, "=== Table II: WEKA classifier metrics ===")
 		fmt.Fprint(stdout, jmetrics.Table(rows))
 		fmt.Fprintln(stdout)
@@ -144,9 +152,11 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 			Reps:          *reps,
 			Protocol:      stats.Protocol{Runs: *runs, MaxRounds: 10},
 			CVFolds:       *folds,
+			Slots:         *jobs,
 			RowTimeout:    *rowTimeout,
 			CheckpointDir: *checkpoint,
 			Engine:        engine,
+			OnTelemetry:   func(tel sched.Telemetry) { fmt.Fprintln(stderr, tel) },
 		}
 		if *verbose {
 			cfg.Progress = func(msg string) { fmt.Fprintln(stderr, msg) }

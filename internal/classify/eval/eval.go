@@ -9,6 +9,7 @@ import (
 
 	"jepo/internal/classify"
 	"jepo/internal/dataset"
+	"jepo/internal/sched"
 )
 
 // Result is the outcome of one evaluation.
@@ -107,42 +108,101 @@ func (r *Result) DetailedByClass(classNames []string) string {
 // Factory builds a fresh classifier per fold.
 type Factory func() classify.Classifier
 
-// CrossValidate runs stratified k-fold cross-validation.
+// SeededFactory builds a fresh classifier for one fold from that fold's
+// pre-derived seed. Randomized classifiers (RandomTree, RandomForest,
+// REPTree, the SGD shufflers) should seed their streams from foldSeed so
+// every fold draws an independent, order-free stream.
+type SeededFactory func(fold int, foldSeed uint64) classify.Classifier
+
+// FoldSeeds pre-derives one independent RNG seed per fold from the split
+// seed. The derivation is a pure function of (seed, fold index) — no
+// generator is shared across fold iterations — so fold f's stream is the
+// same whether the folds run first, last, sequentially or concurrently.
+// This is the determinism fix that lets fold training parallelize: a single
+// RNG threaded through the fold loop would hand each fold a stream that
+// depends on how many draws earlier folds consumed, an order dependence
+// that breaks bit-identical parallel runs.
+func FoldSeeds(seed uint64, k int) []uint64 {
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = sched.TaskSeed(seed, i)
+	}
+	return out
+}
+
+// foldOutcome is one fold's independently computed evaluation, merged into
+// the Result in fold order.
+type foldOutcome struct {
+	name      string
+	correct   int
+	total     int
+	confusion [][]int
+}
+
+// CrossValidate runs stratified k-fold cross-validation. Every fold's
+// classifier comes from the same zero-argument factory, so all folds share
+// the classifier's configured seed; use CrossValidateSeeded to give each
+// fold an independent pre-derived stream and to train folds in parallel.
 func CrossValidate(d *dataset.Dataset, k int, seed uint64, make Factory) (*Result, error) {
+	return CrossValidateSeeded(d, k, seed, func(int, uint64) classify.Classifier { return make() }, 1)
+}
+
+// CrossValidateSeeded runs stratified k-fold cross-validation with
+// pre-derived per-fold seeds (see FoldSeeds) on a bounded worker pool.
+// Each fold trains and evaluates in isolation — its own classifier, its own
+// confusion counts — and fold outcomes are merged in fold-index order, so
+// the Result is bit-identical at any jobs count, including jobs == 1, which
+// runs the folds inline in order.
+func CrossValidateSeeded(d *dataset.Dataset, k int, seed uint64, make SeededFactory, jobs int) (*Result, error) {
 	folds, err := d.StratifiedFolds(k, seed)
 	if err != nil {
 		return nil, err
 	}
+	seeds := FoldSeeds(seed, len(folds))
 	res := &Result{Confusion: newConfusion(d.NumClasses())}
-	for f := range folds {
-		train, test := d.TrainTest(folds, f)
-		c := make()
-		if res.Name == "" {
-			res.Name = c.Name()
-		}
-		if err := c.Train(train); err != nil {
-			return nil, fmt.Errorf("eval: fold %d: %w", f, err)
-		}
-		correct := 0
-		for i, row := range test.X {
-			pred := c.Predict(row)
-			actual := test.Class(i)
-			if pred >= 0 && pred < len(res.Confusion) {
-				res.Confusion[actual][pred]++
+	_, _, err = sched.MapCommit(sched.Config{Jobs: jobs, Seed: seed}, folds,
+		func(task sched.Task, _ []int) (foldOutcome, error) {
+			f := task.Index
+			train, test := d.TrainTest(folds, f)
+			c := make(f, seeds[f])
+			out := foldOutcome{name: c.Name(), confusion: newConfusion(d.NumClasses())}
+			if err := c.Train(train); err != nil {
+				return foldOutcome{}, fmt.Errorf("eval: fold %d: %w", f, err)
 			}
-			if pred == actual {
-				correct++
+			for i, row := range test.X {
+				pred := c.Predict(row)
+				actual := test.Class(i)
+				if pred >= 0 && pred < len(out.confusion) {
+					out.confusion[actual][pred]++
+				}
+				if pred == actual {
+					out.correct++
+				}
 			}
-		}
-		res.Correct += correct
-		res.Total += test.NumInstances()
-		// A fold can end up with zero test instances when k is close to the
-		// dataset size; report 0 accuracy rather than NaN.
-		foldAcc := 0.0
-		if n := test.NumInstances(); n > 0 {
-			foldAcc = 100 * float64(correct) / float64(n)
-		}
-		res.PerFold = append(res.PerFold, foldAcc)
+			out.total = test.NumInstances()
+			return out, nil
+		},
+		func(_ sched.Task, out foldOutcome) {
+			if res.Name == "" {
+				res.Name = out.name
+			}
+			for a := range out.confusion {
+				for p := range out.confusion[a] {
+					res.Confusion[a][p] += out.confusion[a][p]
+				}
+			}
+			res.Correct += out.correct
+			res.Total += out.total
+			// A fold can end up with zero test instances when k is close to the
+			// dataset size; report 0 accuracy rather than NaN.
+			foldAcc := 0.0
+			if out.total > 0 {
+				foldAcc = 100 * float64(out.correct) / float64(out.total)
+			}
+			res.PerFold = append(res.PerFold, foldAcc)
+		})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

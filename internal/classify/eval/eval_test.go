@@ -256,3 +256,114 @@ func TestPrecisionRecallF1(t *testing.T) {
 		t.Errorf("detailed block malformed:\n%s", out)
 	}
 }
+
+// seededTreeFactory builds a per-fold RandomTree from the fold's pre-derived
+// seed — the randomized classifier most sensitive to its stream.
+func seededTreeFactory(fp classify.FP) SeededFactory {
+	return func(_ int, foldSeed uint64) classify.Classifier {
+		return tree.NewRandomTree(classify.Options{Seed: foldSeed, FP: fp})
+	}
+}
+
+// TestFoldSeedsPureAndDistinct pins the seed derivation: a pure function of
+// (seed, fold), no shared generator, distinct streams per fold.
+func TestFoldSeedsPureAndDistinct(t *testing.T) {
+	a := FoldSeeds(9, 10)
+	b := FoldSeeds(9, 10)
+	seen := map[uint64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fold %d seed not deterministic: %#x vs %#x", i, a[i], b[i])
+		}
+		if seen[a[i]] {
+			t.Fatalf("fold %d reuses another fold's seed %#x", i, a[i])
+		}
+		seen[a[i]] = true
+	}
+	if FoldSeeds(9, 3)[2] != a[2] {
+		t.Error("fold 2's seed depends on k, not only on (seed, fold)")
+	}
+}
+
+// TestCrossValidateSeededOrderIndependent is the regression test for the
+// latent order-dependence the fold loop used to have: with pre-derived
+// per-fold seeds, fold f's outcome is a pure function of (dataset, seed, f).
+// It must not matter whether the other folds ran before it, after it, or
+// concurrently — proven by (a) bit-identical results at every worker count
+// and (b) recomputing one fold in isolation and matching the full run.
+func TestCrossValidateSeededOrderIndependent(t *testing.T) {
+	d := airlines.Generate(400, 42)
+	const k, seed = 5, 9
+	want, err := CrossValidateSeeded(d, k, seed, seededTreeFactory(classify.Double), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 5, 8} {
+		got, err := CrossValidateSeeded(d, k, seed, seededTreeFactory(classify.Double), jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if got.Correct != want.Correct || got.Total != want.Total {
+			t.Errorf("jobs=%d: %d/%d correct, sequential %d/%d",
+				jobs, got.Correct, got.Total, want.Correct, want.Total)
+		}
+		for f := range want.PerFold {
+			if math.Float64bits(got.PerFold[f]) != math.Float64bits(want.PerFold[f]) {
+				t.Errorf("jobs=%d: fold %d accuracy %v, sequential %v",
+					jobs, f, got.PerFold[f], want.PerFold[f])
+			}
+		}
+		for a := range want.Confusion {
+			for p := range want.Confusion[a] {
+				if got.Confusion[a][p] != want.Confusion[a][p] {
+					t.Errorf("jobs=%d: confusion[%d][%d] = %d, sequential %d",
+						jobs, a, p, got.Confusion[a][p], want.Confusion[a][p])
+				}
+			}
+		}
+	}
+
+	// Recompute the last fold alone, outside the harness: same split, same
+	// pre-derived seed, no other fold ever trained. Its accuracy must equal
+	// the full run's PerFold entry bit for bit.
+	folds, err := d.StratifiedFolds(k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := k - 1
+	train, test := d.TrainTest(folds, f)
+	c := seededTreeFactory(classify.Double)(f, FoldSeeds(seed, k)[f])
+	if err := c.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, row := range test.X {
+		if c.Predict(row) == test.Class(i) {
+			correct++
+		}
+	}
+	alone := 100 * float64(correct) / float64(test.NumInstances())
+	if math.Float64bits(alone) != math.Float64bits(want.PerFold[f]) {
+		t.Errorf("fold %d alone = %v, inside the full run = %v — fold outcome depends on execution order",
+			f, alone, want.PerFold[f])
+	}
+}
+
+// TestCrossValidateCompatWrapper pins that the zero-argument-factory entry
+// point still behaves exactly as before: every fold gets the factory's
+// classifier unchanged, sequentially.
+func TestCrossValidateCompatWrapper(t *testing.T) {
+	d := separable(200)
+	a, err := CrossValidate(d, 4, 3, factories(classify.Options{Seed: 5})["J48"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidateSeeded(d, 4, 3,
+		func(int, uint64) classify.Classifier { return tree.NewJ48(classify.Options{Seed: 5}) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Correct != b.Correct || a.Total != b.Total {
+		t.Errorf("wrapper diverges: %d/%d vs %d/%d", a.Correct, a.Total, b.Correct, b.Total)
+	}
+}

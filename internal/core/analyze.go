@@ -8,6 +8,7 @@ import (
 	"jepo/internal/minijava/ast"
 	"jepo/internal/minijava/interp"
 	"jepo/internal/passes"
+	"jepo/internal/sched"
 )
 
 // Verdict is the measured judgement on one diagnostic's fix.
@@ -89,6 +90,11 @@ type AnalyzeConfig struct {
 	// (zero value = bytecode VM). Both engines charge identically, so the
 	// verdicts do not depend on this; it exists for cross-checking.
 	Engine interp.Engine
+	// Jobs bounds the worker pool for the per-fix measurements (and, through
+	// AnalyzeAll, the per-file fan-out). Each fix re-parses the project and
+	// runs on its own interpreter/meter, and verdicts merge in diagnostic
+	// order, so the report is bit-identical at any value. <= 0 means 1.
+	Jobs int
 }
 
 // Analyze is the detect/fix/verify pipeline: it runs every pass over the
@@ -135,28 +141,49 @@ func Analyze(p Project, cfg AnalyzeConfig) (*AnalysisReport, error) {
 	report.Executable = true
 	report.Baseline = baseline
 
+	// Each fix measures on its own re-parse and interpreter, so the
+	// measurements shard across the pool; verdicts commit in diagnostic
+	// order, keeping the report bit-identical at any cfg.Jobs.
+	var idxs []int
 	for i := range report.Diags {
-		ad := &report.Diags[i]
-		if ad.Verdict != VerdictUnmeasured {
-			continue
+		if report.Diags[i].Verdict == VerdictUnmeasured {
+			idxs = append(idxs, i)
 		}
-		delta, note, err := measureFix(p, cfg, i, len(diags), baseline)
-		if err != nil {
-			return nil, err
-		}
-		if note != "" {
-			ad.Note = note
-			continue
-		}
-		ad.Delta = delta
-		if baseline.Package != 0 {
-			ad.DeltaPct = 100 * float64(delta) / float64(baseline.Package)
-		}
-		if delta < 0 {
-			ad.Verdict = VerdictRejected
-		} else {
-			ad.Verdict = VerdictAccepted
-		}
+	}
+	type fixOutcome struct {
+		delta energy.Joules
+		note  string
+	}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	_, _, err = sched.MapCommit(sched.Config{Jobs: jobs}, idxs,
+		func(_ sched.Task, i int) (fixOutcome, error) {
+			delta, note, err := measureFix(p, cfg, i, len(diags), baseline)
+			if err != nil {
+				return fixOutcome{}, err
+			}
+			return fixOutcome{delta: delta, note: note}, nil
+		},
+		func(task sched.Task, out fixOutcome) {
+			ad := &report.Diags[idxs[task.Index]]
+			if out.note != "" {
+				ad.Note = out.note
+				return
+			}
+			ad.Delta = out.delta
+			if baseline.Package != 0 {
+				ad.DeltaPct = 100 * float64(out.delta) / float64(baseline.Package)
+			}
+			if out.delta < 0 {
+				ad.Verdict = VerdictRejected
+			} else {
+				ad.Verdict = VerdictAccepted
+			}
+		})
+	if err != nil {
+		return nil, err
 	}
 	return report, nil
 }

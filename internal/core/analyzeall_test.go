@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"jepo/internal/corpus"
+)
+
+// flattenReport projects a report onto comparable values: diagnostics carry
+// Fix closures, which never compare equal, so determinism checks compare
+// this projection (with float64 bit patterns, not rounded renderings).
+func flattenReport(r *AnalysisReport) []string {
+	out := []string{fmt.Sprintf("exec=%v note=%q baseline=%#x",
+		r.Executable, r.ExecNote, math.Float64bits(float64(r.Baseline.Package)))}
+	for _, d := range r.Diags {
+		out = append(out, fmt.Sprintf("%s verdict=%v delta=%#x pct=%#x note=%q",
+			d.Diagnostic, d.Verdict, math.Float64bits(float64(d.Delta)),
+			math.Float64bits(d.DeltaPct), d.Note))
+	}
+	return out
+}
+
+func flattenCorpus(r *CorpusReport) []string {
+	out := []string{r.Root}
+	for _, fa := range r.Files {
+		out = append(out, fa.Path)
+		out = append(out, flattenReport(fa.Report)...)
+	}
+	return out
+}
+
+// miniCorpus is a small hand-built corpus project: a runnable file whose
+// fixes can be measured, two library files with static findings, and one
+// clean file.
+func miniCorpus() *corpus.Project {
+	return &corpus.Project{
+		Root: "Mini",
+		Files: []corpus.File{
+			{Path: "weka/core/Work.java", Source: measurableProject},
+			{Path: "weka/core/LibA.java", Source: `class LibA {
+	double scale(double x) { return x * 2.0; }
+}`},
+			{Path: "weka/core/LibB.java", Source: `class LibB {
+	int mask(int x) { return x % 16; }
+}`},
+			{Path: "weka/core/Clean.java", Source: `class Clean {
+	int add(int a, int b) { return a + b; }
+}`},
+		},
+	}
+}
+
+func TestAnalyzeAllCountsAndView(t *testing.T) {
+	rep, tel, err := AnalyzeAll(miniCorpus(), AnalyzeConfig{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Files) != 4 {
+		t.Fatalf("%d file reports, want 4", len(rep.Files))
+	}
+	for i, fa := range rep.Files {
+		if fa.Path != miniCorpus().Files[i].Path {
+			t.Errorf("file %d committed as %s, want corpus order", i, fa.Path)
+		}
+	}
+	flagged, diags, fixable := rep.Totals()
+	if flagged < 2 || diags == 0 || fixable == 0 {
+		t.Fatalf("totals flagged=%d diags=%d fixable=%d, want findings", flagged, diags, fixable)
+	}
+	// The runnable file's fixes must have been measured, the library files'
+	// must not.
+	if work := rep.Files[0].Report; !work.Executable || len(work.Accepted()) == 0 {
+		t.Errorf("runnable corpus file not measured (executable=%v)", work.Executable)
+	}
+	if lib := rep.Files[1].Report; lib.Executable {
+		t.Error("library corpus file claims to be executable")
+	}
+	if tel.Tasks != 4 {
+		t.Errorf("telemetry tasks = %d, want 4", tel.Tasks)
+	}
+	view := CorpusView(rep)
+	for _, want := range []string{"corpus Mini:", "4 files analyzed", "hottest files:"} {
+		if !strings.Contains(view, want) {
+			t.Errorf("corpus view missing %q:\n%s", want, view)
+		}
+	}
+}
+
+// TestAnalyzeAllJobsIndependent is the corpus-wide determinism contract: the
+// report and its rendering are deeply equal at any worker count.
+func TestAnalyzeAllJobsIndependent(t *testing.T) {
+	p := miniCorpus()
+	want, _, err := AnalyzeAll(p, AnalyzeConfig{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 4, 8} {
+		got, _, err := AnalyzeAll(p, AnalyzeConfig{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if !reflect.DeepEqual(flattenCorpus(got), flattenCorpus(want)) {
+			t.Errorf("jobs=%d: corpus report diverges from sequential", jobs)
+		}
+		if CorpusView(got) != CorpusView(want) {
+			t.Errorf("jobs=%d: rendered corpus view diverges", jobs)
+		}
+	}
+}
+
+// TestAnalyzeJobsIndependent pins the per-fix measurement pool inside a
+// single Analyze call to the same invariant.
+func TestAnalyzeJobsIndependent(t *testing.T) {
+	p := Project{"Work.java": measurableProject}
+	want, err := Analyze(p, AnalyzeConfig{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 4} {
+		got, err := Analyze(p, AnalyzeConfig{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if !reflect.DeepEqual(flattenReport(got), flattenReport(want)) {
+			t.Errorf("jobs=%d: analysis report diverges from sequential", jobs)
+		}
+		if AnalysisView(got) != AnalysisView(want) {
+			t.Errorf("jobs=%d: rendered analysis diverges", jobs)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"jepo/internal/energy"
 	"jepo/internal/minijava/parser"
+	"jepo/internal/sched"
 )
 
 // TestConcurrentInstancesShareProgram pins that a loaded Program (including
@@ -64,6 +65,65 @@ func TestConcurrentInstancesShareProgram(t *testing.T) {
 				if results[w] != results[0] || joules[w] != joules[0] {
 					t.Errorf("worker %d diverged: result %#x/%#x joules %#x/%#x",
 						w, results[w], results[0], joules[w], joules[0])
+				}
+			}
+		})
+	}
+}
+
+// TestSchedMapSharesProgram drives the same shared-Program invariant through
+// the sched worker pool — the access pattern the parallel table generators
+// use: one compiled Program, a fresh Interp and meter per task. The race
+// detector guards the sharing; the bit-comparison guards determinism.
+func TestSchedMapSharesProgram(t *testing.T) {
+	src := `class B {
+		static double f() {
+			double s = 1.5;
+			for (int i = 0; i < 300; i++) {
+				s += (i % 5) * 0.25;
+				if (i % 11 == 0) { s = s * 0.99; }
+			}
+			return s;
+		}
+	}`
+	f, err := parser.Parse("race.java", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []Engine{EngineVM, EngineAST} {
+		engine := engine
+		t.Run(engine.String(), func(t *testing.T) {
+			type outcome struct{ result, joules uint64 }
+			run := func(jobs int) []outcome {
+				out, _, err := sched.Map(sched.Config{Jobs: jobs, Seed: 7}, make([]struct{}, 24),
+					func(task sched.Task, _ struct{}) (outcome, error) {
+						in := New(prog, energy.NewMeter(energy.DefaultCosts()),
+							WithMaxOps(10_000_000), WithEngine(engine))
+						v, err := in.CallStatic("B", "f")
+						if err != nil {
+							return outcome{}, err
+						}
+						return outcome{
+							result: math.Float64bits(v.D),
+							joules: math.Float64bits(float64(in.Meter().Snapshot().Package)),
+						}, nil
+					})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+			want := run(1)
+			for _, jobs := range []int{4, 8} {
+				got := run(jobs)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("jobs=%d task %d diverged: %+v vs sequential %+v", jobs, i, got[i], want[i])
+					}
 				}
 			}
 		})

@@ -1,0 +1,275 @@
+// Package sched is the deterministic parallel execution engine behind every
+// fan-out in the reproduction: Table II/IV classifier rows, cross-validation
+// fold training, the corpus-wide pass analysis, and the repeated measurement
+// runs of jperf. Measurement campaigns are embarrassingly parallel *only if*
+// per-task accounting stays isolated and the reduction order is fixed, so the
+// pool enforces three invariants:
+//
+//  1. Per-task isolation. Every task receives its own derived RNG seed
+//     (a splitmix64 mix of the base seed and the task index, see TaskSeed)
+//     and is expected to build its own energy.Meter / interpreter instances
+//     from it. Nothing about a task's inputs depends on which worker runs it
+//     or when.
+//
+//  2. Index-ordered commit. Results are delivered to the caller in task-index
+//     order, and the optional commit callback runs on the caller's goroutine
+//     strictly in that order, as completed results become available. Any
+//     order-sensitive reduction (float summation, ledger concatenation,
+//     progress output) therefore produces bit-identical output at any worker
+//     count.
+//
+//  3. Sequential degeneration. Jobs == 1 runs every task inline on the
+//     calling goroutine in index order — exactly the pre-pool code path, with
+//     no goroutines, channels or scheduling involved.
+//
+// Together these make `-jobs N` a pure wall-clock knob: output, profiles and
+// Joule totals are bit-identical to the sequential run at any worker count.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// TaskSeed derives the RNG seed for one task from the pool's base seed: a
+// splitmix64 finalizer over the base advanced by (index+1) golden-ratio
+// steps. Streams for distinct indices are statistically independent, the
+// derivation is pure (no shared generator to race on or to make task i's
+// stream depend on task j having run first), and index 0 does not collapse
+// onto the base seed.
+func TaskSeed(base uint64, index int) uint64 {
+	z := base + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Task identifies one unit of work handed to a worker.
+type Task struct {
+	Index int    // position in the input slice; also the commit order
+	Seed  uint64 // TaskSeed(cfg.Seed, Index) — the task's private RNG stream
+}
+
+// Config parameterizes a pool run.
+type Config struct {
+	// Jobs is the worker count. <= 0 means runtime.GOMAXPROCS(0); the pool
+	// never runs more workers than there are tasks.
+	Jobs int
+	// Seed is the base seed every task's private stream derives from.
+	Seed uint64
+	// Retries is how many times a failed task attempt (error or panic) is
+	// re-queued before its error stands. Retried tasks land on the retry
+	// queue, from which any idle worker steals.
+	Retries int
+}
+
+// Telemetry records what one pool run did. Timing fields are informational —
+// they vary run to run and must never feed a determinism-pinned output
+// stream; the CLIs print them to stderr.
+type Telemetry struct {
+	Jobs     int             // workers actually started
+	Tasks    int             // tasks executed
+	Attempts int             // task executions including retries
+	Steals   int             // pickups from the retry queue by idle workers
+	Panics   int             // attempts that ended in a recovered panic
+	Wall     time.Duration   // run wall-clock
+	Busy     []time.Duration // per-worker time spent executing tasks
+	// Straggler is the task whose attempts consumed the most wall-clock.
+	StragglerIndex int
+	StragglerTime  time.Duration
+}
+
+// Utilization is the busy fraction of the pool: Σ busy / (jobs × wall).
+func (t Telemetry) Utilization() float64 {
+	if t.Jobs == 0 || t.Wall <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, b := range t.Busy {
+		busy += b
+	}
+	return float64(busy) / (float64(t.Jobs) * float64(t.Wall))
+}
+
+// String renders the compact one-line form the CLIs log to stderr.
+func (t Telemetry) String() string {
+	s := fmt.Sprintf("sched: jobs=%d tasks=%d attempts=%d steals=%d panics=%d wall=%v util=%.0f%%",
+		t.Jobs, t.Tasks, t.Attempts, t.Steals, t.Panics, t.Wall.Round(time.Millisecond), 100*t.Utilization())
+	if t.StragglerIndex >= 0 {
+		s += fmt.Sprintf(" straggler=#%d(%v)", t.StragglerIndex, t.StragglerTime.Round(time.Millisecond))
+	}
+	return s
+}
+
+// Map runs fn over every item on a bounded worker pool and returns the
+// results in item order. The first error by task index is returned (every
+// task still runs, mirroring the row-collection semantics of the table
+// generators). See MapCommit for the ordered-commit variant.
+func Map[T, R any](cfg Config, items []T, fn func(Task, T) (R, error)) ([]R, Telemetry, error) {
+	return MapCommit(cfg, items, fn, nil)
+}
+
+// MapCommit is Map plus an in-order commit hook: commit runs on the calling
+// goroutine once per successful task, in strict task-index order, as results
+// become final. It is the seam for order-sensitive reductions — summing
+// Joules, concatenating Health ledgers, emitting output — that must be
+// bit-identical at any worker count.
+func MapCommit[T, R any](cfg Config, items []T, fn func(Task, T) (R, error), commit func(Task, R)) ([]R, Telemetry, error) {
+	n := len(items)
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	tel := Telemetry{Jobs: jobs, Tasks: n, Busy: make([]time.Duration, jobs), StragglerIndex: -1}
+	results := make([]R, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, tel, nil
+	}
+	start := time.Now()
+
+	// attempt executes one try of a task, converting panics into errors so a
+	// poisoned task costs its retries, never the pool.
+	attempt := func(task Task, panics *int64) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				atomic.AddInt64(panics, 1)
+				err = fmt.Errorf("sched: task %d panicked: %v", task.Index, r)
+			}
+		}()
+		r, err := fn(task, items[task.Index])
+		if err != nil {
+			return err
+		}
+		results[task.Index] = r
+		return nil
+	}
+
+	var panics int64
+	taskTime := make([]time.Duration, n) // Σ attempt durations per task
+
+	if jobs == 1 {
+		// Sequential degeneration: inline, in index order, commit after each
+		// task — today's single-goroutine code path exactly.
+		for i := range items {
+			task := Task{Index: i, Seed: TaskSeed(cfg.Seed, i)}
+			t0 := time.Now()
+			for try := 0; ; try++ {
+				tel.Attempts++
+				if errs[i] = attempt(task, &panics); errs[i] == nil || try >= cfg.Retries {
+					break
+				}
+			}
+			taskTime[i] = time.Since(t0)
+			tel.Busy[0] += taskTime[i]
+			if errs[i] == nil && commit != nil {
+				commit(task, results[i])
+			}
+		}
+	} else {
+		type job struct {
+			task Task
+			try  int
+		}
+		var (
+			next      int64 = -1
+			completed int64
+			attempts  int64
+			steals    int64
+		)
+		retryq := make(chan job, n)
+		done := make([]chan struct{}, n)
+		for i := range done {
+			done[i] = make(chan struct{})
+		}
+		finished := make(chan struct{})
+		busyNS := make([]int64, jobs)
+		taskNS := make([]int64, n)
+
+		exec := func(w int, j job) {
+			t0 := time.Now()
+			atomic.AddInt64(&attempts, 1)
+			err := attempt(j.task, &panics)
+			d := int64(time.Since(t0))
+			busyNS[w] += d
+			atomic.AddInt64(&taskNS[j.task.Index], d)
+			if err != nil && j.try < cfg.Retries {
+				retryq <- job{task: j.task, try: j.try + 1}
+				return
+			}
+			errs[j.task.Index] = err
+			close(done[j.task.Index])
+			if atomic.AddInt64(&completed, 1) == int64(n) {
+				close(finished)
+			}
+		}
+		for w := 0; w < jobs; w++ {
+			go func(w int) {
+				for {
+					// Idle workers steal queued retries before claiming
+					// fresh indices, so a flaky early task re-runs while the
+					// tail is still being dispatched.
+					select {
+					case j := <-retryq:
+						atomic.AddInt64(&steals, 1)
+						exec(w, j)
+						continue
+					default:
+					}
+					if i := atomic.AddInt64(&next, 1); int(i) < n {
+						exec(w, job{task: Task{Index: int(i), Seed: TaskSeed(cfg.Seed, int(i))}})
+						continue
+					}
+					select {
+					case j := <-retryq:
+						atomic.AddInt64(&steals, 1)
+						exec(w, j)
+					case <-finished:
+						return
+					}
+				}
+			}(w)
+		}
+		// Index-ordered commit on the caller's goroutine: task i+1's result
+		// may already be done, but it is not committed before task i's.
+		for i := 0; i < n; i++ {
+			<-done[i]
+			if errs[i] == nil && commit != nil {
+				commit(Task{Index: i, Seed: TaskSeed(cfg.Seed, i)}, results[i])
+			}
+		}
+		<-finished
+		tel.Attempts = int(attempts)
+		tel.Steals = int(steals)
+		for w := range busyNS {
+			tel.Busy[w] = time.Duration(busyNS[w])
+		}
+		for i := range taskNS {
+			taskTime[i] = time.Duration(taskNS[i])
+		}
+	}
+
+	tel.Panics = int(panics)
+	tel.Wall = time.Since(start)
+	for i, d := range taskTime {
+		if d > tel.StragglerTime {
+			tel.StragglerIndex, tel.StragglerTime = i, d
+		}
+	}
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	return results, tel, firstErr
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"jepo/internal/airlines"
@@ -16,6 +17,7 @@ import (
 	"jepo/internal/minijava/interp"
 	"jepo/internal/minijava/parser"
 	"jepo/internal/refactor"
+	"jepo/internal/sched"
 )
 
 var updateGolden = flag.Bool("update", false, "regenerate testdata/golden_energy.json")
@@ -37,13 +39,24 @@ type goldenRecord struct {
 	CycleF   float64 `json:"cycles"`
 }
 
-// fingerprint runs fn against a fresh meter and captures the full charge
-// fingerprint plus whatever the interpreter printed.
-func fingerprint(t *testing.T, engine interp.Engine, name string, load func(t *testing.T) *interp.Program, drive func(t *testing.T, in *interp.Interp)) goldenRecord {
-	t.Helper()
-	prog := load(t)
+// goldenCase is one battery entry in error-returning form, so the battery
+// can run sequentially under testing.T or be sharded across the sched pool.
+type goldenCase struct {
+	name string
+	run  func() (goldenRecord, error)
+}
+
+// fingerprint runs one program against a fresh interpreter and meter and
+// captures the full charge fingerprint plus whatever it printed.
+func fingerprint(engine interp.Engine, name string, load func() (*interp.Program, error), drive func(in *interp.Interp) error) (goldenRecord, error) {
+	prog, err := load()
+	if err != nil {
+		return goldenRecord{}, err
+	}
 	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000), interp.WithEngine(engine))
-	drive(t, in)
+	if err := drive(in); err != nil {
+		return goldenRecord{}, err
+	}
 	m := in.Meter()
 	s := m.Snapshot()
 	counts := map[string]uint64{}
@@ -62,43 +75,40 @@ func fingerprint(t *testing.T, engine interp.Engine, name string, load func(t *t
 		DRAM:     math.Float64bits(float64(s.DRAM)),
 		PackageJ: float64(s.Package),
 		CycleF:   s.Cycles,
-	}
+	}, nil
 }
 
-// goldenBattery builds the full determinism battery: every Table I variant
-// plus the RandomForest Table IV kernel, original and refactored.
-func goldenBattery(t *testing.T, engine interp.Engine) []goldenRecord {
-	t.Helper()
-	var recs []goldenRecord
+// goldenCases builds the full determinism battery: every Table I variant
+// plus the RandomForest Table IV kernel, original and refactored. Each case
+// is self-contained — its own parse, load, interpreter and meter — so cases
+// can run in any order or in parallel and still produce identical records.
+func goldenCases(engine interp.Engine) ([]goldenCase, error) {
+	var cases []goldenCase
 
-	loadSrc := func(src string) func(t *testing.T) *interp.Program {
-		return func(t *testing.T) *interp.Program {
-			t.Helper()
+	loadSrc := func(src string) func() (*interp.Program, error) {
+		return func() (*interp.Program, error) {
 			f, err := parser.Parse("golden.java", src)
 			if err != nil {
-				t.Fatal(err)
+				return nil, err
 			}
-			prog, err := interp.Load(f)
-			if err != nil {
-				t.Fatal(err)
-			}
-			return prog
+			return interp.Load(f)
 		}
 	}
-	driveF := func(t *testing.T, in *interp.Interp) {
-		t.Helper()
+	driveF := func(in *interp.Interp) error {
 		if err := in.InitStatics(); err != nil {
-			t.Fatal(err)
+			return err
 		}
-		if _, err := in.CallStatic("B", "f"); err != nil {
-			t.Fatal(err)
-		}
+		_, err := in.CallStatic("B", "f")
+		return err
+	}
+	addCase := func(name string, load func() (*interp.Program, error), drive func(in *interp.Interp) error) {
+		cases = append(cases, goldenCase{name: name, run: func() (goldenRecord, error) {
+			return fingerprint(engine, name, load, drive)
+		}})
 	}
 	for _, b := range table1Benches {
-		recs = append(recs,
-			fingerprint(t, engine, fmt.Sprintf("table1/%v/inefficient", b.rule), loadSrc(b.slow), driveF),
-			fingerprint(t, engine, fmt.Sprintf("table1/%v/efficient", b.rule), loadSrc(b.fast), driveF),
-		)
+		addCase(fmt.Sprintf("table1/%v/inefficient", b.rule), loadSrc(b.slow), driveF)
+		addCase(fmt.Sprintf("table1/%v/efficient", b.rule), loadSrc(b.fast), driveF)
 	}
 
 	// One Table IV kernel pair on real generated data, exercising statics,
@@ -107,48 +117,69 @@ func goldenBattery(t *testing.T, engine interp.Engine) []goldenRecord {
 	const kernelRows = 300
 	proj, err := corpus.Generate(kernelName, 20200518)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	data := airlines.Generate(kernelRows, 20200518)
 	feats, labels := kernelData(data)
-	loadKernel := func(refactored bool) func(t *testing.T) *interp.Program {
-		return func(t *testing.T) *interp.Program {
-			t.Helper()
+	loadKernel := func(refactored bool) func() (*interp.Program, error) {
+		return func() (*interp.Program, error) {
 			kernel, err := kernelAST(proj, kernelName)
 			if err != nil {
-				t.Fatal(err)
+				return nil, err
 			}
 			if refactored {
 				refactor.Apply([]*ast.File{kernel})
 			}
-			prog, err := interp.Load(kernel)
-			if err != nil {
-				t.Fatal(err)
-			}
-			return prog
+			return interp.Load(kernel)
 		}
 	}
-	driveKernel := func(t *testing.T, in *interp.Interp) {
-		t.Helper()
+	driveKernel := func(in *interp.Interp) error {
 		if err := in.InitStatics(); err != nil {
-			t.Fatal(err)
+			return err
 		}
 		kc := corpus.KernelClass(kernelName)
 		if err := in.Bind(kc, "DATA", in.NewDoubleMatrix(feats)); err != nil {
-			t.Fatal(err)
+			return err
 		}
 		if err := in.Bind(kc, "LABELS", in.NewIntArray(labels)); err != nil {
-			t.Fatal(err)
+			return err
 		}
-		if _, err := in.CallStatic(kc, "run", interp.IntVal(1)); err != nil {
-			t.Fatal(err)
+		_, err := in.CallStatic(kc, "run", interp.IntVal(1))
+		return err
+	}
+	addCase("table4/"+kernelName+"/original", loadKernel(false), driveKernel)
+	addCase("table4/"+kernelName+"/refactored", loadKernel(true), driveKernel)
+	return cases, nil
+}
+
+// goldenBattery runs the battery sequentially.
+func goldenBattery(t *testing.T, engine interp.Engine) []goldenRecord {
+	t.Helper()
+	cases, err := goldenCases(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]goldenRecord, len(cases))
+	for i, c := range cases {
+		if recs[i], err = c.run(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
 		}
 	}
-	recs = append(recs,
-		fingerprint(t, engine, "table4/"+kernelName+"/original", loadKernel(false), driveKernel),
-		fingerprint(t, engine, "table4/"+kernelName+"/refactored", loadKernel(true), driveKernel),
-	)
 	return recs
+}
+
+// readGolden loads testdata/golden_energy.json.
+func readGolden(t *testing.T) []goldenRecord {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("testdata", "golden_energy.json"))
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want
 }
 
 // TestGoldenEnergyDeterminism is the tentpole invariant of the interpreter:
@@ -179,18 +210,43 @@ func TestGoldenEnergyDeterminism(t *testing.T) {
 		t.Logf("wrote %s (%d records)", path, len(got))
 		return
 	}
-	blob, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("missing golden file (run with -update to create): %v", err)
-	}
-	var want []goldenRecord
-	if err := json.Unmarshal(blob, &want); err != nil {
-		t.Fatal(err)
-	}
+	want := readGolden(t)
 	for _, engine := range []interp.Engine{interp.EngineVM, interp.EngineAST} {
 		engine := engine
 		t.Run(engine.String(), func(t *testing.T) {
 			compareGolden(t, want, goldenBattery(t, engine))
+		})
+	}
+}
+
+// TestGoldenEnergySchedJobs runs the same battery sharded across the sched
+// pool at -jobs 1, 4 and GOMAXPROCS, against the same golden file. This is
+// the parallel-determinism acceptance gate: worker count must not move a
+// single charge, op count or output byte.
+func TestGoldenEnergySchedJobs(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden file is regenerated by TestGoldenEnergyDeterminism")
+	}
+	want := readGolden(t)
+	cases, err := goldenCases(interp.EngineVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobsValues := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, jobs := range jobsValues {
+		jobs := jobs
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			got, tel, err := sched.Map(sched.Config{Jobs: jobs, Seed: 20200518}, cases,
+				func(_ sched.Task, c goldenCase) (goldenRecord, error) {
+					return c.run()
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tel.Tasks != len(cases) {
+				t.Errorf("telemetry tasks = %d, want %d", tel.Tasks, len(cases))
+			}
+			compareGolden(t, want, got)
 		})
 	}
 }

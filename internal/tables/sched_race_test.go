@@ -1,0 +1,65 @@
+package tables
+
+import (
+	"math"
+	"testing"
+
+	"jepo/internal/energy"
+	"jepo/internal/minijava/interp"
+	"jepo/internal/minijava/parser"
+	"jepo/internal/sched"
+)
+
+// TestSchedMapTable1CorpusSharedPrograms runs the whole Table I corpus
+// concurrently through sched.Map with every compiled Program loaded once and
+// shared across tasks — each task only builds its own Interp and meter. This
+// is exactly the sharing pattern Table1Jobs and the golden sched battery
+// rely on; under scripts/check.sh's -race gate it proves the compiled
+// bytecode, constant pools and AST are never mutated by execution, and the
+// bit-comparison proves per-task isolation of all charging state.
+func TestSchedMapTable1CorpusSharedPrograms(t *testing.T) {
+	benches := InterpBenches()
+	progs := make([]*interp.Program, len(benches))
+	for i, b := range benches {
+		f, err := parser.Parse(b.Name+".java", b.Src)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if progs[i], err = interp.Load(f); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+	}
+
+	run := func(jobs int) []uint64 {
+		// Each bench runs twice per pass to double the concurrent load on the
+		// shared programs.
+		out, _, err := sched.Map(sched.Config{Jobs: jobs, Seed: 20200518}, make([]struct{}, 2*len(benches)),
+			func(task sched.Task, _ struct{}) (uint64, error) {
+				prog := progs[task.Index%len(progs)]
+				in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()),
+					interp.WithMaxOps(200_000_000))
+				if err := in.InitStatics(); err != nil {
+					return 0, err
+				}
+				if _, err := in.CallStatic("B", "f"); err != nil {
+					return 0, err
+				}
+				return math.Float64bits(float64(in.Meter().Snapshot().Package)), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	want := run(1)
+	for _, jobs := range []int{4, 8} {
+		got := run(jobs)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("jobs=%d: task %d (%s) joules %#x, sequential %#x",
+					jobs, i, benches[i%len(benches)].Name, got[i], want[i])
+			}
+		}
+	}
+}

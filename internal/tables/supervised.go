@@ -12,13 +12,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sync"
 	"time"
 
 	"jepo/internal/airlines"
 	"jepo/internal/corpus"
 	"jepo/internal/dataset"
+	"jepo/internal/sched"
 )
 
 // Table4Supervised runs the full §VIII validation with per-row supervision.
@@ -42,36 +42,30 @@ func Table4Supervised(cfg Table4Config) ([]Table4Row, error) {
 	data := airlines.Generate(cfg.Instances, cfg.Seed)
 	feats, labels := kernelData(data)
 
-	slots := cfg.Slots
-	if slots <= 0 {
-		slots = runtime.GOMAXPROCS(0)
-	}
-	if slots > len(corpus.Classifiers) {
-		slots = len(corpus.Classifiers)
-	}
-	rows := make([]Table4Row, len(corpus.Classifiers))
-	sem := make(chan struct{}, slots)
-	var wg sync.WaitGroup
-	for idx, name := range corpus.Classifiers {
-		wg.Add(1)
-		go func(idx int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	// Rows run on the sched pool under the same supervision semantics as
+	// before: superviseRow converts every failure mode (error, panic,
+	// deadline) into a row with Err set, so the pool's fn never errors and
+	// every classifier always yields a row, committed in paper order.
+	rows, tel, err := sched.Map(sched.Config{Jobs: cfg.Slots, Seed: cfg.Seed}, corpus.Classifiers,
+		func(_ sched.Task, name string) (Table4Row, error) {
 			if row, ok := loadCheckpoint(cfg.CheckpointDir, name); ok {
 				say("%s: resumed from checkpoint", name)
-				rows[idx] = row
-				return
+				return row, nil
 			}
-			rows[idx] = superviseRow(name, data, feats, labels, cfg, say)
-			if rows[idx].Err == "" {
-				if err := saveCheckpoint(cfg.CheckpointDir, rows[idx]); err != nil {
+			row := superviseRow(name, data, feats, labels, cfg, say)
+			if row.Err == "" {
+				if err := saveCheckpoint(cfg.CheckpointDir, row); err != nil {
 					say("%s: checkpoint not written: %v", name, err)
 				}
 			}
-		}(idx, name)
+			return row, nil
+		})
+	if cfg.OnTelemetry != nil {
+		cfg.OnTelemetry(tel)
 	}
-	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
 	return rows, nil
 }
 

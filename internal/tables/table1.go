@@ -12,6 +12,7 @@ import (
 	"jepo/internal/energy"
 	"jepo/internal/minijava/interp"
 	"jepo/internal/minijava/parser"
+	"jepo/internal/sched"
 	"jepo/internal/suggest"
 )
 
@@ -274,27 +275,36 @@ func measureBench(src string, engine interp.Engine) (energy.Joules, error) {
 
 // Table1 measures every component pair and returns the rows in the paper's
 // order. Every number is produced by executing both variants on the
-// energy-model interpreter and comparing package energy.
+// energy-model interpreter and comparing package energy. See Table1Jobs for
+// the pooled form.
 func Table1(engine interp.Engine) ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, len(table1Benches))
-	for _, b := range table1Benches {
-		slow, err := measureBench(b.slow, engine)
-		if err != nil {
-			return nil, fmt.Errorf("tables: %v slow variant: %w", b.rule, err)
-		}
-		fast, err := measureBench(b.fast, engine)
-		if err != nil {
-			return nil, fmt.Errorf("tables: %v fast variant: %w", b.rule, err)
-		}
-		rows = append(rows, Table1Row{
-			Rule:        b.rule,
-			Component:   b.rule.Component(),
-			Suggestion:  b.rule.Text(),
-			PaperClaim:  b.paperClaim,
-			MeasuredPct: 100 * (float64(slow)/float64(fast) - 1),
+	rows, _, err := Table1Jobs(engine, 1)
+	return rows, err
+}
+
+// Table1Jobs measures the Table I component pairs on a bounded worker pool.
+// Each bench pair builds its own parser/interpreter/meter instances, so rows
+// are independent; committed in paper order they are bit-identical at any
+// jobs count.
+func Table1Jobs(engine interp.Engine, jobs int) ([]Table1Row, sched.Telemetry, error) {
+	return sched.Map(sched.Config{Jobs: jobs}, table1Benches,
+		func(_ sched.Task, b table1Bench) (Table1Row, error) {
+			slow, err := measureBench(b.slow, engine)
+			if err != nil {
+				return Table1Row{}, fmt.Errorf("tables: %v slow variant: %w", b.rule, err)
+			}
+			fast, err := measureBench(b.fast, engine)
+			if err != nil {
+				return Table1Row{}, fmt.Errorf("tables: %v fast variant: %w", b.rule, err)
+			}
+			return Table1Row{
+				Rule:        b.rule,
+				Component:   b.rule.Component(),
+				Suggestion:  b.rule.Text(),
+				PaperClaim:  b.paperClaim,
+				MeasuredPct: 100 * (float64(slow)/float64(fast) - 1),
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // RenderTable1 lays the rows out like the paper's Table I, with the measured

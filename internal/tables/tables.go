@@ -2,7 +2,6 @@ package tables
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -23,33 +22,39 @@ import (
 	"jepo/internal/minijava/interp"
 	"jepo/internal/minijava/parser"
 	"jepo/internal/refactor"
+	"jepo/internal/sched"
 	"jepo/internal/stats"
 )
 
 // Table2 generates the per-classifier corpora and measures the Table II
-// metrics rows for each.
+// metrics rows for each, sequentially. See Table2Parallel for the pooled
+// form the CLIs expose through -jobs.
 func Table2(seed uint64) ([]jmetrics.Metrics, error) {
-	rows := make([]jmetrics.Metrics, 0, len(corpus.Classifiers))
-	for _, name := range corpus.Classifiers {
-		p, err := corpus.Generate(name, seed)
-		if err != nil {
-			return nil, err
-		}
-		files, err := p.Parse()
-		if err != nil {
-			return nil, err
-		}
-		srcs := make([]jmetrics.SourceFile, len(files))
-		for i := range files {
-			srcs[i] = jmetrics.SourceFile{AST: files[i], Source: p.Files[i].Source}
-		}
-		m, err := jmetrics.NewProject(srcs).Measure(name)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, m)
-	}
-	return rows, nil
+	rows, _, err := Table2Parallel(seed, 1)
+	return rows, err
+}
+
+// Table2Parallel measures the Table II rows on a bounded worker pool. Every
+// classifier's corpus generation, parsing and metric measurement is fully
+// independent, and rows are committed in paper order, so the result is
+// bit-identical at any jobs count.
+func Table2Parallel(seed uint64, jobs int) ([]jmetrics.Metrics, sched.Telemetry, error) {
+	return sched.Map(sched.Config{Jobs: jobs, Seed: seed}, corpus.Classifiers,
+		func(_ sched.Task, name string) (jmetrics.Metrics, error) {
+			p, err := corpus.Generate(name, seed)
+			if err != nil {
+				return jmetrics.Metrics{}, err
+			}
+			files, err := p.Parse()
+			if err != nil {
+				return jmetrics.Metrics{}, err
+			}
+			srcs := make([]jmetrics.SourceFile, len(files))
+			for i := range files {
+				srcs[i] = jmetrics.SourceFile{AST: files[i], Source: p.Files[i].Source}
+			}
+			return jmetrics.NewProject(srcs).Measure(name)
+		})
 }
 
 // Table3 renders the airlines schema with the realized distinct-value counts
@@ -89,9 +94,15 @@ type Table4Config struct {
 	Protocol  stats.Protocol // the run/Tukey/replace loop
 	CVFolds   int            // stratified folds (paper: 10)
 	Slots     int            // classifiers evaluated concurrently (0 = GOMAXPROCS)
+	CVJobs    int            // fold-training workers inside each row's cross-validation (0 = 1)
 	Engine    interp.Engine  // execution engine (zero value = bytecode VM)
 	Quiet     bool
 	Progress  func(string) // optional progress callback
+	// OnTelemetry, when set, receives the row pool's execution ledger after
+	// the run (worker utilization, retry-queue steals, straggler row). The
+	// CLIs print it to stderr so determinism-pinned stdout stays byte-equal
+	// across -jobs values.
+	OnTelemetry func(sched.Telemetry)
 
 	// Supervision knobs, honored by Table4Supervised only.
 	RowTimeout    time.Duration // per-classifier deadline (0 = none)
@@ -144,37 +155,17 @@ func Table4(cfg Table4Config) ([]Table4Row, error) {
 
 	// Every classifier's pipeline is independent (its own corpus, its own
 	// interpreters, its own deterministic streams), so rows are evaluated by
-	// a worker pool, like WEKA's execution slots. Results are identical at
-	// any parallelism.
-	slots := cfg.Slots
-	if slots <= 0 {
-		slots = runtime.GOMAXPROCS(0)
+	// the sched pool, like WEKA's execution slots. Rows are committed in
+	// paper order, so results are bit-identical at any parallelism.
+	rows, tel, err := sched.Map(sched.Config{Jobs: cfg.Slots, Seed: cfg.Seed}, corpus.Classifiers,
+		func(_ sched.Task, name string) (Table4Row, error) {
+			return table4Row(name, data, feats, labels, cfg, say)
+		})
+	if cfg.OnTelemetry != nil {
+		cfg.OnTelemetry(tel)
 	}
-	if slots > len(corpus.Classifiers) {
-		slots = len(corpus.Classifiers)
-	}
-	rows := make([]Table4Row, len(corpus.Classifiers))
-	errs := make([]error, len(corpus.Classifiers))
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for s := 0; s < slots; s++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range work {
-				rows[idx], errs[idx] = table4Row(corpus.Classifiers[idx], data, feats, labels, cfg, say)
-			}
-		}()
-	}
-	for idx := range corpus.Classifiers {
-		work <- idx
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -370,22 +361,45 @@ func Factory(name string, opts classify.Options) (eval.Factory, error) {
 	return nil, fmt.Errorf("tables: unknown classifier %s", name)
 }
 
+// FactorySeeded builds the per-fold factory for eval.CrossValidateSeeded:
+// each fold's classifier is constructed from that fold's pre-derived seed,
+// with the remaining options (precision mode) taken from base. The name is
+// validated once, up front, so the per-fold closure cannot fail.
+func FactorySeeded(name string, base classify.Options) (eval.SeededFactory, error) {
+	if _, err := Factory(name, base); err != nil {
+		return nil, err
+	}
+	return func(_ int, foldSeed uint64) classify.Classifier {
+		opts := base
+		opts.Seed = foldSeed
+		mk, _ := Factory(name, opts)
+		return mk()
+	}, nil
+}
+
 // accuracyDrop cross-validates a classifier in double and single precision
-// and returns the accuracy loss in percentage points.
+// and returns the accuracy loss in percentage points. Both precision runs use
+// the same pre-derived per-fold seeds, so fold f trains on identical splits
+// and identical random streams in both modes — the drop isolates precision,
+// not seed noise — and fold training parallelizes under cfg.CVJobs.
 func accuracyDrop(name string, d *dataset.Dataset, cfg Table4Config) (float64, error) {
-	dbl, err := Factory(name, classify.Options{Seed: cfg.Seed, FP: classify.Double})
+	dbl, err := FactorySeeded(name, classify.Options{Seed: cfg.Seed, FP: classify.Double})
 	if err != nil {
 		return 0, err
 	}
-	sgl, err := Factory(name, classify.Options{Seed: cfg.Seed, FP: classify.Single})
+	sgl, err := FactorySeeded(name, classify.Options{Seed: cfg.Seed, FP: classify.Single})
 	if err != nil {
 		return 0, err
 	}
-	rd, err := eval.CrossValidate(d, cfg.CVFolds, cfg.Seed, dbl)
+	jobs := cfg.CVJobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	rd, err := eval.CrossValidateSeeded(d, cfg.CVFolds, cfg.Seed, dbl, jobs)
 	if err != nil {
 		return 0, err
 	}
-	rs, err := eval.CrossValidate(d, cfg.CVFolds, cfg.Seed, sgl)
+	rs, err := eval.CrossValidateSeeded(d, cfg.CVFolds, cfg.Seed, sgl, jobs)
 	if err != nil {
 		return 0, err
 	}

@@ -28,6 +28,38 @@ echo "== engine diff =="
 # seeded random programs.
 go test -tags enginediff -run EngineDiff ./internal/minijava/interp
 
+echo "== sched diff =="
+# Differential fuzz for the worker pool: random task counts, worker counts
+# and fault plans must merge to identical results and Health ledgers at any
+# parallelism.
+go test -tags scheddiff -run SchedDifferentialFuzz ./internal/sched
+
+echo "== golden battery across -jobs =="
+# The golden energy battery sharded over the pool at -jobs 1, 4 and
+# GOMAXPROCS must reproduce the same golden file bit for bit.
+go test -run GoldenEnergySchedJobs ./internal/tables
+
+echo "== -jobs byte-identity =="
+# CLI stdout must be byte-identical at any -jobs value (pool telemetry goes
+# to stderr). Diff sequential vs parallel output of the analyzer and the
+# classifier table.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/jepo analyze -jobs 1 examples/java >"$tmpdir/analyze.1" 2>/dev/null
+go run ./cmd/jepo analyze -jobs 4 examples/java >"$tmpdir/analyze.4" 2>/dev/null
+if ! cmp -s "$tmpdir/analyze.1" "$tmpdir/analyze.4"; then
+    echo "jepo analyze stdout differs between -jobs 1 and -jobs 4" >&2
+    diff -u "$tmpdir/analyze.1" "$tmpdir/analyze.4" >&2 || true
+    exit 1
+fi
+go run ./cmd/wekaexp -table 2 -jobs 1 >"$tmpdir/table2.1" 2>/dev/null
+go run ./cmd/wekaexp -table 2 -jobs 4 >"$tmpdir/table2.4" 2>/dev/null
+if ! cmp -s "$tmpdir/table2.1" "$tmpdir/table2.4"; then
+    echo "wekaexp -table 2 stdout differs between -jobs 1 and -jobs 4" >&2
+    diff -u "$tmpdir/table2.1" "$tmpdir/table2.4" >&2 || true
+    exit 1
+fi
+
 echo "== jepo analyze golden =="
 # Rule drift shows up here the way energy drift shows up in golden_test.go:
 # the analyzer's measured diagnostic listing over the example corpus must
