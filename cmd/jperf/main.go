@@ -71,11 +71,20 @@ func main() {
 
 // runDisasmCmd prints the compiled bytecode of every method in the given
 // files; methods without a lowering are listed with a tree-walker marker.
+// With -warm it first executes the program's main on a fresh interpreter and
+// prints that instance's quickened code copies — the stream the VM actually
+// dispatches once the inline caches are filled.
 func runDisasmCmd(args []string) error {
-	if len(args) == 0 {
+	fs := flag.NewFlagSet("disasm", flag.ContinueOnError)
+	warm := fs.Bool("warm", false, "run main first and print the instance's quickened code")
+	mainClass := fs.String("main", "", "class whose main method warms the code (with -warm)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
 		return fmt.Errorf("no input files")
 	}
-	files, err := parseArgs(args)
+	files, err := parseArgs(fs.Args())
 	if err != nil {
 		return err
 	}
@@ -83,7 +92,15 @@ func runDisasmCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(prog.Disasm())
+	if !*warm {
+		fmt.Print(prog.Disasm())
+		return nil
+	}
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000))
+	if err := in.RunMain(*mainClass); err != nil {
+		return err
+	}
+	fmt.Print(in.DisasmWarm())
 	return nil
 }
 

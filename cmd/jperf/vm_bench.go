@@ -27,17 +27,29 @@ import (
 	"jepo/internal/tables"
 )
 
-// vmBenchPoint is one benchmark's engine comparison.
+// vmBenchPoint is one benchmark's engine comparison, measured at three VM
+// configurations against the tree-walker baseline: tier 1 (the raw stream as
+// compiled, no finalization), tier 2 with runtime quickening disabled (block
+// charge pre-aggregation and compile-time pins only) and tier 2 in full
+// (runtime quickening and inline caches on — the default engine). The two
+// gain columns split tier 2's win over tier 1 between its static and its
+// runtime half; both are percentages of the tier-1 time.
 type vmBenchPoint struct {
-	Name        string  `json:"name"`
-	Runs        int     `json:"runs"`
-	ASTNsPerOp  float64 `json:"ast_ns_per_op"`
-	VMNsPerOp   float64 `json:"vm_ns_per_op"`
-	ASTAllocsOp float64 `json:"ast_allocs_per_op"`
-	VMAllocsOp  float64 `json:"vm_allocs_per_op"`
-	UJPerOp     float64 `json:"uj_per_op"` // identical across engines by construction
-	Speedup     float64 `json:"speedup"`   // ast_ns / vm_ns
-	EnergyEqual bool    `json:"energy_equal"`
+	Name           string  `json:"name"`
+	Runs           int     `json:"runs"`
+	ASTNsPerOp     float64 `json:"ast_ns_per_op"`
+	Tier1NsPerOp   float64 `json:"vm_tier1_ns_per_op"`
+	NoQuickNsPerOp float64 `json:"vm_tier2_noquick_ns_per_op"`
+	VMNsPerOp      float64 `json:"vm_ns_per_op"` // tier 2 full
+	ASTAllocsOp    float64 `json:"ast_allocs_per_op"`
+	VMAllocsOp     float64 `json:"vm_allocs_per_op"`
+	UJPerOp        float64 `json:"uj_per_op"`     // identical across engines by construction
+	Tier1Speedup   float64 `json:"tier1_speedup"` // ast_ns / tier1_ns
+	Speedup        float64 `json:"speedup"`       // ast_ns / vm_ns (tier 2 full)
+	Tier2VsTier1   float64 `json:"tier2_vs_tier1"`
+	AggGainPct     float64 `json:"block_agg_gain_pct"` // static half: 100*(t1-noquick)/t1
+	QuickGainPct   float64 `json:"quickening_gain_pct"`
+	EnergyEqual    bool    `json:"energy_equal"`
 }
 
 // vmProbeOverhead quantifies the probe-opcode splice against the AST
@@ -54,11 +66,13 @@ type vmProbeOverhead struct {
 
 // vmBenchReport is the BENCH_vm.json document.
 type vmBenchReport struct {
-	GeneratedAt   string          `json:"generated_at"`
-	GoVersion     string          `json:"go_version"`
-	Benchmarks    []vmBenchPoint  `json:"benchmarks"`
-	MeanSpeedup   float64         `json:"mean_speedup"`
-	ProbeOverhead vmProbeOverhead `json:"probe_overhead"`
+	GeneratedAt      string          `json:"generated_at"`
+	GoVersion        string          `json:"go_version"`
+	Benchmarks       []vmBenchPoint  `json:"benchmarks"`
+	MeanTier1Speedup float64         `json:"mean_tier1_speedup"`
+	MeanSpeedup      float64         `json:"mean_speedup"` // tier 2 full vs tree-walker
+	MeanTier2VsTier1 float64         `json:"mean_tier2_vs_tier1"`
+	ProbeOverhead    vmProbeOverhead `json:"probe_overhead"`
 }
 
 func runVMBench(out string, repeats int) error {
@@ -66,7 +80,7 @@ func runVMBench(out string, repeats int) error {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 	}
-	logSpeedup := 0.0
+	logSpeedup, logT1, logT2v1 := 0.0, 0.0, 0.0
 	for _, b := range tables.InterpBenches() {
 		pt, err := runVMBenchOne(b, repeats)
 		if err != nil {
@@ -74,10 +88,16 @@ func runVMBench(out string, repeats int) error {
 		}
 		report.Benchmarks = append(report.Benchmarks, pt)
 		logSpeedup += math.Log(pt.Speedup)
-		fmt.Printf("%-40s ast %11.0f ns/op   vm %11.0f ns/op   %.2fx\n",
-			pt.Name, pt.ASTNsPerOp, pt.VMNsPerOp, pt.Speedup)
+		logT1 += math.Log(pt.Tier1Speedup)
+		logT2v1 += math.Log(pt.Tier2VsTier1)
+		fmt.Printf("%-40s ast %11.0f   t1 %10.0f   t2 %10.0f ns/op   %.2fx (t1 %.2fx; agg %+.0f%% quick %+.0f%%)\n",
+			pt.Name, pt.ASTNsPerOp, pt.Tier1NsPerOp, pt.VMNsPerOp,
+			pt.Speedup, pt.Tier1Speedup, -pt.AggGainPct, -pt.QuickGainPct)
 	}
-	report.MeanSpeedup = math.Exp(logSpeedup / float64(len(report.Benchmarks)))
+	n := float64(len(report.Benchmarks))
+	report.MeanSpeedup = math.Exp(logSpeedup / n)
+	report.MeanTier1Speedup = math.Exp(logT1 / n)
+	report.MeanTier2VsTier1 = math.Exp(logT2v1 / n)
 
 	po, err := runProbeOverhead(repeats)
 	if err != nil {
@@ -86,7 +106,8 @@ func runVMBench(out string, repeats int) error {
 	report.ProbeOverhead = po
 	fmt.Printf("%-40s plain %9.0f ns/op   probed %8.0f ns/op   %+.1f%% (avoids %.2f µJ/op of scaffolding)\n",
 		"probe opcodes ("+po.Name+")", po.PlainNsPerOp, po.OpcodeNsPerOp, po.OpcodeOverheadPct, po.AvoidedUJPerOp)
-	fmt.Printf("geometric mean speedup: %.2fx\n", report.MeanSpeedup)
+	fmt.Printf("geometric mean speedup: %.2fx over the tree-walker (tier 1: %.2fx; tier 2 over tier 1: %.2fx)\n",
+		report.MeanSpeedup, report.MeanTier1Speedup, report.MeanTier2VsTier1)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -101,8 +122,9 @@ func runVMBench(out string, repeats int) error {
 }
 
 // engineRun measures repeats warm calls of B.f under one engine, returning
-// wall ns/op, allocs/op and the exact simulated package energy delta.
-func engineRun(src string, e interp.Engine, repeats int) (nsOp, allocsOp float64, pkg energy.Joules, err error) {
+// wall ns/op, allocs/op and the exact simulated package energy delta. extra
+// options select VM tiers for the breakdown columns.
+func engineRun(src string, e interp.Engine, repeats int, extra ...interp.Option) (nsOp, allocsOp float64, pkg energy.Joules, err error) {
 	f, err := parser.Parse("bench.java", src)
 	if err != nil {
 		return 0, 0, 0, err
@@ -111,8 +133,9 @@ func engineRun(src string, e interp.Engine, repeats int) (nsOp, allocsOp float64
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()),
-		interp.WithMaxOps(2_000_000_000), interp.WithEngine(e))
+	opts := append([]interp.Option{
+		interp.WithMaxOps(2_000_000_000), interp.WithEngine(e)}, extra...)
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), opts...)
 	if err := in.InitStatics(); err != nil {
 		return 0, 0, 0, err
 	}
@@ -140,23 +163,40 @@ func runVMBenchOne(b tables.InterpBench, repeats int) (vmBenchPoint, error) {
 	if err != nil {
 		return vmBenchPoint{}, err
 	}
+	t1Ns, _, t1Pkg, err := engineRun(b.Src, interp.EngineVM, repeats, interp.WithVMTier(1))
+	if err != nil {
+		return vmBenchPoint{}, err
+	}
+	nqNs, _, nqPkg, err := engineRun(b.Src, interp.EngineVM, repeats, interp.WithQuickening(false))
+	if err != nil {
+		return vmBenchPoint{}, err
+	}
 	vmNs, vmAllocs, vmPkg, err := engineRun(b.Src, interp.EngineVM, repeats)
 	if err != nil {
 		return vmBenchPoint{}, err
 	}
-	if astPkg != vmPkg {
-		return vmBenchPoint{}, fmt.Errorf("engines disagree on simulated energy: ast=%v vm=%v", astPkg, vmPkg)
+	// Every configuration must land on the same joule bits: tiers and
+	// quickening are dispatch engineering, never charge engineering.
+	if astPkg != vmPkg || astPkg != t1Pkg || astPkg != nqPkg {
+		return vmBenchPoint{}, fmt.Errorf("engines disagree on simulated energy: ast=%v tier1=%v noquick=%v vm=%v",
+			astPkg, t1Pkg, nqPkg, vmPkg)
 	}
 	return vmBenchPoint{
-		Name:        b.Name,
-		Runs:        repeats,
-		ASTNsPerOp:  astNs,
-		VMNsPerOp:   vmNs,
-		ASTAllocsOp: astAllocs,
-		VMAllocsOp:  vmAllocs,
-		UJPerOp:     float64(vmPkg) * 1e6 / float64(repeats),
-		Speedup:     astNs / vmNs,
-		EnergyEqual: true,
+		Name:           b.Name,
+		Runs:           repeats,
+		ASTNsPerOp:     astNs,
+		Tier1NsPerOp:   t1Ns,
+		NoQuickNsPerOp: nqNs,
+		VMNsPerOp:      vmNs,
+		ASTAllocsOp:    astAllocs,
+		VMAllocsOp:     vmAllocs,
+		UJPerOp:        float64(vmPkg) * 1e6 / float64(repeats),
+		Tier1Speedup:   astNs / t1Ns,
+		Speedup:        astNs / vmNs,
+		Tier2VsTier1:   t1Ns / vmNs,
+		AggGainPct:     100 * (t1Ns - nqNs) / t1Ns,
+		QuickGainPct:   100 * (nqNs - vmNs) / t1Ns,
+		EnergyEqual:    true,
 	}, nil
 }
 

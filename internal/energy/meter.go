@@ -58,6 +58,25 @@ func (m *Meter) Step(op Op, n int) {
 	m.opCounts[op] += uint64(n)
 }
 
+// Charge is one recorded Step call: op charged n times. Pre-aggregation
+// passes record them so the meter can replay an instruction run's exact
+// charge sequence later.
+type Charge struct {
+	Op Op
+	N  int32
+}
+
+// StepList replays an ordered charge list, one Step call per entry. Entries
+// are charged individually and in order — never summed across entries —
+// because Joules accumulate in float64 and float addition is not
+// associative: bit-exactness with the unaggregated execution requires the
+// identical call sequence.
+func (m *Meter) StepList(charges []Charge) {
+	for i := range charges {
+		m.Step(charges[i].Op, int(charges[i].N))
+	}
+}
+
 // Access routes a memory access of size bytes at addr through the cache model
 // and charges the hit/miss costs.
 func (m *Meter) Access(addr uint64, size int) {

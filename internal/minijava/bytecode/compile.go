@@ -612,7 +612,13 @@ func (c *compiler) lowerAssign(n *ast.Assign, asExpr bool) {
 		switch l := n.LHS.(type) {
 		case *ast.Ident:
 			c.step(1)
-			c.emit(Instr{Op: OpLoadLocal, A: l.RSlot - 1, Node: l})
+			if slot := int(l.RSlot) - 1; slot >= 0 {
+				c.emit(Instr{Op: OpLoadLocal, A: int32(slot), Node: l})
+			} else {
+				// Non-local target (static or field): the dynamic load lets
+				// Finalize pin it like any other identifier read.
+				c.emit(Instr{Op: OpLoadIdent, Node: l})
+			}
 			c.push(1)
 		case *ast.Select:
 			c.step(1)

@@ -10,18 +10,30 @@ import (
 
 // Disasm renders one compiled function as deterministic text: one line per
 // instruction with pc, folded step count, mnemonic, operands and a source
-// comment. Jump targets are shown as absolute pcs. The output is stable
+// comment, plus a header line per basic block carrying its pre-aggregated
+// charge. Jump targets are shown as absolute pcs. The output is stable
 // across runs (no pointers, no map iteration), so it can be pinned by a
 // golden file.
-func (f *Func) Disasm() string {
+func (f *Func) Disasm() string { return f.DisasmCode(f.Code) }
+
+// DisasmCode renders an instruction stream against this function's metadata.
+// The stream must be positionally identical to f.Code (runtime quickening
+// patches opcodes in place, so a warm per-instance copy qualifies); block
+// annotations and jump targets carry over unchanged.
+func (f *Func) DisasmCode(code []Instr) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "func %s  slots=%d stack=%d", f.Name, f.NSlots, f.MaxStack)
 	if f.Probe != "" {
 		fmt.Fprintf(&b, " probe=%q", f.Probe)
 	}
 	b.WriteByte('\n')
-	for pc := range f.Code {
-		ins := &f.Code[pc]
+	block := 0
+	for pc := range code {
+		ins := &code[pc]
+		for block < len(f.Blocks) && int(f.Blocks[block]) == pc {
+			fmt.Fprintf(&b, "  B%d:%s\n", block, f.blockCharge(pc))
+			block++
+		}
 		steps := ""
 		if ins.Steps > 0 {
 			steps = fmt.Sprintf("+%d", ins.Steps)
@@ -37,6 +49,30 @@ func (f *Func) Disasm() string {
 	return b.String()
 }
 
+// blockCharge summarises the pre-aggregated charge of the block starting at
+// pc — the ChargeRun of its leading OpRunCharge, if it has one.
+func (f *Func) blockCharge(pc int) string {
+	if pc >= len(f.Code) || f.Code[pc].Op != OpRunCharge {
+		return ""
+	}
+	return "  " + f.runText(f.Code[pc].A)
+}
+
+// runText renders one ChargeRun: the folded step total and the ordered
+// charge list.
+func (f *Func) runText(ix int32) string {
+	if int(ix) >= len(f.Runs) {
+		return ""
+	}
+	run := &f.Runs[ix]
+	var b strings.Builder
+	fmt.Fprintf(&b, "steps=%d", run.Steps)
+	for _, ch := range run.Charges {
+		fmt.Fprintf(&b, " %v x%d", ch.Op, ch.N)
+	}
+	return b.String()
+}
+
 // operands renders the operand column and the source comment for one
 // instruction.
 func (f *Func) operands(pc int, ins *Instr) (string, string) {
@@ -44,8 +80,28 @@ func (f *Func) operands(pc int, ins *Instr) (string, string) {
 	switch ins.Op {
 	case OpCharge:
 		return fmt.Sprintf("%v x%d", energy.Op(ins.A), ins.B), ""
-	case OpConst:
+	case OpRunCharge:
+		return fmt.Sprintf("r%d", ins.A), f.runText(ins.A)
+	case OpConst, OpQConst:
 		return fmt.Sprintf("c%d", ins.A), f.constText(ins.A)
+	case OpQLoadStatic, OpQStoreStatic, OpQStoreStaticX:
+		return fmt.Sprintf("g%d", ins.A), nodeText(ins.Node)
+	case OpQLoadField, OpQStoreField, OpQStoreFieldX:
+		return fmt.Sprintf("f%d", ins.A), nodeText(ins.Node)
+	case OpQPushV:
+		return fmt.Sprintf("ic%d", ins.C), nodeText(ins.Node)
+	case OpQGetField, OpQGetStatic, OpQGetConst, OpQArrLen:
+		return fmt.Sprintf("ic%d", ins.C), nodeText(ins.Node)
+	case OpQCallSelf, OpQCallVirtual, OpQCallStatic, OpQCallBuiltin:
+		return fmt.Sprintf("argc=%d ic%d", ins.A, ins.C), nodeText(ins.Node)
+	case OpQCallInstance:
+		return fmt.Sprintf("argc=%d", ins.A), nodeText(ins.Node)
+	case OpQBinIntLL:
+		return fmt.Sprintf("%v s%d s%d", ins.Tok, ins.A, ins.B), nodeText(ins.Node)
+	case OpQBinIntLC:
+		return fmt.Sprintf("%v s%d c%d", ins.Tok, ins.A, ins.B), nodeText(ins.Node)
+	case OpQBinInt:
+		return ins.Tok.String(), ""
 	case OpPushBool:
 		if ins.A != 0 {
 			return "true", ""

@@ -16,6 +16,7 @@
 package bytecode
 
 import (
+	"jepo/internal/energy"
 	"jepo/internal/minijava/ast"
 	"jepo/internal/minijava/token"
 )
@@ -205,6 +206,93 @@ const (
 	OpProbeEnter
 	OpProbeExit
 
+	// --- tier 2: block charge pre-aggregation (Finalize) ---
+
+	// OpRunCharge charges Func.Runs[A]: the pre-aggregated step total and the
+	// ordered charge list of a maximal run of statically-known instructions
+	// (OpStep/OpCharge/OpConst/OpPushBool/OpNop) inside one basic block. The
+	// charges replay the exact per-call sequence the folded instructions would
+	// have issued — no merging, no reordering — so the meter bits are
+	// identical by construction. Its own Steps field is unused (the run total
+	// is int32-sized).
+	OpRunCharge
+
+	// OpQConst pushes constant pool entry A with no charge and no steps: both
+	// were folded into the preceding OpRunCharge of the same run.
+	OpQConst
+
+	// --- tier 2: compile-time quickening (Finalize) ---
+
+	// OpQLoadStatic pushes the load-resolved static slot statRefs[A]
+	// (OpLoadIdent specialized on ast.ResStaticRef). Guard-and-deopt: an
+	// out-of-range index falls back to the walker's identifier ladder.
+	OpQLoadStatic
+
+	// OpQLoadField pushes field A of the receiver (OpLoadIdent specialized on
+	// ast.ResField), falling back to the ladder in a static context.
+	OpQLoadField
+
+	// OpQStoreStatic / OpQStoreField are the store counterparts: OpStoreIdent
+	// specialized on the same resolver pins, replaying writeLValue's matching
+	// lane (one OpStatic/OpField step, one 8-byte access, kind-checked
+	// assignment) and deopting to writeLValue on a guard miss. The X forms
+	// keep the stored value on the stack, like OpStoreIdentX.
+	OpQStoreStatic
+	OpQStoreStaticX
+	OpQStoreField
+	OpQStoreFieldX
+
+	// --- tier 2: runtime quickening (per-Interp warm code copies) ---
+	//
+	// The opcodes below never appear in a shared Program: the VM installs
+	// them by patching its private copy of the code after first execution.
+	// C indexes the function's inline-cache table (Func.NICs entries); every
+	// quick form re-checks its guard and deopts to the generic opcode — which
+	// recomputes from scratch with the walker's own helpers — on a miss.
+
+	// OpQPushV pushes inline cache C's invariant value (a resolved class
+	// reference), charging nothing, exactly like evalIdent's ResClass case.
+	OpQPushV
+
+	// OpQGetField is OpLoadSelect specialized to an object receiver: the
+	// cache holds the receiver class and field slot index.
+	OpQGetField
+
+	// OpQGetStatic / OpQGetConst are OpLoadSelect specialized to a class-ref
+	// receiver resolved to a user static slot / builtin constant.
+	OpQGetStatic
+	OpQGetConst
+
+	// OpQArrLen is OpLoadSelect specialized to array .length.
+	OpQArrLen
+
+	// OpQCallSelf / OpQCallVirtual / OpQCallStatic are OpCall specialized to
+	// an unqualified call (guard: frame class), an instance call (guard:
+	// receiver class) and a load-resolved static call (guard: class name).
+	// The cache pins the resolved method and its compiled function, so the
+	// call skips the dispatch ladder and the pooled argument copy: the VM
+	// passes its operand-stack slice directly (the callee copies parameters
+	// into its own frame before executing).
+	OpQCallSelf
+	OpQCallVirtual
+	OpQCallStatic
+
+	// OpQCallBuiltin is OpCall specialized to a site-resolved builtin static
+	// call (guard: class name); OpQCallInstance to a builtin value-kind
+	// receiver (String, StringBuilder, box, throwable — guard: the kind is
+	// not a user object, class ref or null). Neither caches a resolution —
+	// the runtime dispatches on name strings either way — but both skip the
+	// generic path's pooled argument copy and dispatch ladder.
+	OpQCallBuiltin
+	OpQCallInstance
+
+	// OpQBinIntLL / OpQBinIntLC / OpQBinInt are the binary forms specialized
+	// to int operands with the arithmetic switch inlined in the handler
+	// (deopting on a non-int operand or non-int operator).
+	OpQBinIntLL
+	OpQBinIntLC
+	OpQBinInt
+
 	numOps
 )
 
@@ -268,6 +356,27 @@ var opNames = [...]string{
 	OpRetVoid:       "ret.void",
 	OpProbeEnter:    "probe.enter",
 	OpProbeExit:     "probe.exit",
+	OpRunCharge:     "blkcharge",
+	OpQConst:        "qconst",
+	OpQLoadStatic:   "getstatic",
+	OpQLoadField:    "getself",
+	OpQStoreStatic:  "putstatic",
+	OpQStoreStaticX: "putstatic.x",
+	OpQStoreField:   "putself",
+	OpQStoreFieldX:  "putself.x",
+	OpQPushV:        "qpush",
+	OpQGetField:     "qgetfield",
+	OpQGetStatic:    "qgetstatic",
+	OpQGetConst:     "qgetconst",
+	OpQArrLen:       "qarrlen",
+	OpQCallSelf:     "qcall.self",
+	OpQCallVirtual:  "qcall.virt",
+	OpQCallStatic:   "qcall.static",
+	OpQCallBuiltin:  "qcall.builtin",
+	OpQCallInstance: "qcall.inst",
+	OpQBinIntLL:     "qbin.ll",
+	OpQBinIntLC:     "qbin.lc",
+	OpQBinInt:       "qbin",
 }
 
 func (o Op) String() string {
@@ -303,4 +412,51 @@ type Func struct {
 	// when an exception unwinds through the frame, mirroring the finally
 	// block of the AST-level instrumentation.
 	Probe string
+
+	// Raw is the tier-1 instruction stream as compiled (and probe-injected),
+	// before Finalize rewrote Code with block charge pre-aggregation and
+	// compile-time quickening. The VM runs it when tier 1 is selected, so the
+	// tier split can be benchmarked on one Program.
+	Raw []Instr
+
+	// Runs are the pre-aggregated charge runs OpRunCharge indexes.
+	Runs []ChargeRun
+
+	// Blocks are the basic-block leader pcs of Code, ascending — pc 0, jump
+	// targets, fall-throughs after jumps and terminators, and probe opcode
+	// boundaries. The disassembler annotates them; charge runs never span
+	// them.
+	Blocks []int32
+
+	// NICs is the number of inline-cache slots quickened instructions index
+	// through their C operand; the VM sizes its per-instance cache table
+	// from it.
+	NICs int32
+}
+
+// ChargeRun is the pre-aggregated effect of one folded run of statically-known
+// instructions: the summed step count (charged against the op budget in one
+// check) and the ordered list of meter charges, one entry per original call.
+// Entries are never merged or reordered: Joules accumulate in float64, which
+// is not associative, so exactness requires replaying the identical sequence.
+type ChargeRun struct {
+	Steps   int32
+	Charges []energy.Charge
+}
+
+// LiteralCharge reports the meter charge evaluating a literal issues — the
+// single source of truth shared by the interpreter's constant pool
+// pre-evaluation and Finalize's charge folding. An unknown literal kind
+// charges nothing, mirroring the walker's evalLiteral default.
+func LiteralCharge(n *ast.Literal) (energy.Op, bool) {
+	switch n.Kind {
+	case ast.LitInt, ast.LitLong, ast.LitChar, ast.LitString, ast.LitBool, ast.LitNull:
+		return energy.OpLocal, true
+	case ast.LitFloat, ast.LitDouble:
+		if n.Sci {
+			return energy.OpConstSci, true
+		}
+		return energy.OpConstDecimal, true
+	}
+	return 0, false
 }

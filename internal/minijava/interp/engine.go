@@ -51,6 +51,7 @@ func WithEngine(e Engine) Option { return func(in *Interp) { in.engine = e } }
 type compiledFn struct {
 	fn     *bytecode.Func
 	consts []constVal
+	ix     int32 // index in Program.funcs, for the per-Interp warm code table
 }
 
 // constVal is one pre-evaluated constant-pool entry. Splitting evalLiteral
@@ -64,11 +65,14 @@ type constVal struct {
 }
 
 // makeConstVals pre-evaluates a constant pool, mirroring evalLiteral case by
-// case (including charging nothing for an unknown literal kind).
+// case. The charge half comes from bytecode.LiteralCharge — the same source
+// Finalize folds const charges from, so the VM, the walker and the block
+// aggregator can never disagree on what evaluating a literal costs.
 func makeConstVals(lits []*ast.Literal) []constVal {
 	out := make([]constVal, len(lits))
 	for i, n := range lits {
-		c := constVal{op: energy.OpLocal, charge: true}
+		var c constVal
+		c.op, c.charge = bytecode.LiteralCharge(n)
 		switch n.Kind {
 		case ast.LitInt:
 			c.v = IntVal(n.I)
@@ -76,16 +80,8 @@ func makeConstVals(lits []*ast.Literal) []constVal {
 			c.v = LongVal(n.I)
 		case ast.LitFloat:
 			c.v = FloatVal(n.D)
-			c.op = energy.OpConstDecimal
-			if n.Sci {
-				c.op = energy.OpConstSci
-			}
 		case ast.LitDouble:
 			c.v = DoubleVal(n.D)
-			c.op = energy.OpConstDecimal
-			if n.Sci {
-				c.op = energy.OpConstSci
-			}
 		case ast.LitChar:
 			c.v = CharVal(n.I)
 		case ast.LitString:
@@ -94,8 +90,6 @@ func makeConstVals(lits []*ast.Literal) []constVal {
 			c.v = BoolVal(n.I != 0)
 		case ast.LitNull:
 			c.v = NullVal()
-		default:
-			c = constVal{}
 		}
 		out[i] = c
 	}
@@ -124,9 +118,13 @@ func compileProgram(p *Program) {
 				fn = bytecode.Compile(ci.Name, m, nil)
 			}
 			m.CIx = int32(len(p.funcs) + 1)
-			var cf compiledFn
+			cf := compiledFn{ix: int32(len(p.funcs))}
 			if fn != nil {
-				cf = compiledFn{fn: fn, consts: makeConstVals(fn.Consts)}
+				// Tier-2 rewrite: block charge pre-aggregation and
+				// compile-time quickening, after probe splicing so probe
+				// opcodes bound the charge runs.
+				bytecode.Finalize(fn)
+				cf.fn, cf.consts = fn, makeConstVals(fn.Consts)
 			}
 			p.funcs = append(p.funcs, cf)
 		}
@@ -136,6 +134,12 @@ func compileProgram(p *Program) {
 // Disasm renders the whole program's compiled form — the `jperf disasm`
 // backend. Methods without a lowering are listed with a tree-walker marker.
 func (p *Program) Disasm() string {
+	return p.disasm(func(cf *compiledFn) string { return cf.fn.Disasm() })
+}
+
+// disasm walks the program's methods in deterministic order, rendering each
+// compiled one through render (shared by the cold and warm disassemblies).
+func (p *Program) disasm(render func(*compiledFn) string) string {
 	var b strings.Builder
 	for _, name := range p.order {
 		ci := p.classes[name]
@@ -144,7 +148,7 @@ func (p *Program) Disasm() string {
 				continue
 			}
 			if ix := int(m.CIx) - 1; ix >= 0 && ix < len(p.funcs) && p.funcs[ix].fn != nil {
-				b.WriteString(p.funcs[ix].fn.Disasm())
+				b.WriteString(render(&p.funcs[ix]))
 			} else {
 				fmt.Fprintf(&b, "func %s.%s/%d  (tree-walker)\n", name, m.Name, len(m.Params))
 			}

@@ -71,6 +71,80 @@ func TestConcurrentInstancesShareProgram(t *testing.T) {
 	}
 }
 
+// TestConcurrentQuickeningSharesProgram pins tier 2's central thread-safety
+// claim: runtime quickening patches opcodes and fills inline caches only in
+// per-instance warm code copies, never in the shared Program. Each worker
+// runs a call/field/static/builtin-heavy program twice on one instance — the
+// first run installs the quick forms, the second executes them — while every
+// other worker does the same concurrently. The race detector catches any
+// write to shared state; the bit-comparison (per run, across workers) catches
+// any nondeterminism the patching could introduce. (The program deliberately
+// has no static fields: static slots live in the shared Program — a tier-1
+// design this PR does not change — so static-mutating programs are
+// single-instance, exactly as they were on the tree-walker.)
+func TestConcurrentQuickeningSharesProgram(t *testing.T) {
+	src := `class C {
+		int v;
+		C(int v0) { this.v = v0; }
+		int bump() { this.v += 3; return this.v; }
+	}
+	class B {
+		static int twice(int x) { return x * 2; }
+		static double f() {
+			C c = new C(5);
+			double s = 0.0;
+			for (int i = 0; i < 150; i++) {
+				int t = twice(i) - c.bump() % 7;
+				s += Math.max(t % 11, c.v % 13) + Integer.valueOf(i).intValue();
+			}
+			return s + c.v;
+		}
+	}`
+	f, err := parser.Parse("race.java", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const runs = 2
+	var results [workers][runs]uint64
+	var joules [workers][runs]uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in := New(prog, energy.NewMeter(energy.DefaultCosts()), WithMaxOps(10_000_000))
+			if err := in.InitStatics(); err != nil {
+				t.Errorf("worker %d: init: %v", w, err)
+				return
+			}
+			for r := 0; r < runs; r++ {
+				v, err := in.CallStatic("B", "f")
+				if err != nil {
+					t.Errorf("worker %d run %d: %v", w, r, err)
+					return
+				}
+				results[w][r] = math.Float64bits(v.D)
+				joules[w][r] = math.Float64bits(float64(in.Meter().Snapshot().Package))
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for r := 0; r < runs; r++ {
+			if results[w][r] != results[0][r] || joules[w][r] != joules[0][r] {
+				t.Errorf("worker %d run %d diverged: result %#x/%#x joules %#x/%#x",
+					w, r, results[w][r], results[0][r], joules[w][r], joules[0][r])
+			}
+		}
+	}
+}
+
 // TestSchedMapSharesProgram drives the same shared-Program invariant through
 // the sched worker pool — the access pattern the parallel table generators
 // use: one compiled Program, a fresh Interp and meter per task. The race

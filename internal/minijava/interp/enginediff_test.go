@@ -39,8 +39,15 @@ type observation struct {
 	core    uint64
 }
 
-// observe runs class.method() on one engine and captures the observation.
-func observe(t *testing.T, src, class, method string, e interp.Engine) observation {
+// observe runs class.method() twice on ONE engine instance — cold, then warm
+// — and captures an observation at each run boundary. The second VM run
+// executes this instance's quickened code copies and hits its filled inline
+// caches, so comparing both boundaries pins that runtime quickening never
+// shifts a result, an op count or an energy bit. (The two runs are not
+// expected to match each other: statics mutate across runs. Each boundary is
+// compared against the same boundary on the other engine.) A run that errors
+// ends the sequence — both engines must fail identically at the same point.
+func observe(t *testing.T, src, class, method string, e interp.Engine) []observation {
 	t.Helper()
 	f, err := parser.Parse("fuzz.java", src)
 	if err != nil {
@@ -52,35 +59,49 @@ func observe(t *testing.T, src, class, method string, e interp.Engine) observati
 	}
 	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()),
 		interp.WithMaxOps(100_000_000), interp.WithEngine(e))
-	var o observation
 	if err := in.InitStatics(); err != nil {
-		o.errText = "init: " + err.Error()
-		return o
+		return []observation{{errText: "init: " + err.Error()}}
 	}
-	v, err := in.CallStatic(class, method)
-	if err != nil {
-		o.errText = err.Error()
+	var obs []observation
+	for run := 0; run < 2; run++ {
+		var o observation
+		v, err := in.CallStatic(class, method)
+		if err != nil {
+			o.errText = err.Error()
+		}
+		s := in.Meter().Snapshot()
+		o.kind = v.K
+		o.i = v.I
+		o.dBits = math.Float64bits(v.D)
+		o.out = in.Output()
+		o.ops = in.Ops()
+		o.cycles = math.Float64bits(s.Cycles)
+		o.pkg = math.Float64bits(float64(s.Package))
+		o.core = math.Float64bits(float64(s.Core))
+		obs = append(obs, o)
+		if err != nil {
+			break
+		}
 	}
-	s := in.Meter().Snapshot()
-	o.kind = v.K
-	o.i = v.I
-	o.dBits = math.Float64bits(v.D)
-	o.out = in.Output()
-	o.ops = in.Ops()
-	o.cycles = math.Float64bits(s.Cycles)
-	o.pkg = math.Float64bits(float64(s.Package))
-	o.core = math.Float64bits(float64(s.Core))
-	return o
+	return obs
 }
 
-// diffEngines asserts observational identity of the two engines on src.
+// diffEngines asserts observational identity of the two engines on src, at
+// both the cold and the warm run boundary.
 func diffEngines(t *testing.T, name, src, class, method string) {
 	t.Helper()
 	vm := observe(t, src, class, method, interp.EngineVM)
 	ast := observe(t, src, class, method, interp.EngineAST)
-	if vm != ast {
-		t.Errorf("%s: engines diverged\n  vm:  %+v\n  ast: %+v\nsource:\n%s",
-			name, vm, ast, src)
+	if len(vm) != len(ast) {
+		t.Errorf("%s: engines diverged in run count: vm %d, ast %d\nsource:\n%s",
+			name, len(vm), len(ast), src)
+		return
+	}
+	for i := range vm {
+		if vm[i] != ast[i] {
+			t.Errorf("%s: engines diverged on run %d\n  vm:  %+v\n  ast: %+v\nsource:\n%s",
+				name, i+1, vm[i], ast[i], src)
+		}
 	}
 }
 

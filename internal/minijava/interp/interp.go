@@ -31,15 +31,35 @@ type Interp struct {
 	engine       Engine
 	staticsReady bool
 
+	// vmTier selects the bytecode engine's optimization tier: 2 (default)
+	// runs the finalized stream with block charge pre-aggregation, 1 runs
+	// the raw tier-1 stream — the benchmark harness measures the split.
+	// quick enables runtime quickening and inline-cache patching on
+	// per-instance code copies (tier 2 only).
+	vmTier int
+	quick  bool
+
+	// warm holds this instance's private copies of compiled code, created on
+	// first invocation per function. Quickening patches opcodes and fills
+	// inline caches in these copies only, so instances sharing a Program
+	// never write shared memory — race-free by construction.
+	warm []warmState
+
 	// siteCache holds per-interpreter monomorphic inline caches, indexed by
 	// the SiteIx annotations the resolver leaves on Call/Select nodes. The
 	// interpreter is single-threaded by design, so no locking is needed.
 	siteCache []siteState
 
-	// framePool and argPool are free lists for frame slot arrays and
-	// argument slices; invoke-heavy programs recycle instead of allocating.
+	// framePool, argPool and stackPool are free lists for frame slot arrays,
+	// argument slices and VM operand stacks; invoke-heavy programs recycle
+	// instead of allocating. Stacks get their own pool: their capacities
+	// (MaxStack) differ from argument-list lengths, and the pools only ever
+	// inspect their top entry — mixing the two sizes caused steady-state
+	// allocations whenever a small argument slice surfaced above a stack
+	// request.
 	framePool [][]cell
 	argPool   [][]Value
+	stackPool [][]Value
 }
 
 // siteState is one monomorphic inline cache entry: the last dynamic class
@@ -61,12 +81,39 @@ func WithHook(h ProbeHook) Option { return func(in *Interp) { in.hook = h } }
 // into an error instead of a hang.
 func WithMaxOps(n int64) Option { return func(in *Interp) { in.maxOps = n } }
 
+// WithVMTier selects the bytecode engine's optimization tier: 1 is the
+// generic-dispatch baseline (no block charge aggregation, no quickening),
+// 2 (the default) is the full tier. Both tiers charge identical energy bits;
+// the split exists so the benchmark harness can attribute the speedup.
+func WithVMTier(t int) Option {
+	return func(in *Interp) {
+		if t <= 1 {
+			in.vmTier, in.quick = 1, false
+		} else {
+			in.vmTier = 2
+		}
+	}
+}
+
+// WithQuickening toggles runtime quickening and inline-cache patching within
+// tier 2 — the benchmark harness turns it off to measure the block
+// aggregation contribution alone. It has no effect on tier 1.
+func WithQuickening(on bool) Option {
+	return func(in *Interp) {
+		if in.vmTier >= 2 {
+			in.quick = on
+		}
+	}
+}
+
 // New builds an interpreter for prog charging energy to meter.
 func New(prog *Program, meter *energy.Meter, opts ...Option) *Interp {
 	in := &Interp{
 		prog:      prog,
 		meter:     meter,
 		rngInt:    0x9E3779B97F4A7C15,
+		vmTier:    2,
+		quick:     true,
 		siteCache: make([]siteState, len(prog.sites)),
 	}
 	for _, o := range opts {
@@ -403,6 +450,31 @@ func (in *Interp) grabArgs(n int) []Value {
 func (in *Interp) releaseArgs(s []Value) {
 	if cap(s) > 0 {
 		in.argPool = append(in.argPool, s[:0])
+	}
+}
+
+// grabStack returns a VM operand stack of length n from its own free list,
+// kept separate from argPool so the two size populations never evict each
+// other (the pools only consult their top entry).
+func (in *Interp) grabStack(n int) []Value {
+	if n == 0 {
+		return nil
+	}
+	if k := len(in.stackPool) - 1; k >= 0 && cap(in.stackPool[k]) >= n {
+		s := in.stackPool[k][:n]
+		in.stackPool = in.stackPool[:k]
+		return s
+	}
+	c := n
+	if c < 8 {
+		c = 8
+	}
+	return make([]Value, n, c)
+}
+
+func (in *Interp) releaseStack(s []Value) {
+	if cap(s) > 0 {
+		in.stackPool = append(in.stackPool, s[:0])
 	}
 }
 

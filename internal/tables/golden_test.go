@@ -46,16 +46,21 @@ type goldenCase struct {
 	run  func() (goldenRecord, error)
 }
 
-// fingerprint runs one program against a fresh interpreter and meter and
-// captures the full charge fingerprint plus whatever it printed.
-func fingerprint(engine interp.Engine, name string, load func() (*interp.Program, error), drive func(in *interp.Interp) error) (goldenRecord, error) {
+// fingerprint runs one program `runs` times against a fresh interpreter and
+// meter and captures the cumulative charge fingerprint plus whatever it
+// printed. With runs > 1 the later drives execute the instance's warm
+// (quickened) code copies, so the fingerprint covers tier 2's runtime
+// patching as well as the cold path.
+func fingerprint(engine interp.Engine, name string, runs int, load func() (*interp.Program, error), drive func(in *interp.Interp) error) (goldenRecord, error) {
 	prog, err := load()
 	if err != nil {
 		return goldenRecord{}, err
 	}
 	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000), interp.WithEngine(engine))
-	if err := drive(in); err != nil {
-		return goldenRecord{}, err
+	for r := 0; r < runs; r++ {
+		if err := drive(in); err != nil {
+			return goldenRecord{}, err
+		}
 	}
 	m := in.Meter()
 	s := m.Snapshot()
@@ -82,7 +87,7 @@ func fingerprint(engine interp.Engine, name string, load func() (*interp.Program
 // plus the RandomForest Table IV kernel, original and refactored. Each case
 // is self-contained — its own parse, load, interpreter and meter — so cases
 // can run in any order or in parallel and still produce identical records.
-func goldenCases(engine interp.Engine) ([]goldenCase, error) {
+func goldenCases(engine interp.Engine, runs int) ([]goldenCase, error) {
 	var cases []goldenCase
 
 	loadSrc := func(src string) func() (*interp.Program, error) {
@@ -103,7 +108,7 @@ func goldenCases(engine interp.Engine) ([]goldenCase, error) {
 	}
 	addCase := func(name string, load func() (*interp.Program, error), drive func(in *interp.Interp) error) {
 		cases = append(cases, goldenCase{name: name, run: func() (goldenRecord, error) {
-			return fingerprint(engine, name, load, drive)
+			return fingerprint(engine, name, runs, load, drive)
 		}})
 	}
 	for _, b := range table1Benches {
@@ -153,9 +158,9 @@ func goldenCases(engine interp.Engine) ([]goldenCase, error) {
 }
 
 // goldenBattery runs the battery sequentially.
-func goldenBattery(t *testing.T, engine interp.Engine) []goldenRecord {
+func goldenBattery(t *testing.T, engine interp.Engine, runs int) []goldenRecord {
 	t.Helper()
-	cases, err := goldenCases(engine)
+	cases, err := goldenCases(engine, runs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +201,7 @@ func readGolden(t *testing.T) []goldenRecord {
 func TestGoldenEnergyDeterminism(t *testing.T) {
 	path := filepath.Join("testdata", "golden_energy.json")
 	if *updateGolden {
-		got := goldenBattery(t, interp.EngineVM)
+		got := goldenBattery(t, interp.EngineVM, 1)
 		blob, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
 			t.Fatal(err)
@@ -214,9 +219,26 @@ func TestGoldenEnergyDeterminism(t *testing.T) {
 	for _, engine := range []interp.Engine{interp.EngineVM, interp.EngineAST} {
 		engine := engine
 		t.Run(engine.String(), func(t *testing.T) {
-			compareGolden(t, want, goldenBattery(t, engine))
+			compareGolden(t, want, goldenBattery(t, engine, 1))
 		})
 	}
+}
+
+// TestGoldenEnergyWarmExecution is the warm half of the battery: every case
+// is driven twice on one interpreter instance per engine, so the VM's second
+// pass runs its quickened code copies against filled inline caches. The
+// cumulative two-run fingerprints of the VM and the tree-walker must agree
+// bit for bit — runtime opcode patching must not move a single charge. (The
+// cold half is pinned against the golden file by TestGoldenEnergyDeterminism;
+// warm runs have no golden of their own because statics mutate across runs,
+// so the walker itself is the reference.)
+func TestGoldenEnergyWarmExecution(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden file is regenerated by TestGoldenEnergyDeterminism")
+	}
+	ast := goldenBattery(t, interp.EngineAST, 2)
+	vm := goldenBattery(t, interp.EngineVM, 2)
+	compareGolden(t, ast, vm)
 }
 
 // TestGoldenEnergySchedJobs runs the same battery sharded across the sched
@@ -228,7 +250,7 @@ func TestGoldenEnergySchedJobs(t *testing.T) {
 		t.Skip("golden file is regenerated by TestGoldenEnergyDeterminism")
 	}
 	want := readGolden(t)
-	cases, err := goldenCases(interp.EngineVM)
+	cases, err := goldenCases(interp.EngineVM, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,10 +34,13 @@ echo "== sched diff =="
 # parallelism.
 go test -tags scheddiff -run SchedDifferentialFuzz ./internal/sched
 
-echo "== golden battery across -jobs =="
-# The golden energy battery sharded over the pool at -jobs 1, 4 and
-# GOMAXPROCS must reproduce the same golden file bit for bit.
-go test -run GoldenEnergySchedJobs ./internal/tables
+echo "== golden battery: both engines, cold and warm, across -jobs =="
+# The golden energy battery must reproduce the golden file bit for bit on
+# both engines cold (Determinism), agree bit for bit between engines when
+# each case runs twice on one instance so the VM executes its quickened
+# copies (WarmExecution), and survive sharding over the pool at -jobs 1, 4
+# and GOMAXPROCS (SchedJobs).
+go test -run 'GoldenEnergyDeterminism|GoldenEnergyWarmExecution|GoldenEnergySchedJobs' ./internal/tables
 
 echo "== -jobs byte-identity =="
 # CLI stdout must be byte-identical at any -jobs value (pool telemetry goes
@@ -78,6 +81,16 @@ if ! go run ./cmd/jperf disasm examples/java/EnergyDemo.java | diff -u examples/
     echo "jperf disasm output drifted from examples/java/golden_disasm.txt" >&2
     echo "regenerate (after auditing the diff) with:" >&2
     echo "    go run ./cmd/jperf disasm examples/java/EnergyDemo.java > examples/java/golden_disasm.txt" >&2
+    exit 1
+fi
+
+echo "== jperf disasm -warm golden =="
+# Runtime-quickening drift shows up the same way: after one main execution
+# the instance's patched code copies must match the checked-in warm golden.
+if ! go run ./cmd/jperf disasm -warm examples/java/EnergyDemo.java | diff -u examples/java/golden_disasm_warm.txt -; then
+    echo "warm disassembly drifted from examples/java/golden_disasm_warm.txt" >&2
+    echo "regenerate (after auditing the diff) with:" >&2
+    echo "    go run ./cmd/jperf disasm -warm examples/java/EnergyDemo.java > examples/java/golden_disasm_warm.txt" >&2
     exit 1
 fi
 
