@@ -28,9 +28,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"jepo/internal/core"
 	"jepo/internal/corpus"
+	"jepo/internal/dist"
+	"jepo/internal/dist/campaigns"
 	"jepo/internal/minijava/interp"
 	"jepo/internal/suggest"
 	"jepo/internal/tables"
@@ -40,6 +43,13 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
+	}
+	if os.Args[1] == dist.WorkerArg {
+		if err := campaigns.ServeWorker(); err != nil {
+			fmt.Fprintln(os.Stderr, "jepo worker:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var err error
 	switch os.Args[1] {
@@ -95,6 +105,10 @@ commands:
             -classifier C  whose closure to analyze (default J48)
             -seed N   corpus generation seed
             -jobs N   analysis workers (default GOMAXPROCS)
+            -workers N     worker processes; >1 dispatches files to
+                           re-exec'd workers with node fault tolerance
+                           (stdout stays bit-identical)
+            -node-deadline D  silence window before a node is quarantined
   table1    measure the component-energy ratios behind the suggestions
             -engine E execution engine: vm (bytecode, default) or ast
             -jobs N   bench-pair workers (default GOMAXPROCS)
@@ -287,11 +301,35 @@ func cmdCorpus(args []string) error {
 	classifier := fs.String("classifier", "J48", "classifier whose generated closure to analyze")
 	seed := fs.Uint64("seed", 20200518, "corpus generation seed")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "analysis workers (output is identical at any value)")
+	workers := fs.Int("workers", 1, "worker processes; >1 dispatches corpus files to re-exec'd workers with fault tolerance")
+	nodeDeadline := fs.Duration("node-deadline", 10*time.Second, "silence window after which a worker node is quarantined")
 	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
 	fs.Parse(args)
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		return err
+	}
+	if *workers > 1 {
+		plan, err := dist.EnvPlan()
+		if err != nil {
+			return err
+		}
+		dcfg := dist.Config{
+			Workers:  *workers,
+			Seed:     *seed,
+			Retries:  2,
+			Deadline: *nodeDeadline,
+			Plan:     plan,
+			OnEvent:  func(msg string) { fmt.Fprintln(os.Stderr, "jepo:", msg) },
+		}
+		rep, drep, err := campaigns.AnalyzeCorpus(dcfg, *classifier, *seed, engine)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.CorpusView(rep))
+		fmt.Fprintln(os.Stderr, drep.String())
+		fmt.Fprint(os.Stderr, drep.NodeSummary())
+		return nil
 	}
 	p, err := corpus.Generate(*classifier, *seed)
 	if err != nil {

@@ -19,6 +19,8 @@
 //	jperf bench [-o BENCH_interp.json] [-r repeats]
 //	jperf bench -passes [-o BENCH_passes.json] [-r repeats]
 //	jperf bench -vm [-o BENCH_vm.json] [-r repeats]
+//	jperf bench -sched [-o BENCH_sched.json]
+//	jperf bench -dist [-o BENCH_dist.json]
 package main
 
 import (
@@ -58,6 +60,7 @@ func runBenchCmd(args []string) error {
 	passesBench := fs.Bool("passes", false, "benchmark the pass engine instead of the interpreter")
 	vmBench := fs.Bool("vm", false, "compare the bytecode VM against the tree-walker")
 	schedBench := fs.Bool("sched", false, "benchmark the deterministic worker pool: sequential vs -jobs {2,4,8}")
+	distBench := fs.Bool("dist", false, "benchmark the fault-tolerant process dispatcher: inline vs -workers {2,4}")
 	engineName := fs.String("engine", "vm", "execution engine for the plain trajectory: vm or ast")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +89,12 @@ func runBenchCmd(args []string) error {
 			*out = "BENCH_sched.json"
 		}
 		return runSchedBench(*out)
+	}
+	if *distBench {
+		if *out == "" {
+			*out = "BENCH_dist.json"
+		}
+		return runDistBench(*out)
 	}
 	if *out == "" {
 		*out = "BENCH_interp.json"

@@ -1,0 +1,203 @@
+// The dist benchmark (jperf bench -dist) measures what the fault-tolerant
+// process dispatcher buys on this machine: wall-clock and rows/s for three
+// real campaigns — a reduced Table IV, a corpus-wide pass analysis and a
+// cross-validation — at workers {1, 2, 4}, where workers=1 runs inline on
+// the dispatcher and workers>1 re-exec this binary as worker processes.
+//
+// As with the sched bench, determinism is asserted inside the bench: every
+// distributed run's result fingerprint (every Joule-derived float64 as raw
+// bits) must match the workers=1 run exactly, or the bench fails. Speedup
+// is bounded by physical cores and pays a process/JSON round-trip per task,
+// so small tasks measure dispatch overhead, not the fan-out ceiling.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"jepo/internal/core"
+	"jepo/internal/dist"
+	"jepo/internal/dist/campaigns"
+	"jepo/internal/stats"
+	"jepo/internal/tables"
+)
+
+// distPoint is one workers setting's measurement for a campaign.
+type distPoint struct {
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Speedup    float64 `json:"speedup_vs_inline"`
+	// BitIdentical reports the in-bench determinism check against the
+	// workers=1 fingerprint.
+	BitIdentical bool `json:"bit_identical"`
+	Quarantined  int  `json:"quarantined"`
+}
+
+// distWorkload is one benchmarked campaign.
+type distWorkload struct {
+	Name   string      `json:"name"`
+	Tasks  int         `json:"tasks"`
+	Points []distPoint `json:"points"`
+}
+
+// distBenchReport is the BENCH_dist.json document.
+type distBenchReport struct {
+	GeneratedAt string         `json:"generated_at"`
+	GoVersion   string         `json:"go_version"`
+	NumCPU      int            `json:"num_cpu"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Note        string         `json:"note"`
+	Workloads   []distWorkload `json:"workloads"`
+}
+
+var distBenchWorkers = []int{1, 2, 4}
+
+const distBenchSeed = 20200518
+
+// distBenchCfg is the dispatcher config the bench uses: real re-exec'd
+// worker processes, bounded retries, a generous deadline (the bench injects
+// no faults; quarantines here would mean real infrastructure trouble).
+func distBenchCfg(workers int) dist.Config {
+	return dist.Config{
+		Workers:  workers,
+		Seed:     distBenchSeed,
+		Retries:  2,
+		Deadline: 30 * time.Second,
+	}
+}
+
+// runDistBench measures every campaign at every workers setting and writes
+// the report. A fingerprint mismatch is a correctness failure and aborts.
+func runDistBench(out string) error {
+	report := distBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note: "workers=1 runs inline; workers>1 re-execs this binary as worker processes; " +
+			"results are asserted bit-identical at every workers value",
+	}
+
+	workloads := []struct {
+		name string
+		run  func(workers int) (string, int, dist.Report, error)
+	}{
+		{"table4-reduced", distBenchTable4},
+		{"corpus-analyze", distBenchCorpus},
+		{"cvfold", distBenchCV},
+	}
+	for _, w := range workloads {
+		var wl distWorkload
+		wl.Name = w.name
+		var seqFP string
+		var seq float64
+		for _, workers := range distBenchWorkers {
+			t0 := time.Now()
+			fp, tasks, rep, err := w.run(workers)
+			if err != nil {
+				return fmt.Errorf("%s workers=%d: %w", w.name, workers, err)
+			}
+			secs := time.Since(t0).Seconds()
+			wl.Tasks = tasks
+			if workers == 1 {
+				seqFP, seq = fp, secs
+			}
+			identical := fp == seqFP
+			wl.Points = append(wl.Points, distPoint{
+				Workers:      workers,
+				Seconds:      secs,
+				RowsPerSec:   float64(tasks) / secs,
+				Speedup:      seq / secs,
+				BitIdentical: identical,
+				Quarantined:  rep.Quarantines,
+			})
+			fmt.Printf("%-16s workers=%d %8.2fs %8.1f rows/s (%.2fx)\n",
+				w.name, workers, secs, float64(tasks)/secs, seq/secs)
+			if !identical {
+				return fmt.Errorf("%s: workers=%d results are NOT bit-identical to inline", w.name, workers)
+			}
+		}
+		report.Workloads = append(report.Workloads, wl)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d workloads)\n", out, len(report.Workloads))
+	return nil
+}
+
+// distBenchTable4 regenerates a reduced Table IV through the dispatcher and
+// fingerprints every column's bits.
+func distBenchTable4(workers int) (string, int, dist.Report, error) {
+	cfg := tables.Table4Config{
+		Seed:      distBenchSeed,
+		Instances: 400,
+		Reps:      1,
+		Protocol:  stats.Protocol{Runs: 3, MaxRounds: 2},
+		CVFolds:   3,
+		Quiet:     true,
+	}
+	rows, rep, err := campaigns.Table4Rows(distBenchCfg(workers), cfg)
+	if err != nil {
+		return "", 0, rep, err
+	}
+	var sb strings.Builder
+	for _, r := range rows {
+		if r.Err != "" {
+			return "", 0, rep, fmt.Errorf("%s: %s", r.Classifier, r.Err)
+		}
+		fmt.Fprintf(&sb, "%s|%d|%x|%x|%x|%x\n", r.Classifier, r.Changes,
+			math.Float64bits(r.PackagePct), math.Float64bits(r.CPUPct),
+			math.Float64bits(r.TimePct), math.Float64bits(r.AccuracyPct))
+	}
+	return sb.String(), len(rows), rep, nil
+}
+
+// distBenchCorpus fans the pass engine across one classifier closure and
+// fingerprints the reconstructed per-file summaries plus the rendered view.
+func distBenchCorpus(workers int) (string, int, dist.Report, error) {
+	crep, rep, err := campaigns.AnalyzeCorpus(distBenchCfg(workers), "RandomTree", distBenchSeed, 0)
+	if err != nil {
+		return "", 0, rep, err
+	}
+	var sb strings.Builder
+	for _, fa := range crep.Files {
+		fmt.Fprintf(&sb, "%s|%d\n", fa.Path, len(fa.Report.Diags))
+		for _, d := range fa.Report.Diags {
+			fmt.Fprintf(&sb, "  %d|%d\n", int(d.Rule), int(d.Severity))
+		}
+	}
+	sb.WriteString(core.CorpusView(crep))
+	return sb.String(), len(crep.Files), rep, nil
+}
+
+// distBenchCV cross-validates one randomized classifier and fingerprints
+// the merged result, per-fold accuracy bits included.
+func distBenchCV(workers int) (string, int, dist.Report, error) {
+	p := campaigns.CVParams{Classifier: "RandomTree", Seed: distBenchSeed, Folds: 6, Instances: 800}
+	res, rep, err := campaigns.CrossValidate(distBenchCfg(workers), p)
+	if err != nil {
+		return "", 0, rep, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|%d|%d\n", res.Name, res.Correct, res.Total)
+	for _, acc := range res.PerFold {
+		fmt.Fprintf(&sb, "%x\n", math.Float64bits(acc))
+	}
+	for _, row := range res.Confusion {
+		fmt.Fprintln(&sb, row)
+	}
+	return sb.String(), p.Folds, rep, nil
+}

@@ -7,16 +7,22 @@
 //
 // Usage:
 //
-//	jperf [-main Class] [-r runs] [-jobs N] [-tukey] [-engine vm|ast] <file.java>...
+//	jperf [-main Class] [-r runs] [-jobs N] [-workers N] [-tukey] [-engine vm|ast] <file.java>...
 //	jperf bench [-o BENCH_interp.json] [-r repeats]
 //	jperf bench -vm [-o BENCH_vm.json] [-r repeats]
 //	jperf bench -sched [-o BENCH_sched.json]
+//	jperf bench -dist [-o BENCH_dist.json]
 //	jperf disasm <file.java>...
 //
 // -jobs N shards the repeated measurement runs across the deterministic
 // sched pool. Every run builds its own meter and interpreter and runs are
 // replayed into the Tukey protocol in index order, so the printed report is
 // bit-identical at any -jobs value; pool telemetry goes to stderr.
+//
+// -workers N dispatches the runs to N re-exec'd worker processes instead,
+// under the fault-tolerant dist protocol (heartbeats, deadlines, node
+// quarantine); the report stays bit-identical and the dispatch ledger goes
+// to stderr.
 package main
 
 import (
@@ -28,6 +34,8 @@ import (
 	"strings"
 	"time"
 
+	"jepo/internal/dist"
+	"jepo/internal/dist/campaigns"
 	"jepo/internal/energy"
 	"jepo/internal/minijava/ast"
 	"jepo/internal/minijava/interp"
@@ -38,6 +46,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == dist.WorkerArg {
+		if err := campaigns.ServeWorker(); err != nil {
+			fmt.Fprintln(os.Stderr, "jperf worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		if err := runBenchCmd(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "jperf bench:", err)
@@ -57,13 +72,15 @@ func main() {
 	tukey := flag.Bool("tukey", true, "replace Tukey outliers with fresh runs")
 	engineName := flag.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "measurement workers (the report is identical at any value)")
+	workers := flag.Int("workers", 1, "worker processes; >1 dispatches measurement runs to re-exec'd workers with fault tolerance")
+	nodeDeadline := flag.Duration("node-deadline", 10*time.Second, "silence window after which a worker node is quarantined")
 	flag.Parse()
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jperf:", err)
 		os.Exit(1)
 	}
-	if err := run(*mainClass, *runs, *tukey, engine, *jobs, flag.Args()); err != nil {
+	if err := run(*mainClass, *runs, *tukey, engine, *jobs, *workers, *nodeDeadline, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "jperf:", err)
 		os.Exit(1)
 	}
@@ -113,11 +130,15 @@ type measurement struct {
 	health          rapl.Health
 }
 
-func run(mainClass string, runs int, tukey bool, engine interp.Engine, jobs int, args []string) error {
+func run(mainClass string, runs int, tukey bool, engine interp.Engine, jobs, workers int, nodeDeadline time.Duration, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("no input files")
 	}
-	files, err := parseArgs(args)
+	srcs, err := collectSources(args)
+	if err != nil {
+		return err
+	}
+	files, err := parseSources(srcs)
 	if err != nil {
 		return err
 	}
@@ -128,16 +149,55 @@ func run(mainClass string, runs int, tukey bool, engine interp.Engine, jobs int,
 
 	// The protocol's initial runs shard across the sched pool — each run has
 	// its own meter and interpreter, so they are independent — and replay
-	// into the protocol in index order. Tukey replacement rounds, if any,
-	// fall back to live sequential runs; the report is the same either way.
-	pre, tel, err := sched.Map(sched.Config{Jobs: jobs}, make([]struct{}, runs),
-		func(sched.Task, struct{}) (measurement, error) {
-			return runOnce(prog, mainClass, engine)
-		})
-	if err != nil {
-		return err
+	// into the protocol in index order. With -workers > 1 they dispatch to
+	// worker processes instead, under heartbeat/quarantine fault tolerance;
+	// either way the runs are deterministic, so the report is bit-identical.
+	// Tukey replacement rounds, if any, fall back to live sequential runs.
+	var pre []measurement
+	if workers > 1 {
+		plan, perr := dist.EnvPlan()
+		if perr != nil {
+			return perr
+		}
+		dcfg := dist.Config{
+			Workers:  workers,
+			Retries:  2,
+			Deadline: nodeDeadline,
+			Plan:     plan,
+			OnEvent:  func(msg string) { fmt.Fprintln(os.Stderr, "jperf:", msg) },
+		}
+		wire, rep, derr := campaigns.MeasureRuns(dcfg, campaigns.MeasureParams{
+			Files:  srcs,
+			Main:   mainClass,
+			Engine: engine.String(),
+		}, runs)
+		if derr != nil {
+			return derr
+		}
+		fmt.Fprintln(os.Stderr, rep.String())
+		fmt.Fprint(os.Stderr, rep.NodeSummary())
+		pre = make([]measurement, len(wire))
+		for i, m := range wire {
+			pre[i] = measurement{
+				pkg:     energy.Joules(m.Pkg),
+				core:    energy.Joules(m.Core),
+				dram:    energy.Joules(m.DRAM),
+				elapsed: time.Duration(m.ElapsedNs),
+				cycles:  m.Cycles,
+				health:  m.Health,
+			}
+		}
+	} else {
+		var tel sched.Telemetry
+		pre, tel, err = sched.Map(sched.Config{Jobs: jobs}, make([]struct{}, runs),
+			func(sched.Task, struct{}) (measurement, error) {
+				return runOnce(prog, mainClass, engine)
+			})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, tel)
 	}
-	fmt.Fprintln(os.Stderr, tel)
 
 	var all []measurement
 	measure := func() float64 {
@@ -235,8 +295,11 @@ func runOnce(prog *interp.Program, mainClass string, engine interp.Engine) (meas
 	}, nil
 }
 
-func parseArgs(args []string) ([]*ast.File, error) {
-	var files []*ast.File
+// collectSources reads the raw .java sources named by the arguments
+// (directories are walked). The raw form is what the dist campaign ships to
+// worker processes; parseSources turns it into ASTs for inline execution.
+func collectSources(args []string) ([]campaigns.SourceFile, error) {
+	var srcs []campaigns.SourceFile
 	for _, arg := range args {
 		info, err := os.Stat(arg)
 		if err != nil {
@@ -261,15 +324,31 @@ func parseArgs(args []string) ([]*ast.File, error) {
 			if err != nil {
 				return nil, err
 			}
-			f, err := parser.Parse(path, string(b))
-			if err != nil {
-				return nil, err
-			}
-			files = append(files, f)
+			srcs = append(srcs, campaigns.SourceFile{Path: path, Source: string(b)})
 		}
 	}
-	if len(files) == 0 {
+	if len(srcs) == 0 {
 		return nil, fmt.Errorf("no .java files found")
 	}
+	return srcs, nil
+}
+
+func parseSources(srcs []campaigns.SourceFile) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(srcs))
+	for _, s := range srcs {
+		f, err := parser.Parse(s.Path, s.Source)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
 	return files, nil
+}
+
+func parseArgs(args []string) ([]*ast.File, error) {
+	srcs, err := collectSources(args)
+	if err != nil {
+		return nil, err
+	}
+	return parseSources(srcs)
 }

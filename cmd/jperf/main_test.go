@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"jepo/internal/minijava/interp"
 )
@@ -28,32 +29,32 @@ func writeDemo(t *testing.T) string {
 
 func TestRunMeasures(t *testing.T) {
 	dir := writeDemo(t)
-	if err := run("", 4, true, interp.EngineVM, 2, []string{dir}); err != nil {
+	if err := run("", 4, true, interp.EngineVM, 2, 1, 10*time.Second, []string{dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", 3, false, interp.EngineAST, 1, []string{filepath.Join(dir, "Demo.java")}); err != nil {
+	if err := run("", 3, false, interp.EngineAST, 1, 1, 10*time.Second, []string{filepath.Join(dir, "Demo.java")}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", 3, true, interp.EngineVM, 1, nil); err == nil {
+	if err := run("", 3, true, interp.EngineVM, 1, 1, 10*time.Second, nil); err == nil {
 		t.Error("no input accepted")
 	}
-	if err := run("", 3, true, interp.EngineVM, 1, []string{"missing.java"}); err == nil {
+	if err := run("", 3, true, interp.EngineVM, 1, 1, 10*time.Second, []string{"missing.java"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	dir := writeDemo(t)
-	if err := run("NoSuchClass", 3, true, interp.EngineVM, 1, []string{dir}); err == nil {
+	if err := run("NoSuchClass", 3, true, interp.EngineVM, 1, 1, 10*time.Second, []string{dir}); err == nil {
 		t.Error("unknown main class accepted")
 	}
 	bad := t.TempDir()
 	os.WriteFile(filepath.Join(bad, "Bad.java"), []byte("class {"), 0o644)
-	if err := run("", 3, true, interp.EngineVM, 1, []string{bad}); err == nil {
+	if err := run("", 3, true, interp.EngineVM, 1, 1, 10*time.Second, []string{bad}); err == nil {
 		t.Error("syntax error accepted")
 	}
 	empty := t.TempDir()
-	if err := run("", 3, true, interp.EngineVM, 1, []string{empty}); err == nil {
+	if err := run("", 3, true, interp.EngineVM, 1, 1, 10*time.Second, []string{empty}); err == nil {
 		t.Error("empty dir accepted")
 	}
 }

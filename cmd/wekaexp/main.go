@@ -13,6 +13,12 @@
 //
 // -jobs N shards table rows across the deterministic sched pool: stdout is
 // bit-identical at any value, and the pool's timing telemetry goes to stderr.
+//
+// -workers N shards table rows across N worker *processes* instead (the
+// binary re-exec'd in worker mode), with heartbeats, per-node deadlines and
+// deterministic reassignment: a killed or hung worker costs a quarantine,
+// never a row, and stdout stays bit-identical to -workers 1. The dispatch
+// report goes to stderr.
 package main
 
 import (
@@ -23,9 +29,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"jepo/internal/airlines"
 	"jepo/internal/corpus"
+	"jepo/internal/dist"
+	"jepo/internal/dist/campaigns"
 	"jepo/internal/jmetrics"
 	"jepo/internal/minijava/interp"
 	"jepo/internal/sched"
@@ -34,10 +43,42 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == dist.WorkerArg {
+		if err := campaigns.ServeWorker(); err != nil {
+			fmt.Fprintln(os.Stderr, "wekaexp worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := realMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "wekaexp:", err)
 		os.Exit(1)
 	}
+}
+
+// distConfig assembles the dispatcher config shared by every -workers run:
+// bounded retries, heartbeat liveness, the fault plan from JEPO_DIST_FAULTS
+// (for drills), and node events narrated to stderr.
+func distConfig(workers int, seed uint64, deadline time.Duration, stderr io.Writer) (dist.Config, error) {
+	plan, err := dist.EnvPlan()
+	if err != nil {
+		return dist.Config{}, err
+	}
+	return dist.Config{
+		Workers:  workers,
+		Seed:     seed,
+		Retries:  2,
+		Deadline: deadline,
+		Plan:     plan,
+		OnEvent:  func(msg string) { fmt.Fprintln(stderr, "wekaexp:", msg) },
+	}, nil
+}
+
+// reportDispatch prints the campaign's dispatch ledger to stderr, keeping
+// determinism-pinned stdout clean.
+func reportDispatch(stderr io.Writer, rep dist.Report) {
+	fmt.Fprintln(stderr, rep.String())
+	fmt.Fprint(stderr, rep.NodeSummary())
 }
 
 // realMain is the whole command behind an injectable surface: argument list
@@ -59,6 +100,8 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 	rowTimeout := fs.Duration("row-timeout", 0, "per-classifier deadline for Table IV (0 = none)")
 	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "table workers; stdout is bit-identical at any value (telemetry goes to stderr)")
+	workers := fs.Int("workers", 1, "worker processes; >1 dispatches table rows to re-exec'd workers with fault tolerance (stdout stays bit-identical)")
+	nodeDeadline := fs.Duration("node-deadline", 10*time.Second, "silence window after which a worker node is quarantined and its task reassigned")
 	verbose := fs.Bool("v", false, "print progress")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,11 +132,27 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 	}
 
 	run("1", func() error {
-		rows, tel, err := tables.Table1Jobs(engine, *jobs)
-		if err != nil {
-			return err
+		var rows []tables.Table1Row
+		if *workers > 1 {
+			dcfg, err := distConfig(*workers, *seed, *nodeDeadline, stderr)
+			if err != nil {
+				return err
+			}
+			var rep dist.Report
+			rows, rep, err = campaigns.Table1Rows(dcfg, engine)
+			if err != nil {
+				return err
+			}
+			reportDispatch(stderr, rep)
+		} else {
+			var tel sched.Telemetry
+			var err error
+			rows, tel, err = tables.Table1Jobs(engine, *jobs)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stderr, tel)
 		}
-		fmt.Fprintln(stderr, tel)
 		fmt.Fprintln(stdout, "=== Table I: Java components & suggestions (measured) ===")
 		fmt.Fprint(stdout, tables.RenderTable1(rows))
 		fmt.Fprintln(stdout)
@@ -101,11 +160,27 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 	})
 
 	run("2", func() error {
-		rows, tel, err := tables.Table2Parallel(*seed, *jobs)
-		if err != nil {
-			return err
+		var rows []jmetrics.Metrics
+		if *workers > 1 {
+			dcfg, err := distConfig(*workers, *seed, *nodeDeadline, stderr)
+			if err != nil {
+				return err
+			}
+			var rep dist.Report
+			rows, rep, err = campaigns.Table2Rows(dcfg, *seed)
+			if err != nil {
+				return err
+			}
+			reportDispatch(stderr, rep)
+		} else {
+			var tel sched.Telemetry
+			var err error
+			rows, tel, err = tables.Table2Parallel(*seed, *jobs)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stderr, tel)
 		}
-		fmt.Fprintln(stderr, tel)
 		fmt.Fprintln(stdout, "=== Table II: WEKA classifier metrics ===")
 		fmt.Fprint(stdout, jmetrics.Table(rows))
 		fmt.Fprintln(stdout)
@@ -162,9 +237,31 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 			cfg.Progress = func(msg string) { fmt.Fprintln(stderr, msg) }
 		}
 		fmt.Fprintln(stdout, "=== Table IV: WEKA evaluation ===")
-		rows, err := tables.Table4Supervised(cfg)
-		if err != nil {
-			return err
+		var rows []tables.Table4Row
+		if *workers > 1 {
+			dcfg, derr := distConfig(*workers, *seed, *nodeDeadline, stderr)
+			if derr != nil {
+				return derr
+			}
+			// The dispatch ledger rides in the same directory as the row
+			// checkpoints: a crashed campaign resumes both layers.
+			if *checkpoint != "" {
+				if merr := os.MkdirAll(*checkpoint, 0o755); merr != nil {
+					return merr
+				}
+				dcfg.Checkpoint = filepath.Join(*checkpoint, "dist_table4.json")
+			}
+			var rep dist.Report
+			rows, rep, err = campaigns.Table4Rows(dcfg, cfg)
+			if err != nil {
+				return err
+			}
+			reportDispatch(stderr, rep)
+		} else {
+			rows, err = tables.Table4Supervised(cfg)
+			if err != nil {
+				return err
+			}
 		}
 		fmt.Fprint(stdout, tables.RenderTable4(rows))
 		fmt.Fprintln(stdout)

@@ -130,13 +130,74 @@ func FoldSeeds(seed uint64, k int) []uint64 {
 	return out
 }
 
-// foldOutcome is one fold's independently computed evaluation, merged into
-// the Result in fold order.
-type foldOutcome struct {
-	name      string
-	correct   int
-	total     int
-	confusion [][]int
+// FoldEval is one fold's independently computed evaluation, merged into
+// the Result in fold order. It is JSON-shaped so a fold evaluated in a
+// dist worker process ships its exact counts back to the dispatcher —
+// integers round-trip losslessly, so a remotely evaluated fold merges
+// bit-identically to a local one.
+type FoldEval struct {
+	Name      string  `json:"name"`
+	Correct   int     `json:"correct"`
+	Total     int     `json:"total"`
+	Confusion [][]int `json:"confusion"` // [actual][predicted]
+}
+
+// EvalFold trains and evaluates exactly one fold of a stratified split:
+// its own classifier from the fold's pre-derived seed, its own confusion
+// counts, no shared state. folds must come from d.StratifiedFolds; the
+// fold seed from FoldSeeds. This is the unit the cross-validation pool —
+// and the dist "cvfold" campaign — shards.
+func EvalFold(d *dataset.Dataset, folds [][]int, fold int, foldSeed uint64, make SeededFactory) (FoldEval, error) {
+	train, test := d.TrainTest(folds, fold)
+	c := make(fold, foldSeed)
+	out := FoldEval{Name: c.Name(), Confusion: newConfusion(d.NumClasses())}
+	if err := c.Train(train); err != nil {
+		return FoldEval{}, fmt.Errorf("eval: fold %d: %w", fold, err)
+	}
+	for i, row := range test.X {
+		pred := c.Predict(row)
+		actual := test.Class(i)
+		if pred >= 0 && pred < len(out.Confusion) {
+			out.Confusion[actual][pred]++
+		}
+		if pred == actual {
+			out.Correct++
+		}
+	}
+	out.Total = test.NumInstances()
+	return out, nil
+}
+
+// MergeFoldEvals folds per-fold outcomes, in fold-index order, into a
+// Result. Integer sums are ordering-blind, but PerFold preserves fold
+// order, so callers must pass evals indexed by fold.
+func MergeFoldEvals(numClasses int, evals []FoldEval) *Result {
+	res := &Result{Confusion: newConfusion(numClasses)}
+	for _, out := range evals {
+		mergeFold(res, out)
+	}
+	return res
+}
+
+// mergeFold accumulates one fold into the result.
+func mergeFold(res *Result, out FoldEval) {
+	if res.Name == "" {
+		res.Name = out.Name
+	}
+	for a := range out.Confusion {
+		for p := range out.Confusion[a] {
+			res.Confusion[a][p] += out.Confusion[a][p]
+		}
+	}
+	res.Correct += out.Correct
+	res.Total += out.Total
+	// A fold can end up with zero test instances when k is close to the
+	// dataset size; report 0 accuracy rather than NaN.
+	foldAcc := 0.0
+	if out.Total > 0 {
+		foldAcc = 100 * float64(out.Correct) / float64(out.Total)
+	}
+	res.PerFold = append(res.PerFold, foldAcc)
 }
 
 // CrossValidate runs stratified k-fold cross-validation. Every fold's
@@ -161,45 +222,11 @@ func CrossValidateSeeded(d *dataset.Dataset, k int, seed uint64, make SeededFact
 	seeds := FoldSeeds(seed, len(folds))
 	res := &Result{Confusion: newConfusion(d.NumClasses())}
 	_, _, err = sched.MapCommit(sched.Config{Jobs: jobs, Seed: seed}, folds,
-		func(task sched.Task, _ []int) (foldOutcome, error) {
-			f := task.Index
-			train, test := d.TrainTest(folds, f)
-			c := make(f, seeds[f])
-			out := foldOutcome{name: c.Name(), confusion: newConfusion(d.NumClasses())}
-			if err := c.Train(train); err != nil {
-				return foldOutcome{}, fmt.Errorf("eval: fold %d: %w", f, err)
-			}
-			for i, row := range test.X {
-				pred := c.Predict(row)
-				actual := test.Class(i)
-				if pred >= 0 && pred < len(out.confusion) {
-					out.confusion[actual][pred]++
-				}
-				if pred == actual {
-					out.correct++
-				}
-			}
-			out.total = test.NumInstances()
-			return out, nil
+		func(task sched.Task, _ []int) (FoldEval, error) {
+			return EvalFold(d, folds, task.Index, seeds[task.Index], make)
 		},
-		func(_ sched.Task, out foldOutcome) {
-			if res.Name == "" {
-				res.Name = out.name
-			}
-			for a := range out.confusion {
-				for p := range out.confusion[a] {
-					res.Confusion[a][p] += out.confusion[a][p]
-				}
-			}
-			res.Correct += out.correct
-			res.Total += out.total
-			// A fold can end up with zero test instances when k is close to the
-			// dataset size; report 0 accuracy rather than NaN.
-			foldAcc := 0.0
-			if out.total > 0 {
-				foldAcc = 100 * float64(out.correct) / float64(out.total)
-			}
-			res.PerFold = append(res.PerFold, foldAcc)
+		func(_ sched.Task, out FoldEval) {
+			mergeFold(res, out)
 		})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,594 @@
+// The dispatcher: assignment, deadlines, retries, reassignment,
+// quarantine and index-ordered commit. Structurally it is sched.MapCommit
+// lifted across a process boundary — per-task seeds from the same
+// splitmix64 derivation, commit on the caller's goroutine in index order,
+// first error by lowest index — with rapl.Resilient's degradation ladder
+// applied to nodes instead of reads.
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"jepo/internal/rapl"
+	"jepo/internal/sched"
+)
+
+// Config parameterizes a campaign run.
+type Config struct {
+	// Workers is the node count. <= 1 (or a single task) runs the campaign
+	// inline on the caller through the same runner and JSON path, which is
+	// also the degenerate proof of byte-identity.
+	Workers int
+	// Seed is the campaign seed; task i runs with sched.TaskSeed(Seed, i).
+	Seed uint64
+	// Retries bounds extra attempts after a *task* error (default 0).
+	// Node faults — death, deadline, corrupt reply — do not consume task
+	// retries; the task is reassigned and the node pays instead.
+	Retries int
+	// Deadline is the longest silence tolerated from a node with a task in
+	// flight; heartbeats re-arm it. 0 disables deadline enforcement.
+	Deadline time.Duration
+	// Heartbeat is the beat interval workers are asked to hold while a
+	// task runs (default 250ms; should be several times below Deadline).
+	Heartbeat time.Duration
+	// Strikes is how many corrupt replies quarantine a node (default 3).
+	Strikes int
+	// Checkpoint, when set, is the dispatch-ledger path: completed tasks
+	// persist there (atomic write) and a rerun resumes from them.
+	Checkpoint string
+	// Spawn mints worker connections (default SelfSpawner).
+	Spawn Spawner
+	// Plan, when set, wraps the transport in the chaos harness.
+	Plan *FaultPlan
+	// OnEvent receives human-readable fault-path events (stderr material;
+	// never part of determinism-pinned stdout).
+	OnEvent func(string)
+}
+
+func (c Config) strikes() int {
+	if c.Strikes > 0 {
+		return c.Strikes
+	}
+	return 3
+}
+
+func (c Config) heartbeat() time.Duration {
+	if c.Heartbeat > 0 {
+		return c.Heartbeat
+	}
+	return 250 * time.Millisecond
+}
+
+// NodeHealth is one node's service record for the campaign report.
+type NodeHealth struct {
+	ID          int
+	Done        int // results delivered
+	TaskErrors  int // task-error replies (the task's fault)
+	Strikes     int // corrupt-reply strikes
+	Quarantined bool
+	Reason      string // why the node left service, when it did
+	// Measurement aggregates the rapl degradation tallies the node's tasks
+	// reported over the wire.
+	Measurement rapl.Health
+}
+
+// Report is the campaign's fault-path ledger — the node-level analog of
+// sched.Telemetry plus rapl.Health. Timing-dependent; print to stderr.
+type Report struct {
+	Workers     int // nodes requested
+	Tasks       int
+	Replayed    int // tasks restored from the checkpoint ledger
+	Assigned    int // task messages sent
+	Retried     int // task-error retries
+	Reassigned  int // node-fault requeues
+	Timeouts    int // deadlines fired
+	Corrupt     int // corrupt or out-of-protocol replies
+	Deaths      int // connections lost
+	Quarantines int // nodes removed from service
+	Wall        time.Duration
+	Nodes       []NodeHealth
+	// Measurement is the campaign-wide rapl tally, merged in commit order
+	// so it is deterministic at any worker count.
+	Measurement rapl.Health
+}
+
+// String renders the one-line summary the CLIs print to stderr. The
+// quarantined count is the headline robustness figure: how many nodes the
+// campaign survived losing.
+func (r Report) String() string {
+	return fmt.Sprintf("dist: workers=%d tasks=%d replayed=%d assigned=%d retried=%d reassigned=%d timeouts=%d corrupt=%d deaths=%d quarantined=%d wall=%v",
+		r.Workers, r.Tasks, r.Replayed, r.Assigned, r.Retried, r.Reassigned,
+		r.Timeouts, r.Corrupt, r.Deaths, r.Quarantines, r.Wall.Round(time.Millisecond))
+}
+
+// NodeSummary renders one line per node: its service record and the
+// measurement health its tasks reported.
+func (r Report) NodeSummary() string {
+	var sb strings.Builder
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&sb, "dist: node %d: done=%d taskerrs=%d strikes=%d", n.ID, n.Done, n.TaskErrors, n.Strikes)
+		if n.Quarantined {
+			fmt.Fprintf(&sb, " QUARANTINED (%s)", n.Reason)
+		}
+		if n.Measurement != (rapl.Health{}) {
+			fmt.Fprintf(&sb, " measurement(%s)", n.Measurement)
+		}
+		sb.WriteByte('\n')
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// ErrNoWorkers reports a campaign abandoned because every node was lost
+// with tasks still unfinished. It is the only node-caused failure mode;
+// anything less degrades and continues.
+var ErrNoWorkers = errors.New("dist: all workers gone")
+
+// runState is the merge ledger: per-task results, the commit cursor, and
+// first-error tracking, all index-ordered.
+type runState struct {
+	results  []json.RawMessage
+	healths  []rapl.Health
+	errs     []error
+	done     []bool
+	failures []int
+	cursor   int
+	left     int
+}
+
+func newRunState(n int) *runState {
+	return &runState{
+		results:  make([]json.RawMessage, n),
+		healths:  make([]rapl.Health, n),
+		errs:     make([]error, n),
+		done:     make([]bool, n),
+		failures: make([]int, n),
+		left:     n,
+	}
+}
+
+func (s *runState) finish(i int, res json.RawMessage, h rapl.Health) {
+	s.results[i] = res
+	s.healths[i] = h
+	s.done[i] = true
+	s.left--
+}
+
+func (s *runState) fail(i int, err error) {
+	s.errs[i] = err
+	s.done[i] = true
+	s.left--
+}
+
+// advance commits every newly completed task at the cursor, in index
+// order, on the caller's goroutine — the same commit discipline as
+// sched.MapCommit, so downstream merges are ordering-blind.
+func (s *runState) advance(seed uint64, rep *Report, commit func(Task, json.RawMessage)) {
+	for s.cursor < len(s.done) && s.done[s.cursor] {
+		i := s.cursor
+		if s.errs[i] == nil {
+			rep.Measurement = rep.Measurement.Add(s.healths[i])
+			if commit != nil {
+				commit(Task{Index: i, Seed: sched.TaskSeed(seed, i)}, s.results[i])
+			}
+		}
+		s.cursor++
+	}
+}
+
+// firstErr returns the lowest-index task error, mirroring the pool.
+func (s *runState) firstErr() error {
+	for _, err := range s.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes one campaign: n tasks of the given kind with the given
+// params, committed in index order. It returns the fault-path report and
+// the first task error (by index), if any. The commit callback receives
+// validated JSON; params must marshal to JSON.
+func Run(cfg Config, reg *Registry, kind string, params any, n int, commit func(Task, json.RawMessage)) (Report, error) {
+	start := time.Now()
+	rep := Report{Workers: cfg.Workers, Tasks: n}
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return rep, fmt.Errorf("dist: %s params: %w", kind, err)
+	}
+	st := newRunState(n)
+
+	var led *ledgerState
+	if cfg.Checkpoint != "" {
+		led = openLedger(cfg.Checkpoint, kind, cfg.Seed, n, raw, cfg.OnEvent)
+		led.replay(func(i int, e ledgerEntry) {
+			st.finish(i, e.Result, e.Health)
+			rep.Replayed++
+		})
+	}
+	st.advance(cfg.Seed, &rep, commit)
+
+	workers := cfg.Workers
+	if workers > st.left {
+		workers = st.left
+	}
+	rep.Workers = cfg.Workers
+	if workers <= 1 {
+		err := runInline(cfg, reg, kind, raw, st, led, &rep, commit)
+		rep.Wall = time.Since(start)
+		return rep, err
+	}
+	err = dispatch(cfg, reg, kind, raw, workers, st, led, &rep, commit)
+	rep.Wall = time.Since(start)
+	return rep, err
+}
+
+// runInline is the sequential degeneration: same runner, same JSON
+// round-trip, same retry bound, same ledger — just no processes. Byte
+// identity with the dispatched path follows because both paths feed
+// identical result bytes to the same ordered commit.
+func runInline(cfg Config, reg *Registry, kind string, raw json.RawMessage, st *runState, led *ledgerState, rep *Report, commit func(Task, json.RawMessage)) error {
+	fn, err := reg.runner(kind)
+	if err != nil {
+		return err
+	}
+	for i := range st.done {
+		if st.done[i] {
+			continue
+		}
+		task := Task{Index: i, Seed: sched.TaskSeed(cfg.Seed, i)}
+		var out Output
+		var rerr error
+		for {
+			out, rerr = runSafe(fn, task, raw)
+			if rerr == nil || st.failures[i] >= cfg.Retries {
+				break
+			}
+			st.failures[i]++
+			rep.Retried++
+		}
+		rep.Assigned++
+		if rerr != nil {
+			st.fail(i, rerr)
+		} else {
+			st.finish(i, out.Result, out.Health)
+			if led != nil {
+				led.add(i, out.Result, out.Health)
+				led.maybeSave()
+			}
+		}
+		st.advance(cfg.Seed, rep, commit)
+	}
+	if led != nil {
+		led.save()
+	}
+	return st.firstErr()
+}
+
+// node is one worker's dispatcher-side record.
+type node struct {
+	id       int
+	conn     Conn
+	gone     bool
+	inflight int // task index, -1 when idle
+	lastBeat time.Time
+	hp       NodeHealth
+}
+
+// event is one reader-goroutine delivery.
+type event struct {
+	node int
+	msg  *Message
+	err  error
+}
+
+// retryEntry is a task waiting for (re)assignment.
+type retryEntry struct {
+	index     int
+	lastNode  int
+	notBefore time.Time
+}
+
+// dispatch runs the event loop over live worker connections.
+func dispatch(cfg Config, reg *Registry, kind string, raw json.RawMessage, workers int, st *runState, led *ledgerState, rep *Report, commit func(Task, json.RawMessage)) error {
+	spawn := cfg.Spawn
+	if spawn == nil {
+		spawn = SelfSpawner()
+	}
+	if cfg.Plan != nil {
+		spawn = ChaosSpawner(spawn, cfg.Plan)
+	}
+	say := func(format string, args ...any) {
+		if cfg.OnEvent != nil {
+			cfg.OnEvent(fmt.Sprintf(format, args...))
+		}
+	}
+
+	events := make(chan event, workers*8)
+	var readers sync.WaitGroup
+	nodes := make([]*node, workers)
+	live := 0
+	for id := range nodes {
+		nd := &node{id: id, inflight: -1, hp: NodeHealth{ID: id}}
+		nodes[id] = nd
+		conn, err := spawn(id)
+		if err != nil {
+			nd.gone = true
+			nd.hp.Quarantined = true
+			nd.hp.Reason = "spawn: " + err.Error()
+			rep.Deaths++
+			rep.Quarantines++
+			say("dist: node %d failed to spawn: %v", id, err)
+			continue
+		}
+		nd.conn = conn
+		live++
+		readers.Add(1)
+		go func(id int, c Conn) {
+			defer readers.Done()
+			for {
+				m, err := c.Recv()
+				events <- event{node: id, msg: m, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}(id, conn)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			if nd.conn == nil {
+				continue
+			}
+			if !nd.gone {
+				nd.conn.Send(&Message{Type: MsgShutdown})
+				nd.conn.Close()
+			}
+		}
+		// Unblock any reader still trying to deliver, then let the drain
+		// goroutine die with the channel once every reader has returned.
+		go func() {
+			readers.Wait()
+			close(events)
+		}()
+		go func() {
+			for range events {
+			}
+		}()
+		for i, nd := range nodes {
+			rep.Nodes = append(rep.Nodes, nd.hp)
+			rep.Nodes[i].ID = nd.id
+		}
+	}()
+
+	var retryq []retryEntry
+	nextFresh := 0
+	requeue := func(i, lastNode int, after time.Duration) {
+		retryq = append(retryq, retryEntry{index: i, lastNode: lastNode, notBefore: time.Now().Add(after)})
+	}
+	quarantine := func(nd *node, reason string, kill bool) {
+		if nd.gone {
+			return
+		}
+		nd.gone = true
+		live--
+		nd.hp.Quarantined = true
+		nd.hp.Reason = reason
+		rep.Quarantines++
+		say("dist: node %d quarantined: %s", nd.id, reason)
+		if nd.inflight >= 0 {
+			rep.Reassigned++
+			say("dist: task %d reassigned from node %d", nd.inflight, nd.id)
+			requeue(nd.inflight, nd.id, 0)
+			nd.inflight = -1
+		}
+		if kill && nd.conn != nil {
+			c := nd.conn
+			go c.Kill()
+		}
+	}
+	// strike punishes a corrupt or out-of-protocol reply; enough strikes
+	// quarantine the node, and its in-flight task (if any) is reassigned
+	// either way without consuming the task's own retry budget.
+	strike := func(nd *node, reason string) {
+		rep.Corrupt++
+		nd.hp.Strikes++
+		if nd.hp.Strikes >= cfg.strikes() {
+			quarantine(nd, reason, true)
+		}
+		if !nd.gone && nd.inflight >= 0 {
+			rep.Reassigned++
+			say("dist: task %d reassigned from node %d (%s)", nd.inflight, nd.id, reason)
+			requeue(nd.inflight, nd.id, 0)
+			nd.inflight = -1
+		}
+	}
+	liveCount := func() int { return live }
+	pick := func(nd *node) (int, bool) {
+		now := time.Now()
+		for qi, e := range retryq {
+			if e.notBefore.After(now) {
+				continue
+			}
+			// Prefer a different worker for a requeued task; only when
+			// this node is the last one standing does it retry its own.
+			if e.lastNode == nd.id && liveCount() > 1 {
+				continue
+			}
+			retryq = append(retryq[:qi], retryq[qi+1:]...)
+			return e.index, true
+		}
+		for nextFresh < len(st.done) && st.done[nextFresh] {
+			nextFresh++
+		}
+		if nextFresh < len(st.done) {
+			i := nextFresh
+			nextFresh++
+			return i, true
+		}
+		return 0, false
+	}
+	assign := func(nd *node) {
+		i, ok := pick(nd)
+		if !ok {
+			return
+		}
+		m := &Message{
+			Type:        MsgTask,
+			Index:       i,
+			Seed:        sched.TaskSeed(cfg.Seed, i),
+			Kind:        kind,
+			Params:      raw,
+			HeartbeatMs: cfg.heartbeat().Milliseconds(),
+		}
+		if err := nd.conn.Send(m); err != nil {
+			rep.Deaths++
+			quarantine(nd, "send: "+err.Error(), true)
+			rep.Reassigned++
+			requeue(i, nd.id, 0)
+			return
+		}
+		nd.inflight = i
+		nd.lastBeat = time.Now()
+		rep.Assigned++
+	}
+
+	// The poll tick serves two masters: deadline scans and waking the loop
+	// when a backed-off retry becomes assignable.
+	tick := 25 * time.Millisecond
+	if cfg.Deadline > 0 {
+		tick = cfg.Deadline / 4
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		if tick > 250*time.Millisecond {
+			tick = 250 * time.Millisecond
+		}
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	for st.left > 0 {
+		if live == 0 {
+			if led != nil {
+				led.save()
+			}
+			return fmt.Errorf("%w: %d of %d tasks unfinished", ErrNoWorkers, st.left, len(st.done))
+		}
+		for _, nd := range nodes {
+			if !nd.gone && nd.inflight < 0 {
+				assign(nd)
+			}
+		}
+		select {
+		case ev := <-events:
+			nd := nodes[ev.node]
+			if nd.gone {
+				// Stale traffic from a node already removed from service.
+				continue
+			}
+			if ev.err != nil {
+				rep.Deaths++
+				quarantine(nd, "connection lost: "+ev.err.Error(), false)
+				continue
+			}
+			m := ev.msg
+			switch m.Type {
+			case MsgHello:
+				// Ready; the assignment loop covers it next pass.
+			case MsgHeartbeat:
+				if nd.inflight == m.Index {
+					nd.lastBeat = time.Now()
+				}
+			case MsgResult:
+				if nd.inflight != m.Index {
+					strike(nd, "result for unassigned task")
+					continue
+				}
+				if len(m.Result) == 0 || !json.Valid(m.Result) {
+					strike(nd, "corrupt result payload")
+					continue
+				}
+				i := m.Index
+				var h rapl.Health
+				if m.Health != nil {
+					h = *m.Health
+				}
+				nd.inflight = -1
+				nd.hp.Done++
+				nd.hp.Measurement = nd.hp.Measurement.Add(h)
+				st.finish(i, m.Result, h)
+				if led != nil {
+					led.add(i, m.Result, h)
+					led.maybeSave()
+				}
+				st.advance(cfg.Seed, rep, commit)
+			case MsgError:
+				if nd.inflight != m.Index {
+					strike(nd, "error for unassigned task")
+					continue
+				}
+				i := m.Index
+				nd.inflight = -1
+				nd.hp.TaskErrors++
+				st.failures[i]++
+				if st.failures[i] > cfg.Retries {
+					st.fail(i, errors.New(m.Err))
+					st.advance(cfg.Seed, rep, commit)
+				} else {
+					rep.Retried++
+					// Linear backoff, like rapl's retry ladder: the task
+					// failed on its own terms, give the state a beat.
+					requeue(i, nd.id, time.Duration(st.failures[i])*2*time.Millisecond)
+				}
+			default:
+				strike(nd, fmt.Sprintf("unexpected %q message", m.Type))
+			}
+		case <-ticker.C:
+			if cfg.Deadline <= 0 {
+				continue
+			}
+			now := time.Now()
+			for _, nd := range nodes {
+				if !nd.gone && nd.inflight >= 0 && now.Sub(nd.lastBeat) > cfg.Deadline {
+					rep.Timeouts++
+					quarantine(nd, fmt.Sprintf("task %d silent past deadline %v", nd.inflight, cfg.Deadline), true)
+				}
+			}
+		}
+	}
+	if led != nil {
+		led.save()
+	}
+	return st.firstErr()
+}
+
+// Map is the typed campaign surface: params of type P in, ordered results
+// of type R out, commit in index order. It is to Run what sched.Map is to
+// the raw pool.
+func Map[P, R any](cfg Config, reg *Registry, kind string, params P, n int, commit func(Task, R)) ([]R, Report, error) {
+	out := make([]R, n)
+	var decodeErr error
+	rep, err := Run(cfg, reg, kind, params, n, func(t Task, raw json.RawMessage) {
+		var r R
+		if uerr := json.Unmarshal(raw, &r); uerr != nil {
+			if decodeErr == nil {
+				decodeErr = fmt.Errorf("dist: %s result %d: %w", kind, t.Index, uerr)
+			}
+			return
+		}
+		out[t.Index] = r
+		if commit != nil {
+			commit(t, r)
+		}
+	})
+	if err == nil {
+		err = decodeErr
+	}
+	return out, rep, err
+}

@@ -1,0 +1,164 @@
+// The dispatch ledger: a JSON checkpoint of every committed task result,
+// written atomically and throttled, so a dispatcher crash mid-campaign
+// resumes from the completed prefix instead of re-measuring. The ledger is
+// keyed by (kind, seed, task count, params hash); a stale or corrupt file
+// is ignored, never trusted — the same contract tables' row checkpoints
+// follow.
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"jepo/internal/rapl"
+)
+
+// AtomicWriteFile writes data to path via a temp file in the same
+// directory plus rename, so readers never observe a torn write: they see
+// the old bytes or the new bytes, never a truncated file. Checkpoint
+// writers throughout the repo use this to keep a mid-write death from
+// poisoning resume.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// ledgerEntry is one committed task: its result bytes and the health tally
+// that came with them.
+type ledgerEntry struct {
+	Result json.RawMessage `json:"result"`
+	Health rapl.Health     `json:"health"`
+}
+
+// ledgerDoc is the on-disk shape.
+type ledgerDoc struct {
+	Kind      string                 `json:"kind"`
+	Seed      uint64                 `json:"seed"`
+	Tasks     int                    `json:"tasks"`
+	ParamsSum string                 `json:"params_sha256"`
+	Done      map[string]ledgerEntry `json:"done"`
+}
+
+// ledgerState manages one campaign's checkpoint file.
+type ledgerState struct {
+	path     string
+	doc      ledgerDoc
+	dirty    bool
+	lastSave time.Time
+}
+
+// paramsSum fingerprints the campaign parameters.
+func paramsSum(params []byte) string {
+	sum := sha256.Sum256(params)
+	return hex.EncodeToString(sum[:])
+}
+
+// openLedger loads (or initializes) the checkpoint at path. A file that
+// exists but does not match this campaign's identity is discarded with a
+// note — resuming from someone else's ledger would silently splice wrong
+// results into the merge.
+func openLedger(path, kind string, seed uint64, tasks int, params []byte, onEvent func(string)) *ledgerState {
+	l := &ledgerState{
+		path: path,
+		doc: ledgerDoc{
+			Kind:      kind,
+			Seed:      seed,
+			Tasks:     tasks,
+			ParamsSum: paramsSum(params),
+			Done:      make(map[string]ledgerEntry),
+		},
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return l
+	}
+	var prev ledgerDoc
+	if err := json.Unmarshal(blob, &prev); err != nil ||
+		prev.Kind != kind || prev.Seed != seed || prev.Tasks != tasks || prev.ParamsSum != l.doc.ParamsSum {
+		if onEvent != nil {
+			onEvent(fmt.Sprintf("dist: checkpoint %s does not match this campaign; starting fresh", path))
+		}
+		return l
+	}
+	for key, e := range prev.Done {
+		idx, err := strconv.Atoi(key)
+		if err != nil || idx < 0 || idx >= tasks || !json.Valid(e.Result) {
+			continue
+		}
+		l.doc.Done[key] = e
+	}
+	return l
+}
+
+// replay hands every checkpointed result to fn in no particular order; the
+// caller's state merge imposes index order.
+func (l *ledgerState) replay(fn func(index int, e ledgerEntry)) {
+	for key, e := range l.doc.Done {
+		idx, _ := strconv.Atoi(key)
+		fn(idx, e)
+	}
+}
+
+// add records one committed task.
+func (l *ledgerState) add(index int, result json.RawMessage, health rapl.Health) {
+	l.doc.Done[strconv.Itoa(index)] = ledgerEntry{Result: result, Health: health}
+	l.dirty = true
+}
+
+// maybeSave persists if enough has changed since the last write; the
+// throttle keeps checkpointing off the campaign's critical path.
+func (l *ledgerState) maybeSave() {
+	if !l.dirty || time.Since(l.lastSave) < 500*time.Millisecond {
+		return
+	}
+	l.save()
+}
+
+// save persists unconditionally (atomic write). Errors are deliberately
+// swallowed after first report — a checkpoint that cannot be written
+// degrades resume, not the campaign.
+func (l *ledgerState) save() error {
+	if !l.dirty {
+		return nil
+	}
+	blob, err := json.MarshalIndent(l.doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := AtomicWriteFile(l.path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.lastSave = time.Now()
+	return nil
+}

@@ -1,0 +1,113 @@
+// The worker side of the protocol: a loop that decodes task assignments,
+// runs them through the registry, and streams heartbeats while a task is
+// in flight so the dispatcher can tell "slow" from "hung".
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"jepo/internal/rapl"
+)
+
+// Serve runs the worker loop: read assignments from r, write hello,
+// heartbeat and completion messages to w. It returns nil on a clean
+// shutdown (MsgShutdown or EOF — the dispatcher closing the task stream
+// is the normal end of a campaign) and an error only when the transport
+// itself fails.
+//
+// Tasks are served one at a time in arrival order; concurrency across
+// tasks is the dispatcher's job, across workers.
+func Serve(reg *Registry, r io.Reader, w io.Writer) error {
+	var sendMu sync.Mutex
+	enc := json.NewEncoder(w)
+	send := func(m *Message) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		return enc.Encode(m)
+	}
+	if err := send(&Message{Type: MsgHello, Pid: os.Getpid()}); err != nil {
+		return fmt.Errorf("dist: worker hello: %w", err)
+	}
+	dec := json.NewDecoder(r)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return fmt.Errorf("dist: worker recv: %w", err)
+		}
+		switch m.Type {
+		case MsgShutdown:
+			return nil
+		case MsgTask:
+			serveTask(reg, send, &m)
+		default:
+			// Unknown dispatcher messages are ignored for forward
+			// compatibility; the dispatcher never depends on a reply to
+			// anything but MsgTask.
+		}
+	}
+}
+
+// ServeStdio serves campaigns over the process's standard streams — the
+// transport ProcSpawner wires up. Worker binaries must keep stdout clean:
+// everything human-readable goes to stderr.
+func ServeStdio(reg *Registry) error {
+	return Serve(reg, os.Stdin, os.Stdout)
+}
+
+// serveTask runs one assignment under heartbeat cover and replies with
+// MsgResult or MsgError. The heartbeat goroutine is joined before the
+// completion message is sent, so a task's beats never trail its result.
+func serveTask(reg *Registry, send func(*Message) error, m *Message) {
+	task := Task{Index: m.Index, Seed: m.Seed}
+	stop := make(chan struct{})
+	var beats sync.WaitGroup
+	if m.HeartbeatMs > 0 {
+		beats.Add(1)
+		go func() {
+			defer beats.Done()
+			tick := time.NewTicker(time.Duration(m.HeartbeatMs) * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					// A failed beat means the dispatcher is gone; the
+					// completion send will notice, so just stop beating.
+					if send(&Message{Type: MsgHeartbeat, Index: m.Index, Seed: m.Seed}) != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	var out Output
+	var err error
+	fn, rerr := reg.runner(m.Kind)
+	if rerr != nil {
+		err = rerr
+	} else {
+		out, err = runSafe(fn, task, m.Params)
+	}
+	close(stop)
+	beats.Wait()
+	if err != nil {
+		send(&Message{Type: MsgError, Index: m.Index, Seed: m.Seed, Err: err.Error()})
+		return
+	}
+	reply := &Message{Type: MsgResult, Index: m.Index, Seed: m.Seed, Result: out.Result}
+	if out.Health != (rapl.Health{}) {
+		h := out.Health
+		reply.Health = &h
+	}
+	send(reply)
+}

@@ -13,15 +13,18 @@ import (
 )
 
 // Health tallies the degraded-path events a measurement source has absorbed.
-// The zero value means every read succeeded on the first attempt.
+// The zero value means every read succeeded on the first attempt. The JSON
+// shape is part of the dist wire protocol: worker processes report their
+// per-task tallies over it and the dispatcher Add-merges them, so renaming
+// a field is a protocol change, not a refactor.
 type Health struct {
-	Reads           int // snapshots requested by callers
-	Retries         int // re-reads issued after transient errors
-	Interpolated    int // reads served from the last-known-good value
-	Fallbacks       int // reads served by the fallback source
-	Discontinuities int // primary→fallback switches (energy baseline rebased)
-	Quarantined     int // zones dropped after consecutive read failures
-	Resets          int // backwards counter jumps with no declared wrap range
+	Reads           int `json:"reads"`           // snapshots requested by callers
+	Retries         int `json:"retries"`         // re-reads issued after transient errors
+	Interpolated    int `json:"interpolated"`    // reads served from the last-known-good value
+	Fallbacks       int `json:"fallbacks"`       // reads served by the fallback source
+	Discontinuities int `json:"discontinuities"` // primary→fallback switches (energy baseline rebased)
+	Quarantined     int `json:"quarantined"`     // zones dropped after consecutive read failures
+	Resets          int `json:"resets"`          // backwards counter jumps with no declared wrap range
 }
 
 // Degraded reports whether any read took a degraded path.

@@ -18,22 +18,26 @@ import (
 	"jepo/internal/airlines"
 	"jepo/internal/corpus"
 	"jepo/internal/dataset"
+	"jepo/internal/dist"
 	"jepo/internal/sched"
 )
 
-// Table4Supervised runs the full §VIII validation with per-row supervision.
-// Every classifier produces a row: successful rows carry measurements,
-// failed ones carry Err. The returned error covers infrastructure problems
-// only (an unusable checkpoint directory), never a row failure.
-func Table4Supervised(cfg Table4Config) ([]Table4Row, error) {
-	var sayMu sync.Mutex
-	say := func(format string, args ...any) {
-		if cfg.Progress != nil {
-			sayMu.Lock()
-			cfg.Progress(fmt.Sprintf(format, args...))
-			sayMu.Unlock()
-		}
-	}
+// Table4Runner is the per-row face of the supervised Table IV pipeline:
+// the shared inputs (generated data, normalized kernel features) computed
+// once, plus a Row method that runs one classifier under full supervision.
+// It exists so row execution can be hosted anywhere — the sched pool here,
+// or a dist worker process, which memoizes one runner per campaign and
+// serves rows from it.
+type Table4Runner struct {
+	cfg    Table4Config
+	data   *dataset.Dataset
+	feats  [][]float64
+	labels []int64
+	sayMu  sync.Mutex
+}
+
+// NewTable4Runner prepares the shared inputs and the checkpoint directory.
+func NewTable4Runner(cfg Table4Config) (*Table4Runner, error) {
 	if cfg.CheckpointDir != "" {
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("tables: checkpoint dir: %w", err)
@@ -41,24 +45,52 @@ func Table4Supervised(cfg Table4Config) ([]Table4Row, error) {
 	}
 	data := airlines.Generate(cfg.Instances, cfg.Seed)
 	feats, labels := kernelData(data)
+	return &Table4Runner{cfg: cfg, data: data, feats: feats, labels: labels}, nil
+}
 
+func (r *Table4Runner) say(format string, args ...any) {
+	if r.cfg.Progress != nil {
+		r.sayMu.Lock()
+		r.cfg.Progress(fmt.Sprintf(format, args...))
+		r.sayMu.Unlock()
+	}
+}
+
+// Row runs one classifier's supervised pipeline: a valid checkpointed row
+// is returned without re-measuring, a freshly measured successful row is
+// persisted (atomically), and every failure mode — error, panic, deadline
+// — comes back as a row with Err set, never as an error. Rows are
+// independent and Row is goroutine-safe.
+func (r *Table4Runner) Row(name string) Table4Row {
+	if row, ok := loadCheckpoint(r.cfg.CheckpointDir, name); ok {
+		r.say("%s: resumed from checkpoint", name)
+		return row
+	}
+	row := superviseRow(name, r.data, r.feats, r.labels, r.cfg, r.say)
+	if row.Err == "" {
+		if err := saveCheckpoint(r.cfg.CheckpointDir, row); err != nil {
+			r.say("%s: checkpoint not written: %v", name, err)
+		}
+	}
+	return row
+}
+
+// Table4Supervised runs the full §VIII validation with per-row supervision.
+// Every classifier produces a row: successful rows carry measurements,
+// failed ones carry Err. The returned error covers infrastructure problems
+// only (an unusable checkpoint directory), never a row failure.
+func Table4Supervised(cfg Table4Config) ([]Table4Row, error) {
+	runner, err := NewTable4Runner(cfg)
+	if err != nil {
+		return nil, err
+	}
 	// Rows run on the sched pool under the same supervision semantics as
 	// before: superviseRow converts every failure mode (error, panic,
 	// deadline) into a row with Err set, so the pool's fn never errors and
 	// every classifier always yields a row, committed in paper order.
 	rows, tel, err := sched.Map(sched.Config{Jobs: cfg.Slots, Seed: cfg.Seed}, corpus.Classifiers,
 		func(_ sched.Task, name string) (Table4Row, error) {
-			if row, ok := loadCheckpoint(cfg.CheckpointDir, name); ok {
-				say("%s: resumed from checkpoint", name)
-				return row, nil
-			}
-			row := superviseRow(name, data, feats, labels, cfg, say)
-			if row.Err == "" {
-				if err := saveCheckpoint(cfg.CheckpointDir, row); err != nil {
-					say("%s: checkpoint not written: %v", name, err)
-				}
-			}
-			return row, nil
+			return runner.Row(name), nil
 		})
 	if cfg.OnTelemetry != nil {
 		cfg.OnTelemetry(tel)
@@ -148,7 +180,9 @@ func loadCheckpoint(dir, name string) (Table4Row, bool) {
 }
 
 // saveCheckpoint persists a completed row. Only successful rows are written,
-// so a rerun retries exactly the failures.
+// so a rerun retries exactly the failures. The write is atomic (temp file +
+// rename): a worker or process death mid-write leaves the previous bytes —
+// or no file — never a truncated checkpoint that would poison resume.
 func saveCheckpoint(dir string, row Table4Row) error {
 	if dir == "" {
 		return nil
@@ -157,5 +191,5 @@ func saveCheckpoint(dir string, row Table4Row) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(checkpointPath(dir, row.Classifier), append(blob, '\n'), 0o644)
+	return dist.AtomicWriteFile(checkpointPath(dir, row.Classifier), append(blob, '\n'), 0o644)
 }

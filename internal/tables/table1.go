@@ -282,28 +282,43 @@ func Table1(engine interp.Engine) ([]Table1Row, error) {
 	return rows, err
 }
 
+// Table1Count is the number of component pairs Table I measures.
+func Table1Count() int { return len(table1Benches) }
+
+// Table1Pair measures one component pair by paper-order index: both
+// variants on fresh parser/interpreter/meter instances, so pairs are fully
+// independent of each other. This is the task unit both the sched pool and
+// the dist "table1" campaign shard.
+func Table1Pair(i int, engine interp.Engine) (Table1Row, error) {
+	if i < 0 || i >= len(table1Benches) {
+		return Table1Row{}, fmt.Errorf("tables: table 1 pair %d out of range", i)
+	}
+	b := table1Benches[i]
+	slow, err := measureBench(b.slow, engine)
+	if err != nil {
+		return Table1Row{}, fmt.Errorf("tables: %v slow variant: %w", b.rule, err)
+	}
+	fast, err := measureBench(b.fast, engine)
+	if err != nil {
+		return Table1Row{}, fmt.Errorf("tables: %v fast variant: %w", b.rule, err)
+	}
+	return Table1Row{
+		Rule:        b.rule,
+		Component:   b.rule.Component(),
+		Suggestion:  b.rule.Text(),
+		PaperClaim:  b.paperClaim,
+		MeasuredPct: 100 * (float64(slow)/float64(fast) - 1),
+	}, nil
+}
+
 // Table1Jobs measures the Table I component pairs on a bounded worker pool.
 // Each bench pair builds its own parser/interpreter/meter instances, so rows
 // are independent; committed in paper order they are bit-identical at any
 // jobs count.
 func Table1Jobs(engine interp.Engine, jobs int) ([]Table1Row, sched.Telemetry, error) {
 	return sched.Map(sched.Config{Jobs: jobs}, table1Benches,
-		func(_ sched.Task, b table1Bench) (Table1Row, error) {
-			slow, err := measureBench(b.slow, engine)
-			if err != nil {
-				return Table1Row{}, fmt.Errorf("tables: %v slow variant: %w", b.rule, err)
-			}
-			fast, err := measureBench(b.fast, engine)
-			if err != nil {
-				return Table1Row{}, fmt.Errorf("tables: %v fast variant: %w", b.rule, err)
-			}
-			return Table1Row{
-				Rule:        b.rule,
-				Component:   b.rule.Component(),
-				Suggestion:  b.rule.Text(),
-				PaperClaim:  b.paperClaim,
-				MeasuredPct: 100 * (float64(slow)/float64(fast) - 1),
-			}, nil
+		func(task sched.Task, _ table1Bench) (Table1Row, error) {
+			return Table1Pair(task.Index, engine)
 		})
 }
 

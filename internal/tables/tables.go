@@ -41,20 +41,28 @@ func Table2(seed uint64) ([]jmetrics.Metrics, error) {
 func Table2Parallel(seed uint64, jobs int) ([]jmetrics.Metrics, sched.Telemetry, error) {
 	return sched.Map(sched.Config{Jobs: jobs, Seed: seed}, corpus.Classifiers,
 		func(_ sched.Task, name string) (jmetrics.Metrics, error) {
-			p, err := corpus.Generate(name, seed)
-			if err != nil {
-				return jmetrics.Metrics{}, err
-			}
-			files, err := p.Parse()
-			if err != nil {
-				return jmetrics.Metrics{}, err
-			}
-			srcs := make([]jmetrics.SourceFile, len(files))
-			for i := range files {
-				srcs[i] = jmetrics.SourceFile{AST: files[i], Source: p.Files[i].Source}
-			}
-			return jmetrics.NewProject(srcs).Measure(name)
+			return Table2Row(name, seed)
 		})
+}
+
+// Table2Row measures one classifier's Table II metrics: its own corpus
+// generation, parse and measurement, fully independent of the other rows.
+// This is the task unit both the sched pool and the dist "table2" campaign
+// shard.
+func Table2Row(name string, seed uint64) (jmetrics.Metrics, error) {
+	p, err := corpus.Generate(name, seed)
+	if err != nil {
+		return jmetrics.Metrics{}, err
+	}
+	files, err := p.Parse()
+	if err != nil {
+		return jmetrics.Metrics{}, err
+	}
+	srcs := make([]jmetrics.SourceFile, len(files))
+	for i := range files {
+		srcs[i] = jmetrics.SourceFile{AST: files[i], Source: p.Files[i].Source}
+	}
+	return jmetrics.NewProject(srcs).Measure(name)
 }
 
 // Table3 renders the airlines schema with the realized distinct-value counts
