@@ -1,6 +1,6 @@
 # Standard entry points for the reproduction repo.
 
-.PHONY: build test check bench-interp bench-passes bench-vm bench-sched bench-dist enginediff faultmatrix scheddiff distdiff
+.PHONY: build test check bench-interp bench-passes bench-vm bench-sched bench-dist bench-cache enginediff faultmatrix scheddiff distdiff
 
 build:
 	go build ./...
@@ -61,3 +61,9 @@ distdiff:
 # bit-identity assertions, written to BENCH_dist.json.
 bench-dist:
 	go run ./cmd/jperf bench -dist -o BENCH_dist.json
+
+# Artifact-cache benchmark: the full corpus analysis and a reduced Table IV,
+# each run nocache vs cold store vs warm store with in-bench bit-identity
+# assertions and hit-rate tallies, written to BENCH_cache.json.
+bench-cache:
+	go run ./cmd/jperf bench -cache -o BENCH_cache.json

@@ -34,10 +34,25 @@ import (
 	"jepo/internal/corpus"
 	"jepo/internal/dist"
 	"jepo/internal/dist/campaigns"
+	cache "jepo/internal/engine"
 	"jepo/internal/minijava/interp"
 	"jepo/internal/suggest"
 	"jepo/internal/tables"
 )
+
+// cacheFlags registers the artifact-cache flags on a subcommand's flag set
+// and returns an apply function to call right after parsing. Applying
+// installs the process-wide engine AND exports the configuration to the
+// environment, so re-exec'd -workers processes inherit it. The cache is a
+// pure cost knob: stdout is byte-identical with it on or off; hit/miss
+// statistics go to stderr only.
+func cacheFlags(fs *flag.FlagSet) func() *cache.Engine {
+	on := fs.Bool("cache", true, "content-addressed artifact cache (parse/program/sample reuse; stdout is identical either way)")
+	size := fs.Int("cache-size", cache.DefaultCapacity, "artifact cache capacity in entries")
+	return func() *cache.Engine {
+		return cache.SetProcessConfig(cache.Config{Disabled: !*on, Capacity: *size})
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -112,6 +127,11 @@ commands:
   table1    measure the component-energy ratios behind the suggestions
             -engine E execution engine: vm (bytecode, default) or ast
             -jobs N   bench-pair workers (default GOMAXPROCS)
+
+every command also accepts the artifact-cache knobs (pure cost knobs —
+stdout is byte-identical with the cache on or off):
+  -cache        content-addressed parse/program/sample cache (default true)
+  -cache-size N cache capacity in entries; hit/miss stats print to stderr
 `)
 }
 
@@ -158,7 +178,9 @@ func loadProject(args []string) (core.Project, error) {
 func cmdSuggest(args []string) error {
 	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
 	line := fs.Int("line", 0, "order suggestions by proximity to this line (dynamic view)")
+	applyCache := cacheFlags(fs)
 	fs.Parse(args)
+	applyCache()
 	p, err := loadProject(fs.Args())
 	if err != nil {
 		return err
@@ -181,7 +203,9 @@ func cmdAnalyze(args []string) error {
 	mainClass := fs.String("main", "", "class whose main method anchors the measurement runs")
 	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "per-fix measurement workers (output is identical at any value)")
+	applyCache := cacheFlags(fs)
 	fs.Parse(args)
+	eng := applyCache()
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		return err
@@ -197,6 +221,7 @@ func cmdAnalyze(args []string) error {
 	fmt.Print(core.AnalysisView(rep))
 	fmt.Printf("\n%d diagnostic(s), %d fix(es) accepted under measurement\n",
 		len(rep.Diags), len(rep.Accepted()))
+	fmt.Fprintln(os.Stderr, eng.Stats())
 	return nil
 }
 
@@ -204,7 +229,9 @@ func cmdOptimize(args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
 	out := fs.String("o", "", "directory to write refactored sources into")
 	dry := fs.Bool("dry", false, "report changes without writing anything")
+	applyCache := cacheFlags(fs)
 	fs.Parse(args)
+	applyCache()
 	p, err := loadProject(fs.Args())
 	if err != nil {
 		return err
@@ -246,7 +273,9 @@ func cmdProfile(args []string) error {
 	mainClass := fs.String("main", "", "class whose main method to run")
 	resultPath := fs.String("result", "result.txt", "path for the per-execution log")
 	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
+	applyCache := cacheFlags(fs)
 	fs.Parse(args)
+	applyCache()
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		return err
@@ -277,7 +306,9 @@ func cmdProfile(args []string) error {
 func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	root := fs.String("root", "", "root class for the dependency closure")
+	applyCache := cacheFlags(fs)
 	fs.Parse(args)
+	applyCache()
 	if *root == "" {
 		return fmt.Errorf("metrics: -root is required")
 	}
@@ -304,7 +335,9 @@ func cmdCorpus(args []string) error {
 	workers := fs.Int("workers", 1, "worker processes; >1 dispatches corpus files to re-exec'd workers with fault tolerance")
 	nodeDeadline := fs.Duration("node-deadline", 10*time.Second, "silence window after which a worker node is quarantined")
 	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
+	applyCache := cacheFlags(fs)
 	fs.Parse(args)
+	eng := applyCache()
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		return err
@@ -341,6 +374,7 @@ func cmdCorpus(args []string) error {
 	}
 	fmt.Print(core.CorpusView(rep))
 	fmt.Fprintln(os.Stderr, tel)
+	fmt.Fprintln(os.Stderr, eng.Stats())
 	return nil
 }
 
@@ -348,7 +382,9 @@ func cmdTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "bench-pair workers (output is identical at any value)")
+	applyCache := cacheFlags(fs)
 	fs.Parse(args)
+	eng := applyCache()
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		return err
@@ -359,5 +395,6 @@ func cmdTable1(args []string) error {
 	}
 	fmt.Print(tables.RenderTable1(rows))
 	fmt.Fprintln(os.Stderr, tel)
+	fmt.Fprintln(os.Stderr, eng.Stats())
 	return nil
 }

@@ -14,6 +14,10 @@
 // plus the probe-opcode overhead — and writes BENCH_vm.json. Simulated energy
 // must be bit-identical between engines; a mismatch fails the run.
 //
+// With -cache the subcommand benchmarks the content-addressed artifact engine
+// (nocache vs cold store vs warm store, see cache_bench.go) and writes
+// BENCH_cache.json.
+//
 // Usage:
 //
 //	jperf bench [-o BENCH_interp.json] [-r repeats]
@@ -21,6 +25,7 @@
 //	jperf bench -vm [-o BENCH_vm.json] [-r repeats]
 //	jperf bench -sched [-o BENCH_sched.json]
 //	jperf bench -dist [-o BENCH_dist.json]
+//	jperf bench -cache [-o BENCH_cache.json]
 package main
 
 import (
@@ -61,6 +66,7 @@ func runBenchCmd(args []string) error {
 	vmBench := fs.Bool("vm", false, "compare the bytecode VM against the tree-walker")
 	schedBench := fs.Bool("sched", false, "benchmark the deterministic worker pool: sequential vs -jobs {2,4,8}")
 	distBench := fs.Bool("dist", false, "benchmark the fault-tolerant process dispatcher: inline vs -workers {2,4}")
+	cacheBench := fs.Bool("cache", false, "benchmark the artifact cache: nocache vs cold vs warm store")
 	engineName := fs.String("engine", "vm", "execution engine for the plain trajectory: vm or ast")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +101,12 @@ func runBenchCmd(args []string) error {
 			*out = "BENCH_dist.json"
 		}
 		return runDistBench(*out)
+	}
+	if *cacheBench {
+		if *out == "" {
+			*out = "BENCH_cache.json"
+		}
+		return runCacheBench(*out)
 	}
 	if *out == "" {
 		*out = "BENCH_interp.json"

@@ -1,0 +1,184 @@
+// The cache benchmark (jperf bench -cache) measures what the content-addressed
+// artifact engine buys: each workload runs three times — nocache (engine
+// disabled, the pre-engine pipeline), cold (a fresh store, every artifact
+// built once), and warm (the same store again, everything a hit) — and the
+// report records wall clock, the warm-over-cold speedup, and the store's
+// hit/miss/eviction tallies.
+//
+// Determinism is asserted inside the bench: all three runs of a workload must
+// produce bit-identical result fingerprints (every Joule-derived float64 as
+// raw bits), or the bench fails. The cache is a pure cost knob; a fingerprint
+// drift is a correctness bug, not a performance change.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"jepo/internal/core"
+	"jepo/internal/corpus"
+	cache "jepo/internal/engine"
+	"jepo/internal/stats"
+	"jepo/internal/tables"
+)
+
+// cachePoint is one run mode's measurement for a workload.
+type cachePoint struct {
+	Mode    string  `json:"mode"` // nocache, cold or warm
+	Seconds float64 `json:"seconds"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	// BitIdentical reports the in-bench determinism check: this run's full
+	// result fingerprint matched the nocache run exactly.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// cacheWorkload is one benchmarked pipeline.
+type cacheWorkload struct {
+	Name string `json:"name"`
+	// WarmSpeedup is cold seconds / warm seconds: what a fully hydrated
+	// store saves over building every artifact.
+	WarmSpeedup float64      `json:"warm_speedup_vs_cold"`
+	Evictions   uint64       `json:"evictions"`
+	Points      []cachePoint `json:"points"`
+}
+
+// cacheBenchReport is the BENCH_cache.json document.
+type cacheBenchReport struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	NumCPU      int             `json:"num_cpu"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Note        string          `json:"note"`
+	Workloads   []cacheWorkload `json:"workloads"`
+}
+
+// runCacheBench measures every workload in all three modes and writes the
+// report. A fingerprint mismatch aborts the bench.
+func runCacheBench(out string) error {
+	report := cacheBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note: "nocache disables the artifact engine, cold starts an empty store, warm reuses it; " +
+			"all three runs are asserted bit-identical — the cache changes cost, never bytes",
+	}
+
+	workloads := []struct {
+		name string
+		run  func(eng *cache.Engine) (string, error)
+	}{
+		{"corpus-analyzeall", cacheBenchCorpus},
+		{"table4-reduced", cacheBenchTable4},
+	}
+	for _, w := range workloads {
+		wl := cacheWorkload{Name: w.name}
+		off := cache.New(cache.Config{Disabled: true})
+		t0 := time.Now()
+		refFP, err := w.run(off)
+		if err != nil {
+			return fmt.Errorf("%s nocache: %w", w.name, err)
+		}
+		nocache := time.Since(t0).Seconds()
+		wl.Points = append(wl.Points, cachePoint{Mode: "nocache", Seconds: nocache, BitIdentical: true})
+		fmt.Printf("%-18s nocache %8.2fs (reference)\n", w.name, nocache)
+
+		eng := cache.New(cache.Config{})
+		var seconds [2]float64
+		for i, mode := range []string{"cold", "warm"} {
+			before := eng.Stats()
+			t0 = time.Now()
+			fp, err := w.run(eng)
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", w.name, mode, err)
+			}
+			seconds[i] = time.Since(t0).Seconds()
+			st := eng.Stats()
+			hits, misses := st.Hits-before.Hits, st.Misses-before.Misses
+			identical := fp == refFP
+			pt := cachePoint{
+				Mode: mode, Seconds: seconds[i],
+				Hits: hits, Misses: misses, BitIdentical: identical,
+			}
+			if hits+misses > 0 {
+				pt.HitRate = float64(hits) / float64(hits+misses)
+			}
+			wl.Points = append(wl.Points, pt)
+			fmt.Printf("%-18s %-7s %8.2fs (%.2fx vs cold, %.1f%% hits)\n",
+				w.name, mode, seconds[i], seconds[0]/seconds[i], 100*pt.HitRate)
+			if !identical {
+				return fmt.Errorf("%s: %s run is NOT bit-identical to the uncached reference", w.name, mode)
+			}
+		}
+		wl.WarmSpeedup = seconds[0] / seconds[1]
+		wl.Evictions = eng.Stats().Evictions
+		report.Workloads = append(report.Workloads, wl)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d workloads)\n", out, len(report.Workloads))
+	return nil
+}
+
+// cacheBenchCorpus runs the full pass analysis — parse, diagnose, measure
+// baseline and every candidate fix — over the generated J48 closure and
+// fingerprints every per-file report, energy bits included.
+func cacheBenchCorpus(eng *cache.Engine) (string, error) {
+	p, err := corpus.Generate("J48", 20200518)
+	if err != nil {
+		return "", err
+	}
+	rep, _, err := core.AnalyzeAll(p, core.AnalyzeConfig{Jobs: runtime.GOMAXPROCS(0), Cache: eng})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, fa := range rep.Files {
+		fmt.Fprintf(&sb, "%s|%v|%x\n", fa.Path, fa.Report.Executable,
+			math.Float64bits(float64(fa.Report.Baseline.Package)))
+		for _, d := range fa.Report.Diags {
+			fmt.Fprintf(&sb, "  %s|%v|%x|%q\n", d.Diagnostic, d.Verdict,
+				math.Float64bits(float64(d.Delta)), d.Note)
+		}
+	}
+	sb.WriteString(core.CorpusView(rep))
+	return sb.String(), nil
+}
+
+// cacheBenchTable4 regenerates a reduced Table IV through the given store and
+// fingerprints every column.
+func cacheBenchTable4(eng *cache.Engine) (string, error) {
+	cfg := tables.Table4Config{
+		Seed:      20200518,
+		Instances: 400,
+		Reps:      1,
+		Protocol:  stats.Protocol{Runs: 3, MaxRounds: 2},
+		CVFolds:   3,
+		Cache:     eng,
+	}
+	rows, err := tables.Table4(cfg)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s|%d|%x|%x|%x|%x\n", r.Classifier, r.Changes,
+			math.Float64bits(r.PackagePct), math.Float64bits(r.CPUPct),
+			math.Float64bits(r.TimePct), math.Float64bits(r.AccuracyPct))
+	}
+	return sb.String(), nil
+}

@@ -12,6 +12,7 @@
 //	jperf bench -vm [-o BENCH_vm.json] [-r repeats]
 //	jperf bench -sched [-o BENCH_sched.json]
 //	jperf bench -dist [-o BENCH_dist.json]
+//	jperf bench -cache [-o BENCH_cache.json]
 //	jperf disasm <file.java>...
 //
 // -jobs N shards the repeated measurement runs across the deterministic
@@ -37,9 +38,9 @@ import (
 	"jepo/internal/dist"
 	"jepo/internal/dist/campaigns"
 	"jepo/internal/energy"
+	cache "jepo/internal/engine"
 	"jepo/internal/minijava/ast"
 	"jepo/internal/minijava/interp"
-	"jepo/internal/minijava/parser"
 	"jepo/internal/rapl"
 	"jepo/internal/sched"
 	"jepo/internal/stats"
@@ -74,7 +75,13 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "measurement workers (the report is identical at any value)")
 	workers := flag.Int("workers", 1, "worker processes; >1 dispatches measurement runs to re-exec'd workers with fault tolerance")
 	nodeDeadline := flag.Duration("node-deadline", 10*time.Second, "silence window after which a worker node is quarantined")
+	cacheOn := flag.Bool("cache", true, "content-addressed artifact cache (parse/program reuse; the report is identical either way)")
+	cacheSize := flag.Int("cache-size", cache.DefaultCapacity, "artifact cache capacity in entries")
 	flag.Parse()
+	// Install the process-wide artifact engine and export the configuration so
+	// re-exec'd -workers processes inherit it. Stats go to stderr after the
+	// report; stdout stays determinism-pinned.
+	eng := cache.SetProcessConfig(cache.Config{Disabled: !*cacheOn, Capacity: *cacheSize})
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jperf:", err)
@@ -84,6 +91,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jperf:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, eng.Stats())
 }
 
 // runDisasmCmd prints the compiled bytecode of every method in the given
@@ -138,11 +146,9 @@ func run(mainClass string, runs int, tukey bool, engine interp.Engine, jobs, wor
 	if err != nil {
 		return err
 	}
-	files, err := parseSources(srcs)
-	if err != nil {
-		return err
-	}
-	prog, err := loadProg(files)
+	// The cold program is a cached artifact: parse masters and the linked
+	// bytecode are shared with any other consumer of the same sources.
+	prog, err := cache.Default().Program(engineSources(srcs), false)
 	if err != nil {
 		return err
 	}
@@ -260,9 +266,13 @@ func run(mainClass string, runs int, tukey bool, engine interp.Engine, jobs, wor
 	return nil
 }
 
-// loadProg links the parsed files into an executable program.
-func loadProg(files []*ast.File) (*interp.Program, error) {
-	return interp.Load(files...)
+// engineSources adapts the campaign wire form to the artifact engine's.
+func engineSources(srcs []campaigns.SourceFile) []cache.Source {
+	out := make([]cache.Source, len(srcs))
+	for i, s := range srcs {
+		out[i] = cache.Source{Path: s.Path, Source: s.Source}
+	}
+	return out
 }
 
 func runOnce(prog *interp.Program, mainClass string, engine interp.Engine) (measurement, error) {
@@ -336,7 +346,7 @@ func collectSources(args []string) ([]campaigns.SourceFile, error) {
 func parseSources(srcs []campaigns.SourceFile) ([]*ast.File, error) {
 	files := make([]*ast.File, 0, len(srcs))
 	for _, s := range srcs {
-		f, err := parser.Parse(s.Path, s.Source)
+		f, err := cache.Default().ParseFile(s.Path, s.Source)
 		if err != nil {
 			return nil, err
 		}

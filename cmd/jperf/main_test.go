@@ -91,7 +91,7 @@ func TestRunOnceDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := loadProg(files)
+	prog, err := interp.Load(files...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,7 @@ import (
 	"jepo/internal/corpus"
 	"jepo/internal/dist"
 	"jepo/internal/dist/campaigns"
+	cache "jepo/internal/engine"
 	"jepo/internal/jmetrics"
 	"jepo/internal/minijava/interp"
 	"jepo/internal/sched"
@@ -102,10 +103,17 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "table workers; stdout is bit-identical at any value (telemetry goes to stderr)")
 	workers := fs.Int("workers", 1, "worker processes; >1 dispatches table rows to re-exec'd workers with fault tolerance (stdout stays bit-identical)")
 	nodeDeadline := fs.Duration("node-deadline", 10*time.Second, "silence window after which a worker node is quarantined and its task reassigned")
+	cacheOn := fs.Bool("cache", true, "content-addressed artifact cache (parse/program/sample reuse; stdout is identical either way)")
+	cacheSize := fs.Int("cache-size", cache.DefaultCapacity, "artifact cache capacity in entries")
 	verbose := fs.Bool("v", false, "print progress")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Install the process-wide artifact engine and export the configuration,
+	// so re-exec'd -workers processes inherit it. Stats print to stderr at
+	// the end; stdout stays determinism-pinned.
+	eng := cache.SetProcessConfig(cache.Config{Disabled: !*cacheOn, Capacity: *cacheSize})
+	defer func() { fmt.Fprintln(stderr, eng.Stats()) }()
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"jepo/internal/energy"
+	"jepo/internal/engine"
 	"jepo/internal/minijava/ast"
 	"jepo/internal/minijava/interp"
 	"jepo/internal/passes"
@@ -54,7 +55,9 @@ type AnalyzedDiagnostic struct {
 	Note string
 }
 
-// AnalysisReport is the outcome of Analyze over a project.
+// AnalysisReport is the outcome of Analyze over a project. Reports are
+// cached by the artifact engine and may be shared across Analyze calls with
+// identical inputs; treat them as read-only.
 type AnalysisReport struct {
 	Diags []AnalyzedDiagnostic
 	// Executable reports whether the project ran end-to-end, enabling
@@ -91,24 +94,85 @@ type AnalyzeConfig struct {
 	// verdicts do not depend on this; it exists for cross-checking.
 	Engine interp.Engine
 	// Jobs bounds the worker pool for the per-fix measurements (and, through
-	// AnalyzeAll, the per-file fan-out). Each fix re-parses the project and
-	// runs on its own interpreter/meter, and verdicts merge in diagnostic
-	// order, so the report is bit-identical at any value. <= 0 means 1.
+	// AnalyzeAll, the per-file fan-out). Verdicts merge in diagnostic order,
+	// so the report is bit-identical at any value; Jobs is therefore NOT
+	// part of the report's cache key. <= 0 means 1.
 	Jobs int
+	// Cache selects the artifact engine the pipeline stages go through
+	// (nil = engine.Default()). Every configuration field above except Jobs
+	// is cache-key material: changing the entry point, op budget, rule
+	// subset, cost table or execution engine keys separate artifacts.
+	Cache *engine.Engine
+}
+
+// cache resolves the artifact engine for this config.
+func (cfg AnalyzeConfig) cache() *engine.Engine {
+	if cfg.Cache != nil {
+		return cfg.Cache
+	}
+	return engine.Default()
+}
+
+// runSpec is the measurement configuration shared by the baseline sample
+// and every fix measurement.
+func (cfg AnalyzeConfig) runSpec() engine.RunSpec {
+	return engine.RunSpec{
+		Main:   cfg.MainClass,
+		MaxOps: cfg.MaxOps,
+		Engine: cfg.Engine,
+		Costs:  cfg.Costs,
+	}
+}
+
+// reportKey hashes everything that can influence an analysis report: the
+// project's paths and bytes (paths appear in diagnostics), the rule subset,
+// and the full measurement configuration. Jobs is deliberately absent.
+func reportKey(srcs []engine.Source, cfg AnalyzeConfig) engine.Key {
+	h := engine.NewKey("core/analyze")
+	h.Str(cfg.MainClass).Int(cfg.MaxOps).Int(int64(cfg.Engine))
+	if cfg.Costs != nil {
+		h.Str(fmt.Sprintf("%v", *cfg.Costs))
+	}
+	h.Int(int64(len(cfg.Rules)))
+	for _, r := range cfg.Rules {
+		h.Int(int64(r))
+	}
+	for _, s := range srcs {
+		h.Str(s.Path).Str(s.Source)
+	}
+	return h.Key()
 }
 
 // Analyze is the detect/fix/verify pipeline: it runs every pass over the
 // project in one shared traversal per file, and — when the project has a
-// runnable main — measures each mechanical fix in isolation by re-parsing
-// the project, replaying just that fix, and running the program before and
+// runnable main — measures each mechanical fix in isolation by replaying
+// just that fix on a private AST checkout and running the program before and
 // after through the interpreter and energy model. Fixes whose measured
 // package-energy delta is negative are flagged VerdictRejected rather than
 // trusted on the rule's say-so.
 //
 // The interpreter and meter are deterministic, so a single before/after run
 // pair per fix is an exact measurement, and repeated Analyze calls agree.
+// The whole pipeline goes through the artifact engine: parses, the compiled
+// baseline program, the baseline sample, per-fix outcomes and the report
+// itself are content-addressed, so a repeated call is a cache hit with a
+// bit-identical report. With the cache disabled every stage rebuilds from
+// scratch and produces the same bytes.
 func Analyze(p Project, cfg AnalyzeConfig) (*AnalysisReport, error) {
-	files, err := ParseProject(p)
+	eng := cfg.cache()
+	srcs := engine.Sources(p)
+	rk := reportKey(srcs, cfg)
+	v, err := eng.Memo(rk, func() (any, error) {
+		return analyze(eng, srcs, cfg, rk)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*AnalysisReport), nil
+}
+
+func analyze(eng *engine.Engine, srcs []engine.Source, cfg AnalyzeConfig, rk engine.Key) (*AnalysisReport, error) {
+	files, err := eng.ParseAll(srcs)
 	if err != nil {
 		return nil, err
 	}
@@ -122,13 +186,10 @@ func Analyze(p Project, cfg AnalyzeConfig) (*AnalysisReport, error) {
 		report.Diags[i] = AnalyzedDiagnostic{Diagnostic: d, Verdict: v}
 	}
 
-	// Baseline run on a fresh parse, so measurement and analysis never share
-	// mutable ASTs.
-	base, err := ParseProject(p)
-	if err != nil {
-		return nil, err
-	}
-	baseline, err := measureRun(base, cfg)
+	// Baseline sample through the engine: the compiled program and the
+	// measurement are shared artifacts, so the baseline costs nothing when a
+	// previous run (or another caller of the same sources) already took it.
+	baseline, err := eng.Sample(srcs, cfg.runSpec())
 	if err != nil {
 		report.ExecNote = err.Error()
 		for i := range report.Diags {
@@ -141,7 +202,7 @@ func Analyze(p Project, cfg AnalyzeConfig) (*AnalysisReport, error) {
 	report.Executable = true
 	report.Baseline = baseline
 
-	// Each fix measures on its own re-parse and interpreter, so the
+	// Each fix measures on its own AST checkout and interpreter, so the
 	// measurements shard across the pool; verdicts commit in diagnostic
 	// order, keeping the report bit-identical at any cfg.Jobs.
 	var idxs []int
@@ -150,33 +211,25 @@ func Analyze(p Project, cfg AnalyzeConfig) (*AnalysisReport, error) {
 			idxs = append(idxs, i)
 		}
 	}
-	type fixOutcome struct {
-		delta energy.Joules
-		note  string
-	}
 	jobs := cfg.Jobs
 	if jobs <= 0 {
 		jobs = 1
 	}
 	_, _, err = sched.MapCommit(sched.Config{Jobs: jobs}, idxs,
 		func(_ sched.Task, i int) (fixOutcome, error) {
-			delta, note, err := measureFix(p, cfg, i, len(diags), baseline)
-			if err != nil {
-				return fixOutcome{}, err
-			}
-			return fixOutcome{delta: delta, note: note}, nil
+			return measureFix(eng, srcs, cfg, rk, i, len(diags), baseline)
 		},
 		func(task sched.Task, out fixOutcome) {
 			ad := &report.Diags[idxs[task.Index]]
-			if out.note != "" {
-				ad.Note = out.note
+			if out.Note != "" {
+				ad.Note = out.Note
 				return
 			}
-			ad.Delta = out.delta
+			ad.Delta = out.Delta
 			if baseline.Package != 0 {
-				ad.DeltaPct = 100 * float64(out.delta) / float64(baseline.Package)
+				ad.DeltaPct = 100 * float64(out.Delta) / float64(baseline.Package)
 			}
-			if out.delta < 0 {
+			if out.Delta < 0 {
 				ad.Verdict = VerdictRejected
 			} else {
 				ad.Verdict = VerdictAccepted
@@ -188,32 +241,52 @@ func Analyze(p Project, cfg AnalyzeConfig) (*AnalysisReport, error) {
 	return report, nil
 }
 
-// measureFix re-parses the project, re-derives the diagnostics (the engine is
-// deterministic, so index i names the same finding), applies only fix i, and
-// measures the resulting program. A non-empty note means the fix could not be
-// measured; an error means the project itself misbehaved.
-func measureFix(p Project, cfg AnalyzeConfig, i, want int, baseline energy.Sample) (energy.Joules, string, error) {
-	files, err := ParseProject(p)
-	if err != nil {
-		return 0, "", err
-	}
-	diags := passes.AnalyzeFilesRules(files, cfg.Rules...)
-	if len(diags) != want {
-		return 0, "", fmt.Errorf("core: analysis is not deterministic: %d diagnostics, then %d", want, len(diags))
-	}
-	res := passes.ApplyFixes(files, []passes.Diagnostic{diags[i]})
-	if res.Changes == 0 {
-		return 0, "fix made no change when replayed alone", nil
-	}
-	after, err := measureRun(files, cfg)
-	if err != nil {
-		return 0, "rewritten program failed: " + err.Error(), nil
-	}
-	return baseline.Package - after.Package, "", nil
+// fixOutcome is one fix measurement's cached artifact: the measured delta,
+// or the note explaining why the fix could not be measured. Both cases are
+// pure functions of (project bytes, config, fix index), so both cache.
+type fixOutcome struct {
+	Delta energy.Joules
+	Note  string
 }
 
-// measureRun executes the project's main under a fresh meter and returns the
-// whole-run sample.
+// measureFix checks out a private copy of the project's ASTs from the parse
+// cache, re-derives the diagnostics on it (fix closures anchor to exact node
+// instances, so they cannot be replayed across parses; the engine is
+// deterministic, so index i names the same finding), applies only fix i, and
+// measures the resulting program. The unchanged-file majority never
+// re-parses: a checkout is a clone of the cached master, so Analyze performs
+// O(files) parses total instead of O(files × fixes).
+func measureFix(eng *engine.Engine, srcs []engine.Source, cfg AnalyzeConfig, rk engine.Key, i, want int, baseline energy.Sample) (fixOutcome, error) {
+	fk := engine.NewKey("core/fix").Str(string(rk[:])).Int(int64(i)).Key()
+	v, err := eng.Memo(fk, func() (any, error) {
+		files, err := eng.ParseAll(srcs)
+		if err != nil {
+			return nil, err
+		}
+		diags := passes.AnalyzeFilesRules(files, cfg.Rules...)
+		if len(diags) != want {
+			return nil, fmt.Errorf("core: analysis is not deterministic: %d diagnostics, then %d", want, len(diags))
+		}
+		res := passes.ApplyFixes(files, []passes.Diagnostic{diags[i]})
+		if res.Changes == 0 {
+			return fixOutcome{Note: "fix made no change when replayed alone"}, nil
+		}
+		after, err := measureRun(files, cfg)
+		if err != nil {
+			return fixOutcome{Note: "rewritten program failed: " + err.Error()}, nil
+		}
+		return fixOutcome{Delta: baseline.Package - after.Package}, nil
+	})
+	if err != nil {
+		return fixOutcome{}, err
+	}
+	return v.(fixOutcome), nil
+}
+
+// measureRun executes a rewritten project's main under a fresh meter and
+// returns the whole-run sample. The ASTs here are post-fix mutants private
+// to the caller, so they load directly rather than through the program
+// cache.
 func measureRun(files []*ast.File, cfg AnalyzeConfig) (energy.Sample, error) {
 	prog, err := interp.Load(files...)
 	if err != nil {

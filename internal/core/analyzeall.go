@@ -64,6 +64,9 @@ func (r *CorpusReport) RuleCounts() map[passes.Rule]int {
 // is the pool's execution ledger; it is timing-dependent and must go to
 // stderr, never into a determinism-pinned output stream.
 func AnalyzeAll(p *corpus.Project, cfg AnalyzeConfig) (*CorpusReport, sched.Telemetry, error) {
+	// Resolve the artifact engine once so every worker shares one store even
+	// if the process-wide default is swapped mid-run.
+	cfg.Cache = cfg.cache()
 	report := &CorpusReport{Root: p.Root, Files: make([]FileAnalysis, 0, len(p.Files))}
 	_, tel, err := sched.MapCommit(sched.Config{Jobs: cfg.Jobs}, p.Files,
 		func(_ sched.Task, f corpus.File) (*AnalysisReport, error) {

@@ -12,6 +12,10 @@
 //
 // Measurements run against real powercap RAPL counters when the host exposes
 // them, and against the calibrated simulator otherwise.
+//
+// Every entry point routes its parse/compile/measure stages through the
+// content-addressed artifact engine (internal/engine), so repeated work over
+// unchanged sources is served from cache with bit-identical results.
 package core
 
 import (
@@ -21,11 +25,10 @@ import (
 	"time"
 
 	"jepo/internal/energy"
-	"jepo/internal/instrument"
+	"jepo/internal/engine"
 	"jepo/internal/jmetrics"
 	"jepo/internal/minijava/ast"
 	"jepo/internal/minijava/interp"
-	"jepo/internal/minijava/parser"
 	"jepo/internal/profile"
 	"jepo/internal/rapl"
 	"jepo/internal/refactor"
@@ -35,27 +38,16 @@ import (
 // Project is a set of Java sources keyed by path.
 type Project map[string]string
 
-// ParseProject parses every file, in deterministic path order.
+// ParseProject parses every file, in deterministic path order, through the
+// process-wide artifact engine: unchanged files are clone checkouts of
+// cached masters rather than fresh parses.
 func ParseProject(p Project) ([]*ast.File, error) {
-	paths := make([]string, 0, len(p))
-	for path := range p {
-		paths = append(paths, path)
-	}
-	sort.Strings(paths)
-	files := make([]*ast.File, 0, len(paths))
-	for _, path := range paths {
-		f, err := parser.Parse(path, p[path])
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	return files, nil
+	return engine.Default().ParseAll(engine.Sources(p))
 }
 
 // Suggest runs the Table I analysis over one source file.
 func Suggest(path, source string) ([]suggest.Suggestion, error) {
-	f, err := parser.Parse(path, source)
+	f, err := engine.Default().ParseFile(path, source)
 	if err != nil {
 		return nil, err
 	}
@@ -108,19 +100,43 @@ func abs(x int) int {
 	return x
 }
 
+// optimized is Optimize's cached artifact. Shared across calls; read-only.
+type optimized struct {
+	Out Project
+	Res *refactor.Result
+}
+
 // Optimize applies the (selected, default all) Table I refactorings to a
-// project, returning the rewritten sources and the change report.
+// project, returning the rewritten sources and the change report. The result
+// is a cached artifact keyed by the project bytes and the rule selection.
 func Optimize(p Project, rules ...suggest.Rule) (Project, *refactor.Result, error) {
-	files, err := ParseProject(p)
+	eng := engine.Default()
+	srcs := engine.Sources(p)
+	h := engine.NewKey("core/optimize")
+	h.Int(int64(len(rules)))
+	for _, r := range rules {
+		h.Int(int64(r))
+	}
+	for _, s := range srcs {
+		h.Str(s.Path).Str(s.Source)
+	}
+	v, err := eng.Memo(h.Key(), func() (any, error) {
+		files, err := eng.ParseAll(srcs)
+		if err != nil {
+			return nil, err
+		}
+		res := refactor.Apply(files, rules...)
+		out := make(Project, len(files))
+		for _, f := range files {
+			out[f.Path] = ast.Print(f)
+		}
+		return &optimized{Out: out, Res: res}, nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	res := refactor.Apply(files, rules...)
-	out := make(Project, len(files))
-	for _, f := range files {
-		out[f.Path] = ast.Print(f)
-	}
-	return out, res, nil
+	o := v.(*optimized)
+	return o.Out, o.Res, nil
 }
 
 // ProfileResult is the outcome of a profiled run.
@@ -145,18 +161,21 @@ type ProfileConfig struct {
 	Costs *energy.CostTable
 	// Engine selects the execution engine (zero value = bytecode VM).
 	Engine interp.Engine
+	// Cache selects the artifact engine (nil = engine.Default()).
+	Cache *engine.Engine
 }
 
 // Profile instruments every method of the project with JEPO.enter/exit
 // probes, executes the main class, and returns per-execution measurements —
-// the library form of the "JEPO profiler" pop-up action.
+// the library form of the "JEPO profiler" pop-up action. The instrumented
+// program is a cached artifact; the profiler itself runs live because its
+// hook observes the interpreter as it executes.
 func Profile(p Project, cfg ProfileConfig) (*ProfileResult, error) {
-	files, err := ParseProject(p)
-	if err != nil {
-		return nil, err
+	eng := cfg.Cache
+	if eng == nil {
+		eng = engine.Default()
 	}
-	instrument.Inject(files...)
-	prog, err := interp.Load(files...)
+	prog, err := eng.Program(engine.Sources(p), true)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,141 @@
+package campaigns
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"jepo/internal/core"
+	"jepo/internal/corpus"
+	"jepo/internal/engine"
+	"jepo/internal/minijava/interp"
+)
+
+// TestSharedStoreRaceStress is the concurrency acceptance gate for the
+// artifact engine: a sched pool at -jobs GOMAXPROCS (core.AnalyzeAll) and an
+// in-process dist campaign (AnalyzeCorpus over PipeSpawner workers) hammer
+// ONE shared store concurrently, alongside a loop of direct Sample calls over
+// the same sources. Run under -race by scripts/check.sh. Assertions: every
+// consumer's output is bit-identical to a disabled-cache baseline, and the
+// shared store tallies both hits and misses (i.e. the consumers really did
+// share artifacts rather than each building their own).
+func TestSharedStoreRaceStress(t *testing.T) {
+	const classifier = "RandomTree"
+	proj, err := corpus.Generate(classifier, campaignSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline with the cache disabled: the pre-engine pipeline's bytes.
+	off := engine.New(engine.Config{Disabled: true})
+	baseline, _, err := core.AnalyzeAll(proj, core.AnalyzeConfig{Jobs: 1, Cache: off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseView := core.CorpusView(baseline)
+
+	// One shared store for everything below. The dist PipeSpawner workers run
+	// in-process and reach their cache via engine.Default(), so the default is
+	// swapped to the shared engine for the duration.
+	shared := engine.New(engine.Config{})
+	prev := engine.SetDefault(shared)
+	defer engine.SetDefault(prev)
+
+	benchSrcs := []engine.Source{{Path: "bench.java", Source: `class B {
+	static double f() {
+		double acc = 0;
+		for (int i = 0; i < 5000; i++) { acc += i % 7; }
+		return acc;
+	}
+}`}}
+	benchSpec := engine.RunSpec{CallClass: "B", CallMethod: "f", MaxOps: 10_000_000}
+	benchRef, err := engine.New(engine.Config{Disabled: true}).Sample(benchSrcs, benchSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var schedReport, distReport *core.CorpusReport
+	var schedErr, distErr error
+	errs := make(chan error, 16)
+
+	// Consumer 1: sched pool at full width, explicitly on the shared store.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		schedReport, _, schedErr = core.AnalyzeAll(proj,
+			core.AnalyzeConfig{Jobs: runtime.GOMAXPROCS(0), Cache: shared})
+	}()
+
+	// Consumer 2: dist campaign over in-process pipe workers, which hydrate
+	// from the same store through engine.Default().
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var rep *core.CorpusReport
+		rep, _, distErr = AnalyzeCorpus(distCfg(3, nil), classifier, campaignSeed, interp.EngineVM)
+		distReport = rep
+	}()
+
+	// Consumer 3: direct Sample traffic on the same store — every returned
+	// sample must be bit-identical to the uncached reference.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				s, err := shared.Sample(benchSrcs, benchSpec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(float64(s.Package)) != math.Float64bits(float64(benchRef.Package)) {
+					t.Error("concurrent Sample diverged from uncached reference")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if schedErr != nil {
+		t.Fatal(schedErr)
+	}
+	if distErr != nil {
+		t.Fatal(distErr)
+	}
+
+	if got := core.CorpusView(schedReport); got != baseView {
+		t.Errorf("sched AnalyzeAll view diverged from disabled-cache baseline:\n%s\n---\n%s", got, baseView)
+	}
+	// Joule bits per file: a hit must not move a single charge.
+	for i, fa := range schedReport.Files {
+		ref := baseline.Files[i]
+		if fa.Path != ref.Path {
+			t.Fatalf("file order diverged: %s vs %s", fa.Path, ref.Path)
+		}
+		if math.Float64bits(float64(fa.Report.Baseline.Package)) != math.Float64bits(float64(ref.Report.Baseline.Package)) {
+			t.Errorf("%s: baseline joule bits diverged under the shared store", fa.Path)
+		}
+	}
+	// The dist reconstruction carries the view-relevant subset only.
+	if got := core.CorpusView(distReport); got != baseView {
+		t.Errorf("dist AnalyzeCorpus view diverged from disabled-cache baseline:\n%s\n---\n%s", got, baseView)
+	}
+
+	st := shared.Stats()
+	if st.Misses == 0 {
+		t.Error("shared store recorded no misses — nothing was built?")
+	}
+	if st.Hits == 0 {
+		t.Error("shared store recorded no hits — consumers did not share artifacts")
+	}
+	if st.Entries > st.Capacity {
+		t.Errorf("store over capacity: %d > %d", st.Entries, st.Capacity)
+	}
+	t.Logf("shared store after stress: %s", st)
+}

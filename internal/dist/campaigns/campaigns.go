@@ -26,10 +26,9 @@ import (
 	"jepo/internal/dataset"
 	"jepo/internal/dist"
 	"jepo/internal/energy"
+	"jepo/internal/engine"
 	"jepo/internal/jmetrics"
-	"jepo/internal/minijava/ast"
 	"jepo/internal/minijava/interp"
-	"jepo/internal/minijava/parser"
 	"jepo/internal/passes"
 	"jepo/internal/rapl"
 	"jepo/internal/stats"
@@ -439,17 +438,17 @@ func registerMeasure(r *dist.Registry) {
 	})
 }
 
-// loadSources parses and links a wire-shipped program.
+// loadSources parses and links a wire-shipped program through the worker's
+// process-wide artifact engine: a worker serving many repetitions (or many
+// campaigns over the same sources) compiles the program once. The
+// single-entry memo above stays as a fast path and preserves one-compile
+// behavior when the cache is disabled.
 func loadSources(files []SourceFile) (*interp.Program, error) {
-	asts := make([]*ast.File, 0, len(files))
-	for _, f := range files {
-		a, err := parser.Parse(f.Path, f.Source)
-		if err != nil {
-			return nil, err
-		}
-		asts = append(asts, a)
+	srcs := make([]engine.Source, len(files))
+	for i, f := range files {
+		srcs[i] = engine.Source{Path: f.Path, Source: f.Source}
 	}
-	return interp.Load(asts...)
+	return engine.Default().Program(srcs, false)
 }
 
 // measureOnce mirrors jperf's runOnce: a fresh meter and interpreter, the

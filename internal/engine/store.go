@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// store is the bounded, concurrency-safe artifact cache: a map plus an LRU
+// list capped at capacity entries. Artifacts are deterministic values keyed
+// by content hash, so eviction is purely a cost decision — re-deriving an
+// evicted artifact reproduces it bit for bit.
+type store struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[Key]*list.Element
+	order    *list.List // front = most recently used
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type entry struct {
+	key Key
+	val any
+}
+
+func newStore(capacity int) *store {
+	return &store{
+		capacity: capacity,
+		entries:  make(map[Key]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// get returns the cached artifact and marks it recently used.
+func (s *store) get(k Key) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	s.hits.Add(1)
+	return el.Value.(*entry).val, true
+}
+
+// put inserts an artifact, evicting the least recently used entries beyond
+// capacity. Racing puts of the same key keep the first value; with
+// deterministic artifacts both candidates are identical, so which one
+// survives is unobservable.
+func (s *store) put(k Key, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[k] = s.order.PushFront(&entry{key: k, val: v})
+	for s.order.Len() > s.capacity {
+		el := s.order.Back()
+		s.order.Remove(el)
+		delete(s.entries, el.Value.(*entry).key)
+		s.evictions.Add(1)
+	}
+}
+
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}

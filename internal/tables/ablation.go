@@ -7,6 +7,7 @@ import (
 	"jepo/internal/airlines"
 	"jepo/internal/corpus"
 	"jepo/internal/energy"
+	"jepo/internal/engine"
 	"jepo/internal/minijava/ast"
 	"jepo/internal/minijava/interp"
 	"jepo/internal/refactor"
@@ -78,11 +79,11 @@ func Ablate(cfg AblationConfig) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	orig, err := kernelAST(proj, cfg.Classifier)
+	orig, err := kernelAST(engine.Default(), proj, cfg.Classifier)
 	if err != nil {
 		return nil, err
 	}
-	refd, err := kernelAST(proj, cfg.Classifier)
+	refd, err := kernelAST(engine.Default(), proj, cfg.Classifier)
 	if err != nil {
 		return nil, err
 	}

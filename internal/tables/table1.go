@@ -10,8 +10,8 @@ import (
 	"strings"
 
 	"jepo/internal/energy"
+	"jepo/internal/engine"
 	"jepo/internal/minijava/interp"
-	"jepo/internal/minijava/parser"
 	"jepo/internal/sched"
 	"jepo/internal/suggest"
 )
@@ -252,25 +252,19 @@ func InterpBenches() []InterpBench {
 	return out
 }
 
-// measureBench runs one program variant and returns its package energy.
-func measureBench(src string, engine interp.Engine) (energy.Joules, error) {
-	f, err := parser.Parse("bench.java", src)
+// measureBench runs one program variant and returns its package energy. The
+// run goes through the artifact engine: the parse, the compiled program and
+// the measured sample are all content-addressed, so re-measuring an unchanged
+// variant (repeat runs, the efficient twin of a pair sharing core files) is a
+// cache hit with bit-identical joules.
+func measureBench(src string, eng interp.Engine) (energy.Joules, error) {
+	s, err := engine.Default().Sample(
+		[]engine.Source{{Path: "bench.java", Source: src}},
+		engine.RunSpec{CallClass: "B", CallMethod: "f", MaxOps: 200_000_000, Engine: eng})
 	if err != nil {
 		return 0, err
 	}
-	prog, err := interp.Load(f)
-	if err != nil {
-		return 0, err
-	}
-	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(200_000_000), interp.WithEngine(engine))
-	if err := in.InitStatics(); err != nil {
-		return 0, err
-	}
-	before := in.Meter().Snapshot()
-	if _, err := in.CallStatic("B", "f"); err != nil {
-		return 0, err
-	}
-	return in.Meter().Snapshot().Sub(before).Package, nil
+	return s.Package, nil
 }
 
 // Table1 measures every component pair and returns the rows in the paper's

@@ -46,9 +46,10 @@ echo "== golden battery: both engines, cold and warm, across -jobs and -workers 
 # both engines cold (Determinism), agree bit for bit between engines when
 # each case runs twice on one instance so the VM executes its quickened
 # copies (WarmExecution), survive sharding over the pool at -jobs 1, 4
-# and GOMAXPROCS (SchedJobs), and survive the dist worker protocol with a
-# mid-campaign kill (DistWorkers).
-go test -run 'GoldenEnergyDeterminism|GoldenEnergyWarmExecution|GoldenEnergySchedJobs|GoldenEnergyDistWorkers' ./internal/tables
+# and GOMAXPROCS (SchedJobs), survive the dist worker protocol with a
+# mid-campaign kill (DistWorkers), and reproduce the golden through the
+# artifact engine's cached parse/program path, cold and warm (EngineCache).
+go test -run 'GoldenEnergyDeterminism|GoldenEnergyWarmExecution|GoldenEnergySchedJobs|GoldenEnergyDistWorkers|GoldenEnergyEngineCache' ./internal/tables
 
 echo "== -jobs byte-identity =="
 # CLI stdout must be byte-identical at any -jobs value (pool telemetry goes
@@ -68,6 +69,22 @@ go run ./cmd/wekaexp -table 2 -jobs 4 >"$tmpdir/table2.4" 2>/dev/null
 if ! cmp -s "$tmpdir/table2.1" "$tmpdir/table2.4"; then
     echo "wekaexp -table 2 stdout differs between -jobs 1 and -jobs 4" >&2
     diff -u "$tmpdir/table2.1" "$tmpdir/table2.4" >&2 || true
+    exit 1
+fi
+
+echo "== -cache byte-identity =="
+# The artifact cache is a pure cost knob: CLI stdout must be byte-identical
+# with the cache on (default) and off. Cache statistics go to stderr.
+go run ./cmd/jepo analyze -cache=false examples/java >"$tmpdir/analyze.nocache" 2>/dev/null
+if ! cmp -s "$tmpdir/analyze.1" "$tmpdir/analyze.nocache"; then
+    echo "jepo analyze stdout differs between -cache=false and the cached default" >&2
+    diff -u "$tmpdir/analyze.1" "$tmpdir/analyze.nocache" >&2 || true
+    exit 1
+fi
+go run ./cmd/wekaexp -table 2 -cache=false >"$tmpdir/table2.nocache" 2>/dev/null
+if ! cmp -s "$tmpdir/table2.1" "$tmpdir/table2.nocache"; then
+    echo "wekaexp -table 2 stdout differs between -cache=false and the cached default" >&2
+    diff -u "$tmpdir/table2.1" "$tmpdir/table2.nocache" >&2 || true
     exit 1
 fi
 
