@@ -1,6 +1,6 @@
 # Standard entry points for the reproduction repo.
 
-.PHONY: build test check bench-interp bench-passes bench-vm bench-sched bench-dist bench-cache enginediff faultmatrix scheddiff distdiff
+.PHONY: build test check serve-check bench-interp bench-passes bench-vm bench-sched bench-dist bench-cache bench-serve enginediff faultmatrix scheddiff distdiff
 
 build:
 	go build ./...
@@ -11,6 +11,12 @@ test:
 # Formatting, vet and the race-enabled test suite in one gate.
 check:
 	sh scripts/check.sh
+
+# Daemon byte-identity gate: start jepod, drive a scripted session analyze
+# and a Table II regeneration over HTTP, byte-diff both against CLI stdout,
+# then SIGTERM the daemon and require a clean drain.
+serve-check:
+	sh scripts/serve_check.sh
 
 # Interpreter benchmark trajectory: wall-clock ns/op + simulated µJ/op for
 # the Table I corpus, written to BENCH_interp.json.
@@ -67,3 +73,9 @@ bench-dist:
 # assertions and hit-rate tallies, written to BENCH_cache.json.
 bench-cache:
 	go run ./cmd/jperf bench -cache -o BENCH_cache.json
+
+# Session-daemon benchmark: an in-process jepod handling analyze requests
+# over HTTP at 1/4/8 concurrent sessions, cold vs warm store, with in-bench
+# byte-identity assertions, written to BENCH_serve.json.
+bench-serve:
+	go run ./cmd/jperf bench -serve -o BENCH_serve.json

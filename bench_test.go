@@ -18,6 +18,7 @@
 package jepo_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -258,7 +259,7 @@ func BenchmarkFig4_Profiler(b *testing.B) {
 		}`}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Profile(project, core.ProfileConfig{})
+		res, err := core.Profile(context.Background(), project, core.ProfileConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -298,7 +299,7 @@ func BenchmarkFig5_OptimizerView(b *testing.B) {
 func BenchmarkAblation(b *testing.B) {
 	cfg := tables.AblationConfig{Seed: benchSeed, Classifier: "RandomForest", Instances: 300, Reps: 2}
 	for i := 0; i < b.N; i++ {
-		rows, err := tables.Ablate(cfg)
+		rows, err := tables.Ablate(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -440,7 +441,7 @@ func BenchmarkInterpRecursion(b *testing.B) {
 
 // A tiny sanity check so `go test .` is meaningful at the repo root too.
 func TestBenchHarnessSmoke(t *testing.T) {
-	rows, err := tables.Table1(interp.EngineVM)
+	rows, err := tables.Table1(context.Background(), interp.EngineVM)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,37 +22,24 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"runtime"
 	"strings"
-	"time"
+	"syscall"
 
+	"jepo/internal/cliconfig"
 	"jepo/internal/core"
 	"jepo/internal/corpus"
 	"jepo/internal/dist"
 	"jepo/internal/dist/campaigns"
-	cache "jepo/internal/engine"
-	"jepo/internal/minijava/interp"
-	"jepo/internal/suggest"
+	"jepo/internal/service"
 	"jepo/internal/tables"
 )
-
-// cacheFlags registers the artifact-cache flags on a subcommand's flag set
-// and returns an apply function to call right after parsing. Applying
-// installs the process-wide engine AND exports the configuration to the
-// environment, so re-exec'd -workers processes inherit it. The cache is a
-// pure cost knob: stdout is byte-identical with it on or off; hit/miss
-// statistics go to stderr only.
-func cacheFlags(fs *flag.FlagSet) func() *cache.Engine {
-	on := fs.Bool("cache", true, "content-addressed artifact cache (parse/program/sample reuse; stdout is identical either way)")
-	size := fs.Int("cache-size", cache.DefaultCapacity, "artifact cache capacity in entries")
-	return func() *cache.Engine {
-		return cache.SetProcessConfig(cache.Config{Disabled: !*on, Capacity: *size})
-	}
-}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -66,22 +53,27 @@ func main() {
 		}
 		return
 	}
+	// Ctrl-C / SIGTERM cancels the root context: pools drain, dist campaigns
+	// shut their nodes down and save their checkpoint ledgers, and the run
+	// exits with the cancellation error instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "suggest":
 		err = cmdSuggest(os.Args[2:])
 	case "analyze":
-		err = cmdAnalyze(os.Args[2:])
+		err = cmdAnalyze(ctx, os.Args[2:])
 	case "optimize":
-		err = cmdOptimize(os.Args[2:])
+		err = cmdOptimize(ctx, os.Args[2:])
 	case "profile":
-		err = cmdProfile(os.Args[2:])
+		err = cmdProfile(ctx, os.Args[2:])
 	case "metrics":
 		err = cmdMetrics(os.Args[2:])
 	case "corpus":
-		err = cmdCorpus(os.Args[2:])
+		err = cmdCorpus(ctx, os.Args[2:])
 	case "table1":
-		err = cmdTable1(os.Args[2:])
+		err = cmdTable1(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -91,6 +83,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jepo:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -178,9 +173,9 @@ func loadProject(args []string) (core.Project, error) {
 func cmdSuggest(args []string) error {
 	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
 	line := fs.Int("line", 0, "order suggestions by proximity to this line (dynamic view)")
-	applyCache := cacheFlags(fs)
+	shared := cliconfig.Register(fs, 0)
 	fs.Parse(args)
-	applyCache()
+	shared.ApplyCache()
 	p, err := loadProject(fs.Args())
 	if err != nil {
 		return err
@@ -198,15 +193,13 @@ func cmdSuggest(args []string) error {
 	return nil
 }
 
-func cmdAnalyze(args []string) error {
+func cmdAnalyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	mainClass := fs.String("main", "", "class whose main method anchors the measurement runs")
-	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
-	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "per-fix measurement workers (output is identical at any value)")
-	applyCache := cacheFlags(fs)
+	shared := cliconfig.Register(fs, cliconfig.FeatEngine|cliconfig.FeatJobs)
 	fs.Parse(args)
-	eng := applyCache()
-	engine, err := interp.ParseEngine(*engineName)
+	eng := shared.ApplyCache()
+	engine, err := shared.Engine()
 	if err != nil {
 		return err
 	}
@@ -214,47 +207,39 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.Analyze(p, core.AnalyzeConfig{MainClass: *mainClass, Engine: engine, Jobs: *jobs})
+	rep, err := core.Analyze(ctx, p, core.AnalyzeConfig{MainClass: *mainClass, Engine: engine, Jobs: shared.Jobs()})
 	if err != nil {
 		return err
 	}
-	fmt.Print(core.AnalysisView(rep))
-	fmt.Printf("\n%d diagnostic(s), %d fix(es) accepted under measurement\n",
-		len(rep.Diags), len(rep.Accepted()))
+	fmt.Print(service.RenderAnalyze(rep))
 	fmt.Fprintln(os.Stderr, eng.Stats())
 	return nil
 }
 
-func cmdOptimize(args []string) error {
+func cmdOptimize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
 	out := fs.String("o", "", "directory to write refactored sources into")
 	dry := fs.Bool("dry", false, "report changes without writing anything")
-	applyCache := cacheFlags(fs)
+	shared := cliconfig.Register(fs, 0)
 	fs.Parse(args)
-	applyCache()
+	shared.ApplyCache()
 	p, err := loadProject(fs.Args())
 	if err != nil {
 		return err
 	}
-	refactored, res, err := core.Optimize(p)
+	refactored, res, err := core.Optimize(ctx, p)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("applied %d change(s):\n", res.Changes)
-	for _, r := range suggest.AllRules() {
-		if n := res.ByRule[r]; n > 0 {
-			fmt.Printf("  %-30s %d\n", r.Component(), n)
-		}
-	}
 	if *dry {
+		fmt.Print(service.RenderOptimizeSummary(res))
 		return nil
 	}
 	if *out == "" {
-		for path, src := range refactored {
-			fmt.Printf("\n--- %s (refactored) ---\n%s", path, src)
-		}
+		fmt.Print(service.RenderOptimize(refactored, res))
 		return nil
 	}
+	fmt.Print(service.RenderOptimizeSummary(res))
 	for path, src := range refactored {
 		dst := filepath.Join(*out, path)
 		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
@@ -268,15 +253,14 @@ func cmdOptimize(args []string) error {
 	return nil
 }
 
-func cmdProfile(args []string) error {
+func cmdProfile(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	mainClass := fs.String("main", "", "class whose main method to run")
 	resultPath := fs.String("result", "result.txt", "path for the per-execution log")
-	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
-	applyCache := cacheFlags(fs)
+	shared := cliconfig.Register(fs, cliconfig.FeatEngine)
 	fs.Parse(args)
-	applyCache()
-	engine, err := interp.ParseEngine(*engineName)
+	shared.ApplyCache()
+	engine, err := shared.Engine()
 	if err != nil {
 		return err
 	}
@@ -284,18 +268,11 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Profile(p, core.ProfileConfig{MainClass: *mainClass, Engine: engine})
+	res, err := core.Profile(ctx, p, core.ProfileConfig{MainClass: *mainClass, Engine: engine})
 	if err != nil {
 		return err
 	}
-	if res.Stdout != "" {
-		fmt.Print(res.Stdout)
-		fmt.Println("---")
-	}
-	fmt.Print(res.View())
-	fmt.Printf("\ntotal: package=%v core=%v time=%v\n",
-		res.Sample.Package, res.Sample.Core, res.Sample.Elapsed)
-	fmt.Printf("measurement health: %s\n", res.Profiler.Health())
+	fmt.Print(service.RenderProfile(res))
 	if err := res.Profiler.WriteResultTxt(*resultPath); err != nil {
 		return err
 	}
@@ -306,9 +283,9 @@ func cmdProfile(args []string) error {
 func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	root := fs.String("root", "", "root class for the dependency closure")
-	applyCache := cacheFlags(fs)
+	shared := cliconfig.Register(fs, 0)
 	fs.Parse(args)
-	applyCache()
+	shared.ApplyCache()
 	if *root == "" {
 		return fmt.Errorf("metrics: -root is required")
 	}
@@ -327,35 +304,23 @@ func cmdMetrics(args []string) error {
 	return nil
 }
 
-func cmdCorpus(args []string) error {
+func cmdCorpus(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
 	classifier := fs.String("classifier", "J48", "classifier whose generated closure to analyze")
 	seed := fs.Uint64("seed", 20200518, "corpus generation seed")
-	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "analysis workers (output is identical at any value)")
-	workers := fs.Int("workers", 1, "worker processes; >1 dispatches corpus files to re-exec'd workers with fault tolerance")
-	nodeDeadline := fs.Duration("node-deadline", 10*time.Second, "silence window after which a worker node is quarantined")
-	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
-	applyCache := cacheFlags(fs)
+	shared := cliconfig.Register(fs, cliconfig.FeatEngine|cliconfig.FeatJobs|cliconfig.FeatDist)
 	fs.Parse(args)
-	eng := applyCache()
-	engine, err := interp.ParseEngine(*engineName)
+	eng := shared.ApplyCache()
+	engine, err := shared.Engine()
 	if err != nil {
 		return err
 	}
-	if *workers > 1 {
-		plan, err := dist.EnvPlan()
+	if shared.Workers() > 1 {
+		dcfg, err := shared.DistConfig(*seed, func(msg string) { fmt.Fprintln(os.Stderr, "jepo:", msg) })
 		if err != nil {
 			return err
 		}
-		dcfg := dist.Config{
-			Workers:  *workers,
-			Seed:     *seed,
-			Retries:  2,
-			Deadline: *nodeDeadline,
-			Plan:     plan,
-			OnEvent:  func(msg string) { fmt.Fprintln(os.Stderr, "jepo:", msg) },
-		}
-		rep, drep, err := campaigns.AnalyzeCorpus(dcfg, *classifier, *seed, engine)
+		rep, drep, err := campaigns.AnalyzeCorpus(ctx, dcfg, *classifier, *seed, engine)
 		if err != nil {
 			return err
 		}
@@ -368,7 +333,7 @@ func cmdCorpus(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, tel, err := core.AnalyzeAll(p, core.AnalyzeConfig{Engine: engine, Jobs: *jobs})
+	rep, tel, err := core.AnalyzeAll(ctx, p, core.AnalyzeConfig{Engine: engine, Jobs: shared.Jobs()})
 	if err != nil {
 		return err
 	}
@@ -378,22 +343,20 @@ func cmdCorpus(args []string) error {
 	return nil
 }
 
-func cmdTable1(args []string) error {
+func cmdTable1(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
-	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
-	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "bench-pair workers (output is identical at any value)")
-	applyCache := cacheFlags(fs)
+	shared := cliconfig.Register(fs, cliconfig.FeatEngine|cliconfig.FeatJobs)
 	fs.Parse(args)
-	eng := applyCache()
-	engine, err := interp.ParseEngine(*engineName)
+	eng := shared.ApplyCache()
+	engine, err := shared.Engine()
 	if err != nil {
 		return err
 	}
-	rows, tel, err := tables.Table1Jobs(engine, *jobs)
+	rows, tel, err := tables.Table1Jobs(ctx, engine, shared.Jobs())
 	if err != nil {
 		return err
 	}
-	fmt.Print(tables.RenderTable1(rows))
+	fmt.Print(service.RenderTable1(rows))
 	fmt.Fprintln(os.Stderr, tel)
 	fmt.Fprintln(os.Stderr, eng.Stats())
 	return nil

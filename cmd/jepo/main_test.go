@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -70,24 +71,24 @@ func TestCmdSuggest(t *testing.T) {
 
 func TestCmdAnalyze(t *testing.T) {
 	dir := writeDemo(t)
-	if err := cmdAnalyze([]string{dir}); err != nil {
+	if err := cmdAnalyze(context.Background(), []string{dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdAnalyze([]string{"-main", "Demo", dir}); err != nil {
+	if err := cmdAnalyze(context.Background(), []string{"-main", "Demo", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdAnalyze([]string{filepath.Join(dir, "nope.java")}); err == nil {
+	if err := cmdAnalyze(context.Background(), []string{filepath.Join(dir, "nope.java")}); err == nil {
 		t.Error("missing input accepted")
 	}
 }
 
 func TestCmdOptimize(t *testing.T) {
 	dir := writeDemo(t)
-	if err := cmdOptimize([]string{"-dry", dir}); err != nil {
+	if err := cmdOptimize(context.Background(), []string{"-dry", dir}); err != nil {
 		t.Fatal(err)
 	}
 	out := t.TempDir()
-	if err := cmdOptimize([]string{"-o", out, dir}); err != nil {
+	if err := cmdOptimize(context.Background(), []string{"-o", out, dir}); err != nil {
 		t.Fatal(err)
 	}
 	// The refactored file must exist under the output dir.
@@ -106,13 +107,13 @@ func TestCmdOptimize(t *testing.T) {
 func TestCmdProfile(t *testing.T) {
 	dir := writeDemo(t)
 	result := filepath.Join(t.TempDir(), "result.txt")
-	if err := cmdProfile([]string{"-result", result, dir}); err != nil {
+	if err := cmdProfile(context.Background(), []string{"-result", result, dir}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(result); err != nil {
 		t.Errorf("result.txt not written: %v", err)
 	}
-	if err := cmdProfile([]string{"-main", "NoSuchClass", dir}); err == nil {
+	if err := cmdProfile(context.Background(), []string{"-main", "NoSuchClass", dir}); err == nil {
 		t.Error("bad main class accepted")
 	}
 }

@@ -18,6 +18,10 @@
 // (nocache vs cold store vs warm store, see cache_bench.go) and writes
 // BENCH_cache.json.
 //
+// With -serve the subcommand benchmarks the session daemon surface (an
+// in-process jepod, see serve_bench.go): analyze over HTTP at 1, 4 and 8
+// concurrent sessions, cold vs warm store, and writes BENCH_serve.json.
+//
 // Usage:
 //
 //	jperf bench [-o BENCH_interp.json] [-r repeats]
@@ -26,9 +30,11 @@
 //	jperf bench -sched [-o BENCH_sched.json]
 //	jperf bench -dist [-o BENCH_dist.json]
 //	jperf bench -cache [-o BENCH_cache.json]
+//	jperf bench -serve [-o BENCH_serve.json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -58,7 +64,7 @@ type benchReport struct {
 	Benchmarks  []benchPoint `json:"benchmarks"`
 }
 
-func runBenchCmd(args []string) error {
+func runBenchCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("o", "", "output JSON path")
 	repeats := fs.Int("r", 5, "timed repeats per benchmark")
@@ -67,6 +73,7 @@ func runBenchCmd(args []string) error {
 	schedBench := fs.Bool("sched", false, "benchmark the deterministic worker pool: sequential vs -jobs {2,4,8}")
 	distBench := fs.Bool("dist", false, "benchmark the fault-tolerant process dispatcher: inline vs -workers {2,4}")
 	cacheBench := fs.Bool("cache", false, "benchmark the artifact cache: nocache vs cold vs warm store")
+	serveBench := fs.Bool("serve", false, "benchmark the session daemon: analyze over HTTP at 1/4/8 concurrent sessions, cold vs warm")
 	engineName := fs.String("engine", "vm", "execution engine for the plain trajectory: vm or ast")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,19 +101,25 @@ func runBenchCmd(args []string) error {
 		if *out == "" {
 			*out = "BENCH_sched.json"
 		}
-		return runSchedBench(*out)
+		return runSchedBench(ctx, *out)
 	}
 	if *distBench {
 		if *out == "" {
 			*out = "BENCH_dist.json"
 		}
-		return runDistBench(*out)
+		return runDistBench(ctx, *out)
 	}
 	if *cacheBench {
 		if *out == "" {
 			*out = "BENCH_cache.json"
 		}
-		return runCacheBench(*out)
+		return runCacheBench(ctx, *out)
+	}
+	if *serveBench {
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		return runServeBench(ctx, *out)
 	}
 	if *out == "" {
 		*out = "BENCH_interp.json"

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -61,7 +62,7 @@ type cacheBenchReport struct {
 
 // runCacheBench measures every workload in all three modes and writes the
 // report. A fingerprint mismatch aborts the bench.
-func runCacheBench(out string) error {
+func runCacheBench(ctx context.Context, out string) error {
 	report := cacheBenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -75,8 +76,8 @@ func runCacheBench(out string) error {
 		name string
 		run  func(eng *cache.Engine) (string, error)
 	}{
-		{"corpus-analyzeall", cacheBenchCorpus},
-		{"table4-reduced", cacheBenchTable4},
+		{"corpus-analyzeall", func(eng *cache.Engine) (string, error) { return cacheBenchCorpus(ctx, eng) }},
+		{"table4-reduced", func(eng *cache.Engine) (string, error) { return cacheBenchTable4(ctx, eng) }},
 	}
 	for _, w := range workloads {
 		wl := cacheWorkload{Name: w.name}
@@ -137,12 +138,12 @@ func runCacheBench(out string) error {
 // cacheBenchCorpus runs the full pass analysis — parse, diagnose, measure
 // baseline and every candidate fix — over the generated J48 closure and
 // fingerprints every per-file report, energy bits included.
-func cacheBenchCorpus(eng *cache.Engine) (string, error) {
+func cacheBenchCorpus(ctx context.Context, eng *cache.Engine) (string, error) {
 	p, err := corpus.Generate("J48", 20200518)
 	if err != nil {
 		return "", err
 	}
-	rep, _, err := core.AnalyzeAll(p, core.AnalyzeConfig{Jobs: runtime.GOMAXPROCS(0), Cache: eng})
+	rep, _, err := core.AnalyzeAll(ctx, p, core.AnalyzeConfig{Jobs: runtime.GOMAXPROCS(0), Cache: eng})
 	if err != nil {
 		return "", err
 	}
@@ -161,7 +162,7 @@ func cacheBenchCorpus(eng *cache.Engine) (string, error) {
 
 // cacheBenchTable4 regenerates a reduced Table IV through the given store and
 // fingerprints every column.
-func cacheBenchTable4(eng *cache.Engine) (string, error) {
+func cacheBenchTable4(ctx context.Context, eng *cache.Engine) (string, error) {
 	cfg := tables.Table4Config{
 		Seed:      20200518,
 		Instances: 400,
@@ -170,7 +171,7 @@ func cacheBenchTable4(eng *cache.Engine) (string, error) {
 		CVFolds:   3,
 		Cache:     eng,
 	}
-	rows, err := tables.Table4(cfg)
+	rows, err := tables.Table4(ctx, cfg)
 	if err != nil {
 		return "", err
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -74,7 +75,7 @@ func distBenchCfg(workers int) dist.Config {
 
 // runDistBench measures every campaign at every workers setting and writes
 // the report. A fingerprint mismatch is a correctness failure and aborts.
-func runDistBench(out string) error {
+func runDistBench(ctx context.Context, out string) error {
 	report := distBenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -88,9 +89,9 @@ func runDistBench(out string) error {
 		name string
 		run  func(workers int) (string, int, dist.Report, error)
 	}{
-		{"table4-reduced", distBenchTable4},
-		{"corpus-analyze", distBenchCorpus},
-		{"cvfold", distBenchCV},
+		{"table4-reduced", func(w int) (string, int, dist.Report, error) { return distBenchTable4(ctx, w) }},
+		{"corpus-analyze", func(w int) (string, int, dist.Report, error) { return distBenchCorpus(ctx, w) }},
+		{"cvfold", func(w int) (string, int, dist.Report, error) { return distBenchCV(ctx, w) }},
 	}
 	for _, w := range workloads {
 		var wl distWorkload
@@ -140,7 +141,7 @@ func runDistBench(out string) error {
 
 // distBenchTable4 regenerates a reduced Table IV through the dispatcher and
 // fingerprints every column's bits.
-func distBenchTable4(workers int) (string, int, dist.Report, error) {
+func distBenchTable4(ctx context.Context, workers int) (string, int, dist.Report, error) {
 	cfg := tables.Table4Config{
 		Seed:      distBenchSeed,
 		Instances: 400,
@@ -149,7 +150,7 @@ func distBenchTable4(workers int) (string, int, dist.Report, error) {
 		CVFolds:   3,
 		Quiet:     true,
 	}
-	rows, rep, err := campaigns.Table4Rows(distBenchCfg(workers), cfg)
+	rows, rep, err := campaigns.Table4Rows(ctx, distBenchCfg(workers), cfg)
 	if err != nil {
 		return "", 0, rep, err
 	}
@@ -167,8 +168,8 @@ func distBenchTable4(workers int) (string, int, dist.Report, error) {
 
 // distBenchCorpus fans the pass engine across one classifier closure and
 // fingerprints the reconstructed per-file summaries plus the rendered view.
-func distBenchCorpus(workers int) (string, int, dist.Report, error) {
-	crep, rep, err := campaigns.AnalyzeCorpus(distBenchCfg(workers), "RandomTree", distBenchSeed, 0)
+func distBenchCorpus(ctx context.Context, workers int) (string, int, dist.Report, error) {
+	crep, rep, err := campaigns.AnalyzeCorpus(ctx, distBenchCfg(workers), "RandomTree", distBenchSeed, 0)
 	if err != nil {
 		return "", 0, rep, err
 	}
@@ -185,9 +186,9 @@ func distBenchCorpus(workers int) (string, int, dist.Report, error) {
 
 // distBenchCV cross-validates one randomized classifier and fingerprints
 // the merged result, per-fold accuracy bits included.
-func distBenchCV(workers int) (string, int, dist.Report, error) {
+func distBenchCV(ctx context.Context, workers int) (string, int, dist.Report, error) {
 	p := campaigns.CVParams{Classifier: "RandomTree", Seed: distBenchSeed, Folds: 6, Instances: 800}
-	res, rep, err := campaigns.CrossValidate(distBenchCfg(workers), p)
+	res, rep, err := campaigns.CrossValidate(ctx, distBenchCfg(workers), p)
 	if err != nil {
 		return "", 0, rep, err
 	}

@@ -27,14 +27,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
+	"jepo/internal/cliconfig"
 	"jepo/internal/dist"
 	"jepo/internal/dist/campaigns"
 	"jepo/internal/energy"
@@ -54,8 +58,12 @@ func main() {
 		}
 		return
 	}
+	// Ctrl-C / SIGTERM cancels the root context: the measurement pool drains
+	// and campaign nodes shut down instead of being orphaned.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
-		if err := runBenchCmd(os.Args[2:]); err != nil {
+		if err := runBenchCmd(ctx, os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "jperf bench:", err)
 			os.Exit(1)
 		}
@@ -68,27 +76,26 @@ func main() {
 		}
 		return
 	}
-	mainClass := flag.String("main", "", "class whose main method to run")
-	runs := flag.Int("r", 10, "repeat count (perf -r), as in the paper")
-	tukey := flag.Bool("tukey", true, "replace Tukey outliers with fresh runs")
-	engineName := flag.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
-	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "measurement workers (the report is identical at any value)")
-	workers := flag.Int("workers", 1, "worker processes; >1 dispatches measurement runs to re-exec'd workers with fault tolerance")
-	nodeDeadline := flag.Duration("node-deadline", 10*time.Second, "silence window after which a worker node is quarantined")
-	cacheOn := flag.Bool("cache", true, "content-addressed artifact cache (parse/program reuse; the report is identical either way)")
-	cacheSize := flag.Int("cache-size", cache.DefaultCapacity, "artifact cache capacity in entries")
-	flag.Parse()
+	fs := flag.NewFlagSet("jperf", flag.ExitOnError)
+	mainClass := fs.String("main", "", "class whose main method to run")
+	runs := fs.Int("r", 10, "repeat count (perf -r), as in the paper")
+	tukey := fs.Bool("tukey", true, "replace Tukey outliers with fresh runs")
+	shared := cliconfig.Register(fs, cliconfig.FeatEngine|cliconfig.FeatJobs|cliconfig.FeatDist)
+	fs.Parse(os.Args[1:])
 	// Install the process-wide artifact engine and export the configuration so
 	// re-exec'd -workers processes inherit it. Stats go to stderr after the
 	// report; stdout stays determinism-pinned.
-	eng := cache.SetProcessConfig(cache.Config{Disabled: !*cacheOn, Capacity: *cacheSize})
-	engine, err := interp.ParseEngine(*engineName)
+	eng := shared.ApplyCache()
+	engine, err := shared.Engine()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jperf:", err)
 		os.Exit(1)
 	}
-	if err := run(*mainClass, *runs, *tukey, engine, *jobs, *workers, *nodeDeadline, flag.Args()); err != nil {
+	if err := run(ctx, *mainClass, *runs, *tukey, engine, shared, fs.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "jperf:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, eng.Stats())
@@ -138,7 +145,7 @@ type measurement struct {
 	health          rapl.Health
 }
 
-func run(mainClass string, runs int, tukey bool, engine interp.Engine, jobs, workers int, nodeDeadline time.Duration, args []string) error {
+func run(ctx context.Context, mainClass string, runs int, tukey bool, engine interp.Engine, shared *cliconfig.Set, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("no input files")
 	}
@@ -160,19 +167,12 @@ func run(mainClass string, runs int, tukey bool, engine interp.Engine, jobs, wor
 	// either way the runs are deterministic, so the report is bit-identical.
 	// Tukey replacement rounds, if any, fall back to live sequential runs.
 	var pre []measurement
-	if workers > 1 {
-		plan, perr := dist.EnvPlan()
-		if perr != nil {
-			return perr
+	if shared.Workers() > 1 {
+		dcfg, derr := shared.DistConfig(0, func(msg string) { fmt.Fprintln(os.Stderr, "jperf:", msg) })
+		if derr != nil {
+			return derr
 		}
-		dcfg := dist.Config{
-			Workers:  workers,
-			Retries:  2,
-			Deadline: nodeDeadline,
-			Plan:     plan,
-			OnEvent:  func(msg string) { fmt.Fprintln(os.Stderr, "jperf:", msg) },
-		}
-		wire, rep, derr := campaigns.MeasureRuns(dcfg, campaigns.MeasureParams{
+		wire, rep, derr := campaigns.MeasureRuns(ctx, dcfg, campaigns.MeasureParams{
 			Files:  srcs,
 			Main:   mainClass,
 			Engine: engine.String(),
@@ -195,7 +195,7 @@ func run(mainClass string, runs int, tukey bool, engine interp.Engine, jobs, wor
 		}
 	} else {
 		var tel sched.Telemetry
-		pre, tel, err = sched.Map(sched.Config{Jobs: jobs}, make([]struct{}, runs),
+		pre, tel, err = sched.Map(ctx, sched.Config{Jobs: shared.Jobs()}, make([]struct{}, runs),
 			func(sched.Task, struct{}) (measurement, error) {
 				return runOnce(prog, mainClass, engine)
 			})

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -58,7 +59,7 @@ var schedBenchJobs = []int{2, 4, 8}
 // runSchedBench measures both workloads at every jobs setting and writes the
 // report. A fingerprint mismatch — parallel results diverging from the
 // sequential run — is a correctness failure and aborts the bench.
-func runSchedBench(out string) error {
+func runSchedBench(ctx context.Context, out string) error {
 	report := schedBenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -73,8 +74,8 @@ func runSchedBench(out string) error {
 		tasks int
 		run   func(jobs int) (string, error)
 	}{
-		{"table4-reduced", len(corpus.Classifiers), schedBenchTable4},
-		{"corpus-analyze", 0, schedBenchCorpus}, // tasks filled on first run
+		{"table4-reduced", len(corpus.Classifiers), func(jobs int) (string, error) { return schedBenchTable4(ctx, jobs) }},
+		{"corpus-analyze", 0, func(jobs int) (string, error) { return schedBenchCorpus(ctx, jobs) }}, // tasks filled on first run
 	}
 	for _, w := range workloads {
 		wl := schedWorkload{Name: w.name, Tasks: w.tasks}
@@ -122,7 +123,7 @@ func runSchedBench(out string) error {
 
 // schedBenchTable4 regenerates a reduced Table IV (fewer instances, minimum
 // protocol runs) at the given row parallelism and fingerprints every column.
-func schedBenchTable4(jobs int) (string, error) {
+func schedBenchTable4(ctx context.Context, jobs int) (string, error) {
 	cfg := tables.Table4Config{
 		Seed:      20200518,
 		Instances: 400,
@@ -131,7 +132,7 @@ func schedBenchTable4(jobs int) (string, error) {
 		CVFolds:   3,
 		Slots:     jobs,
 	}
-	rows, err := tables.Table4(cfg)
+	rows, err := tables.Table4(ctx, cfg)
 	if err != nil {
 		return "", err
 	}
@@ -148,13 +149,13 @@ var schedCorpusTasks int
 
 // schedBenchCorpus fans the pass engine across one generated classifier
 // closure and fingerprints every per-file report, energy bits included.
-func schedBenchCorpus(jobs int) (string, error) {
+func schedBenchCorpus(ctx context.Context, jobs int) (string, error) {
 	p, err := corpus.Generate("RandomTree", 20200518)
 	if err != nil {
 		return "", err
 	}
 	schedCorpusTasks = len(p.Files)
-	rep, _, err := core.AnalyzeAll(p, core.AnalyzeConfig{Jobs: jobs})
+	rep, _, err := core.AnalyzeAll(ctx, p, core.AnalyzeConfig{Jobs: jobs})
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,258 @@
+// The serve benchmark (jperf bench -serve) measures the session daemon
+// surface end to end: an in-process jepod (internal/service behind a real
+// HTTP listener) handling analyze requests from 1, 4 and 8 concurrent
+// sessions, cold store vs warm. Each session holds its own distinct program,
+// so the cold round builds every session's artifacts and the warm round is
+// served from the shared content-addressed store.
+//
+// Determinism is asserted inside the bench: every HTTP response a session
+// receives — cold or warm, under any concurrency — must be byte-identical
+// to the service's direct rendering for that session, or the bench fails.
+// Concurrency and caching are cost knobs; a byte drift is a correctness bug.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"jepo/internal/service"
+)
+
+// servePoint is one cache mode's measurement at one concurrency level.
+type servePoint struct {
+	Mode      string  `json:"mode"` // cold or warm
+	Seconds   float64 `json:"seconds"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	// BitIdentical reports the in-bench identity check: every response in
+	// this round matched the service's direct rendering byte for byte.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// serveLevel is one concurrency level's cold/warm pair.
+type serveLevel struct {
+	Sessions           int          `json:"sessions"`
+	RequestsPerSession int          `json:"requests_per_session"`
+	WarmSpeedup        float64      `json:"warm_speedup_vs_cold"`
+	Points             []servePoint `json:"points"`
+}
+
+// serveBenchReport is the BENCH_serve.json document.
+type serveBenchReport struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	NumCPU      int          `json:"num_cpu"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Note        string       `json:"note"`
+	Levels      []serveLevel `json:"levels"`
+}
+
+var serveBenchSessions = []int{1, 4, 8}
+
+const serveBenchRequests = 6
+
+// serveBenchSrc builds session i's program: same shape, distinct constants,
+// so sessions do not share cache keys and the cold round does real work.
+func serveBenchSrc(i int) string {
+	return fmt.Sprintf(`class Work {
+	public static void main(String[] args) {
+		long total = 0;
+		for (int i = 0; i < %d; i++) {
+			total = total + i %% 8;
+		}
+		System.out.println(total);
+	}
+}`, 2000+97*i)
+}
+
+// runServeBench measures every concurrency level cold and warm and writes
+// the report. Any response diverging from the service's direct rendering
+// aborts the bench.
+func runServeBench(ctx context.Context, out string) error {
+	report := serveBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note: "an in-process jepod handling analyze requests over HTTP; cold builds each session's " +
+			"artifacts, warm serves from the shared store; every response is asserted byte-identical " +
+			"to the service's direct rendering",
+	}
+	for _, n := range serveBenchSessions {
+		lvl, err := serveBenchLevel(ctx, n)
+		if err != nil {
+			return fmt.Errorf("sessions=%d: %w", n, err)
+		}
+		report.Levels = append(report.Levels, lvl)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d levels)\n", out, len(report.Levels))
+	return nil
+}
+
+// serveBenchLevel stands up a fresh daemon, opens n sessions with distinct
+// programs, and drives a cold round then a warm round of analyze requests,
+// n sessions in flight at once.
+func serveBenchLevel(ctx context.Context, n int) (serveLevel, error) {
+	svc := service.New(service.Config{Slots: n, MaxQueue: n * serveBenchRequests})
+	defer svc.Close()
+	ts := httptest.NewServer(service.Handler(svc))
+	defer ts.Close()
+
+	ids := make([]string, n)
+	for i := range ids {
+		id, err := serveBenchOpenSession(ctx, ts.URL, serveBenchSrc(i))
+		if err != nil {
+			return serveLevel{}, err
+		}
+		ids[i] = id
+	}
+
+	lvl := serveLevel{Sessions: n, RequestsPerSession: serveBenchRequests}
+	bodies := make([][]string, n)
+	var seconds [2]float64
+	for mi, mode := range []string{"cold", "warm"} {
+		lats := make([][]time.Duration, n)
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		t0 := time.Now()
+		for i := range ids {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for k := 0; k < serveBenchRequests; k++ {
+					r0 := time.Now()
+					body, err := serveBenchPost(ctx, ts.URL+"/v1/sessions/"+ids[i]+"/analyze", "")
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					lats[i] = append(lats[i], time.Since(r0))
+					bodies[i] = append(bodies[i], body)
+				}
+			}(i)
+		}
+		wg.Wait()
+		seconds[mi] = time.Since(t0).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return serveLevel{}, err
+			}
+		}
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		pt := servePoint{
+			Mode:      mode,
+			Seconds:   seconds[mi],
+			ReqPerSec: float64(n*serveBenchRequests) / seconds[mi],
+			P50Ms:     percentileMs(all, 0.50),
+			P99Ms:     percentileMs(all, 0.99),
+		}
+		lvl.Points = append(lvl.Points, pt)
+		fmt.Printf("sessions=%d %-5s %8.2fs %8.1f req/s  p50 %6.1fms  p99 %6.1fms\n",
+			n, mode, pt.Seconds, pt.ReqPerSec, pt.P50Ms, pt.P99Ms)
+	}
+	lvl.WarmSpeedup = seconds[0] / seconds[1]
+
+	// Identity check, after both rounds so it cannot pre-warm the store:
+	// every response each session received equals the service's direct
+	// rendering for that session's files.
+	for i, id := range ids {
+		s, err := svc.Session(id)
+		if err != nil {
+			return serveLevel{}, err
+		}
+		direct, err := s.Analyze(ctx, service.Request{}, nil)
+		if err != nil {
+			return serveLevel{}, err
+		}
+		for _, body := range bodies[i] {
+			if body != direct.Output {
+				return serveLevel{}, fmt.Errorf("session %s: HTTP response is NOT byte-identical to the direct rendering", id)
+			}
+		}
+	}
+	for i := range lvl.Points {
+		lvl.Points[i].BitIdentical = true
+	}
+	return lvl, nil
+}
+
+func serveBenchOpenSession(ctx context.Context, base, src string) (string, error) {
+	body, err := serveBenchDo(ctx, "POST", base+"/v1/sessions", "", http.StatusCreated)
+	if err != nil {
+		return "", err
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(body), &created); err != nil {
+		return "", err
+	}
+	if _, err := serveBenchDo(ctx, "PUT", base+"/v1/sessions/"+created.ID+"/files/Work.java", src, http.StatusNoContent); err != nil {
+		return "", err
+	}
+	return created.ID, nil
+}
+
+func serveBenchPost(ctx context.Context, url, body string) (string, error) {
+	return serveBenchDo(ctx, "POST", url, body, http.StatusOK)
+}
+
+func serveBenchDo(ctx context.Context, method, url, body string, want int) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != want {
+		return "", fmt.Errorf("%s %s: %d %s", method, url, resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return string(b), nil
+}
+
+// percentileMs returns the q-quantile of the latencies in milliseconds.
+func percentileMs(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

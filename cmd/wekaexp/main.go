@@ -22,23 +22,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"runtime"
 	"strings"
-	"time"
+	"syscall"
 
 	"jepo/internal/airlines"
+	"jepo/internal/cliconfig"
 	"jepo/internal/corpus"
 	"jepo/internal/dist"
 	"jepo/internal/dist/campaigns"
-	cache "jepo/internal/engine"
 	"jepo/internal/jmetrics"
-	"jepo/internal/minijava/interp"
 	"jepo/internal/sched"
+	"jepo/internal/service"
 	"jepo/internal/stats"
 	"jepo/internal/tables"
 )
@@ -51,28 +53,18 @@ func main() {
 		}
 		return
 	}
-	if err := realMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C / SIGTERM cancels the root context: pools drain, campaigns shut
+	// their nodes down, and -checkpoint files are saved valid so a rerun
+	// resumes instead of restarting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := realMain(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "wekaexp:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
-}
-
-// distConfig assembles the dispatcher config shared by every -workers run:
-// bounded retries, heartbeat liveness, the fault plan from JEPO_DIST_FAULTS
-// (for drills), and node events narrated to stderr.
-func distConfig(workers int, seed uint64, deadline time.Duration, stderr io.Writer) (dist.Config, error) {
-	plan, err := dist.EnvPlan()
-	if err != nil {
-		return dist.Config{}, err
-	}
-	return dist.Config{
-		Workers:  workers,
-		Seed:     seed,
-		Retries:  2,
-		Deadline: deadline,
-		Plan:     plan,
-		OnEvent:  func(msg string) { fmt.Fprintln(stderr, "wekaexp:", msg) },
-	}, nil
 }
 
 // reportDispatch prints the campaign's dispatch ledger to stderr, keeping
@@ -82,10 +74,15 @@ func reportDispatch(stderr io.Writer, rep dist.Report) {
 	fmt.Fprint(stderr, rep.NodeSummary())
 }
 
+// narrate prefixes dispatcher fault-path events onto stderr.
+func narrate(stderr io.Writer) func(string) {
+	return func(msg string) { fmt.Fprintln(stderr, "wekaexp:", msg) }
+}
+
 // realMain is the whole command behind an injectable surface: argument list
 // in, output streams out, failures as an error. main() only maps the error
 // to the exit status, so tests drive every flag path in-process.
-func realMain(args []string, stdout, stderr io.Writer) error {
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wekaexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	table := fs.String("table", "all", "which table to regenerate: 1, 2, 3, 4, ablation or all")
@@ -99,12 +96,7 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 	dumpFor := fs.String("classifier", "J48", "classifier whose corpus -dump-corpus writes")
 	checkpoint := fs.String("checkpoint", "", "directory persisting completed Table IV rows; reruns resume from it")
 	rowTimeout := fs.Duration("row-timeout", 0, "per-classifier deadline for Table IV (0 = none)")
-	engineName := fs.String("engine", "vm", "execution engine: vm (bytecode) or ast (tree-walker)")
-	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "table workers; stdout is bit-identical at any value (telemetry goes to stderr)")
-	workers := fs.Int("workers", 1, "worker processes; >1 dispatches table rows to re-exec'd workers with fault tolerance (stdout stays bit-identical)")
-	nodeDeadline := fs.Duration("node-deadline", 10*time.Second, "silence window after which a worker node is quarantined and its task reassigned")
-	cacheOn := fs.Bool("cache", true, "content-addressed artifact cache (parse/program/sample reuse; stdout is identical either way)")
-	cacheSize := fs.Int("cache-size", cache.DefaultCapacity, "artifact cache capacity in entries")
+	shared := cliconfig.Register(fs, cliconfig.FeatEngine|cliconfig.FeatJobs|cliconfig.FeatDist)
 	verbose := fs.Bool("v", false, "print progress")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,12 +104,13 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 	// Install the process-wide artifact engine and export the configuration,
 	// so re-exec'd -workers processes inherit it. Stats print to stderr at
 	// the end; stdout stays determinism-pinned.
-	eng := cache.SetProcessConfig(cache.Config{Disabled: !*cacheOn, Capacity: *cacheSize})
+	eng := shared.ApplyCache()
 	defer func() { fmt.Fprintln(stderr, eng.Stats()) }()
-	engine, err := interp.ParseEngine(*engineName)
+	engine, err := shared.Engine()
 	if err != nil {
 		return err
 	}
+	jobs, workers := shared.Jobs(), shared.Workers()
 
 	if *dumpDir != "" {
 		if err := dumpCorpus(stdout, *dumpDir, *dumpFor, *seed); err != nil {
@@ -141,13 +134,13 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 
 	run("1", func() error {
 		var rows []tables.Table1Row
-		if *workers > 1 {
-			dcfg, err := distConfig(*workers, *seed, *nodeDeadline, stderr)
+		if workers > 1 {
+			dcfg, err := shared.DistConfig(*seed, narrate(stderr))
 			if err != nil {
 				return err
 			}
 			var rep dist.Report
-			rows, rep, err = campaigns.Table1Rows(dcfg, engine)
+			rows, rep, err = campaigns.Table1Rows(ctx, dcfg, engine)
 			if err != nil {
 				return err
 			}
@@ -155,7 +148,7 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 		} else {
 			var tel sched.Telemetry
 			var err error
-			rows, tel, err = tables.Table1Jobs(engine, *jobs)
+			rows, tel, err = tables.Table1Jobs(ctx, engine, jobs)
 			if err != nil {
 				return err
 			}
@@ -169,13 +162,13 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 
 	run("2", func() error {
 		var rows []jmetrics.Metrics
-		if *workers > 1 {
-			dcfg, err := distConfig(*workers, *seed, *nodeDeadline, stderr)
+		if workers > 1 {
+			dcfg, err := shared.DistConfig(*seed, narrate(stderr))
 			if err != nil {
 				return err
 			}
 			var rep dist.Report
-			rows, rep, err = campaigns.Table2Rows(dcfg, *seed)
+			rows, rep, err = campaigns.Table2Rows(ctx, dcfg, *seed)
 			if err != nil {
 				return err
 			}
@@ -183,15 +176,13 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 		} else {
 			var tel sched.Telemetry
 			var err error
-			rows, tel, err = tables.Table2Parallel(*seed, *jobs)
+			rows, tel, err = tables.Table2Parallel(ctx, *seed, jobs)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintln(stderr, tel)
 		}
-		fmt.Fprintln(stdout, "=== Table II: WEKA classifier metrics ===")
-		fmt.Fprint(stdout, jmetrics.Table(rows))
-		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, service.RenderTable2(rows))
 		return nil
 	})
 
@@ -218,7 +209,7 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 		cfg.Seed = *seed
 		cfg.Instances = *instances
 		cfg.Engine = engine
-		rows, err := tables.Ablate(cfg)
+		rows, err := tables.Ablate(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -235,7 +226,7 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 			Reps:          *reps,
 			Protocol:      stats.Protocol{Runs: *runs, MaxRounds: 10},
 			CVFolds:       *folds,
-			Slots:         *jobs,
+			Slots:         jobs,
 			RowTimeout:    *rowTimeout,
 			CheckpointDir: *checkpoint,
 			Engine:        engine,
@@ -246,8 +237,8 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout, "=== Table IV: WEKA evaluation ===")
 		var rows []tables.Table4Row
-		if *workers > 1 {
-			dcfg, derr := distConfig(*workers, *seed, *nodeDeadline, stderr)
+		if workers > 1 {
+			dcfg, derr := shared.DistConfig(*seed, narrate(stderr))
 			if derr != nil {
 				return derr
 			}
@@ -260,13 +251,13 @@ func realMain(args []string, stdout, stderr io.Writer) error {
 				dcfg.Checkpoint = filepath.Join(*checkpoint, "dist_table4.json")
 			}
 			var rep dist.Report
-			rows, rep, err = campaigns.Table4Rows(dcfg, cfg)
+			rows, rep, err = campaigns.Table4Rows(ctx, dcfg, cfg)
 			if err != nil {
 				return err
 			}
 			reportDispatch(stderr, rep)
 		} else {
-			rows, err = tables.Table4Supervised(cfg)
+			rows, err = tables.Table4Supervised(ctx, cfg)
 			if err != nil {
 				return err
 			}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -37,7 +38,7 @@ func TestTableAllWithCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	seedCheckpoints(t, dir)
 	var out, errb bytes.Buffer
-	err := realMain([]string{
+	err := realMain(context.Background(), []string{
 		"-table", "all", "-checkpoint", dir,
 		"-instances", "120", "-reps", "1", "-runs", "2", "-folds", "2",
 	}, &out, &errb)
@@ -67,7 +68,7 @@ func TestTable4ResumesFromCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	seedCheckpoints(t, dir)
 	var out, errb bytes.Buffer
-	err := realMain([]string{"-table", "4", "-checkpoint", dir, "-v"}, &out, &errb)
+	err := realMain(context.Background(), []string{"-table", "4", "-checkpoint", dir, "-v"}, &out, &errb)
 	if err != nil {
 		t.Fatalf("realMain: %v\nstderr:\n%s", err, errb.String())
 	}
@@ -82,7 +83,7 @@ func TestTable4ResumesFromCheckpoint(t *testing.T) {
 func TestTable3WritesARFF(t *testing.T) {
 	arff := filepath.Join(t.TempDir(), "airlines.arff")
 	var out, errb bytes.Buffer
-	if err := realMain([]string{"-table", "3", "-instances", "50", "-arff", arff}, &out, &errb); err != nil {
+	if err := realMain(context.Background(), []string{"-table", "3", "-instances", "50", "-arff", arff}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(arff)
@@ -99,7 +100,7 @@ func TestDumpCorpus(t *testing.T) {
 	var out, errb bytes.Buffer
 	// -table 3 keeps the run cheap; -dump-corpus happens before table
 	// selection.
-	if err := realMain([]string{"-table", "3", "-instances", "50", "-dump-corpus", dir}, &out, &errb); err != nil {
+	if err := realMain(context.Background(), []string{"-table", "3", "-instances", "50", "-dump-corpus", dir}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	found := 0
@@ -116,7 +117,7 @@ func TestDumpCorpus(t *testing.T) {
 
 func TestBadFlagRejected(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := realMain([]string{"-no-such-flag"}, &out, &errb); err == nil {
+	if err := realMain(context.Background(), []string{"-no-such-flag"}, &out, &errb); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 		Progress:  func(msg string) { fmt.Println("  ", msg) },
 	}
 	fmt.Println("running the §VIII validation pipeline (reduced scale)...")
-	rows, err := tables.Table4(cfg)
+	rows, err := tables.Table4(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

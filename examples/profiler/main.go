@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -53,7 +54,7 @@ public class Pipeline {
 `
 
 func main() {
-	res, err := core.Profile(core.Project{"Pipeline.java": source}, core.ProfileConfig{})
+	res, err := core.Profile(context.Background(), core.Project{"Pipeline.java": source}, core.ProfileConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

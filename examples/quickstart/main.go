@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,20 +46,20 @@ func main() {
 	fmt.Print(core.OptimizerView(sugs))
 
 	// 2. Measure the original program (method-granularity RAPL probes).
-	before, err := core.Profile(project, core.ProfileConfig{})
+	before, err := core.Profile(context.Background(), project, core.ProfileConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 3. Apply every suggestion automatically.
-	optimized, res, err := core.Optimize(project)
+	optimized, res, err := core.Optimize(context.Background(), project)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\napplied %d change(s)\n", res.Changes)
 
 	// 4. Measure again and report the improvement.
-	after, err := core.Profile(optimized, core.ProfileConfig{})
+	after, err := core.Profile(context.Background(), optimized, core.ProfileConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

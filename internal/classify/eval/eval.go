@@ -4,6 +4,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -205,7 +206,7 @@ func mergeFold(res *Result, out FoldEval) {
 // the classifier's configured seed; use CrossValidateSeeded to give each
 // fold an independent pre-derived stream and to train folds in parallel.
 func CrossValidate(d *dataset.Dataset, k int, seed uint64, make Factory) (*Result, error) {
-	return CrossValidateSeeded(d, k, seed, func(int, uint64) classify.Classifier { return make() }, 1)
+	return CrossValidateSeeded(context.Background(), d, k, seed, func(int, uint64) classify.Classifier { return make() }, 1)
 }
 
 // CrossValidateSeeded runs stratified k-fold cross-validation with
@@ -214,14 +215,14 @@ func CrossValidate(d *dataset.Dataset, k int, seed uint64, make Factory) (*Resul
 // confusion counts — and fold outcomes are merged in fold-index order, so
 // the Result is bit-identical at any jobs count, including jobs == 1, which
 // runs the folds inline in order.
-func CrossValidateSeeded(d *dataset.Dataset, k int, seed uint64, make SeededFactory, jobs int) (*Result, error) {
+func CrossValidateSeeded(ctx context.Context, d *dataset.Dataset, k int, seed uint64, make SeededFactory, jobs int) (*Result, error) {
 	folds, err := d.StratifiedFolds(k, seed)
 	if err != nil {
 		return nil, err
 	}
 	seeds := FoldSeeds(seed, len(folds))
 	res := &Result{Confusion: newConfusion(d.NumClasses())}
-	_, _, err = sched.MapCommit(sched.Config{Jobs: jobs, Seed: seed}, folds,
+	_, _, err = sched.MapCommit(ctx, sched.Config{Jobs: jobs, Seed: seed}, folds,
 		func(task sched.Task, _ []int) (FoldEval, error) {
 			return EvalFold(d, folds, task.Index, seeds[task.Index], make)
 		},

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -294,12 +295,12 @@ func TestFoldSeedsPureAndDistinct(t *testing.T) {
 func TestCrossValidateSeededOrderIndependent(t *testing.T) {
 	d := airlines.Generate(400, 42)
 	const k, seed = 5, 9
-	want, err := CrossValidateSeeded(d, k, seed, seededTreeFactory(classify.Double), 1)
+	want, err := CrossValidateSeeded(context.Background(), d, k, seed, seededTreeFactory(classify.Double), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, jobs := range []int{2, 5, 8} {
-		got, err := CrossValidateSeeded(d, k, seed, seededTreeFactory(classify.Double), jobs)
+		got, err := CrossValidateSeeded(context.Background(), d, k, seed, seededTreeFactory(classify.Double), jobs)
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
 		}
@@ -358,7 +359,7 @@ func TestCrossValidateCompatWrapper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := CrossValidateSeeded(d, 4, 3,
+	b, err := CrossValidateSeeded(context.Background(), d, 4, 3,
 		func(int, uint64) classify.Classifier { return tree.NewJ48(classify.Options{Seed: 5}) }, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,146 @@
+package cliconfig
+
+import (
+	"flag"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"jepo/internal/engine"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestDefaults(t *testing.T) {
+	fs := newFlagSet()
+	s := Register(fs, FeatEngine|FeatJobs|FeatDist)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := s.CacheConfig(); cfg.Disabled || cfg.Capacity != engine.DefaultCapacity {
+		t.Errorf("default cache config = %+v, want enabled at DefaultCapacity", cfg)
+	}
+	eng, err := s.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.String() != "vm" {
+		t.Errorf("default engine = %v, want vm", eng)
+	}
+	if s.Jobs() <= 0 {
+		t.Errorf("default jobs = %d, want > 0", s.Jobs())
+	}
+	if s.Workers() != 1 {
+		t.Errorf("default workers = %d, want 1", s.Workers())
+	}
+	if s.NodeDeadline() != 10*time.Second {
+		t.Errorf("default node-deadline = %v, want 10s", s.NodeDeadline())
+	}
+}
+
+func TestParsedValues(t *testing.T) {
+	fs := newFlagSet()
+	s := Register(fs, FeatEngine|FeatJobs|FeatDist)
+	args := []string{
+		"-engine", "ast", "-jobs", "3", "-workers", "4",
+		"-node-deadline", "2s", "-cache=false", "-cache-size", "99",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := s.CacheConfig(); !cfg.Disabled || cfg.Capacity != 99 {
+		t.Errorf("cache config = %+v, want disabled with capacity 99", cfg)
+	}
+	eng, err := s.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.String() != "ast" {
+		t.Errorf("engine = %v, want ast", eng)
+	}
+	if s.Jobs() != 3 || s.Workers() != 4 || s.NodeDeadline() != 2*time.Second {
+		t.Errorf("jobs/workers/deadline = %d/%d/%v, want 3/4/2s",
+			s.Jobs(), s.Workers(), s.NodeDeadline())
+	}
+}
+
+func TestFeatureGating(t *testing.T) {
+	fs := newFlagSet()
+	Register(fs, 0)
+	for _, name := range []string{"engine", "jobs", "workers", "node-deadline"} {
+		if fs.Lookup(name) != nil {
+			t.Errorf("flag -%s registered without its feature bit", name)
+		}
+	}
+	for _, name := range []string{"cache", "cache-size"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s should always be registered", name)
+		}
+	}
+}
+
+func TestApplyCacheExportsEnv(t *testing.T) {
+	t.Cleanup(func() {
+		os.Unsetenv(engine.EnvCache)
+		os.Unsetenv(engine.EnvCacheSize)
+	})
+	fs := newFlagSet()
+	s := Register(fs, 0)
+	if err := fs.Parse([]string{"-cache=false", "-cache-size", "77"}); err != nil {
+		t.Fatal(err)
+	}
+	eng := s.ApplyCache()
+	if !eng.Stats().Disabled {
+		t.Error("ApplyCache did not disable the engine")
+	}
+	if got := os.Getenv(engine.EnvCache); got != "0" {
+		t.Errorf("%s = %q, want \"0\" (worker processes must inherit -cache=false)", engine.EnvCache, got)
+	}
+	if got := os.Getenv(engine.EnvCacheSize); got != "77" {
+		t.Errorf("%s = %q, want \"77\"", engine.EnvCacheSize, got)
+	}
+	if cfg := engine.EnvConfig(); !cfg.Disabled || cfg.Capacity != 77 {
+		t.Errorf("EnvConfig round-trip = %+v, want disabled/77", cfg)
+	}
+}
+
+func TestDistConfigInheritsFaultPlan(t *testing.T) {
+	t.Setenv("JEPO_DIST_FAULTS", "1:kill@2")
+	fs := newFlagSet()
+	s := Register(fs, FeatDist)
+	if err := fs.Parse([]string{"-workers", "3", "-node-deadline", "1s"}); err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	cfg, err := s.DistConfig(42, func(msg string) { events = append(events, msg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 3 || cfg.Seed != 42 || cfg.Deadline != time.Second || cfg.Retries != 2 {
+		t.Errorf("dist config = %+v, want workers=3 seed=42 deadline=1s retries=2", cfg)
+	}
+	if cfg.Plan == nil {
+		t.Error("JEPO_DIST_FAULTS was not folded into the dispatcher config")
+	}
+	cfg.OnEvent("probe")
+	if len(events) != 1 || events[0] != "probe" {
+		t.Errorf("OnEvent not wired: %v", events)
+	}
+}
+
+func TestDistConfigRejectsBadFaultPlan(t *testing.T) {
+	t.Setenv("JEPO_DIST_FAULTS", "not-a-plan")
+	fs := newFlagSet()
+	s := Register(fs, FeatDist)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DistConfig(0, nil); err == nil {
+		t.Error("DistConfig accepted a malformed JEPO_DIST_FAULTS")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -158,12 +159,20 @@ func reportKey(srcs []engine.Source, cfg AnalyzeConfig) engine.Key {
 // itself are content-addressed, so a repeated call is a cache hit with a
 // bit-identical report. With the cache disabled every stage rebuilds from
 // scratch and produces the same bytes.
-func Analyze(p Project, cfg AnalyzeConfig) (*AnalysisReport, error) {
+//
+// Cancelling ctx aborts the pipeline — including mid-interpretation inside a
+// measurement run — and returns ctx's error. Because the engine never caches
+// errors, and every cancellation surfaces as an error rather than a partial
+// report, a cancelled Analyze leaves no trace in the artifact store.
+func Analyze(ctx context.Context, p Project, cfg AnalyzeConfig) (*AnalysisReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	eng := cfg.cache()
 	srcs := engine.Sources(p)
 	rk := reportKey(srcs, cfg)
 	v, err := eng.Memo(rk, func() (any, error) {
-		return analyze(eng, srcs, cfg, rk)
+		return analyze(ctx, eng, srcs, cfg, rk)
 	})
 	if err != nil {
 		return nil, err
@@ -171,7 +180,7 @@ func Analyze(p Project, cfg AnalyzeConfig) (*AnalysisReport, error) {
 	return v.(*AnalysisReport), nil
 }
 
-func analyze(eng *engine.Engine, srcs []engine.Source, cfg AnalyzeConfig, rk engine.Key) (*AnalysisReport, error) {
+func analyze(ctx context.Context, eng *engine.Engine, srcs []engine.Source, cfg AnalyzeConfig, rk engine.Key) (*AnalysisReport, error) {
 	files, err := eng.ParseAll(srcs)
 	if err != nil {
 		return nil, err
@@ -189,8 +198,13 @@ func analyze(eng *engine.Engine, srcs []engine.Source, cfg AnalyzeConfig, rk eng
 	// Baseline sample through the engine: the compiled program and the
 	// measurement are shared artifacts, so the baseline costs nothing when a
 	// previous run (or another caller of the same sources) already took it.
-	baseline, err := eng.Sample(srcs, cfg.runSpec())
+	baseline, err := eng.Sample(ctx, srcs, cfg.runSpec())
 	if err != nil {
+		// A cancelled baseline run must surface as an error, never as a
+		// cacheable "program not runnable" report.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		report.ExecNote = err.Error()
 		for i := range report.Diags {
 			if report.Diags[i].Verdict == VerdictUnmeasured {
@@ -215,9 +229,9 @@ func analyze(eng *engine.Engine, srcs []engine.Source, cfg AnalyzeConfig, rk eng
 	if jobs <= 0 {
 		jobs = 1
 	}
-	_, _, err = sched.MapCommit(sched.Config{Jobs: jobs}, idxs,
+	_, _, err = sched.MapCommit(ctx, sched.Config{Jobs: jobs}, idxs,
 		func(_ sched.Task, i int) (fixOutcome, error) {
-			return measureFix(eng, srcs, cfg, rk, i, len(diags), baseline)
+			return measureFix(ctx, eng, srcs, cfg, rk, i, len(diags), baseline)
 		},
 		func(task sched.Task, out fixOutcome) {
 			ad := &report.Diags[idxs[task.Index]]
@@ -256,7 +270,7 @@ type fixOutcome struct {
 // measures the resulting program. The unchanged-file majority never
 // re-parses: a checkout is a clone of the cached master, so Analyze performs
 // O(files) parses total instead of O(files × fixes).
-func measureFix(eng *engine.Engine, srcs []engine.Source, cfg AnalyzeConfig, rk engine.Key, i, want int, baseline energy.Sample) (fixOutcome, error) {
+func measureFix(ctx context.Context, eng *engine.Engine, srcs []engine.Source, cfg AnalyzeConfig, rk engine.Key, i, want int, baseline energy.Sample) (fixOutcome, error) {
 	fk := engine.NewKey("core/fix").Str(string(rk[:])).Int(int64(i)).Key()
 	v, err := eng.Memo(fk, func() (any, error) {
 		files, err := eng.ParseAll(srcs)
@@ -271,8 +285,13 @@ func measureFix(eng *engine.Engine, srcs []engine.Source, cfg AnalyzeConfig, rk 
 		if res.Changes == 0 {
 			return fixOutcome{Note: "fix made no change when replayed alone"}, nil
 		}
-		after, err := measureRun(files, cfg)
+		after, err := measureRun(ctx, files, cfg)
 		if err != nil {
+			// Same trap as the baseline: a cancelled measurement is an
+			// error, not a cacheable "rewritten program failed" note.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			return fixOutcome{Note: "rewritten program failed: " + err.Error()}, nil
 		}
 		return fixOutcome{Delta: baseline.Package - after.Package}, nil
@@ -287,7 +306,7 @@ func measureFix(eng *engine.Engine, srcs []engine.Source, cfg AnalyzeConfig, rk 
 // returns the whole-run sample. The ASTs here are post-fix mutants private
 // to the caller, so they load directly rather than through the program
 // cache.
-func measureRun(files []*ast.File, cfg AnalyzeConfig) (energy.Sample, error) {
+func measureRun(ctx context.Context, files []*ast.File, cfg AnalyzeConfig) (energy.Sample, error) {
 	prog, err := interp.Load(files...)
 	if err != nil {
 		return energy.Sample{}, err
@@ -301,7 +320,7 @@ func measureRun(files []*ast.File, cfg AnalyzeConfig) (energy.Sample, error) {
 	if maxOps == 0 {
 		maxOps = 500_000_000
 	}
-	in := interp.New(prog, meter, interp.WithMaxOps(maxOps), interp.WithEngine(cfg.Engine))
+	in := interp.New(prog, meter, interp.WithMaxOps(maxOps), interp.WithEngine(cfg.Engine), interp.WithContext(ctx))
 	if err := in.RunMain(cfg.MainClass); err != nil {
 		return energy.Sample{}, err
 	}

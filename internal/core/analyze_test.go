@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ const measurableProject = `class Work {
 }`
 
 func TestAnalyzeMeasuresFixes(t *testing.T) {
-	rep, err := Analyze(Project{"Work.java": measurableProject}, AnalyzeConfig{})
+	rep, err := Analyze(context.Background(), Project{"Work.java": measurableProject}, AnalyzeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +70,11 @@ func TestAnalyzeMeasuresFixes(t *testing.T) {
 
 func TestAnalyzeDeterministic(t *testing.T) {
 	p := Project{"Work.java": measurableProject}
-	a, err := Analyze(p, AnalyzeConfig{})
+	a, err := Analyze(context.Background(), p, AnalyzeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Analyze(p, AnalyzeConfig{})
+	b, err := Analyze(context.Background(), p, AnalyzeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestAnalyzeDeterministic(t *testing.T) {
 }
 
 func TestAnalyzeWithoutMain(t *testing.T) {
-	rep, err := Analyze(Project{"Lib.java": `class Lib {
+	rep, err := Analyze(context.Background(), Project{"Lib.java": `class Lib {
 	double scale(double x) { return x * 2.0; }
 }`}, AnalyzeConfig{})
 	if err != nil {
@@ -111,7 +112,7 @@ func TestAnalyzeRejectsFixThatCostsEnergy(t *testing.T) {
 	// the engine must refuse it instead of trusting the rule.
 	costs := energy.DefaultCosts()
 	costs.Ops[energy.OpConstSci] = energy.Cost{Picojoules: 900000, Cycles: 90}
-	rep, err := Analyze(Project{"Sci.java": `class Sci {
+	rep, err := Analyze(context.Background(), Project{"Sci.java": `class Sci {
 	public static void main(String[] args) {
 		double t = 0.5;
 		for (int i = 0; i < 40; i++) {

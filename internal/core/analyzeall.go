@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -63,16 +64,16 @@ func (r *CorpusReport) RuleCounts() map[passes.Rule]int {
 // and the reports are committed in corpus file order. The returned telemetry
 // is the pool's execution ledger; it is timing-dependent and must go to
 // stderr, never into a determinism-pinned output stream.
-func AnalyzeAll(p *corpus.Project, cfg AnalyzeConfig) (*CorpusReport, sched.Telemetry, error) {
+func AnalyzeAll(ctx context.Context, p *corpus.Project, cfg AnalyzeConfig) (*CorpusReport, sched.Telemetry, error) {
 	// Resolve the artifact engine once so every worker shares one store even
 	// if the process-wide default is swapped mid-run.
 	cfg.Cache = cfg.cache()
 	report := &CorpusReport{Root: p.Root, Files: make([]FileAnalysis, 0, len(p.Files))}
-	_, tel, err := sched.MapCommit(sched.Config{Jobs: cfg.Jobs}, p.Files,
+	_, tel, err := sched.MapCommit(ctx, sched.Config{Jobs: cfg.Jobs}, p.Files,
 		func(_ sched.Task, f corpus.File) (*AnalysisReport, error) {
 			fileCfg := cfg
 			fileCfg.Jobs = 1 // the fan-out is per file; fixes inside one file run inline
-			r, err := Analyze(Project{f.Path: f.Source}, fileCfg)
+			r, err := Analyze(ctx, Project{f.Path: f.Source}, fileCfg)
 			if err != nil {
 				return nil, fmt.Errorf("core: %s: %w", f.Path, err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -55,7 +56,7 @@ func miniCorpus() *corpus.Project {
 }
 
 func TestAnalyzeAllCountsAndView(t *testing.T) {
-	rep, tel, err := AnalyzeAll(miniCorpus(), AnalyzeConfig{Jobs: 1})
+	rep, tel, err := AnalyzeAll(context.Background(), miniCorpus(), AnalyzeConfig{Jobs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,12 +95,12 @@ func TestAnalyzeAllCountsAndView(t *testing.T) {
 // report and its rendering are deeply equal at any worker count.
 func TestAnalyzeAllJobsIndependent(t *testing.T) {
 	p := miniCorpus()
-	want, _, err := AnalyzeAll(p, AnalyzeConfig{Jobs: 1})
+	want, _, err := AnalyzeAll(context.Background(), p, AnalyzeConfig{Jobs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, jobs := range []int{2, 4, 8} {
-		got, _, err := AnalyzeAll(p, AnalyzeConfig{Jobs: jobs})
+		got, _, err := AnalyzeAll(context.Background(), p, AnalyzeConfig{Jobs: jobs})
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
 		}
@@ -116,12 +117,12 @@ func TestAnalyzeAllJobsIndependent(t *testing.T) {
 // single Analyze call to the same invariant.
 func TestAnalyzeJobsIndependent(t *testing.T) {
 	p := Project{"Work.java": measurableProject}
-	want, err := Analyze(p, AnalyzeConfig{Jobs: 1})
+	want, err := Analyze(context.Background(), p, AnalyzeConfig{Jobs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, jobs := range []int{2, 4} {
-		got, err := Analyze(p, AnalyzeConfig{Jobs: jobs})
+		got, err := Analyze(context.Background(), p, AnalyzeConfig{Jobs: jobs})
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"jepo/internal/engine"
@@ -52,7 +53,7 @@ func TestAnalyzeParseCountRegression(t *testing.T) {
 	const nFiles = 3
 
 	cached := engine.New(engine.Config{})
-	rep, err := Analyze(cacheProject, AnalyzeConfig{Cache: cached})
+	rep, err := Analyze(context.Background(), cacheProject, AnalyzeConfig{Cache: cached})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestAnalyzeParseCountRegression(t *testing.T) {
 	}
 
 	off := engine.New(engine.Config{Disabled: true})
-	repOff, err := Analyze(cacheProject, AnalyzeConfig{Cache: off})
+	repOff, err := Analyze(context.Background(), cacheProject, AnalyzeConfig{Cache: off})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,12 +89,12 @@ func TestAnalyzeParseCountRegression(t *testing.T) {
 // cache hit — the very same artifact, not merely an equal one.
 func TestAnalyzeWarmReportHit(t *testing.T) {
 	eng := engine.New(engine.Config{})
-	a, err := Analyze(cacheProject, AnalyzeConfig{Cache: eng})
+	a, err := Analyze(context.Background(), cacheProject, AnalyzeConfig{Cache: eng})
 	if err != nil {
 		t.Fatal(err)
 	}
 	parses := eng.Stats().Parses
-	b, err := Analyze(cacheProject, AnalyzeConfig{Cache: eng})
+	b, err := Analyze(context.Background(), cacheProject, AnalyzeConfig{Cache: eng})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestAnalyzeWarmReportHit(t *testing.T) {
 
 	// Jobs is execution shape, not key material: a different worker count
 	// must serve the same cached report.
-	c, err := Analyze(cacheProject, AnalyzeConfig{Jobs: 4, Cache: eng})
+	c, err := Analyze(context.Background(), cacheProject, AnalyzeConfig{Jobs: 4, Cache: eng})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +121,11 @@ func TestAnalyzeWarmReportHit(t *testing.T) {
 // full rule set hits the original.
 func TestAnalyzeRuleSubsetKeysSeparately(t *testing.T) {
 	eng := engine.New(engine.Config{})
-	full, err := Analyze(cacheProject, AnalyzeConfig{Cache: eng})
+	full, err := Analyze(context.Background(), cacheProject, AnalyzeConfig{Cache: eng})
 	if err != nil {
 		t.Fatal(err)
 	}
-	restricted, err := Analyze(cacheProject, AnalyzeConfig{Rules: []passes.Rule{passes.RuleModulusOperator}, Cache: eng})
+	restricted, err := Analyze(context.Background(), cacheProject, AnalyzeConfig{Rules: []passes.Rule{passes.RuleModulusOperator}, Cache: eng})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestAnalyzeRuleSubsetKeysSeparately(t *testing.T) {
 	if len(restricted.Diags) >= len(full.Diags) {
 		t.Fatalf("restricted rules found %d diags, full found %d", len(restricted.Diags), len(full.Diags))
 	}
-	again, err := Analyze(cacheProject, AnalyzeConfig{Cache: eng})
+	again, err := Analyze(context.Background(), cacheProject, AnalyzeConfig{Cache: eng})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -109,7 +110,15 @@ type optimized struct {
 // Optimize applies the (selected, default all) Table I refactorings to a
 // project, returning the rewritten sources and the change report. The result
 // is a cached artifact keyed by the project bytes and the rule selection.
-func Optimize(p Project, rules ...suggest.Rule) (Project, *refactor.Result, error) {
+// The rewrite itself is pure parse-and-print work, so ctx is only consulted
+// between stages; a cancelled context aborts before the rebuild.
+func Optimize(ctx context.Context, p Project, rules ...suggest.Rule) (Project, *refactor.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	eng := engine.Default()
 	srcs := engine.Sources(p)
 	h := engine.NewKey("core/optimize")
@@ -169,8 +178,9 @@ type ProfileConfig struct {
 // probes, executes the main class, and returns per-execution measurements —
 // the library form of the "JEPO profiler" pop-up action. The instrumented
 // program is a cached artifact; the profiler itself runs live because its
-// hook observes the interpreter as it executes.
-func Profile(p Project, cfg ProfileConfig) (*ProfileResult, error) {
+// hook observes the interpreter as it executes. Cancelling ctx aborts the
+// run mid-interpretation and returns ctx's error.
+func Profile(ctx context.Context, p Project, cfg ProfileConfig) (*ProfileResult, error) {
 	eng := cfg.Cache
 	if eng == nil {
 		eng = engine.Default()
@@ -190,7 +200,7 @@ func Profile(p Project, cfg ProfileConfig) (*ProfileResult, error) {
 	if maxOps == 0 {
 		maxOps = 500_000_000
 	}
-	in := interp.New(prog, meter, interp.WithHook(prof), interp.WithMaxOps(maxOps), interp.WithEngine(cfg.Engine))
+	in := interp.New(prog, meter, interp.WithHook(prof), interp.WithMaxOps(maxOps), interp.WithEngine(cfg.Engine), interp.WithContext(ctx))
 	if err := in.RunMain(cfg.MainClass); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestOptimizerAndDynamicViews(t *testing.T) {
 }
 
 func TestOptimizeRewritesProject(t *testing.T) {
-	out, res, err := Optimize(proj())
+	out, res, err := Optimize(context.Background(), proj())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +92,11 @@ func TestOptimizeRewritesProject(t *testing.T) {
 		t.Errorf("double not narrowed:\n%s", src)
 	}
 	// The optimized project must still run and print the same result.
-	before, err := Profile(proj(), ProfileConfig{})
+	before, err := Profile(context.Background(), proj(), ProfileConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	after, err := Profile(out, ProfileConfig{})
+	after, err := Profile(context.Background(), out, ProfileConfig{})
 	if err != nil {
 		t.Fatalf("optimized project fails to run: %v\n%s", err, src)
 	}
@@ -109,7 +110,7 @@ func TestOptimizeRewritesProject(t *testing.T) {
 }
 
 func TestProfileProducesMethodRows(t *testing.T) {
-	res, err := Profile(proj(), ProfileConfig{MainClass: "Hot"})
+	res, err := Profile(context.Background(), proj(), ProfileConfig{MainClass: "Hot"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,14 +131,14 @@ func TestProfileProducesMethodRows(t *testing.T) {
 }
 
 func TestProfileErrors(t *testing.T) {
-	if _, err := Profile(Project{"x.java": "class X { }"}, ProfileConfig{}); err == nil {
+	if _, err := Profile(context.Background(), Project{"x.java": "class X { }"}, ProfileConfig{}); err == nil {
 		t.Error("project without main accepted")
 	}
-	if _, err := Profile(Project{"x.java": "class {"}, ProfileConfig{}); err == nil {
+	if _, err := Profile(context.Background(), Project{"x.java": "class {"}, ProfileConfig{}); err == nil {
 		t.Error("syntax error accepted")
 	}
 	// Tiny op budget must surface as an error, not a hang.
-	if _, err := Profile(proj(), ProfileConfig{MaxOps: 10}); err == nil {
+	if _, err := Profile(context.Background(), proj(), ProfileConfig{MaxOps: 10}); err == nil {
 		t.Error("op budget not enforced")
 	}
 }

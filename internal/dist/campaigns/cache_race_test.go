@@ -1,6 +1,7 @@
 package campaigns
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -29,7 +30,7 @@ func TestSharedStoreRaceStress(t *testing.T) {
 
 	// Baseline with the cache disabled: the pre-engine pipeline's bytes.
 	off := engine.New(engine.Config{Disabled: true})
-	baseline, _, err := core.AnalyzeAll(proj, core.AnalyzeConfig{Jobs: 1, Cache: off})
+	baseline, _, err := core.AnalyzeAll(context.Background(), proj, core.AnalyzeConfig{Jobs: 1, Cache: off})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestSharedStoreRaceStress(t *testing.T) {
 	}
 }`}}
 	benchSpec := engine.RunSpec{CallClass: "B", CallMethod: "f", MaxOps: 10_000_000}
-	benchRef, err := engine.New(engine.Config{Disabled: true}).Sample(benchSrcs, benchSpec)
+	benchRef, err := engine.New(engine.Config{Disabled: true}).Sample(context.Background(), benchSrcs, benchSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestSharedStoreRaceStress(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		schedReport, _, schedErr = core.AnalyzeAll(proj,
+		schedReport, _, schedErr = core.AnalyzeAll(context.Background(), proj,
 			core.AnalyzeConfig{Jobs: runtime.GOMAXPROCS(0), Cache: shared})
 	}()
 
@@ -74,7 +75,7 @@ func TestSharedStoreRaceStress(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		var rep *core.CorpusReport
-		rep, _, distErr = AnalyzeCorpus(distCfg(3, nil), classifier, campaignSeed, interp.EngineVM)
+		rep, _, distErr = AnalyzeCorpus(context.Background(), distCfg(3, nil), classifier, campaignSeed, interp.EngineVM)
 		distReport = rep
 	}()
 
@@ -85,7 +86,7 @@ func TestSharedStoreRaceStress(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
-				s, err := shared.Sample(benchSrcs, benchSpec)
+				s, err := shared.Sample(context.Background(), benchSrcs, benchSpec)
 				if err != nil {
 					errs <- err
 					return

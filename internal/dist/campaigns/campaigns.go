@@ -13,6 +13,7 @@
 package campaigns
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -108,13 +109,13 @@ func registerTable1(r *dist.Registry) {
 		if err != nil {
 			return tables.Table1Row{}, err
 		}
-		return tables.Table1Pair(task.Index, eng)
+		return tables.Table1Pair(context.Background(), task.Index, eng)
 	})
 }
 
 // Table1Rows regenerates Table I through the dispatcher.
-func Table1Rows(cfg dist.Config, engine interp.Engine) ([]tables.Table1Row, dist.Report, error) {
-	return dist.Map[Table1Params, tables.Table1Row](cfg, Registry(), "table1",
+func Table1Rows(ctx context.Context, cfg dist.Config, engine interp.Engine) ([]tables.Table1Row, dist.Report, error) {
+	return dist.Map[Table1Params, tables.Table1Row](ctx, cfg, Registry(), "table1",
 		Table1Params{Engine: engine.String()}, tables.Table1Count(), nil)
 }
 
@@ -136,8 +137,8 @@ func registerTable2(r *dist.Registry) {
 }
 
 // Table2Rows regenerates Table II through the dispatcher.
-func Table2Rows(cfg dist.Config, seed uint64) ([]jmetrics.Metrics, dist.Report, error) {
-	return dist.Map[Table2Params, jmetrics.Metrics](cfg, Registry(), "table2",
+func Table2Rows(ctx context.Context, cfg dist.Config, seed uint64) ([]jmetrics.Metrics, dist.Report, error) {
+	return dist.Map[Table2Params, jmetrics.Metrics](ctx, cfg, Registry(), "table2",
 		Table2Params{Seed: seed}, len(corpus.Classifiers), nil)
 }
 
@@ -212,15 +213,15 @@ func registerTable4(r *dist.Registry) {
 		if err != nil {
 			return tables.Table4Row{}, err
 		}
-		return runner.Row(corpus.Classifiers[task.Index]), nil
+		return runner.Row(context.Background(), corpus.Classifiers[task.Index]), nil
 	})
 }
 
 // Table4Rows regenerates the supervised Table IV through the dispatcher.
 // Row failures stay inside the rows (Err set), exactly as in
 // tables.Table4Supervised; the returned error covers infrastructure only.
-func Table4Rows(cfg dist.Config, tcfg tables.Table4Config) ([]tables.Table4Row, dist.Report, error) {
-	return dist.Map[Table4Params, tables.Table4Row](cfg, Registry(), "table4row",
+func Table4Rows(ctx context.Context, cfg dist.Config, tcfg tables.Table4Config) ([]tables.Table4Row, dist.Report, error) {
+	return dist.Map[Table4Params, tables.Table4Row](ctx, cfg, Registry(), "table4row",
 		Table4ParamsFrom(tcfg), len(corpus.Classifiers), nil)
 }
 
@@ -282,13 +283,13 @@ func registerCVFold(r *dist.Registry) {
 // CrossValidate runs one classifier's stratified cross-validation through
 // the dispatcher and merges the fold outcomes in fold order, bit-identical
 // to eval.CrossValidateSeeded on the same inputs.
-func CrossValidate(cfg dist.Config, p CVParams) (*eval.Result, dist.Report, error) {
+func CrossValidate(ctx context.Context, cfg dist.Config, p CVParams) (*eval.Result, dist.Report, error) {
 	d := airlines.Generate(p.Instances, p.Seed)
 	folds, err := d.StratifiedFolds(p.Folds, p.Seed)
 	if err != nil {
 		return nil, dist.Report{}, err
 	}
-	evals, rep, err := dist.Map[CVParams, eval.FoldEval](cfg, Registry(), "cvfold", p, len(folds), nil)
+	evals, rep, err := dist.Map[CVParams, eval.FoldEval](ctx, cfg, Registry(), "cvfold", p, len(folds), nil)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -338,7 +339,7 @@ func registerCorpusFile(r *dist.Registry) {
 			return FileSummary{}, fmt.Errorf("campaigns: corpus file %d out of range", task.Index)
 		}
 		f := proj.Files[task.Index]
-		rep, err := core.Analyze(core.Project{f.Path: f.Source},
+		rep, err := core.Analyze(context.Background(), core.Project{f.Path: f.Source},
 			core.AnalyzeConfig{Jobs: 1, Engine: eng})
 		if err != nil {
 			return FileSummary{}, fmt.Errorf("campaigns: %s: %w", f.Path, err)
@@ -355,13 +356,13 @@ func registerCorpusFile(r *dist.Registry) {
 // reconstructs the corpus report from the per-file summaries. The report
 // carries exactly the fields core.CorpusView consumes, so the rendered
 // summary is byte-identical to an in-process core.AnalyzeAll run.
-func AnalyzeCorpus(cfg dist.Config, classifier string, seed uint64, engine interp.Engine) (*core.CorpusReport, dist.Report, error) {
+func AnalyzeCorpus(ctx context.Context, cfg dist.Config, classifier string, seed uint64, engine interp.Engine) (*core.CorpusReport, dist.Report, error) {
 	proj, err := corpus.Generate(classifier, seed)
 	if err != nil {
 		return nil, dist.Report{}, err
 	}
 	report := &core.CorpusReport{Root: proj.Root, Files: make([]core.FileAnalysis, 0, len(proj.Files))}
-	rep, err := dist.Run(cfg, Registry(), "corpusfile",
+	rep, err := dist.Run(ctx, cfg, Registry(), "corpusfile",
 		CorpusParams{Classifier: classifier, Seed: seed, Engine: engine.String()}, len(proj.Files),
 		func(task dist.Task, raw json.RawMessage) {
 			var fs FileSummary
@@ -482,6 +483,6 @@ func measureOnce(prog *interp.Program, mainClass string, engine interp.Engine) (
 }
 
 // MeasureRuns performs n repeated measurement runs through the dispatcher.
-func MeasureRuns(cfg dist.Config, p MeasureParams, n int) ([]Measurement, dist.Report, error) {
-	return dist.Map[MeasureParams, Measurement](cfg, Registry(), "measure", p, n, nil)
+func MeasureRuns(ctx context.Context, cfg dist.Config, p MeasureParams, n int) ([]Measurement, dist.Report, error) {
+	return dist.Map[MeasureParams, Measurement](ctx, cfg, Registry(), "measure", p, n, nil)
 }

@@ -1,6 +1,7 @@
 package campaigns
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -36,12 +37,12 @@ func distCfg(workers int, plan *dist.FaultPlan) dist.Config {
 // workers — one of which is killed mid-campaign — must produce exactly the
 // rows of the in-process pool.
 func TestTable2RowsDistMatchesInline(t *testing.T) {
-	want, _, err := tables.Table2Parallel(campaignSeed, 1)
+	want, _, err := tables.Table2Parallel(context.Background(), campaignSeed, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	plan := &dist.FaultPlan{Script: map[int]map[int]dist.FaultKind{1: {1: dist.FaultKill}}}
-	got, rep, err := Table2Rows(distCfg(3, plan), campaignSeed)
+	got, rep, err := Table2Rows(context.Background(), distCfg(3, plan), campaignSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestCrossValidateDistMatchesInline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := eval.CrossValidateSeeded(d, p.Folds, p.Seed, mk, 1)
+	want, err := eval.CrossValidateSeeded(context.Background(), d, p.Folds, p.Seed, mk, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestCrossValidateDistMatchesInline(t *testing.T) {
 	plan := &dist.FaultPlan{Script: map[int]map[int]dist.FaultKind{0: {0: dist.FaultHang}}}
 	cfg := distCfg(2, plan)
 	cfg.Deadline = 300 * time.Millisecond
-	got, rep, err := CrossValidate(cfg, p)
+	got, rep, err := CrossValidate(context.Background(), cfg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,12 +96,12 @@ func TestAnalyzeCorpusDistMatchesInline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := core.AnalyzeAll(proj, core.AnalyzeConfig{Jobs: 1})
+	want, _, err := core.AnalyzeAll(context.Background(), proj, core.AnalyzeConfig{Jobs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	plan := &dist.FaultPlan{Script: map[int]map[int]dist.FaultKind{2: {3: dist.FaultKill}}}
-	got, rep, err := AnalyzeCorpus(distCfg(4, plan), "RandomTree", campaignSeed, interp.EngineVM)
+	got, rep, err := AnalyzeCorpus(context.Background(), distCfg(4, plan), "RandomTree", campaignSeed, interp.EngineVM)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestMeasureRunsDistMatchesInline(t *testing.T) {
 }`}},
 		Engine: "vm",
 	}
-	want, _, err := MeasureRuns(dist.Config{Workers: 1, Seed: campaignSeed}, p, 4)
+	want, _, err := MeasureRuns(context.Background(), dist.Config{Workers: 1, Seed: campaignSeed}, p, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, rep, err := MeasureRuns(distCfg(2, nil), p, 4)
+	got, rep, err := MeasureRuns(context.Background(), distCfg(2, nil), p, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,12 +161,12 @@ func TestTable1RowsDistSubset(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table 1 measurement campaign is slow")
 	}
-	want, _, err := tables.Table1Jobs(interp.EngineVM, 1)
+	want, _, err := tables.Table1Jobs(context.Background(), interp.EngineVM, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	plan := &dist.FaultPlan{Script: map[int]map[int]dist.FaultKind{0: {2: dist.FaultKill}}}
-	got, rep, err := Table1Rows(distCfg(2, plan), interp.EngineVM)
+	got, rep, err := Table1Rows(context.Background(), distCfg(2, plan), interp.EngineVM)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package dist
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -194,7 +195,15 @@ func (s *runState) firstErr() error {
 // params, committed in index order. It returns the fault-path report and
 // the first task error (by index), if any. The commit callback receives
 // validated JSON; params must marshal to JSON.
-func Run(cfg Config, reg *Registry, kind string, params any, n int, commit func(Task, json.RawMessage)) (Report, error) {
+//
+// Cancelling ctx stops the campaign between commits: no new assignments go
+// out, live nodes are shut down, the committed set stays an exact index
+// prefix, the checkpoint ledger (if any) is saved so a rerun resumes from
+// it, and ctx.Err() is returned.
+func Run(ctx context.Context, cfg Config, reg *Registry, kind string, params any, n int, commit func(Task, json.RawMessage)) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	rep := Report{Workers: cfg.Workers, Tasks: n}
 	raw, err := json.Marshal(params)
@@ -219,11 +228,11 @@ func Run(cfg Config, reg *Registry, kind string, params any, n int, commit func(
 	}
 	rep.Workers = cfg.Workers
 	if workers <= 1 {
-		err := runInline(cfg, reg, kind, raw, st, led, &rep, commit)
+		err := runInline(ctx, cfg, reg, kind, raw, st, led, &rep, commit)
 		rep.Wall = time.Since(start)
 		return rep, err
 	}
-	err = dispatch(cfg, reg, kind, raw, workers, st, led, &rep, commit)
+	err = dispatch(ctx, cfg, reg, kind, raw, workers, st, led, &rep, commit)
 	rep.Wall = time.Since(start)
 	return rep, err
 }
@@ -232,7 +241,7 @@ func Run(cfg Config, reg *Registry, kind string, params any, n int, commit func(
 // round-trip, same retry bound, same ledger — just no processes. Byte
 // identity with the dispatched path follows because both paths feed
 // identical result bytes to the same ordered commit.
-func runInline(cfg Config, reg *Registry, kind string, raw json.RawMessage, st *runState, led *ledgerState, rep *Report, commit func(Task, json.RawMessage)) error {
+func runInline(ctx context.Context, cfg Config, reg *Registry, kind string, raw json.RawMessage, st *runState, led *ledgerState, rep *Report, commit func(Task, json.RawMessage)) error {
 	fn, err := reg.runner(kind)
 	if err != nil {
 		return err
@@ -240,6 +249,12 @@ func runInline(cfg Config, reg *Registry, kind string, raw json.RawMessage, st *
 	for i := range st.done {
 		if st.done[i] {
 			continue
+		}
+		if ctx.Err() != nil {
+			if led != nil {
+				led.save()
+			}
+			return ctx.Err()
 		}
 		task := Task{Index: i, Seed: sched.TaskSeed(cfg.Seed, i)}
 		var out Output
@@ -295,7 +310,7 @@ type retryEntry struct {
 }
 
 // dispatch runs the event loop over live worker connections.
-func dispatch(cfg Config, reg *Registry, kind string, raw json.RawMessage, workers int, st *runState, led *ledgerState, rep *Report, commit func(Task, json.RawMessage)) error {
+func dispatch(ctx context.Context, cfg Config, reg *Registry, kind string, raw json.RawMessage, workers int, st *runState, led *ledgerState, rep *Report, commit func(Task, json.RawMessage)) error {
 	spawn := cfg.Spawn
 	if spawn == nil {
 		spawn = SelfSpawner()
@@ -474,6 +489,15 @@ func dispatch(cfg Config, reg *Registry, kind string, raw json.RawMessage, worke
 	defer ticker.Stop()
 
 	for st.left > 0 {
+		if ctx.Err() != nil {
+			// Cancelled between commits: the deferred cleanup shuts the
+			// nodes down, the committed set is already an exact prefix, and
+			// the saved ledger makes a rerun resume instead of restart.
+			if led != nil {
+				led.save()
+			}
+			return ctx.Err()
+		}
 		if live == 0 {
 			if led != nil {
 				led.save()
@@ -549,6 +573,8 @@ func dispatch(cfg Config, reg *Registry, kind string, raw json.RawMessage, worke
 			default:
 				strike(nd, fmt.Sprintf("unexpected %q message", m.Type))
 			}
+		case <-ctx.Done():
+			// Loop back to the cancellation check at the top.
 		case <-ticker.C:
 			if cfg.Deadline <= 0 {
 				continue
@@ -571,10 +597,10 @@ func dispatch(cfg Config, reg *Registry, kind string, raw json.RawMessage, worke
 // Map is the typed campaign surface: params of type P in, ordered results
 // of type R out, commit in index order. It is to Run what sched.Map is to
 // the raw pool.
-func Map[P, R any](cfg Config, reg *Registry, kind string, params P, n int, commit func(Task, R)) ([]R, Report, error) {
+func Map[P, R any](ctx context.Context, cfg Config, reg *Registry, kind string, params P, n int, commit func(Task, R)) ([]R, Report, error) {
 	out := make([]R, n)
 	var decodeErr error
-	rep, err := Run(cfg, reg, kind, params, n, func(t Task, raw json.RawMessage) {
+	rep, err := Run(ctx, cfg, reg, kind, params, n, func(t Task, raw json.RawMessage) {
 		var r R
 		if uerr := json.Unmarshal(raw, &r); uerr != nil {
 			if decodeErr == nil {

@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -68,7 +69,7 @@ func newMixRegistry(failEvery uint64) *dist.Registry {
 func runMix(t *testing.T, cfg dist.Config, reg *dist.Registry, n int) ([]mixResult, []int, dist.Report) {
 	t.Helper()
 	var order []int
-	out, rep, err := dist.Map(cfg, reg, "mix", mixParams{Label: "t"}, n,
+	out, rep, err := dist.Map(context.Background(), cfg, reg, "mix", mixParams{Label: "t"}, n,
 		func(task dist.Task, r mixResult) { order = append(order, task.Index) })
 	if err != nil {
 		t.Fatalf("campaign failed: %v", err)
@@ -175,7 +176,7 @@ func TestDispatcherTaskRetry(t *testing.T) {
 	}
 
 	noBudget := newMixRegistry(2)
-	_, _, err := dist.Map(dist.Config{Workers: 3, Seed: 7, Spawn: dist.PipeSpawner(noBudget)},
+	_, _, err := dist.Map(context.Background(), dist.Config{Workers: 3, Seed: 7, Spawn: dist.PipeSpawner(noBudget)},
 		noBudget, "mix", mixParams{}, n, func(dist.Task, mixResult) {})
 	if err == nil || !strings.Contains(err.Error(), "induced failure") {
 		t.Errorf("want surfaced task error without retry budget, got %v", err)
@@ -218,7 +219,7 @@ func TestDispatcherPanicIsTaskError(t *testing.T) {
 		}
 		return task.Index, nil
 	})
-	_, rep, err := dist.Map[struct{}, int](dist.Config{Workers: 2, Seed: 1, Spawn: dist.PipeSpawner(reg)},
+	_, rep, err := dist.Map[struct{}, int](context.Background(), dist.Config{Workers: 2, Seed: 1, Spawn: dist.PipeSpawner(reg)},
 		reg, "boom", struct{}{}, 3, nil)
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Fatalf("want panic surfaced as task error, got %v", err)
@@ -237,7 +238,7 @@ func TestDispatcherAllWorkersGone(t *testing.T) {
 		1: {1: dist.FaultKill},
 	}}
 	cfg := dist.Config{Workers: 2, Seed: 5, Spawn: dist.PipeSpawner(reg), Plan: plan}
-	_, _, err := dist.Map[mixParams, mixResult](cfg, reg, "mix", mixParams{}, 20, nil)
+	_, _, err := dist.Map[mixParams, mixResult](context.Background(), cfg, reg, "mix", mixParams{}, 20, nil)
 	if !errors.Is(err, dist.ErrNoWorkers) {
 		t.Fatalf("want ErrNoWorkers, got %v", err)
 	}
@@ -257,7 +258,7 @@ func TestDispatcherCheckpointResume(t *testing.T) {
 		1: {4: dist.FaultKill},
 	}}
 	cfg := dist.Config{Workers: 2, Seed: 42, Checkpoint: ledger, Spawn: dist.PipeSpawner(reg), Plan: plan}
-	_, _, err := dist.Map[mixParams, mixResult](cfg, reg, "mix", mixParams{Label: "t"}, n, nil)
+	_, _, err := dist.Map[mixParams, mixResult](context.Background(), cfg, reg, "mix", mixParams{Label: "t"}, n, nil)
 	if !errors.Is(err, dist.ErrNoWorkers) {
 		t.Fatalf("want first run to lose all workers, got %v", err)
 	}
@@ -350,11 +351,11 @@ func TestWorkerSeedDerivation(t *testing.T) {
 	dist.RegisterFunc(reg, "seed", func(task dist.Task, _ struct{}) (uint64, error) {
 		return task.Seed, nil
 	})
-	inline, _, err := dist.Map[struct{}, uint64](dist.Config{Workers: 1, Seed: 20200518}, reg, "seed", struct{}{}, 6, nil)
+	inline, _, err := dist.Map[struct{}, uint64](context.Background(), dist.Config{Workers: 1, Seed: 20200518}, reg, "seed", struct{}{}, 6, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	piped, _, err := dist.Map[struct{}, uint64](dist.Config{Workers: 3, Seed: 20200518, Spawn: dist.PipeSpawner(reg)},
+	piped, _, err := dist.Map[struct{}, uint64](context.Background(), dist.Config{Workers: 3, Seed: 20200518, Spawn: dist.PipeSpawner(reg)},
 		reg, "seed", struct{}{}, 6, nil)
 	if err != nil {
 		t.Fatal(err)

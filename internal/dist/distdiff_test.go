@@ -17,6 +17,7 @@
 package dist_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -165,7 +166,7 @@ func TestDistDifferentialFuzz(t *testing.T) {
 				Plan:      p,
 			}
 			var ledger ddLedger
-			out, rep, err := dist.Map[ddParams, ddResult](cfg, reg, "ddmeasure", params, tasks,
+			out, rep, err := dist.Map[ddParams, ddResult](context.Background(), cfg, reg, "ddmeasure", params, tasks,
 				func(task dist.Task, res ddResult) {
 					ledger.Lines = append(ledger.Lines,
 						fmt.Sprintf("#%d %x/%x/%x %s err=%q", task.Index, res.Pkg, res.Core, res.DRAM, res.Health, res.Err))

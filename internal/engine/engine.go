@@ -26,6 +26,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -333,8 +334,12 @@ func sampleKey(srcs []Source, spec RunSpec) Key {
 // deterministic — the sample is a pure function of (sources, spec) — so
 // successful samples are cached; failed runs are not (their error strings
 // are re-derived identically on every call).
-func (e *Engine) Sample(srcs []Source, spec RunSpec) (energy.Sample, error) {
-	build := func() (any, error) { return e.runSample(srcs, spec) }
+//
+// ctx bounds the interpreter run: a cancelled run returns ctx's error,
+// which — because errors are never cached — can never poison the store
+// with a partial sample. ctx is deliberately not key material.
+func (e *Engine) Sample(ctx context.Context, srcs []Source, spec RunSpec) (energy.Sample, error) {
+	build := func() (any, error) { return e.runSample(ctx, srcs, spec) }
 	v, err := e.Memo(sampleKey(srcs, spec), build)
 	if err != nil {
 		return energy.Sample{}, err
@@ -342,7 +347,7 @@ func (e *Engine) Sample(srcs []Source, spec RunSpec) (energy.Sample, error) {
 	return v.(energy.Sample), nil
 }
 
-func (e *Engine) runSample(srcs []Source, spec RunSpec) (energy.Sample, error) {
+func (e *Engine) runSample(ctx context.Context, srcs []Source, spec RunSpec) (energy.Sample, error) {
 	prog, err := e.Program(srcs, false)
 	if err != nil {
 		return energy.Sample{}, err
@@ -356,7 +361,7 @@ func (e *Engine) runSample(srcs []Source, spec RunSpec) (energy.Sample, error) {
 	if maxOps == 0 {
 		maxOps = 500_000_000
 	}
-	in := interp.New(prog, meter, interp.WithMaxOps(maxOps), interp.WithEngine(spec.Engine))
+	in := interp.New(prog, meter, interp.WithMaxOps(maxOps), interp.WithEngine(spec.Engine), interp.WithContext(ctx))
 	if spec.CallClass != "" {
 		if err := in.InitStatics(); err != nil {
 			return energy.Sample{}, err

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -117,12 +118,12 @@ func TestSampleConfigKeying(t *testing.T) {
 	srcs := []engine.Source{{Path: "B.java", Source: benchSrc}}
 	spec := engine.RunSpec{CallClass: "B", CallMethod: "f", MaxOps: 1_000_000}
 
-	s1, err := e.Sample(srcs, spec)
+	s1, err := e.Sample(context.Background(), srcs, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h0 := e.Stats().Hits
-	s2, err := e.Sample(srcs, spec)
+	s2, err := e.Sample(context.Background(), srcs, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestSampleConfigKeying(t *testing.T) {
 	astSpec := spec
 	astSpec.Engine = interp.EngineAST
 	m0 := e.Stats().Misses
-	if _, err := e.Sample(srcs, astSpec); err != nil {
+	if _, err := e.Sample(context.Background(), srcs, astSpec); err != nil {
 		t.Fatal(err)
 	}
 	if e.Stats().Misses <= m0 {
@@ -152,7 +153,7 @@ func TestSampleConfigKeying(t *testing.T) {
 	costs.FrequencyHz *= 2
 	cheap := spec
 	cheap.Costs = &costs
-	s3, err := e.Sample(srcs, cheap)
+	s3, err := e.Sample(context.Background(), srcs, cheap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestSampleConfigKeying(t *testing.T) {
 	bigger := spec
 	bigger.MaxOps = 2_000_000
 	m1 := e.Stats().Misses
-	if _, err := e.Sample(srcs, bigger); err != nil {
+	if _, err := e.Sample(context.Background(), srcs, bigger); err != nil {
 		t.Fatal(err)
 	}
 	if e.Stats().Misses <= m1 {
@@ -173,7 +174,7 @@ func TestSampleConfigKeying(t *testing.T) {
 
 	// Main-mode vs call-mode are distinct artifacts of the same sources.
 	mainSpec := engine.RunSpec{MaxOps: 1_000_000}
-	sm, err := e.Sample(srcs, mainSpec)
+	sm, err := e.Sample(context.Background(), srcs, mainSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,15 +190,15 @@ func TestDisabledEngineMatchesEnabled(t *testing.T) {
 	spec := engine.RunSpec{CallClass: "B", CallMethod: "f", MaxOps: 1_000_000}
 	on := engine.New(engine.Config{})
 	off := engine.New(engine.Config{Disabled: true})
-	sOn1, err := on.Sample(srcs, spec)
+	sOn1, err := on.Sample(context.Background(), srcs, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sOn2, err := on.Sample(srcs, spec) // warm
+	sOn2, err := on.Sample(context.Background(), srcs, spec) // warm
 	if err != nil {
 		t.Fatal(err)
 	}
-	sOff, err := off.Sample(srcs, spec)
+	sOff, err := off.Sample(context.Background(), srcs, spec)
 	if err != nil {
 		t.Fatal(err)
 	}

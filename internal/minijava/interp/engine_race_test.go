@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -173,7 +174,7 @@ func TestSchedMapSharesProgram(t *testing.T) {
 		t.Run(engine.String(), func(t *testing.T) {
 			type outcome struct{ result, joules uint64 }
 			run := func(jobs int) []outcome {
-				out, _, err := sched.Map(sched.Config{Jobs: jobs, Seed: 7}, make([]struct{}, 24),
+				out, _, err := sched.Map(context.Background(), sched.Config{Jobs: jobs, Seed: 7}, make([]struct{}, 24),
 					func(task sched.Task, _ struct{}) (outcome, error) {
 						in := New(prog, energy.NewMeter(energy.DefaultCosts()),
 							WithMaxOps(10_000_000), WithEngine(engine))

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -27,6 +28,16 @@ type Interp struct {
 	maxOps int64 // 0 = unlimited
 	ops    int64
 	rngInt uint64 // deterministic LCG for Math.random
+
+	// ctx, when set, lets a long run be cancelled or deadlined mid-flight.
+	// ctxCheckAt is the ops value at which the context is next polled; the
+	// check piggybacks on the existing op counter (no meter traffic, no extra
+	// counters), so the energy accounting is bit-identical whether or not a
+	// context is installed — cancellation only changes *whether* the run
+	// completes, never what a completed run charges. Without a context,
+	// ctxCheckAt stays at math.MaxInt64 and the poll branch never fires.
+	ctx        context.Context
+	ctxCheckAt int64
 
 	engine       Engine
 	staticsReady bool
@@ -81,6 +92,25 @@ func WithHook(h ProbeHook) Option { return func(in *Interp) { in.hook = h } }
 // into an error instead of a hang.
 func WithMaxOps(n int64) Option { return func(in *Interp) { in.maxOps = n } }
 
+// ctxCheckInterval is how many budget-counted ops run between context polls.
+// Small enough that cancellation lands within microseconds of real work,
+// large enough that the poll is noise against the dispatch loop.
+const ctxCheckInterval = 16384
+
+// WithContext makes the run cancellable: the interpreter polls ctx every
+// ctxCheckInterval budget-counted ops (on the same counter the op budget
+// uses) and aborts with ctx.Err() once it is done. A nil or Background
+// context costs one always-false comparison per op-batch and nothing else.
+func WithContext(ctx context.Context) Option {
+	return func(in *Interp) {
+		if ctx == nil || ctx.Done() == nil {
+			return
+		}
+		in.ctx = ctx
+		in.ctxCheckAt = ctxCheckInterval
+	}
+}
+
 // WithVMTier selects the bytecode engine's optimization tier: 1 is the
 // generic-dispatch baseline (no block charge aggregation, no quickening),
 // 2 (the default) is the full tier. Both tiers charge identical energy bits;
@@ -109,12 +139,13 @@ func WithQuickening(on bool) Option {
 // New builds an interpreter for prog charging energy to meter.
 func New(prog *Program, meter *energy.Meter, opts ...Option) *Interp {
 	in := &Interp{
-		prog:      prog,
-		meter:     meter,
-		rngInt:    0x9E3779B97F4A7C15,
-		vmTier:    2,
-		quick:     true,
-		siteCache: make([]siteState, len(prog.sites)),
+		prog:       prog,
+		meter:      meter,
+		rngInt:     0x9E3779B97F4A7C15,
+		vmTier:     2,
+		quick:      true,
+		ctxCheckAt: math.MaxInt64,
+		siteCache:  make([]siteState, len(prog.sites)),
 	}
 	for _, o := range opts {
 		o(in)
@@ -141,6 +172,10 @@ type javaPanic struct{ t *Throwable }
 
 // bugPanic carries an interpreter-level error (type mismatch, unknown name).
 type bugPanic struct{ msg string }
+
+// cancelPanic unwinds a run whose context was cancelled or deadlined; the
+// API boundary converts it back into the context's error.
+type cancelPanic struct{ err error }
 
 func (in *Interp) bugf(pos token.Pos, format string, args ...any) {
 	where := ""
@@ -171,6 +206,8 @@ func (in *Interp) run(f func() Value) (v Value, err error) {
 			err = &UncaughtError{T: r.t}
 		case bugPanic:
 			err = fmt.Errorf("interp: %s", r.msg)
+		case cancelPanic:
+			err = r.err
 		default:
 			panic(r)
 		}
@@ -195,6 +232,8 @@ func (in *Interp) InitStatics() (err error) {
 			err = &UncaughtError{T: r.t}
 		case bugPanic:
 			err = fmt.Errorf("interp: %s", r.msg)
+		case cancelPanic:
+			err = r.err
 		default:
 			panic(r)
 		}
@@ -498,17 +537,33 @@ var normal = ctrl{}
 
 // step counts one interpreted node against the op budget. The panic lives in
 // a separate function so step stays within the inlining budget; it is charged
-// on every AST node.
+// on every AST node. The context poll rides on the same counter: without a
+// context ctxCheckAt is MaxInt64 and the branch never fires.
 func (in *Interp) step() {
 	in.ops++
 	if in.maxOps > 0 && in.ops > in.maxOps {
 		in.opBudgetExceeded()
+	}
+	if in.ops >= in.ctxCheckAt {
+		in.ctxCheckpoint()
 	}
 }
 
 //go:noinline
 func (in *Interp) opBudgetExceeded() {
 	panic(bugPanic{fmt.Sprintf("op budget of %d exceeded (likely an infinite loop)", in.maxOps)})
+}
+
+// ctxCheckpoint polls the installed context and re-arms the next poll point.
+// It charges nothing to the meter — cancellation never perturbs the energy
+// accounting of runs that complete.
+//
+//go:noinline
+func (in *Interp) ctxCheckpoint() {
+	in.ctxCheckAt = in.ops + ctxCheckInterval
+	if err := in.ctx.Err(); err != nil {
+		panic(cancelPanic{err})
+	}
 }
 
 func (in *Interp) exec(fr *frame, s ast.Stmt) ctrl {

@@ -195,6 +195,9 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			if in.maxOps > 0 && in.ops > in.maxOps {
 				in.opBudgetExceeded()
 			}
+			if in.ops >= in.ctxCheckAt {
+				in.ctxCheckpoint()
+			}
 		}
 	dispatch:
 		switch ins.Op {
@@ -224,6 +227,9 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			in.ops += int64(run.Steps)
 			if in.maxOps > 0 && in.ops > in.maxOps {
 				in.opBudgetExceeded()
+			}
+			if in.ops >= in.ctxCheckAt {
+				in.ctxCheckpoint()
 			}
 			in.meter.StepList(run.Charges)
 		case bytecode.OpQBinIntLL, bytecode.OpQBinIntLC, bytecode.OpQBinInt:

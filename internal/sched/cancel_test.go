@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drains back to at most
+// base+slack, failing the test if it never does. The poll absorbs scheduler
+// lag without turning the assertion into a sleep.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancel: %d, started with %d", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMapCancelDrainsWorkers cancels a parallel Map mid-flight and asserts
+// the contract: the call returns ctx's error, every worker goroutine exits
+// (no leaks), and in-flight task functions were allowed to finish rather
+// than being abandoned.
+func TestMapCancelDrainsWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	started, finished := 0, 0
+	items := make([]int, 200)
+	_, _, err := Map(ctx, Config{Jobs: 4}, items, func(task Task, _ int) (int, error) {
+		mu.Lock()
+		started++
+		if started == 8 {
+			cancel()
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		finished++
+		mu.Unlock()
+		return task.Index, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Map returned %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, base)
+	mu.Lock()
+	s, f := started, finished
+	mu.Unlock()
+	if s != f {
+		t.Errorf("%d tasks started but only %d finished: cancel abandoned in-flight work", s, f)
+	}
+	if s == len(items) {
+		t.Error("cancel did not stop the pool from claiming new tasks")
+	}
+}
+
+// TestMapCommitCancelCommitsExactPrefix cancels MapCommit mid-flight and
+// asserts no partial index commits: the committed set is exactly the
+// indices 0..k-1 for some k — never a gap, never an out-of-order commit.
+func TestMapCommitCancelCommitsExactPrefix(t *testing.T) {
+	for _, jobs := range []int{1, 3, 8} {
+		base := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+
+		var mu sync.Mutex
+		var committed []int
+		ran := 0
+		items := make([]int, 150)
+		_, _, err := MapCommit(ctx, Config{Jobs: jobs, Seed: 11}, items,
+			func(task Task, _ int) (int, error) {
+				mu.Lock()
+				ran++
+				if ran == 10 {
+					cancel()
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				return task.Index, nil
+			},
+			func(task Task, v int) {
+				mu.Lock()
+				committed = append(committed, v)
+				mu.Unlock()
+			})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: cancelled MapCommit returned %v", jobs, err)
+		}
+		waitGoroutines(t, base)
+		mu.Lock()
+		got := append([]int(nil), committed...)
+		mu.Unlock()
+		if len(got) == len(items) {
+			t.Errorf("jobs=%d: all %d items committed despite cancel", jobs, len(items))
+		}
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("jobs=%d: commit %d has index %d — committed set is not an exact prefix: %v",
+					jobs, i, idx, got)
+			}
+		}
+	}
+}
+
+// TestMapPreCancelled asserts an already-cancelled context does no work.
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, _, err := Map(ctx, Config{Jobs: 2}, make([]int, 10), func(Task, int) (int, error) {
+		ran = true
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Map returned %v", err)
+	}
+	if ran {
+		t.Error("pre-cancelled Map still ran a task")
+	}
+}
+
+// TestMapCancelDominatesTaskError asserts cancellation wins over a task
+// error that races it: callers distinguish "you stopped me" from "it broke".
+func TestMapCancelDominatesTaskError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	_, _, err := Map(ctx, Config{Jobs: 2}, make([]int, 50), func(task Task, _ int) (int, error) {
+		if task.Index == 3 {
+			cancel()
+			return 0, boom
+		}
+		time.Sleep(time.Millisecond)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled to dominate the racing task error", err)
+	}
+}
+
+// TestGate exercises the admission primitive end to end: slot bounds, FIFO
+// queue hand-off, shed on saturation, and queue abandonment on cancel.
+func TestGate(t *testing.T) {
+	g := NewGate(2, 1)
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third waits (queue depth 1); fourth sheds.
+	acquired := make(chan func(), 1)
+	go func() {
+		r3, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		acquired <- r3
+	}()
+	for g.Stats().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("overfull queue returned %v, want ErrSaturated", err)
+	}
+	r1()
+	r3 := <-acquired
+	r3()
+	r2()
+	// Double release is a no-op, not a slot leak.
+	r2()
+	st := g.Stats()
+	if st.InUse != 0 || st.Queued != 0 {
+		t.Errorf("gate not drained: %+v", st)
+	}
+	if st.Admitted != 3 || st.Rejected != 1 || st.Waited != 1 {
+		t.Errorf("stats = %+v, want 3 admitted, 1 rejected, 1 waited", st)
+	}
+}
+
+// TestGateCancelWhileQueued cancels a waiting Acquire and asserts the queue
+// entry is abandoned without consuming the slot it was waiting for.
+func TestGateCancelWhileQueued(t *testing.T) {
+	g := NewGate(1, 4)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx)
+		errCh <- err
+	}()
+	for g.Stats().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Acquire returned %v", err)
+	}
+	release()
+	// The slot freed by release must be immediately acquirable — the
+	// cancelled waiter didn't swallow it.
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("slot lost to a cancelled waiter: %v", err)
+	}
+	r2()
+}

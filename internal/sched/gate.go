@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrSaturated is returned by Gate.Acquire when the gate's wait queue is at
+// capacity: the caller should shed the request rather than block behind an
+// unbounded backlog.
+var ErrSaturated = errors.New("sched: gate saturated")
+
+// Gate is the admission-control primitive the service layer puts in front of
+// the pool: at most `slots` requests run concurrently, at most `maxQueue`
+// more wait their turn, and anything beyond that is rejected immediately
+// with ErrSaturated. Waiters are admitted strictly in arrival order, and a
+// waiter whose context is cancelled leaves the queue without consuming a
+// slot. A Gate does not replace the pool — each admitted request still runs
+// its own sched.Map fan-out — it bounds how many such fan-outs exist at once
+// so a burst of sessions degrades to queueing, not thrash.
+type Gate struct {
+	mu      sync.Mutex
+	slots   int
+	inUse   int
+	maxWait int
+	waiters []chan struct{} // FIFO; closed channel == admitted
+	stats   GateStats
+}
+
+// GateStats is a snapshot of gate activity since creation.
+type GateStats struct {
+	Admitted int // Acquire calls that got a slot (immediately or after waiting)
+	Rejected int // Acquire calls shed with ErrSaturated
+	Waited   int // admitted calls that had to queue first
+	InUse    int // slots held at snapshot time
+	Queued   int // waiters at snapshot time
+}
+
+// NewGate builds a gate with `slots` concurrent admissions and room for
+// `maxQueue` waiting requests. slots < 1 is treated as 1; maxQueue < 0 as 0.
+func NewGate(slots, maxQueue int) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{slots: slots, maxWait: maxQueue}
+}
+
+// Acquire blocks until a slot is free, the context is cancelled, or the
+// queue is full. On success it returns a release function that must be
+// called exactly once when the request finishes; on failure it returns
+// ctx.Err() or ErrSaturated.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	g.mu.Lock()
+	if g.inUse < g.slots && len(g.waiters) == 0 {
+		g.inUse++
+		g.stats.Admitted++
+		g.mu.Unlock()
+		return g.releaseFunc(), nil
+	}
+	if len(g.waiters) >= g.maxWait {
+		g.stats.Rejected++
+		g.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	ticket := make(chan struct{})
+	g.waiters = append(g.waiters, ticket)
+	g.stats.Waited++
+	g.mu.Unlock()
+
+	select {
+	case <-ticket:
+		// Admitted by a releasing holder, which already moved the slot to us.
+		g.mu.Lock()
+		g.stats.Admitted++
+		g.mu.Unlock()
+		return g.releaseFunc(), nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		select {
+		case <-ticket:
+			// Lost the race: admission happened before the cancellation took
+			// effect. We hold a slot and must give it back.
+			g.stats.Admitted++
+			g.releaseLocked()
+			return nil, ctx.Err()
+		default:
+		}
+		for i, w := range g.waiters {
+			if w == ticket {
+				g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+				break
+			}
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc wraps releaseLocked in a sync.Once so double-release is inert.
+func (g *Gate) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			g.releaseLocked()
+		})
+	}
+}
+
+// releaseLocked frees one slot, handing it to the oldest waiter if any.
+// Callers hold g.mu.
+func (g *Gate) releaseLocked() {
+	if len(g.waiters) > 0 {
+		ticket := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		close(ticket) // slot transfers to the waiter; inUse is unchanged
+		return
+	}
+	g.inUse--
+}
+
+// Stats returns a snapshot of gate counters.
+func (g *Gate) Stats() GateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.stats
+	s.InUse = g.inUse
+	s.Queued = len(g.waiters)
+	return s
+}

@@ -27,8 +27,10 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -107,8 +109,12 @@ func (t Telemetry) String() string {
 // results in item order. The first error by task index is returned (every
 // task still runs, mirroring the row-collection semantics of the table
 // generators). See MapCommit for the ordered-commit variant.
-func Map[T, R any](cfg Config, items []T, fn func(Task, T) (R, error)) ([]R, Telemetry, error) {
-	return MapCommit(cfg, items, fn, nil)
+//
+// Cancelling ctx stops the pool cleanly: no new tasks are claimed, in-flight
+// attempts drain to completion (workers are never abandoned mid-task), the
+// committed prefix stays an exact index prefix, and ctx.Err() is returned.
+func Map[T, R any](ctx context.Context, cfg Config, items []T, fn func(Task, T) (R, error)) ([]R, Telemetry, error) {
+	return MapCommit(ctx, cfg, items, fn, nil)
 }
 
 // MapCommit is Map plus an in-order commit hook: commit runs on the calling
@@ -116,7 +122,10 @@ func Map[T, R any](cfg Config, items []T, fn func(Task, T) (R, error)) ([]R, Tel
 // become final. It is the seam for order-sensitive reductions — summing
 // Joules, concatenating Health ledgers, emitting output — that must be
 // bit-identical at any worker count.
-func MapCommit[T, R any](cfg Config, items []T, fn func(Task, T) (R, error), commit func(Task, R)) ([]R, Telemetry, error) {
+func MapCommit[T, R any](ctx context.Context, cfg Config, items []T, fn func(Task, T) (R, error), commit func(Task, R)) ([]R, Telemetry, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(items)
 	jobs := cfg.Jobs
 	if jobs <= 0 {
@@ -155,11 +164,17 @@ func MapCommit[T, R any](cfg Config, items []T, fn func(Task, T) (R, error), com
 
 	var panics int64
 	taskTime := make([]time.Duration, n) // Σ attempt durations per task
+	cancelled := false
 
 	if jobs == 1 {
 		// Sequential degeneration: inline, in index order, commit after each
-		// task — today's single-goroutine code path exactly.
+		// task — today's single-goroutine code path exactly. A cancelled
+		// context stops before the next task; the finished prefix stands.
 		for i := range items {
+			if ctx.Err() != nil {
+				cancelled = true
+				break
+			}
 			task := Task{Index: i, Seed: TaskSeed(cfg.Seed, i)}
 			t0 := time.Now()
 			for try := 0; ; try++ {
@@ -211,9 +226,18 @@ func MapCommit[T, R any](cfg Config, items []T, fn func(Task, T) (R, error), com
 				close(finished)
 			}
 		}
+		var workers sync.WaitGroup
 		for w := 0; w < jobs; w++ {
+			workers.Add(1)
 			go func(w int) {
+				defer workers.Done()
 				for {
+					// A cancelled context stops the claim loop: nothing new
+					// is picked up, and the worker exits once its in-flight
+					// attempt (if any) has already completed.
+					if ctx.Err() != nil {
+						return
+					}
 					// Idle workers steal queued retries before claiming
 					// fresh indices, so a flaky early task re-runs while the
 					// tail is still being dispatched.
@@ -234,19 +258,31 @@ func MapCommit[T, R any](cfg Config, items []T, fn func(Task, T) (R, error), com
 						exec(w, j)
 					case <-finished:
 						return
+					case <-ctx.Done():
+						return
 					}
 				}
 			}(w)
 		}
 		// Index-ordered commit on the caller's goroutine: task i+1's result
-		// may already be done, but it is not committed before task i's.
-		for i := 0; i < n; i++ {
-			<-done[i]
-			if errs[i] == nil && commit != nil {
-				commit(Task{Index: i, Seed: TaskSeed(cfg.Seed, i)}, results[i])
+		// may already be done, but it is not committed before task i's. On
+		// cancellation the loop stops committing immediately — the committed
+		// set stays an exact prefix — and falls through to the drain.
+		for i := 0; i < n && !cancelled; i++ {
+			select {
+			case <-done[i]:
+				if errs[i] == nil && commit != nil {
+					commit(Task{Index: i, Seed: TaskSeed(cfg.Seed, i)}, results[i])
+				}
+			case <-ctx.Done():
+				cancelled = true
 			}
 		}
-		<-finished
+		// Drain: every worker has either returned or is finishing its last
+		// attempt. Waiting here (instead of on `finished`, which never closes
+		// on a cancelled run) guarantees no goroutine outlives the call and
+		// the busy ledgers below are safely published.
+		workers.Wait()
 		tel.Attempts = int(attempts)
 		tel.Steals = int(steals)
 		for w := range busyNS {
@@ -263,6 +299,9 @@ func MapCommit[T, R any](cfg Config, items []T, fn func(Task, T) (R, error), com
 		if d > tel.StragglerTime {
 			tel.StragglerIndex, tel.StragglerTime = i, d
 		}
+	}
+	if cancelled {
+		return results, tel, ctx.Err()
 	}
 	var firstErr error
 	for _, err := range errs {

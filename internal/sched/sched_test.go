@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -34,7 +35,7 @@ func TestMapOrderAndSeeds(t *testing.T) {
 		items[i] = i * 10
 	}
 	for _, jobs := range []int{1, 2, 4, 8} {
-		got, tel, err := Map(Config{Jobs: jobs, Seed: 99}, items, func(task Task, item int) (string, error) {
+		got, tel, err := Map(context.Background(), Config{Jobs: jobs, Seed: 99}, items, func(task Task, item int) (string, error) {
 			if want := TaskSeed(99, task.Index); task.Seed != want {
 				return "", fmt.Errorf("task %d seed %#x, want %#x", task.Index, task.Seed, want)
 			}
@@ -65,7 +66,7 @@ func TestMapCommitStrictOrder(t *testing.T) {
 	items := make([]int, 41)
 	for _, jobs := range []int{1, 3, 8} {
 		var order []int
-		_, _, err := MapCommit(Config{Jobs: jobs}, items, func(task Task, _ int) (int, error) {
+		_, _, err := MapCommit(context.Background(), Config{Jobs: jobs}, items, func(task Task, _ int) (int, error) {
 			// Skew work so later tasks tend to finish before earlier ones.
 			n := 0
 			for i := 0; i < (len(items)-task.Index)*2000; i++ {
@@ -96,7 +97,7 @@ func TestMapBitIdenticalReduction(t *testing.T) {
 	items := make([]int, 100)
 	run := func(jobs int) float64 {
 		sum := 0.0
-		_, _, err := MapCommit(Config{Jobs: jobs, Seed: 5}, items, func(task Task, _ int) (float64, error) {
+		_, _, err := MapCommit(context.Background(), Config{Jobs: jobs, Seed: 5}, items, func(task Task, _ int) (float64, error) {
 			// A value scaled so the summation is not associative in float64.
 			return 0.1 * float64(task.Seed%1000) / float64(task.Index+1), nil
 		}, func(_ Task, v float64) {
@@ -119,7 +120,7 @@ func TestMapFirstErrorByIndex(t *testing.T) {
 	boom := errors.New("boom")
 	items := make([]int, 20)
 	for _, jobs := range []int{1, 4} {
-		got, _, err := Map(Config{Jobs: jobs}, items, func(task Task, _ int) (int, error) {
+		got, _, err := Map(context.Background(), Config{Jobs: jobs}, items, func(task Task, _ int) (int, error) {
 			if task.Index == 7 || task.Index == 3 {
 				return 0, fmt.Errorf("task %d: %w", task.Index, boom)
 			}
@@ -141,7 +142,7 @@ func TestMapFirstErrorByIndex(t *testing.T) {
 func TestMapPanicBecomesError(t *testing.T) {
 	items := make([]int, 5)
 	for _, jobs := range []int{1, 3} {
-		_, tel, err := Map(Config{Jobs: jobs}, items, func(task Task, _ int) (int, error) {
+		_, tel, err := Map(context.Background(), Config{Jobs: jobs}, items, func(task Task, _ int) (int, error) {
 			if task.Index == 2 {
 				panic("kaboom")
 			}
@@ -163,7 +164,7 @@ func TestMapRetryQueue(t *testing.T) {
 	items := make([]int, 12)
 	for _, jobs := range []int{1, 4} {
 		attempts := make([]int32, len(items))
-		got, tel, err := Map(Config{Jobs: jobs, Retries: 2}, items, func(task Task, _ int) (int, error) {
+		got, tel, err := Map(context.Background(), Config{Jobs: jobs, Retries: 2}, items, func(task Task, _ int) (int, error) {
 			attempts[task.Index]++
 			// Tasks 1 and 5 fail twice before succeeding; the rest pass.
 			if (task.Index == 1 || task.Index == 5) && attempts[task.Index] <= 2 {
@@ -190,7 +191,7 @@ func TestMapRetryQueue(t *testing.T) {
 
 func TestMapRetriesExhausted(t *testing.T) {
 	items := make([]int, 3)
-	_, tel, err := Map(Config{Jobs: 2, Retries: 3}, items, func(task Task, _ int) (int, error) {
+	_, tel, err := Map(context.Background(), Config{Jobs: 2, Retries: 3}, items, func(task Task, _ int) (int, error) {
 		if task.Index == 1 {
 			return 0, errors.New("always down")
 		}
@@ -205,7 +206,7 @@ func TestMapRetriesExhausted(t *testing.T) {
 }
 
 func TestMapEmptyAndTelemetryRender(t *testing.T) {
-	got, tel, err := Map(Config{Jobs: 4}, nil, func(Task, struct{}) (int, error) { return 0, nil })
+	got, tel, err := Map(context.Background(), Config{Jobs: 4}, nil, func(Task, struct{}) (int, error) { return 0, nil })
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty map: %v, %d results", err, len(got))
 	}
@@ -213,7 +214,7 @@ func TestMapEmptyAndTelemetryRender(t *testing.T) {
 		t.Errorf("telemetry render: %q", s)
 	}
 	// A populated run renders utilization and the straggler.
-	_, tel, err = Map(Config{Jobs: 2}, make([]int, 6), func(task Task, _ int) (int, error) {
+	_, tel, err = Map(context.Background(), Config{Jobs: 2}, make([]int, 6), func(task Task, _ int) (int, error) {
 		n := 0
 		for i := 0; i < 10000; i++ {
 			n += i
@@ -241,7 +242,7 @@ func TestMapResultsIndependentOfJobs(t *testing.T) {
 	items := make([]int, 33)
 	run := func(jobs int) ([]uint64, []int) {
 		var committed []int
-		res, _, err := MapCommit(Config{Jobs: jobs, Seed: 41}, items, func(task Task, _ int) (uint64, error) {
+		res, _, err := MapCommit(context.Background(), Config{Jobs: jobs, Seed: 41}, items, func(task Task, _ int) (uint64, error) {
 			// A mini per-task RNG stream: results depend only on the seed.
 			s := task.Seed
 			for i := 0; i < 10; i++ {

@@ -15,6 +15,7 @@
 package sched_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -123,6 +124,7 @@ func TestSchedDifferentialFuzz(t *testing.T) {
 			tries := make([]int32, tasks)
 			var ledger diffLedger
 			out, tel, err := sched.MapCommit(
+				context.Background(),
 				sched.Config{Jobs: jobs, Seed: r, Retries: 2},
 				make([]struct{}, tasks),
 				func(task sched.Task, _ struct{}) (diffResult, error) {

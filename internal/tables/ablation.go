@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -71,7 +72,7 @@ func DefaultAblationConfig() AblationConfig {
 // Ablate measures the chosen classifier's refactoring improvement under each
 // cost-model variant. The spread across variants shows which mechanisms the
 // headline improvement decomposes into.
-func Ablate(cfg AblationConfig) ([]AblationRow, error) {
+func Ablate(ctx context.Context, cfg AblationConfig) ([]AblationRow, error) {
 	if cfg.Classifier == "" {
 		cfg.Classifier = "RandomForest"
 	}
@@ -99,11 +100,11 @@ func Ablate(cfg AblationConfig) ([]AblationRow, error) {
 		if err := costs.Validate(); err != nil {
 			return nil, fmt.Errorf("tables: ablation %s produced invalid costs: %w", v.name, err)
 		}
-		before, err := runKernelWithCosts(orig, cfg.Classifier, feats, labels, cfg.Reps, costs, cfg.Engine)
+		before, err := runKernelWithCosts(ctx, orig, cfg.Classifier, feats, labels, cfg.Reps, costs, cfg.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("tables: ablation %s: %w", v.name, err)
 		}
-		after, err := runKernelWithCosts(refd, cfg.Classifier, feats, labels, cfg.Reps, costs, cfg.Engine)
+		after, err := runKernelWithCosts(ctx, refd, cfg.Classifier, feats, labels, cfg.Reps, costs, cfg.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("tables: ablation %s: %w", v.name, err)
 		}
@@ -117,12 +118,12 @@ func Ablate(cfg AblationConfig) ([]AblationRow, error) {
 }
 
 // runKernelWithCosts is runKernelOnce with an explicit cost table.
-func runKernelWithCosts(kernel *ast.File, name string, feats [][]float64, labels []int64, reps int, costs energy.CostTable, engine interp.Engine) (kernelMeasurement, error) {
+func runKernelWithCosts(ctx context.Context, kernel *ast.File, name string, feats [][]float64, labels []int64, reps int, costs energy.CostTable, engine interp.Engine) (kernelMeasurement, error) {
 	prog, err := interp.Load(kernel)
 	if err != nil {
 		return kernelMeasurement{}, err
 	}
-	in := interp.New(prog, energy.NewMeter(costs), interp.WithMaxOps(2_000_000_000), interp.WithEngine(engine))
+	in := interp.New(prog, energy.NewMeter(costs), interp.WithMaxOps(2_000_000_000), interp.WithEngine(engine), interp.WithContext(ctx))
 	if err := in.InitStatics(); err != nil {
 		return kernelMeasurement{}, err
 	}

@@ -1,13 +1,14 @@
 package tables
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestAblationDecomposesRandomForestImprovement(t *testing.T) {
 	cfg := AblationConfig{Seed: 20200518, Classifier: "RandomForest", Instances: 300, Reps: 4}
-	rows, err := Ablate(cfg)
+	rows, err := Ablate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestAblationDecomposesRandomForestImprovement(t *testing.T) {
 
 func TestAblationFlatKernelStaysFlat(t *testing.T) {
 	cfg := AblationConfig{Seed: 20200518, Classifier: "RandomTree", Instances: 200, Reps: 2}
-	rows, err := Ablate(cfg)
+	rows, err := Ablate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestAblationFlatKernelStaysFlat(t *testing.T) {
 }
 
 func TestAblationUnknownClassifier(t *testing.T) {
-	if _, err := Ablate(AblationConfig{Classifier: "Nope", Instances: 10, Reps: 1}); err == nil {
+	if _, err := Ablate(context.Background(), AblationConfig{Classifier: "Nope", Instances: 10, Reps: 1}); err == nil {
 		t.Error("unknown classifier accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -259,7 +260,7 @@ func TestGoldenEnergySchedJobs(t *testing.T) {
 	for _, jobs := range jobsValues {
 		jobs := jobs
 		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
-			got, tel, err := sched.Map(sched.Config{Jobs: jobs, Seed: 20200518}, cases,
+			got, tel, err := sched.Map(context.Background(), sched.Config{Jobs: jobs, Seed: 20200518}, cases,
 				func(_ sched.Task, c goldenCase) (goldenRecord, error) {
 					return c.run()
 				})

@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestSchedMapTable1CorpusSharedPrograms(t *testing.T) {
 	run := func(jobs int) []uint64 {
 		// Each bench runs twice per pass to double the concurrent load on the
 		// shared programs.
-		out, _, err := sched.Map(sched.Config{Jobs: jobs, Seed: 20200518}, make([]struct{}, 2*len(benches)),
+		out, _, err := sched.Map(context.Background(), sched.Config{Jobs: jobs, Seed: 20200518}, make([]struct{}, 2*len(benches)),
 			func(task sched.Task, _ struct{}) (uint64, error) {
 				prog := progs[task.Index%len(progs)]
 				in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()),

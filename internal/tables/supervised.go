@@ -8,6 +8,7 @@
 package tables
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -61,12 +62,12 @@ func (r *Table4Runner) say(format string, args ...any) {
 // persisted (atomically), and every failure mode — error, panic, deadline
 // — comes back as a row with Err set, never as an error. Rows are
 // independent and Row is goroutine-safe.
-func (r *Table4Runner) Row(name string) Table4Row {
+func (r *Table4Runner) Row(ctx context.Context, name string) Table4Row {
 	if row, ok := loadCheckpoint(r.cfg.CheckpointDir, name); ok {
 		r.say("%s: resumed from checkpoint", name)
 		return row
 	}
-	row := superviseRow(name, r.data, r.feats, r.labels, r.cfg, r.say)
+	row := superviseRow(ctx, name, r.data, r.feats, r.labels, r.cfg, r.say)
 	if row.Err == "" {
 		if err := saveCheckpoint(r.cfg.CheckpointDir, row); err != nil {
 			r.say("%s: checkpoint not written: %v", name, err)
@@ -79,7 +80,7 @@ func (r *Table4Runner) Row(name string) Table4Row {
 // Every classifier produces a row: successful rows carry measurements,
 // failed ones carry Err. The returned error covers infrastructure problems
 // only (an unusable checkpoint directory), never a row failure.
-func Table4Supervised(cfg Table4Config) ([]Table4Row, error) {
+func Table4Supervised(ctx context.Context, cfg Table4Config) ([]Table4Row, error) {
 	runner, err := NewTable4Runner(cfg)
 	if err != nil {
 		return nil, err
@@ -88,9 +89,9 @@ func Table4Supervised(cfg Table4Config) ([]Table4Row, error) {
 	// before: superviseRow converts every failure mode (error, panic,
 	// deadline) into a row with Err set, so the pool's fn never errors and
 	// every classifier always yields a row, committed in paper order.
-	rows, tel, err := sched.Map(sched.Config{Jobs: cfg.Slots, Seed: cfg.Seed}, corpus.Classifiers,
+	rows, tel, err := sched.Map(ctx, sched.Config{Jobs: cfg.Slots, Seed: cfg.Seed}, corpus.Classifiers,
 		func(_ sched.Task, name string) (Table4Row, error) {
-			return runner.Row(name), nil
+			return runner.Row(ctx, name), nil
 		})
 	if cfg.OnTelemetry != nil {
 		cfg.OnTelemetry(tel)
@@ -116,7 +117,7 @@ func FailedRows(rows []Table4Row) []Table4Row {
 // by panic recovery and the configured deadline. A timed-out pipeline is
 // abandoned (its goroutine drains into a buffered channel); the row reports
 // the deadline instead of blocking the run.
-func superviseRow(name string, data *dataset.Dataset, feats [][]float64, labels []int64, cfg Table4Config, say func(string, ...any)) Table4Row {
+func superviseRow(ctx context.Context, name string, data *dataset.Dataset, feats [][]float64, labels []int64, cfg Table4Config, say func(string, ...any)) Table4Row {
 	type outcome struct {
 		row Table4Row
 		err error
@@ -134,7 +135,7 @@ func superviseRow(name string, data *dataset.Dataset, feats [][]float64, labels 
 				return
 			}
 		}
-		row, err := table4Row(name, data, feats, labels, cfg, say)
+		row, err := table4Row(ctx, name, data, feats, labels, cfg, say)
 		done <- outcome{row: row, err: err}
 	}()
 

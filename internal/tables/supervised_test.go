@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -51,7 +52,7 @@ func TestSupervisedPanicIsolatedAndResumed(t *testing.T) {
 			return fmt.Errorf("hook reached %s: checkpoint resume failed", name)
 		},
 	}
-	rows, err := Table4Supervised(cfg)
+	rows, err := Table4Supervised(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestSupervisedPanicIsolatedAndResumed(t *testing.T) {
 		mu.Unlock()
 		return errors.New("still failing")
 	}
-	rows2, err := Table4Supervised(cfg)
+	rows2, err := Table4Supervised(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestSupervisedRowTimeout(t *testing.T) {
 		},
 	}
 	start := time.Now()
-	rows, err := Table4Supervised(cfg)
+	rows, err := Table4Supervised(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestSupervisedCheckpointDirInfraError(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := Table4Config{CheckpointDir: filepath.Join(file, "sub")}
-	if _, err := Table4Supervised(cfg); err == nil {
+	if _, err := Table4Supervised(context.Background(), cfg); err == nil {
 		t.Fatal("unusable checkpoint dir must be an infrastructure error")
 	}
 }
@@ -224,7 +225,7 @@ func TestSupervisedMeasuresOneRealRow(t *testing.T) {
 		}
 		return errors.New("skipped for speed")
 	}
-	rows, err := Table4Supervised(cfg)
+	rows, err := Table4Supervised(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestSupervisedMeasuresOneRealRow(t *testing.T) {
 	}
 	// Resume run must not re-measure: the hook fails everything, yet the
 	// measured row returns intact.
-	rows2, err := Table4Supervised(cfg)
+	rows2, err := Table4Supervised(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -257,8 +258,8 @@ func InterpBenches() []InterpBench {
 // the measured sample are all content-addressed, so re-measuring an unchanged
 // variant (repeat runs, the efficient twin of a pair sharing core files) is a
 // cache hit with bit-identical joules.
-func measureBench(src string, eng interp.Engine) (energy.Joules, error) {
-	s, err := engine.Default().Sample(
+func measureBench(ctx context.Context, src string, eng interp.Engine) (energy.Joules, error) {
+	s, err := engine.Default().Sample(ctx,
 		[]engine.Source{{Path: "bench.java", Source: src}},
 		engine.RunSpec{CallClass: "B", CallMethod: "f", MaxOps: 200_000_000, Engine: eng})
 	if err != nil {
@@ -271,8 +272,8 @@ func measureBench(src string, eng interp.Engine) (energy.Joules, error) {
 // order. Every number is produced by executing both variants on the
 // energy-model interpreter and comparing package energy. See Table1Jobs for
 // the pooled form.
-func Table1(engine interp.Engine) ([]Table1Row, error) {
-	rows, _, err := Table1Jobs(engine, 1)
+func Table1(ctx context.Context, engine interp.Engine) ([]Table1Row, error) {
+	rows, _, err := Table1Jobs(ctx, engine, 1)
 	return rows, err
 }
 
@@ -283,16 +284,16 @@ func Table1Count() int { return len(table1Benches) }
 // variants on fresh parser/interpreter/meter instances, so pairs are fully
 // independent of each other. This is the task unit both the sched pool and
 // the dist "table1" campaign shard.
-func Table1Pair(i int, engine interp.Engine) (Table1Row, error) {
+func Table1Pair(ctx context.Context, i int, engine interp.Engine) (Table1Row, error) {
 	if i < 0 || i >= len(table1Benches) {
 		return Table1Row{}, fmt.Errorf("tables: table 1 pair %d out of range", i)
 	}
 	b := table1Benches[i]
-	slow, err := measureBench(b.slow, engine)
+	slow, err := measureBench(ctx, b.slow, engine)
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("tables: %v slow variant: %w", b.rule, err)
 	}
-	fast, err := measureBench(b.fast, engine)
+	fast, err := measureBench(ctx, b.fast, engine)
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("tables: %v fast variant: %w", b.rule, err)
 	}
@@ -309,10 +310,10 @@ func Table1Pair(i int, engine interp.Engine) (Table1Row, error) {
 // Each bench pair builds its own parser/interpreter/meter instances, so rows
 // are independent; committed in paper order they are bit-identical at any
 // jobs count.
-func Table1Jobs(engine interp.Engine, jobs int) ([]Table1Row, sched.Telemetry, error) {
-	return sched.Map(sched.Config{Jobs: jobs}, table1Benches,
+func Table1Jobs(ctx context.Context, engine interp.Engine, jobs int) ([]Table1Row, sched.Telemetry, error) {
+	return sched.Map(ctx, sched.Config{Jobs: jobs}, table1Benches,
 		func(task sched.Task, _ table1Bench) (Table1Row, error) {
-			return Table1Pair(task.Index, engine)
+			return Table1Pair(ctx, task.Index, engine)
 		})
 }
 

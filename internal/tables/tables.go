@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -29,8 +30,8 @@ import (
 // Table2 generates the per-classifier corpora and measures the Table II
 // metrics rows for each, sequentially. See Table2Parallel for the pooled
 // form the CLIs expose through -jobs.
-func Table2(seed uint64) ([]jmetrics.Metrics, error) {
-	rows, _, err := Table2Parallel(seed, 1)
+func Table2(ctx context.Context, seed uint64) ([]jmetrics.Metrics, error) {
+	rows, _, err := Table2Parallel(ctx, seed, 1)
 	return rows, err
 }
 
@@ -38,8 +39,8 @@ func Table2(seed uint64) ([]jmetrics.Metrics, error) {
 // classifier's corpus generation, parsing and metric measurement is fully
 // independent, and rows are committed in paper order, so the result is
 // bit-identical at any jobs count.
-func Table2Parallel(seed uint64, jobs int) ([]jmetrics.Metrics, sched.Telemetry, error) {
-	return sched.Map(sched.Config{Jobs: jobs, Seed: seed}, corpus.Classifiers,
+func Table2Parallel(ctx context.Context, seed uint64, jobs int) ([]jmetrics.Metrics, sched.Telemetry, error) {
+	return sched.Map(ctx, sched.Config{Jobs: jobs, Seed: seed}, corpus.Classifiers,
 		func(_ sched.Task, name string) (jmetrics.Metrics, error) {
 			return Table2Row(name, seed)
 		})
@@ -163,7 +164,7 @@ type kernelMeasurement struct {
 //  3. run the real (Go) classifier under stratified k-fold cross-validation
 //     in double and single precision to measure the accuracy drop caused by
 //     the double→float / long→int changes.
-func Table4(cfg Table4Config) ([]Table4Row, error) {
+func Table4(ctx context.Context, cfg Table4Config) ([]Table4Row, error) {
 	var sayMu sync.Mutex
 	say := func(format string, args ...any) {
 		if cfg.Progress != nil {
@@ -179,9 +180,9 @@ func Table4(cfg Table4Config) ([]Table4Row, error) {
 	// interpreters, its own deterministic streams), so rows are evaluated by
 	// the sched pool, like WEKA's execution slots. Rows are committed in
 	// paper order, so results are bit-identical at any parallelism.
-	rows, tel, err := sched.Map(sched.Config{Jobs: cfg.Slots, Seed: cfg.Seed}, corpus.Classifiers,
+	rows, tel, err := sched.Map(ctx, sched.Config{Jobs: cfg.Slots, Seed: cfg.Seed}, corpus.Classifiers,
 		func(_ sched.Task, name string) (Table4Row, error) {
-			return table4Row(name, data, feats, labels, cfg, say)
+			return table4Row(ctx, name, data, feats, labels, cfg, say)
 		})
 	if cfg.OnTelemetry != nil {
 		cfg.OnTelemetry(tel)
@@ -198,7 +199,7 @@ func Table4(cfg Table4Config) ([]Table4Row, error) {
 // row without regenerating or re-refactoring anything. Slots/CVJobs (pure
 // placement), supervision knobs and progress plumbing stay out of the key.
 // On a hit the pipeline never runs, so its progress narration is skipped too.
-func table4Row(name string, data *dataset.Dataset, feats [][]float64, labels []int64, cfg Table4Config, say func(string, ...any)) (Table4Row, error) {
+func table4Row(ctx context.Context, name string, data *dataset.Dataset, feats [][]float64, labels []int64, cfg Table4Config, say func(string, ...any)) (Table4Row, error) {
 	k := engine.NewKey("tables/table4row").
 		Str(name).
 		Int(int64(cfg.Seed)).Int(int64(cfg.Instances)).
@@ -207,7 +208,7 @@ func table4Row(name string, data *dataset.Dataset, feats [][]float64, labels []i
 		Int(int64(cfg.CVFolds)).
 		Key()
 	v, err := cfg.cache().Memo(k, func() (any, error) {
-		return table4RowUncached(name, data, feats, labels, cfg, say)
+		return table4RowUncached(ctx, name, data, feats, labels, cfg, say)
 	})
 	if err != nil {
 		return Table4Row{}, err
@@ -215,7 +216,7 @@ func table4Row(name string, data *dataset.Dataset, feats [][]float64, labels []i
 	return v.(Table4Row), nil
 }
 
-func table4RowUncached(name string, data *dataset.Dataset, feats [][]float64, labels []int64, cfg Table4Config, say func(string, ...any)) (Table4Row, error) {
+func table4RowUncached(ctx context.Context, name string, data *dataset.Dataset, feats [][]float64, labels []int64, cfg Table4Config, say func(string, ...any)) (Table4Row, error) {
 	say("=== %s ===", name)
 	proj, err := corpus.Generate(name, cfg.Seed)
 	if err != nil {
@@ -247,17 +248,17 @@ func table4RowUncached(name string, data *dataset.Dataset, feats [][]float64, la
 		return Table4Row{}, fmt.Errorf("tables: refactored kernel for %s missing", name)
 	}
 
-	before, err := measureKernelProtocol(orig, name, feats, labels, cfg)
+	before, err := measureKernelProtocol(ctx, orig, name, feats, labels, cfg)
 	if err != nil {
 		return Table4Row{}, err
 	}
-	after, err := measureKernelProtocol(refd, name, feats, labels, cfg)
+	after, err := measureKernelProtocol(ctx, refd, name, feats, labels, cfg)
 	if err != nil {
 		return Table4Row{}, err
 	}
 	say("%s: package %v → %v", name, energy.Joules(before.pkg), energy.Joules(after.pkg))
 
-	drop, err := accuracyDrop(name, data, cfg)
+	drop, err := accuracyDrop(ctx, name, data, cfg)
 	if err != nil {
 		return Table4Row{}, err
 	}
@@ -350,12 +351,12 @@ func kernelProtocolKey(kernel *ast.File, name string, cfg Table4Config) engine.K
 // deterministic, so the whole protocol result is one cached artifact; the
 // measurement builds from the live AST — the printed source in the key is
 // identity, not a round-trip.
-func measureKernelProtocol(kernel *ast.File, name string, feats [][]float64, labels []int64, cfg Table4Config) (kernelMeasurement, error) {
+func measureKernelProtocol(ctx context.Context, kernel *ast.File, name string, feats [][]float64, labels []int64, cfg Table4Config) (kernelMeasurement, error) {
 	v, err := cfg.cache().Memo(kernelProtocolKey(kernel, name, cfg), func() (any, error) {
 		var firstErr error
 		var cores, times []float64
 		run := func() float64 {
-			m, err := runKernelOnce(kernel, name, feats, labels, cfg.Reps, cfg.Engine)
+			m, err := runKernelOnce(ctx, kernel, name, feats, labels, cfg.Reps, cfg.Engine)
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -383,12 +384,12 @@ func measureKernelProtocol(kernel *ast.File, name string, feats [][]float64, lab
 }
 
 // runKernelOnce loads and executes one kernel variant.
-func runKernelOnce(kernel *ast.File, name string, feats [][]float64, labels []int64, reps int, engine interp.Engine) (kernelMeasurement, error) {
+func runKernelOnce(ctx context.Context, kernel *ast.File, name string, feats [][]float64, labels []int64, reps int, engine interp.Engine) (kernelMeasurement, error) {
 	prog, err := interp.Load(kernel)
 	if err != nil {
 		return kernelMeasurement{}, err
 	}
-	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000), interp.WithEngine(engine))
+	in := interp.New(prog, energy.NewMeter(energy.DefaultCosts()), interp.WithMaxOps(2_000_000_000), interp.WithEngine(engine), interp.WithContext(ctx))
 	if err := in.InitStatics(); err != nil {
 		return kernelMeasurement{}, err
 	}
@@ -472,7 +473,7 @@ func FactorySeeded(name string, base classify.Options) (eval.SeededFactory, erro
 // and cfg.Seed, so (classifier, seed, instances, folds) determines the drop.
 // CVJobs moves work across fold workers without changing a bit, so it stays
 // out of the key, like Slots elsewhere.
-func accuracyDrop(name string, d *dataset.Dataset, cfg Table4Config) (float64, error) {
+func accuracyDrop(ctx context.Context, name string, d *dataset.Dataset, cfg Table4Config) (float64, error) {
 	k := engine.NewKey("tables/accuracydrop").
 		Str(name).
 		Int(int64(cfg.Seed)).
@@ -480,7 +481,7 @@ func accuracyDrop(name string, d *dataset.Dataset, cfg Table4Config) (float64, e
 		Int(int64(cfg.CVFolds)).
 		Key()
 	v, err := cfg.cache().Memo(k, func() (any, error) {
-		return accuracyDropUncached(name, d, cfg)
+		return accuracyDropUncached(ctx, name, d, cfg)
 	})
 	if err != nil {
 		return 0, err
@@ -488,7 +489,7 @@ func accuracyDrop(name string, d *dataset.Dataset, cfg Table4Config) (float64, e
 	return v.(float64), nil
 }
 
-func accuracyDropUncached(name string, d *dataset.Dataset, cfg Table4Config) (float64, error) {
+func accuracyDropUncached(ctx context.Context, name string, d *dataset.Dataset, cfg Table4Config) (float64, error) {
 	dbl, err := FactorySeeded(name, classify.Options{Seed: cfg.Seed, FP: classify.Double})
 	if err != nil {
 		return 0, err
@@ -501,11 +502,11 @@ func accuracyDropUncached(name string, d *dataset.Dataset, cfg Table4Config) (fl
 	if jobs <= 0 {
 		jobs = 1
 	}
-	rd, err := eval.CrossValidateSeeded(d, cfg.CVFolds, cfg.Seed, dbl, jobs)
+	rd, err := eval.CrossValidateSeeded(ctx, d, cfg.CVFolds, cfg.Seed, dbl, jobs)
 	if err != nil {
 		return 0, err
 	}
-	rs, err := eval.CrossValidateSeeded(d, cfg.CVFolds, cfg.Seed, sgl, jobs)
+	rs, err := eval.CrossValidateSeeded(ctx, d, cfg.CVFolds, cfg.Seed, sgl, jobs)
 	if err != nil {
 		return 0, err
 	}

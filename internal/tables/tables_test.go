@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 )
 
 func TestTable1RatiosHavePaperShape(t *testing.T) {
-	rows, err := Table1(interp.EngineVM)
+	rows, err := Table1(context.Background(), interp.EngineVM)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestTable1RatiosHavePaperShape(t *testing.T) {
 }
 
 func TestTable2RowsCoverAllClassifiers(t *testing.T) {
-	rows, err := Table2(20200518)
+	rows, err := Table2(context.Background(), 20200518)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestTable4EndToEnd(t *testing.T) {
 		Protocol:  stats.Protocol{Runs: 3, MaxRounds: 3},
 		CVFolds:   4,
 	}
-	rows, err := Table4(cfg)
+	rows, err := Table4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -137,4 +137,10 @@ if ! go run ./cmd/jperf disasm -warm examples/java/EnergyDemo.java | diff -u exa
     exit 1
 fi
 
+# The session daemon must be a byte-transparent transport: a scripted
+# session analyze and a Table II regeneration over HTTP must match the CLI
+# stdout byte for byte, and SIGTERM must drain to a clean exit. The script
+# prints its own "== jepod serve gate ==" header.
+sh scripts/serve_check.sh
+
 echo "OK"
