@@ -74,10 +74,16 @@ func runBenchCmd(ctx context.Context, args []string) error {
 	distBench := fs.Bool("dist", false, "benchmark the fault-tolerant process dispatcher: inline vs -workers {2,4}")
 	cacheBench := fs.Bool("cache", false, "benchmark the artifact cache: nocache vs cold vs warm store")
 	serveBench := fs.Bool("serve", false, "benchmark the session daemon: analyze over HTTP at 1/4/8 concurrent sessions, cold vs warm")
+	meterBench := fs.Bool("meter", false, "quantify the metering floor: full VM fastpath on/off vs meter-only replay, per Table I row")
 	engineName := fs.String("engine", "vm", "execution engine for the plain trajectory: vm or ast")
+	prof := registerProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer prof.stop()
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		return err
@@ -120,6 +126,12 @@ func runBenchCmd(ctx context.Context, args []string) error {
 			*out = "BENCH_serve.json"
 		}
 		return runServeBench(ctx, *out)
+	}
+	if *meterBench {
+		if *out == "" {
+			*out = "BENCH_meter.json"
+		}
+		return runMeterBench(*out, *repeats)
 	}
 	if *out == "" {
 		*out = "BENCH_interp.json"

@@ -80,8 +80,14 @@ func main() {
 	mainClass := fs.String("main", "", "class whose main method to run")
 	runs := fs.Int("r", 10, "repeat count (perf -r), as in the paper")
 	tukey := fs.Bool("tukey", true, "replace Tukey outliers with fresh runs")
+	prof := registerProfileFlags(fs)
 	shared := cliconfig.Register(fs, cliconfig.FeatEngine|cliconfig.FeatJobs|cliconfig.FeatDist)
 	fs.Parse(os.Args[1:])
+	if err := prof.start(); err != nil {
+		fmt.Fprintln(os.Stderr, "jperf:", err)
+		os.Exit(1)
+	}
+	defer prof.stop()
 	// Install the process-wide artifact engine and export the configuration so
 	// re-exec'd -workers processes inherit it. Stats go to stderr after the
 	// report; stdout stays determinism-pinned.

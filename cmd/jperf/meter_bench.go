@@ -1,0 +1,250 @@
+// The bench -meter mode quantifies the metering floor: the share of VM
+// wall-clock spent issuing the Meter.Step/Meter.Access/cache-simulation
+// sequence both engines must issue identically. For every Table I row it
+// measures the full VM with the metering fast path on and off
+// (JEPO_METER_FASTPATH), then replays the run's exact charge volume — every
+// Step by op, every cache access with the observed hit/miss mix — through a
+// bare meter with no interpreter attached. The replay time is the floor; its
+// share of the VM time is what Amdahl caps any dispatch optimisation at.
+// The on/off pair must land on identical joule bits, so the trajectory file
+// doubles as a fast-path equivalence check.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"jepo/internal/energy"
+	"jepo/internal/minijava/interp"
+	"jepo/internal/minijava/parser"
+	"jepo/internal/tables"
+)
+
+// meterBenchPoint is one row's floor measurement. The "slow" columns are the
+// JEPO_METER_FASTPATH=off configuration — the metering code as it was before
+// the fast path — so FloorShareSlowPct/FloorSharePct are the before/after
+// split of the same workload.
+type meterBenchPoint struct {
+	Name         string  `json:"name"`
+	Runs         int     `json:"runs"`
+	VMNsPerOp    float64 `json:"vm_ns_per_op"`      // full VM, fast path on
+	VMSlowNsOp   float64 `json:"vm_slow_ns_per_op"` // full VM, fast path off
+	ReplayNsOp   float64 `json:"meter_replay_ns_per_op"`
+	ReplaySlowNs float64 `json:"meter_replay_slow_ns_per_op"`
+
+	Charges  uint64 `json:"charges_per_op"`  // Step calls per B.f execution
+	Accesses uint64 `json:"accesses_per_op"` // cache line touches per execution
+
+	FloorSharePct     float64 `json:"floor_share_pct"`      // replay/vm, fast path on
+	FloorShareSlowPct float64 `json:"floor_share_slow_pct"` // replay/vm, fast path off
+	FastpathGainPct   float64 `json:"fastpath_gain_pct"`    // 100*(vmSlow-vm)/vmSlow
+	EnergyEqual       bool    `json:"energy_equal"`         // on/off joule bits identical
+}
+
+// meterBenchReport is the BENCH_meter.json document.
+type meterBenchReport struct {
+	GeneratedAt       string            `json:"generated_at"`
+	GoVersion         string            `json:"go_version"`
+	Benchmarks        []meterBenchPoint `json:"benchmarks"`
+	MeanFloorShare    float64           `json:"mean_floor_share_pct"`
+	MeanFloorSlow     float64           `json:"mean_floor_share_slow_pct"`
+	MeanFastpathGain  float64           `json:"mean_fastpath_gain_pct"`
+	MeanVMSpeedupSlow float64           `json:"mean_vm_fastpath_speedup"` // geomean vmSlow/vm
+}
+
+// meterProfile is what one measured VM run charges: per-op Step totals and
+// the cache hit/miss mix, summed over the timed repeats.
+type meterProfile struct {
+	counts       [energy.NumOps]uint64
+	hits, misses uint64
+}
+
+func (p *meterProfile) charges() (n uint64) {
+	for _, c := range p.counts {
+		n += c
+	}
+	return n
+}
+
+// meterVMRun measures repeats warm B.f calls on the VM engine against a fresh
+// meter, and returns the wall time per call, the exact package energy of the
+// timed window, and the charge profile the window issued. The meter honours
+// JEPO_METER_FASTPATH as set by the caller.
+func meterVMRun(src string, repeats int) (nsOp float64, pkg energy.Joules, prof meterProfile, err error) {
+	f, err := parser.Parse("bench.java", src)
+	if err != nil {
+		return 0, 0, prof, err
+	}
+	prog, err := interp.Load(f)
+	if err != nil {
+		return 0, 0, prof, err
+	}
+	meter := energy.NewMeter(energy.DefaultCosts())
+	in := interp.New(prog, meter, interp.WithMaxOps(2_000_000_000), interp.WithEngine(interp.EngineVM))
+	if err := in.InitStatics(); err != nil {
+		return 0, 0, prof, err
+	}
+	if _, err := in.CallStatic("B", "f"); err != nil {
+		return 0, 0, prof, err
+	}
+	var c0 [energy.NumOps]uint64
+	for op := 0; op < energy.NumOps; op++ {
+		c0[op] = meter.OpCount(energy.Op(op))
+	}
+	h0, m0 := meter.CacheStats()
+	before := meter.Snapshot()
+	t0 := time.Now()
+	for i := 0; i < repeats; i++ {
+		if _, err := in.CallStatic("B", "f"); err != nil {
+			return 0, 0, prof, err
+		}
+	}
+	wall := time.Since(t0)
+	d := meter.Snapshot().Sub(before)
+	for op := 0; op < energy.NumOps; op++ {
+		prof.counts[op] = meter.OpCount(energy.Op(op)) - c0[op]
+	}
+	h1, m1 := meter.CacheStats()
+	prof.hits, prof.misses = h1-h0, m1-m0
+	return float64(wall.Nanoseconds()) / float64(repeats), d.Package, prof, nil
+}
+
+// meterReplay drives the profile's charge volume through a bare meter and
+// times it: every Step the window issued, by op, plus the window's cache
+// accesses reproduced with the same hit/miss mix (a resident line re-touched
+// for the hits, a fresh line per access for the misses, via AccessRun). The
+// interpreter contributes nothing here, so this is the metering floor the VM
+// time cannot go below while the model's charge sequence is preserved.
+func meterReplay(prof meterProfile, repeats int) float64 {
+	meter := energy.NewMeter(energy.DefaultCosts())
+	const line = 64
+	// Prime one line so the hit run below hits from its first access.
+	hitBase := meter.Alloc(line)
+	meter.Access(hitBase, 8)
+	t0 := time.Now()
+	for op := 0; op < energy.NumOps; op++ {
+		for i := uint64(0); i < prof.counts[op]; i++ {
+			meter.Step(energy.Op(op), 1)
+		}
+	}
+	if prof.hits > 0 {
+		meter.AccessRun(hitBase, 0, int(prof.hits), 8)
+	}
+	if prof.misses > 0 {
+		// A line-sized stride walks a fresh line per access: every access a
+		// compulsory miss, like the traversal rows' column-major sweeps.
+		missBase := meter.Alloc(int(prof.misses+1) * line)
+		meter.AccessRun(missBase, line, int(prof.misses), 8)
+	}
+	wall := time.Since(t0)
+	return float64(wall.Nanoseconds()) / float64(repeats)
+}
+
+// withFastPath runs fn with JEPO_METER_FASTPATH forced to the given setting,
+// restoring the previous environment after.
+func withFastPath(on bool, fn func() error) error {
+	prev, had := os.LookupEnv(energy.FastPathEnv)
+	val := ""
+	if !on {
+		val = "off"
+	}
+	if err := os.Setenv(energy.FastPathEnv, val); err != nil {
+		return err
+	}
+	defer func() {
+		if had {
+			os.Setenv(energy.FastPathEnv, prev)
+		} else {
+			os.Unsetenv(energy.FastPathEnv)
+		}
+	}()
+	return fn()
+}
+
+func runMeterBenchOne(b tables.InterpBench, repeats int) (meterBenchPoint, error) {
+	var fastNs, slowNs float64
+	var fastPkg, slowPkg energy.Joules
+	var prof meterProfile
+	var replayFast, replaySlow float64
+	err := withFastPath(true, func() (err error) {
+		fastNs, fastPkg, prof, err = meterVMRun(b.Src, repeats)
+		if err == nil {
+			replayFast = meterReplay(prof, repeats)
+		}
+		return err
+	})
+	if err != nil {
+		return meterBenchPoint{}, err
+	}
+	err = withFastPath(false, func() (err error) {
+		slowNs, slowPkg, _, err = meterVMRun(b.Src, repeats)
+		if err == nil {
+			replaySlow = meterReplay(prof, repeats)
+		}
+		return err
+	})
+	if err != nil {
+		return meterBenchPoint{}, err
+	}
+	if fastPkg != slowPkg {
+		return meterBenchPoint{}, fmt.Errorf("fast path changed the joule bits: on=%v off=%v", fastPkg, slowPkg)
+	}
+	r := uint64(repeats)
+	return meterBenchPoint{
+		Name:              b.Name,
+		Runs:              repeats,
+		VMNsPerOp:         fastNs,
+		VMSlowNsOp:        slowNs,
+		ReplayNsOp:        replayFast,
+		ReplaySlowNs:      replaySlow,
+		Charges:           prof.charges() / r,
+		Accesses:          (prof.hits + prof.misses) / r,
+		FloorSharePct:     100 * replayFast / fastNs,
+		FloorShareSlowPct: 100 * replaySlow / slowNs,
+		FastpathGainPct:   100 * (slowNs - fastNs) / slowNs,
+		EnergyEqual:       true,
+	}, nil
+}
+
+func runMeterBench(out string, repeats int) error {
+	report := meterBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+	}
+	var sumFloor, sumSlow, sumGain, logSpeed float64
+	for _, b := range tables.InterpBenches() {
+		pt, err := runMeterBenchOne(b, repeats)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		report.Benchmarks = append(report.Benchmarks, pt)
+		sumFloor += pt.FloorSharePct
+		sumSlow += pt.FloorShareSlowPct
+		sumGain += pt.FastpathGainPct
+		logSpeed += math.Log(pt.VMSlowNsOp / pt.VMNsPerOp)
+		fmt.Printf("%-40s vm %10.0f ns/op (off %10.0f)   floor %5.1f%% (off %5.1f%%)   gain %5.1f%%\n",
+			pt.Name, pt.VMNsPerOp, pt.VMSlowNsOp, pt.FloorSharePct, pt.FloorShareSlowPct, pt.FastpathGainPct)
+	}
+	n := float64(len(report.Benchmarks))
+	report.MeanFloorShare = sumFloor / n
+	report.MeanFloorSlow = sumSlow / n
+	report.MeanFastpathGain = sumGain / n
+	report.MeanVMSpeedupSlow = math.Exp(logSpeed / n)
+	fmt.Printf("mean metering floor: %.1f%% of VM time (was %.1f%% with the fast path off); fast path cuts VM time %.1f%% (%.2fx)\n",
+		report.MeanFloorShare, report.MeanFloorSlow, report.MeanFastpathGain, report.MeanVMSpeedupSlow)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Benchmarks))
+	return nil
+}

@@ -4,21 +4,33 @@ package energy
 // mechanism behind the paper's array-traversal finding: row-major traversal
 // of a two-dimensional array touches each 64-byte line 16 times (for 4-byte
 // elements) while column-major traversal misses on almost every access.
+//
+// The implementation is the metering hot path's inner core, so its layout is
+// chosen for the simulator's own cache behaviour, not for object-oriented
+// tidiness: tags and LRU stamps live in two parallel slices (a way scan reads
+// 8 consecutive tags from one line instead of striding over tag/stamp pairs),
+// and the set index is a mask when the geometry allows it. None of this
+// changes a single transition: the same lookups, stamp updates and evictions
+// happen in the same order as the straightforward struct-of-pairs version.
 type Cache struct {
 	lineBits uint
 	sets     int
 	ways     int
-	data     []cacheWay // sets × ways
-	lastWay  []int32    // per-set way of the most recent hit/install
-	clock    uint64
+
+	// setMask is sets-1 when sets is a power of two (every realistic
+	// geometry, including the default 64-set L1D); pow2 selects between the
+	// mask and the division. line&setMask == int(line)%sets for every
+	// address the synthetic heap can produce, so the two paths are the same
+	// function, not an approximation.
+	setMask uint64
+	pow2    bool
+
+	tags    []uint64 // sets × ways; tag 0 = invalid (real tags offset by 1)
+	stamps  []uint64 // LRU timestamps, parallel to tags
+	lastWay []int32  // per-set way of the most recent hit/install
+	clock   uint64
 
 	hits, misses uint64
-}
-
-// cacheWay is one line slot: tag 0 = invalid (real tags are offset by 1, so
-// line 0 is representable), stamp is the LRU timestamp.
-type cacheWay struct {
-	tag, stamp uint64
 }
 
 // CacheConfig describes a cache geometry.
@@ -57,7 +69,10 @@ func NewCache(cfg CacheConfig) *Cache {
 		lineBits: bits,
 		sets:     sets,
 		ways:     cfg.Ways,
-		data:     make([]cacheWay, sets*cfg.Ways),
+		setMask:  uint64(sets - 1),
+		pow2:     sets&(sets-1) == 0,
+		tags:     make([]uint64, sets*cfg.Ways),
+		stamps:   make([]uint64, sets*cfg.Ways),
 		lastWay:  make([]int32, sets),
 	}
 }
@@ -89,6 +104,47 @@ func (c *Cache) Access(addr uint64, size int) (lines, missed int) {
 	return lines, missed
 }
 
+// AccessRun simulates count accesses of size bytes at base, base+stride,
+// base+2·stride, … in one tight loop, performing exactly the per-access
+// transitions of count individual Access calls — same lookups, same stamp
+// updates, same evictions, in the same order — and reporting the summed line
+// and miss totals. Like the per-set lastWay memo it is self-validating: every
+// access re-checks the tag, so the batched loop cannot drift from the
+// unbatched sequence. Accesses that span a line boundary take the same
+// multi-line walk Access takes.
+func (c *Cache) AccessRun(base, stride uint64, count, size int) (lines, missed int) {
+	span := uint64(size)
+	if size <= 0 {
+		span = 1
+	}
+	addr := base
+	for k := 0; k < count; k++ {
+		first := addr >> c.lineBits
+		if (addr+span-1)>>c.lineBits == first {
+			lines++
+			if !c.touch(first) {
+				missed++
+			}
+		} else {
+			l, m := c.Access(addr, size)
+			lines += l
+			missed += m
+		}
+		addr += stride
+	}
+	return lines, missed
+}
+
+// setOf maps a line to its set index: a mask for power-of-two set counts,
+// the modulus otherwise. Both compute int(line) % c.sets for the
+// non-negative line numbers the synthetic heap produces.
+func (c *Cache) setOf(line uint64) int {
+	if c.pow2 {
+		return int(line & c.setMask)
+	}
+	return int(line) % c.sets
+}
+
 // touch looks up one line, installing it on a miss, and reports a hit.
 //
 // The per-set lastWay memo short-circuits the way scan when a set's most
@@ -100,30 +156,58 @@ func (c *Cache) Access(addr uint64, size int) (lines, missed int) {
 func (c *Cache) touch(line uint64) bool {
 	// Tag 0 marks an invalid way; offset real tags by 1 so line 0 is valid.
 	tag := line + 1
-	set := int(line) % c.sets
+	set := c.setOf(line)
 	base := set * c.ways
 	c.clock++
-	if i := base + int(c.lastWay[set]); c.data[i].tag == tag {
-		c.data[i].stamp = c.clock
+	if i := base + int(c.lastWay[set]); c.tags[i] == tag {
+		c.stamps[i] = c.clock
 		c.hits++
 		return true
 	}
-	victim, oldest := base, c.data[base].stamp
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.data[i].tag == tag {
-			c.data[i].stamp = c.clock
-			c.hits++
+	// Subslice the set's ways once so the scan below runs with the bounds
+	// checks hoisted out of the loop; the traversal rows spend a quarter of
+	// their VM time here on all-miss scans.
+	tags := c.tags[base : base+c.ways]
+	stamps := c.stamps[base : base+c.ways : base+c.ways]
+	if c.ways == 8 {
+		// Fixed-size views of the default 8-way geometry: constant trip
+		// count and no bounds checks, same scan in the same order.
+		t8 := (*[8]uint64)(tags)
+		s8 := (*[8]uint64)(stamps)
+		victim, oldest := 0, s8[0]
+		for w := 0; w < 8; w++ {
+			if t8[w] == tag {
+				s8[w] = c.clock
+				c.hits++
+				c.lastWay[set] = int32(w)
+				return true
+			}
+			if s8[w] < oldest {
+				victim, oldest = w, s8[w]
+			}
+		}
+		t8[victim] = tag
+		s8[victim] = c.clock
+		c.misses++
+		c.lastWay[set] = int32(victim)
+		return false
+	}
+	victim, oldest := 0, stamps[0]
+	for w, t := range tags {
+		if t == tag {
+			stamps[w] = c.clock
 			c.lastWay[set] = int32(w)
+			c.hits++
 			return true
 		}
-		if c.data[i].stamp < oldest {
-			victim, oldest = i, c.data[i].stamp
+		if stamps[w] < oldest {
+			victim, oldest = w, stamps[w]
 		}
 	}
-	c.data[victim] = cacheWay{tag: tag, stamp: c.clock}
+	tags[victim] = tag
+	stamps[victim] = c.clock
 	c.misses++
-	c.lastWay[set] = int32(victim - base)
+	c.lastWay[set] = int32(victim)
 	return false
 }
 
@@ -135,8 +219,9 @@ func (c *Cache) Misses() uint64 { return c.misses }
 
 // Reset invalidates every line and zeroes the counters.
 func (c *Cache) Reset() {
-	for i := range c.data {
-		c.data[i] = cacheWay{}
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
 	}
 	for i := range c.lastWay {
 		c.lastWay[i] = 0

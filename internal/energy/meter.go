@@ -2,6 +2,7 @@ package energy
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -13,6 +14,15 @@ import (
 //
 // A Meter is not safe for concurrent use; the interpreter that drives it is
 // single-threaded, as the JVM thread the paper instruments is.
+//
+// The charging methods come in two layers. Step, Access and StepList are the
+// general API; when the fast path is on (see fastpath.go) their hot cases
+// run on precomputed unit deltas, and the flattened helpers —
+// FieldAccess, StaticAccess, ArrayAccess, AccessRun, StepRun — give the
+// interpreter's dispatch loop single concrete calls for its fixed charge
+// sequences. Every fast form performs the identical additions in the
+// identical order as the general form it replaces; with
+// JEPO_METER_FASTPATH=off every helper degrades to the original calls.
 type Meter struct {
 	costs CostTable
 	cache *Cache
@@ -22,6 +32,19 @@ type Meter struct {
 	dramJ      Joules // DRAM domain
 	opCounts   [NumOps]uint64
 	heapCursor uint64 // bump allocator for synthetic addresses
+
+	// Fast-path state, folded from costs at construction (fastpath.go):
+	// per-op unit deltas and the unit cache hit/miss/DRAM charges. fast is
+	// false when JEPO_METER_FASTPATH=off; fastN folds the gate and the n==1
+	// test into one comparison (1 when fast, an impossible count when not)
+	// to keep Step within the compiler's inlining budget — the whole point
+	// of the unit-delta path is that the dispatch loop's charges compile to
+	// straight-line adds, not calls.
+	fast        bool
+	fastN       int
+	unit        [NumOps]unitCost
+	hitU, missU unitCost
+	dramPerMiss Joules
 }
 
 // NewMeter builds a meter over the given cost table and the default cache
@@ -36,18 +59,46 @@ func NewMeterCache(costs CostTable, cache CacheConfig) *Meter {
 	if err := costs.Validate(); err != nil {
 		panic(err)
 	}
-	return &Meter{
+	m := &Meter{
 		costs:      costs,
 		cache:      NewCache(cache),
 		heapCursor: 1 << 20, // keep address 0 unused
+		fast:       FastPathOn(),
 	}
+	m.fastN = math.MinInt // matches no real count: Step always takes stepSlow
+	if m.fast {
+		m.fastN = 1
+	}
+	m.unit = bindUnits(&costs)
+	m.hitU = unitCost{j: Picojoules(costs.CacheHit.Picojoules), c: costs.CacheHit.Cycles}
+	m.missU = unitCost{j: Picojoules(costs.CacheMiss.Picojoules), c: costs.CacheMiss.Cycles}
+	m.dramPerMiss = Joules(costs.DRAMJoulesPerMiss)
+	return m
 }
 
 // Costs returns the meter's cost table.
 func (m *Meter) Costs() CostTable { return m.costs }
 
-// Step charges n occurrences of op.
+// FastPath reports whether this meter charges through the precomputed fast
+// path (JEPO_METER_FASTPATH at construction time).
+func (m *Meter) FastPath() bool { return m.fast }
+
+// Step charges n occurrences of op. The n==1 case — the dispatch loop's
+// shape — adds the precomputed unit delta; larger counts recompute the
+// product exactly as the slow path always has.
 func (m *Meter) Step(op Op, n int) {
+	if n == m.fastN {
+		m.coreJ += m.unit[op].j
+		m.cycles += m.unit[op].c
+		m.opCounts[op]++
+		return
+	}
+	m.stepSlow(op, n)
+}
+
+// stepSlow is the reference charge path: per-call table lookup and product.
+// The fast paths must be indistinguishable from it bit for bit.
+func (m *Meter) stepSlow(op Op, n int) {
 	if n <= 0 {
 		return
 	}
@@ -77,9 +128,45 @@ func (m *Meter) StepList(charges []Charge) {
 	}
 }
 
+// StepRun replays a bound charge list (CostTable.BindSteps) — the same
+// per-entry additions StepList performs, with each entry's product already
+// folded. The deltas must have been bound against this meter's cost table;
+// callers that cannot prove that fall back to StepList.
+func (m *Meter) StepRun(deltas []StepDelta) {
+	for i := range deltas {
+		d := &deltas[i]
+		m.coreJ += d.CoreJ
+		m.cycles += d.Cycles
+		m.opCounts[d.Op] += d.N
+	}
+}
+
 // Access routes a memory access of size bytes at addr through the cache model
-// and charges the hit/miss costs.
+// and charges the hit/miss costs. The single-line case (any access that does
+// not span a line boundary) is charged through the unit deltas; spanning
+// accesses take the general batched path.
 func (m *Meter) Access(addr uint64, size int) {
+	if m.fast {
+		c := m.cache
+		if size > 0 && (addr+uint64(size)-1)>>c.lineBits == addr>>c.lineBits {
+			if m.cache.touch(addr >> c.lineBits) {
+				m.coreJ += m.hitU.j
+				m.cycles += m.hitU.c
+			} else {
+				m.coreJ += m.missU.j
+				m.cycles += m.missU.c
+				m.dramJ += m.dramPerMiss
+			}
+			return
+		}
+	}
+	m.accessSlow(addr, size)
+}
+
+// accessSlow is the reference access path: batched hit/miss charges over
+// however many lines the access covered. For a single-line access the fast
+// path adds the identical bits: hits and misses are 0 or 1, and x*1.0 == x.
+func (m *Meter) accessSlow(addr uint64, size int) {
 	lines, missed := m.cache.Access(addr, size)
 	hits := lines - missed
 	if hits > 0 {
@@ -90,6 +177,118 @@ func (m *Meter) Access(addr uint64, size int) {
 		m.coreJ += Picojoules(m.costs.CacheMiss.Picojoules * float64(missed))
 		m.cycles += m.costs.CacheMiss.Cycles * float64(missed)
 		m.dramJ += Joules(m.costs.DRAMJoulesPerMiss * float64(missed))
+	}
+}
+
+// AccessRun charges count accesses of size bytes at base, base+stride,
+// base+2·stride, … — exactly the charge sequence of count individual Access
+// calls, in one call: per access, the cache transition, then its hit or miss
+// charge, in address order. Batched clients (array initialisation sweeps,
+// replay harnesses) use it to shed the per-access call and branch overhead;
+// the interleaving of hit and miss charges is preserved access by access
+// because the order of float additions is observable in the joule bits.
+func (m *Meter) AccessRun(base, stride uint64, count, size int) {
+	if !m.fast {
+		for k := 0; k < count; k++ {
+			m.accessSlow(base+uint64(k)*stride, size)
+		}
+		return
+	}
+	c := m.cache
+	span := uint64(size)
+	addr := base
+	for k := 0; k < count; k++ {
+		if size > 0 && (addr+span-1)>>c.lineBits == addr>>c.lineBits {
+			if m.cache.touch(addr >> c.lineBits) {
+				m.coreJ += m.hitU.j
+				m.cycles += m.hitU.c
+			} else {
+				m.coreJ += m.missU.j
+				m.cycles += m.missU.c
+				m.dramJ += m.dramPerMiss
+			}
+		} else {
+			m.accessSlow(addr, size)
+		}
+		addr += stride
+	}
+}
+
+// ArrayAccess charges one array-element access: the element step, the bounds
+// check and the memory access, in that order — the fixed sequence of the
+// interpreter's indexed load/store paths (OpLoadIndexL and friends),
+// flattened into one concrete call.
+func (m *Meter) ArrayAccess(addr uint64, size int) {
+	if !m.fast {
+		m.stepSlow(OpArrayElem, 1)
+		m.stepSlow(OpBoundsCheck, 1)
+		m.accessSlow(addr, size)
+		return
+	}
+	u := &m.unit[OpArrayElem]
+	m.coreJ += u.j
+	m.cycles += u.c
+	m.opCounts[OpArrayElem]++
+	u = &m.unit[OpBoundsCheck]
+	m.coreJ += u.j
+	m.cycles += u.c
+	m.opCounts[OpBoundsCheck]++
+	if size > 0 && (addr+uint64(size)-1)>>m.cache.lineBits == addr>>m.cache.lineBits {
+		if m.cache.touch(addr >> m.cache.lineBits) {
+			m.coreJ += m.hitU.j
+			m.cycles += m.hitU.c
+		} else {
+			m.coreJ += m.missU.j
+			m.cycles += m.missU.c
+			m.dramJ += m.dramPerMiss
+		}
+		return
+	}
+	m.accessSlow(addr, size)
+}
+
+// FieldAccess charges one instance-field access: the field step then the
+// 8-byte slot access — the fixed sequence of every field load/store lane.
+func (m *Meter) FieldAccess(addr uint64) {
+	if !m.fast {
+		m.stepSlow(OpField, 1)
+		m.accessSlow(addr, 8)
+		return
+	}
+	u := &m.unit[OpField]
+	m.coreJ += u.j
+	m.cycles += u.c
+	m.opCounts[OpField]++
+	// 8-byte slots are 8-aligned, so the access never spans a line.
+	if m.cache.touch(addr >> m.cache.lineBits) {
+		m.coreJ += m.hitU.j
+		m.cycles += m.hitU.c
+	} else {
+		m.coreJ += m.missU.j
+		m.cycles += m.missU.c
+		m.dramJ += m.dramPerMiss
+	}
+}
+
+// StaticAccess charges one static-field access: the static step then the
+// 8-byte slot access — the fixed sequence of every static load/store lane.
+func (m *Meter) StaticAccess(addr uint64) {
+	if !m.fast {
+		m.stepSlow(OpStatic, 1)
+		m.accessSlow(addr, 8)
+		return
+	}
+	u := &m.unit[OpStatic]
+	m.coreJ += u.j
+	m.cycles += u.c
+	m.opCounts[OpStatic]++
+	if m.cache.touch(addr >> m.cache.lineBits) {
+		m.coreJ += m.hitU.j
+		m.cycles += m.hitU.c
+	} else {
+		m.coreJ += m.missU.j
+		m.cycles += m.missU.c
+		m.dramJ += m.dramPerMiss
 	}
 }
 
@@ -158,7 +357,8 @@ func (m *Meter) Reset() {
 }
 
 // Report renders a human-readable op-count breakdown, most frequent first.
-// It is used by the profiler's verbose view.
+// Ties break on op index, so the row order is a pure function of the counts:
+// an unstable sort here made ops with equal counts swap lines between runs.
 func (m *Meter) Report() string {
 	type row struct {
 		op Op
@@ -170,7 +370,12 @@ func (m *Meter) Report() string {
 			rows = append(rows, row{Op(op), m.opCounts[op]})
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].op < rows[j].op
+	})
 	var sb strings.Builder
 	s := m.Snapshot()
 	fmt.Fprintf(&sb, "package=%v core=%v dram=%v cycles=%.0f time=%v\n",

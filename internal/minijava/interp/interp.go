@@ -42,6 +42,13 @@ type Interp struct {
 	engine       Engine
 	staticsReady bool
 
+	// runFast is true when the program's charge runs were bound against this
+	// meter's cost table (and the metering fast path is on): OpRunCharge
+	// replays the precomputed deltas instead of the charge list. The two
+	// replays are bit-identical; runFast only exists so a meter with a
+	// custom cost table silently gets the unbound path.
+	runFast bool
+
 	// vmTier selects the bytecode engine's optimization tier: 2 (default)
 	// runs the finalized stream with block charge pre-aggregation, 1 runs
 	// the raw tier-1 stream — the benchmark harness measures the split.
@@ -146,6 +153,7 @@ func New(prog *Program, meter *energy.Meter, opts ...Option) *Interp {
 		quick:      true,
 		ctxCheckAt: math.MaxInt64,
 		siteCache:  make([]siteState, len(prog.sites)),
+		runFast:    meter.FastPath() && prog.costsBound && meter.Costs() == prog.boundCosts,
 	}
 	for _, o := range opts {
 		o(in)
@@ -875,8 +883,7 @@ func (in *Interp) construct(ci *classInfo, ctor *ast.Method, args []Value, pos t
 	for i, f := range ci.fields {
 		if f.Init != nil {
 			obj.Slots[i] = in.coerceTo(in.evalInit(&initFr, f.Init, f.Type), f.Type, pos)
-			in.meter.Step(energy.OpField, 1)
-			in.meter.Access(obj.Base+16+uint64(8*i), 8)
+			in.meter.FieldAccess(obj.Base + 16 + uint64(8*i))
 		}
 	}
 	if ctor == nil {
@@ -935,9 +942,7 @@ func (in *Interp) eval(fr *frame, e ast.Expr) Value {
 		return in.evalCall(fr, n)
 	case *ast.Index:
 		arr, idx := in.evalIndexOperands(fr, n)
-		in.meter.Step(energy.OpArrayElem, 1)
-		in.meter.Step(energy.OpBoundsCheck, 1)
-		in.meter.Access(arr.addr(idx), arr.ES)
+		in.meter.ArrayAccess(arr.addr(idx), arr.ES)
 		return arr.get(idx)
 	case *ast.Unary:
 		return in.evalUnary(fr, n)
@@ -1023,23 +1028,20 @@ func (in *Interp) evalIdent(fr *frame, n *ast.Ident) Value {
 	case ast.ResField:
 		if this := fr.this; this != nil {
 			if ix := int(n.RIx); ix < len(this.Slots) {
-				in.meter.Step(energy.OpField, 1)
-				in.meter.Access(this.Base+16+uint64(8*ix), 8)
+				in.meter.FieldAccess(this.Base + 16 + uint64(8*ix))
 				return this.Slots[ix]
 			}
 		}
 	case ast.ResStaticRef:
 		if ix := int(n.RIx); ix < len(in.prog.statRefs) {
 			slot := in.prog.statRefs[ix]
-			in.meter.Step(energy.OpStatic, 1)
-			in.meter.Access(slot.Addr, 8)
+			in.meter.StaticAccess(slot.Addr)
 			return slot.V
 		}
 	case ast.ResStatic:
 		if fr.class != nil {
 			if slot := fr.class.flatStatics[n.Name]; slot != nil {
-				in.meter.Step(energy.OpStatic, 1)
-				in.meter.Access(slot.Addr, 8)
+				in.meter.StaticAccess(slot.Addr)
 				return slot.V
 			}
 		}
@@ -1056,15 +1058,13 @@ func (in *Interp) evalIdent(fr *frame, n *ast.Ident) Value {
 func (in *Interp) evalIdentSlow(fr *frame, n *ast.Ident) Value {
 	if fr.this != nil {
 		if ix, ok := fr.this.Class.fieldIx[n.Name]; ok {
-			in.meter.Step(energy.OpField, 1)
-			in.meter.Access(fr.this.Base+16+uint64(8*ix), 8)
+			in.meter.FieldAccess(fr.this.Base + 16 + uint64(8*ix))
 			return fr.this.Slots[ix]
 		}
 	}
 	if fr.class != nil {
 		if slot := fr.class.findStatic(n.Name); slot != nil {
-			in.meter.Step(energy.OpStatic, 1)
-			in.meter.Access(slot.Addr, 8)
+			in.meter.StaticAccess(slot.Addr)
 			return slot.V
 		}
 	}
@@ -1089,8 +1089,7 @@ func (in *Interp) selectFrom(x Value, n *ast.Select) Value {
 			switch ps := &in.prog.sites[ix]; ps.kind {
 			case siteStaticSel:
 				if ps.cls == cls {
-					in.meter.Step(energy.OpStatic, 1)
-					in.meter.Access(ps.slot.Addr, 8)
+					in.meter.StaticAccess(ps.slot.Addr)
 					return ps.slot.V
 				}
 			case siteBuiltinConstSel:
@@ -1105,8 +1104,7 @@ func (in *Interp) selectFrom(x Value, n *ast.Select) Value {
 		}
 		if ci, ok := in.prog.classes[cls]; ok {
 			if slot := ci.findStatic(n.Name); slot != nil {
-				in.meter.Step(energy.OpStatic, 1)
-				in.meter.Access(slot.Addr, 8)
+				in.meter.StaticAccess(slot.Addr)
 				return slot.V
 			}
 		}
@@ -1141,8 +1139,7 @@ func (in *Interp) selectFrom(x Value, n *ast.Select) Value {
 			}
 			ix = fix
 		}
-		in.meter.Step(energy.OpField, 1)
-		in.meter.Access(obj.Base+16+uint64(8*ix), 8)
+		in.meter.FieldAccess(obj.Base + 16 + uint64(8*ix))
 		return obj.Slots[ix]
 	case KNull:
 		in.throw("NullPointerException", "field "+n.Name+" on null")
@@ -1985,8 +1982,7 @@ func (in *Interp) writeLValue(fr *frame, lhs ast.Expr, v Value) {
 		case ast.ResField:
 			if this := fr.this; this != nil {
 				if ix := int(l.RIx); ix < len(this.Slots) {
-					in.meter.Step(energy.OpField, 1)
-					in.meter.Access(this.Base+16+uint64(8*ix), 8)
+					in.meter.FieldAccess(this.Base + 16 + uint64(8*ix))
 					if fi := &this.Class.fields[ix]; v.K == fi.K {
 						this.Slots[ix] = v
 					} else {
@@ -1998,8 +1994,7 @@ func (in *Interp) writeLValue(fr *frame, lhs ast.Expr, v Value) {
 		case ast.ResStaticRef:
 			if ix := int(l.RIx); ix < len(in.prog.statRefs) {
 				slot := in.prog.statRefs[ix]
-				in.meter.Step(energy.OpStatic, 1)
-				in.meter.Access(slot.Addr, 8)
+				in.meter.StaticAccess(slot.Addr)
 				if v.K == slot.K {
 					slot.V = v
 				} else {
@@ -2010,8 +2005,7 @@ func (in *Interp) writeLValue(fr *frame, lhs ast.Expr, v Value) {
 		case ast.ResStatic:
 			if fr.class != nil {
 				if slot := fr.class.flatStatics[l.Name]; slot != nil {
-					in.meter.Step(energy.OpStatic, 1)
-					in.meter.Access(slot.Addr, 8)
+					in.meter.StaticAccess(slot.Addr)
 					if v.K == slot.K {
 						slot.V = v
 					} else {
@@ -2045,8 +2039,7 @@ func (in *Interp) writeLValue(fr *frame, lhs ast.Expr, v Value) {
 				}
 				ix = fix
 			}
-			in.meter.Step(energy.OpField, 1)
-			in.meter.Access(obj.Base+16+uint64(8*ix), 8)
+			in.meter.FieldAccess(obj.Base + 16 + uint64(8*ix))
 			if fi := &obj.Class.fields[ix]; v.K == fi.K {
 				obj.Slots[ix] = v
 			} else {
@@ -2057,16 +2050,14 @@ func (in *Interp) writeLValue(fr *frame, lhs ast.Expr, v Value) {
 			cls := x.R.(string)
 			if si := int(l.SiteIx) - 1; si >= 0 && si < len(in.prog.sites) {
 				if ps := &in.prog.sites[si]; ps.kind == siteStaticSel && ps.cls == cls {
-					in.meter.Step(energy.OpStatic, 1)
-					in.meter.Access(ps.slot.Addr, 8)
+					in.meter.StaticAccess(ps.slot.Addr)
 					ps.slot.V = in.coerceTo(v, ps.slot.Type, l.Pos)
 					return
 				}
 			}
 			if ci, ok := in.prog.classes[cls]; ok {
 				if slot := ci.findStatic(l.Name); slot != nil {
-					in.meter.Step(energy.OpStatic, 1)
-					in.meter.Access(slot.Addr, 8)
+					in.meter.StaticAccess(slot.Addr)
 					slot.V = in.coerceTo(v, slot.Type, l.Pos)
 					return
 				}
@@ -2078,9 +2069,7 @@ func (in *Interp) writeLValue(fr *frame, lhs ast.Expr, v Value) {
 		in.bugf(l.Pos, "cannot assign field of %v", x.K)
 	case *ast.Index:
 		arr, idx := in.evalIndexOperands(fr, l)
-		in.meter.Step(energy.OpArrayElem, 1)
-		in.meter.Step(energy.OpBoundsCheck, 1)
-		in.meter.Access(arr.addr(idx), arr.ES)
+		in.meter.ArrayAccess(arr.addr(idx), arr.ES)
 		arr.set(idx, in.coerceTo(v, arr.Elem, l.Pos))
 		return
 	default:
@@ -2093,16 +2082,14 @@ func (in *Interp) writeLValue(fr *frame, lhs ast.Expr, v Value) {
 func (in *Interp) writeIdentSlow(fr *frame, l *ast.Ident, v Value) {
 	if fr.this != nil {
 		if ix, ok := fr.this.Class.fieldIx[l.Name]; ok {
-			in.meter.Step(energy.OpField, 1)
-			in.meter.Access(fr.this.Base+16+uint64(8*ix), 8)
+			in.meter.FieldAccess(fr.this.Base + 16 + uint64(8*ix))
 			fr.this.Slots[ix] = in.coerceTo(v, fr.this.Class.fields[ix].Type, l.Pos)
 			return
 		}
 	}
 	if fr.class != nil {
 		if slot := fr.class.findStatic(l.Name); slot != nil {
-			in.meter.Step(energy.OpStatic, 1)
-			in.meter.Access(slot.Addr, 8)
+			in.meter.StaticAccess(slot.Addr)
 			slot.V = in.coerceTo(v, slot.Type, l.Pos)
 			return
 		}

@@ -186,6 +186,7 @@ func intLaneOp(op token.Kind) bool {
 // only on the slow resolution ladder.
 func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *frame, stack []Value) (Value, bool) {
 	fn := cf.fn
+	meter := in.meter
 	consts := cf.consts
 	pc, sp := 0, 0
 	for {
@@ -203,7 +204,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 		switch ins.Op {
 		case bytecode.OpLoadLocal:
 			if c := liveCell(fr, ins.A); c != nil {
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				stack[sp] = c.v
 			} else {
 				stack[sp] = in.evalIdent(fr, ins.Node.(*ast.Ident))
@@ -212,7 +213,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 		case bytecode.OpConst:
 			cv := &consts[ins.A]
 			if cv.charge {
-				in.meter.Step(cv.op, 1)
+				meter.Step(cv.op, 1)
 			}
 			stack[sp] = cv.v
 			sp++
@@ -222,7 +223,9 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			sp++
 		case bytecode.OpRunCharge:
 			// One pre-aggregated run: a single budget check for the summed
-			// steps, then the exact ordered replay of the folded charges.
+			// steps, then the exact ordered replay of the folded charges —
+			// through the load-time-bound deltas when this meter is on the
+			// bound cost table, through the charge list otherwise.
 			run := &fn.Runs[ins.A]
 			in.ops += int64(run.Steps)
 			if in.maxOps > 0 && in.ops > in.maxOps {
@@ -231,7 +234,11 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			if in.ops >= in.ctxCheckAt {
 				in.ctxCheckpoint()
 			}
-			in.meter.StepList(run.Charges)
+			if in.runFast {
+				meter.StepRun(run.Deltas)
+			} else {
+				meter.StepList(run.Charges)
+			}
 		case bytecode.OpQBinIntLL, bytecode.OpQBinIntLC, bytecode.OpQBinInt:
 			// One arm for all three int-specialized binary forms; they only
 			// differ in where the operands come from. The charge sequence is
@@ -260,9 +267,9 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 				}
 				if ins.Op == bytecode.OpQBinIntLC {
 					cv := &consts[ins.B]
-					in.meter.Step(energy.OpLocal, 1)
+					meter.Step(energy.OpLocal, 1)
 					if cv.charge {
-						in.meter.Step(cv.op, 1)
+						meter.Step(cv.op, 1)
 					}
 					b = cv.v.I
 				} else {
@@ -271,8 +278,8 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 						ins.Op = bytecode.OpBinLL
 						goto dispatch
 					}
-					in.meter.Step(energy.OpLocal, 1)
-					in.meter.Step(energy.OpLocal, 1)
+					meter.Step(energy.OpLocal, 1)
+					meter.Step(energy.OpLocal, 1)
 					b = cb.v.I
 				}
 				a = ca.v.I
@@ -282,9 +289,9 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			case token.Slash, token.Percent:
 				// Division cost before the zero check, like binaryFast.
 				if ins.Tok == token.Slash {
-					in.meter.Step(energy.OpDivInt, 1)
+					meter.Step(energy.OpDivInt, 1)
 				} else {
-					in.meter.Step(energy.OpModInt, 1)
+					meter.Step(energy.OpModInt, 1)
 				}
 				if b == 0 {
 					in.throw("ArithmeticException", "/ by zero")
@@ -295,7 +302,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 					v = IntVal(a % b)
 				}
 			default:
-				in.meter.Step(energy.OpArithInt, 1)
+				meter.Step(energy.OpArithInt, 1)
 				switch ins.Tok {
 				case token.Plus:
 					v = IntVal(a + b)
@@ -340,13 +347,13 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			}
 			var x, y Value
 			if c := liveCell(fr, ins.A); c != nil {
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				x = c.v
 			} else {
 				x = in.evalIdent(fr, ins.Node.(*ast.Binary).X.(*ast.Ident))
 			}
 			if c := liveCell(fr, ins.B); c != nil {
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				y = c.v
 			} else {
 				y = in.evalIdent(fr, ins.Node.(*ast.Binary).Y.(*ast.Ident))
@@ -373,14 +380,14 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			}
 			var x Value
 			if c := liveCell(fr, ins.A); c != nil {
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				x = c.v
 			} else {
 				x = in.evalIdent(fr, ins.Node.(*ast.Binary).X.(*ast.Ident))
 			}
 			cv := &consts[ins.B]
 			if cv.charge {
-				in.meter.Step(cv.op, 1)
+				meter.Step(cv.op, 1)
 			}
 			if x.K == KInt && cv.v.K == KInt {
 				if v, ok := vmIntFast(in, ins.Tok, x.I, cv.v.I); ok {
@@ -418,7 +425,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			pc += int(ins.A)
 			continue
 		case bytecode.OpJmpBranch:
-			in.meter.Step(energy.OpBranch, 1)
+			meter.Step(energy.OpBranch, 1)
 			pc += int(ins.A)
 			continue
 		case bytecode.OpJmpCmpLLFalse, bytecode.OpJmpCmpLLTrue:
@@ -427,20 +434,20 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			// jump's unbox/type checks are unreachable.
 			var x, y Value
 			if c := liveCell(fr, ins.C); c != nil {
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				x = c.v
 			} else {
 				x = in.evalIdent(fr, ins.Node.(*ast.Binary).X.(*ast.Ident))
 			}
 			if c := liveCell(fr, ins.B); c != nil {
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				y = c.v
 			} else {
 				y = in.evalIdent(fr, ins.Node.(*ast.Binary).Y.(*ast.Ident))
 			}
 			var take bool
 			if x.K == KInt && y.K == KInt {
-				in.meter.Step(energy.OpArithInt, 1)
+				meter.Step(energy.OpArithInt, 1)
 				take = intCmp(ins.Tok, x.I, y.I)
 			} else {
 				v, ok := in.binaryFast(ins.Tok, x, y)
@@ -456,18 +463,18 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 		case bytecode.OpJmpCmpLCFalse, bytecode.OpJmpCmpLCTrue:
 			var x Value
 			if c := liveCell(fr, ins.C); c != nil {
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				x = c.v
 			} else {
 				x = in.evalIdent(fr, ins.Node.(*ast.Binary).X.(*ast.Ident))
 			}
 			cv := &consts[ins.B]
 			if cv.charge {
-				in.meter.Step(cv.op, 1)
+				meter.Step(cv.op, 1)
 			}
 			var take bool
 			if x.K == KInt && cv.v.K == KInt {
-				in.meter.Step(energy.OpArithInt, 1)
+				meter.Step(energy.OpArithInt, 1)
 				take = intCmp(ins.Tok, x.I, cv.v.I)
 			} else {
 				v, ok := in.binaryFast(ins.Tok, x, cv.v)
@@ -486,7 +493,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			sp -= 2
 			var take bool
 			if x.K == KInt && y.K == KInt {
-				in.meter.Step(energy.OpArithInt, 1)
+				meter.Step(energy.OpArithInt, 1)
 				take = intCmp(ins.Tok, x.I, y.I)
 			} else {
 				v, ok := in.binaryFast(ins.Tok, x, y)
@@ -529,7 +536,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			rhs := stack[sp-1]
 			id := ins.Node.(*ast.Ident)
 			if c := liveCell(fr, ins.A); c != nil {
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				if rhs.K == c.k {
 					c.v = rhs
 				} else {
@@ -544,11 +551,29 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 		case bytecode.OpIncLocal, bytecode.OpIncLocalX:
 			n := ins.Node.(*ast.Unary)
 			var res Value
-			if c := liveCell(fr, ins.A); c != nil {
+			if c := liveCell(fr, ins.A); c != nil && c.v.K == KInt && c.k == KInt {
+				// All-int ++/--: same charge sequence as the general arm
+				// below (step, local read, int arithmetic, local write), but
+				// the cell store touches only the scalar word — an int cell's
+				// reference word is nil and stays nil, so skipping it skips
+				// the write barrier.
+				in.step()
+				meter.Step(energy.OpLocal, 1)
+				old := c.v.I
+				meter.Step(energy.OpArithInt, 1)
+				upd := old + int64(ins.B)
+				meter.Step(energy.OpLocal, 1)
+				c.v.I = upd
+				if n.Postfix {
+					res = Value{K: KInt, I: old}
+				} else {
+					res = Value{K: KInt, I: upd}
+				}
+			} else if c != nil {
 				// Inline ++/--: the walker's readLValue step+charge, unbox,
 				// arithmetic charge, and writeLValue live-slot store.
 				in.step()
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				old := c.v
 				if old.K == KBox {
 					old = in.unbox(old, n.Pos)
@@ -557,7 +582,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 				var updated Value
 				switch old.K {
 				case KInt:
-					in.meter.Step(energy.OpArithInt, 1)
+					meter.Step(energy.OpArithInt, 1)
 					updated = Value{K: KInt, I: old.I + delta}
 				case KFloat:
 					in.chargeArith(KFloat, token.Plus)
@@ -574,7 +599,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 				default:
 					in.bugf(n.Pos, "%v on %v", n.Op, old.K)
 				}
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				if updated.K == c.k {
 					c.v = updated
 				} else {
@@ -709,20 +734,23 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			} else {
 				arr, idx = in.indexCheck(xv, iv, ins.Node.(*ast.Index))
 			}
-			in.meter.Step(energy.OpArrayElem, 1)
-			in.meter.Step(energy.OpBoundsCheck, 1)
-			in.meter.Access(arr.addr(idx), arr.ES)
-			stack[sp-1] = arr.get(idx)
+			meter.ArrayAccess(arr.addr(idx), arr.ES)
+			if arr.Kind == KInt {
+				stack[sp-1] = Value{K: KInt, I: arr.I[idx]}
+			} else {
+				stack[sp-1] = arr.get(idx)
+			}
 		case bytecode.OpLoadIndexL:
 			// Fused a[i] with a local index: the index read is charged
 			// exactly where the stand-alone load instruction would have.
-			n := ins.Node.(*ast.Index)
+			// The Node assertion is deferred into the resolution fallbacks
+			// so the hot lane does no interface work.
 			var iv Value
 			if c := liveCell(fr, ins.A); c != nil {
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				iv = c.v
 			} else {
-				iv = in.evalIdent(fr, n.I.(*ast.Ident))
+				iv = in.evalIdent(fr, ins.Node.(*ast.Index).I.(*ast.Ident))
 			}
 			xv := stack[sp-1]
 			var arr *Array
@@ -730,23 +758,24 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			if xv.K == KArr && iv.K == KInt {
 				arr = xv.R.(*Array)
 				if idx = int(iv.I); uint(idx) >= uint(arr.Len()) {
-					arr, idx = in.indexCheck(xv, iv, n)
+					arr, idx = in.indexCheck(xv, iv, ins.Node.(*ast.Index))
 				}
 			} else {
-				arr, idx = in.indexCheck(xv, iv, n)
+				arr, idx = in.indexCheck(xv, iv, ins.Node.(*ast.Index))
 			}
-			in.meter.Step(energy.OpArrayElem, 1)
-			in.meter.Step(energy.OpBoundsCheck, 1)
-			in.meter.Access(arr.addr(idx), arr.ES)
-			stack[sp-1] = arr.get(idx)
+			meter.ArrayAccess(arr.addr(idx), arr.ES)
+			if arr.Kind == KInt {
+				stack[sp-1] = Value{K: KInt, I: arr.I[idx]}
+			} else {
+				stack[sp-1] = arr.get(idx)
+			}
 		case bytecode.OpStoreIndexL, bytecode.OpStoreIndexLX:
-			n := ins.Node.(*ast.Index)
 			var iv Value
 			if c := liveCell(fr, ins.A); c != nil {
-				in.meter.Step(energy.OpLocal, 1)
+				meter.Step(energy.OpLocal, 1)
 				iv = c.v
 			} else {
-				iv = in.evalIdent(fr, n.I.(*ast.Ident))
+				iv = in.evalIdent(fr, ins.Node.(*ast.Index).I.(*ast.Ident))
 			}
 			xv := stack[sp-1]
 			rhs := stack[sp-2]
@@ -756,21 +785,24 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			if xv.K == KArr && iv.K == KInt {
 				arr = xv.R.(*Array)
 				if idx = int(iv.I); uint(idx) >= uint(arr.Len()) {
-					arr, idx = in.indexCheck(xv, iv, n)
+					arr, idx = in.indexCheck(xv, iv, ins.Node.(*ast.Index))
 				}
 			} else {
-				arr, idx = in.indexCheck(xv, iv, n)
+				arr, idx = in.indexCheck(xv, iv, ins.Node.(*ast.Index))
 			}
-			in.meter.Step(energy.OpArrayElem, 1)
-			in.meter.Step(energy.OpBoundsCheck, 1)
-			in.meter.Access(arr.addr(idx), arr.ES)
-			arr.set(idx, in.coerceTo(rhs, arr.Elem, n.Pos))
+			meter.ArrayAccess(arr.addr(idx), arr.ES)
+			// Matching kinds store as-is — coerceTo's identity lane, with the
+			// call skipped (the walker's field stores use the same pattern).
+			if rhs.K == arr.Kind {
+				arr.set(idx, rhs)
+			} else {
+				arr.set(idx, in.coerceTo(rhs, arr.Elem, ins.Node.NodePos()))
+			}
 			if ins.Op == bytecode.OpStoreIndexLX {
 				stack[sp] = rhs
 				sp++
 			}
 		case bytecode.OpStoreIndex, bytecode.OpStoreIndexX:
-			n := ins.Node.(*ast.Index)
 			iv := stack[sp-1]
 			xv := stack[sp-2]
 			rhs := stack[sp-3]
@@ -780,15 +812,17 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			if xv.K == KArr && iv.K == KInt {
 				arr = xv.R.(*Array)
 				if idx = int(iv.I); uint(idx) >= uint(arr.Len()) {
-					arr, idx = in.indexCheck(xv, iv, n)
+					arr, idx = in.indexCheck(xv, iv, ins.Node.(*ast.Index))
 				}
 			} else {
-				arr, idx = in.indexCheck(xv, iv, n)
+				arr, idx = in.indexCheck(xv, iv, ins.Node.(*ast.Index))
 			}
-			in.meter.Step(energy.OpArrayElem, 1)
-			in.meter.Step(energy.OpBoundsCheck, 1)
-			in.meter.Access(arr.addr(idx), arr.ES)
-			arr.set(idx, in.coerceTo(rhs, arr.Elem, n.Pos))
+			meter.ArrayAccess(arr.addr(idx), arr.ES)
+			if rhs.K == arr.Kind {
+				arr.set(idx, rhs)
+			} else {
+				arr.set(idx, in.coerceTo(rhs, arr.Elem, ins.Node.NodePos()))
+			}
 			if ins.Op == bytecode.OpStoreIndexX {
 				stack[sp] = rhs
 				sp++
@@ -809,8 +843,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			if ic.class != obj.Class {
 				in.icMissField(ic, obj, ins.Node.(*ast.Select))
 			}
-			in.meter.Step(energy.OpField, 1)
-			in.meter.Access(obj.Base+16+uint64(8*ic.ix), 8)
+			meter.FieldAccess(obj.Base + 16 + uint64(8*ic.ix))
 			stack[sp-1] = obj.Slots[ic.ix]
 		case bytecode.OpQGetStatic:
 			x := stack[sp-1]
@@ -819,8 +852,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 				ins.Op = bytecode.OpLoadSelect
 				goto dispatch
 			}
-			in.meter.Step(energy.OpStatic, 1)
-			in.meter.Access(ic.slot.Addr, 8)
+			meter.StaticAccess(ic.slot.Addr)
 			stack[sp-1] = ic.slot.V
 		case bytecode.OpQGetConst:
 			x := stack[sp-1]
@@ -829,7 +861,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 				ins.Op = bytecode.OpLoadSelect
 				goto dispatch
 			}
-			in.meter.Step(energy.OpStatic, 1)
+			meter.Step(energy.OpStatic, 1)
 			stack[sp-1] = ic.v
 		case bytecode.OpQArrLen:
 			x := stack[sp-1]
@@ -837,7 +869,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 				ins.Op = bytecode.OpLoadSelect
 				goto dispatch
 			}
-			in.meter.Step(energy.OpField, 1)
+			meter.Step(energy.OpField, 1)
 			stack[sp-1] = IntVal(int64(x.R.(*Array).Len()))
 		case bytecode.OpStoreSelect, bytecode.OpStoreSelectX:
 			// The receiver expression is evaluated inside writeLValue, after
@@ -869,8 +901,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 		case bytecode.OpQLoadStatic:
 			if ix := int(ins.A); ix < len(in.prog.statRefs) {
 				slot := in.prog.statRefs[ix]
-				in.meter.Step(energy.OpStatic, 1)
-				in.meter.Access(slot.Addr, 8)
+				meter.StaticAccess(slot.Addr)
 				stack[sp] = slot.V
 				sp++
 				break
@@ -880,8 +911,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 		case bytecode.OpQLoadField:
 			if this := fr.this; this != nil {
 				if ix := int(ins.A); ix < len(this.Slots) {
-					in.meter.Step(energy.OpField, 1)
-					in.meter.Access(this.Base+16+uint64(8*ix), 8)
+					meter.FieldAccess(this.Base + 16 + uint64(8*ix))
 					stack[sp] = this.Slots[ix]
 					sp++
 					break
@@ -893,8 +923,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			rhs := stack[sp-1]
 			if ix := int(ins.A); ix < len(in.prog.statRefs) {
 				slot := in.prog.statRefs[ix]
-				in.meter.Step(energy.OpStatic, 1)
-				in.meter.Access(slot.Addr, 8)
+				meter.StaticAccess(slot.Addr)
 				if rhs.K == slot.K {
 					slot.V = rhs
 				} else {
@@ -910,8 +939,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			rhs := stack[sp-1]
 			if this := fr.this; this != nil && int(ins.A) < len(this.Slots) {
 				ix := int(ins.A)
-				in.meter.Step(energy.OpField, 1)
-				in.meter.Access(this.Base+16+uint64(8*ix), 8)
+				meter.FieldAccess(this.Base + 16 + uint64(8*ix))
 				if fi := &this.Class.fields[ix]; rhs.K == fi.K {
 					this.Slots[ix] = rhs
 				} else {
@@ -952,11 +980,11 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 				v = in.coerceTo(v, n.Type, n.Pos)
 			}
 			fr.locals[ins.A] = cell{t: n.Type, k: k, v: v, live: true}
-			in.meter.Step(energy.OpLocal, 1)
+			meter.Step(energy.OpLocal, 1)
 		case bytecode.OpLocalZero:
 			n := ins.Node.(*ast.LocalVar)
 			fr.locals[ins.A] = cell{t: n.Type, k: kindOfType(n.Type), v: zeroValue(n.Type), live: true}
-			in.meter.Step(energy.OpLocal, 1)
+			meter.Step(energy.OpLocal, 1)
 		case bytecode.OpNeg:
 			n := ins.Node.(*ast.Unary)
 			v := stack[sp-1]
@@ -985,7 +1013,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			if v.K != KBool {
 				in.bugf(n.Pos, "unary ! on %v", v.K)
 			}
-			in.meter.Step(energy.OpArithInt, 1)
+			meter.Step(energy.OpArithInt, 1)
 			stack[sp-1] = BoolVal(v.I == 0)
 		case bytecode.OpToBool:
 			v := stack[sp-1]
@@ -1002,7 +1030,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 		case bytecode.OpPop:
 			sp--
 		case bytecode.OpCharge:
-			in.meter.Step(energy.Op(ins.A), int(ins.B))
+			meter.Step(energy.Op(ins.A), int(ins.B))
 		case bytecode.OpStep, bytecode.OpNop:
 			// Steps were accounted above.
 		case bytecode.OpNew:
@@ -1045,7 +1073,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 		case bytecode.OpInstanceOf:
 			n := ins.Node.(*ast.InstanceOf)
 			v := stack[sp-1]
-			in.meter.Step(energy.OpArithInt, 1)
+			meter.Step(energy.OpArithInt, 1)
 			stack[sp-1] = BoolVal(in.valueInstanceOf(v, n.Name))
 		case bytecode.OpThrow:
 			n := ins.Node.(*ast.Throw)
@@ -1054,7 +1082,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			if v.K != KThrow {
 				in.bugf(n.Pos, "throw of non-throwable %v", v.K)
 			}
-			in.meter.Step(energy.OpThrow, 1)
+			meter.Step(energy.OpThrow, 1)
 			panic(javaPanic{v.R.(*Throwable)})
 		case bytecode.OpSwitchTag:
 			if stack[sp-1].K == KBox {
@@ -1064,7 +1092,7 @@ func (in *Interp) execVM(cf *compiledFn, code []bytecode.Instr, ics []vmIC, fr *
 			n := ins.Node.(*ast.Switch)
 			v := stack[sp-1]
 			sp--
-			in.meter.Step(energy.OpBranch, 1)
+			meter.Step(energy.OpBranch, 1)
 			if in.switchMatches(stack[sp-1], v, n.Pos) {
 				sp-- // pop the tag; jump to the matched arm
 				pc += int(ins.A)

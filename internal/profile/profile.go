@@ -78,6 +78,13 @@ type Profiler struct {
 	src   rapl.Source
 	clock func() time.Duration
 
+	// hr caches the source's HealthReporter view. Probes run on the
+	// interpreter's hot path — two snapshots per instrumented call — and
+	// the interface assertion is loop-invariant, so it is done once here
+	// rather than per read.
+	hr    rapl.HealthReporter
+	hasHR bool
+
 	stack    []frame
 	records  []Record
 	counts   map[string]int
@@ -98,7 +105,9 @@ type frame struct {
 // time (use the meter's snapshot elapsed time for simulated runs, or a
 // wall-clock function for real powercap runs).
 func New(src rapl.Source, clock func() time.Duration) *Profiler {
-	return &Profiler{src: src, clock: clock, counts: map[string]int{}}
+	p := &Profiler{src: src, clock: clock, counts: map[string]int{}}
+	p.hr, p.hasHR = src.(rapl.HealthReporter)
+	return p
 }
 
 // snapshot reads the source, classifying the read: estimated means the read
@@ -107,13 +116,12 @@ func New(src rapl.Source, clock func() time.Duration) *Profiler {
 // produce it.
 func (p *Profiler) snapshot(context, method string) (snap rapl.Snapshot, estimated, degraded bool) {
 	var before rapl.Health
-	hr, hasHR := p.src.(rapl.HealthReporter)
-	if hasHR {
-		before = hr.Health()
+	if p.hasHR {
+		before = p.hr.Health()
 	}
 	snap, err := p.src.Snapshot()
-	if hasHR {
-		after := hr.Health()
+	if p.hasHR {
+		after := p.hr.Health()
 		if after.Retries > before.Retries || after.Fallbacks > before.Fallbacks ||
 			after.Quarantined > before.Quarantined || after.Resets > before.Resets {
 			degraded = true
@@ -200,8 +208,8 @@ func (p *Profiler) Err() error { return p.err }
 // when the source reports one.
 func (p *Profiler) Health() Health {
 	h := p.health
-	if hr, ok := p.src.(rapl.HealthReporter); ok {
-		h.Source = hr.Health()
+	if p.hasHR {
+		h.Source = p.hr.Health()
 	}
 	return h
 }

@@ -51,6 +51,13 @@ echo "== golden battery: both engines, cold and warm, across -jobs and -workers 
 # artifact engine's cached parse/program path, cold and warm (EngineCache).
 go test -run 'GoldenEnergyDeterminism|GoldenEnergyWarmExecution|GoldenEnergySchedJobs|GoldenEnergyDistWorkers|GoldenEnergyEngineCache' ./internal/tables
 
+echo "== metering fast path off: golden battery =="
+# The metering fast path (precomputed unit deltas, bound charge runs, fused
+# access helpers) must be a pure speed knob: with JEPO_METER_FASTPATH=off
+# every charge routes through the original slow paths, and the golden energy
+# battery must still reproduce the goldens bit for bit.
+JEPO_METER_FASTPATH=off go test -run 'GoldenEnergyDeterminism|GoldenEnergyWarmExecution' ./internal/tables
+
 echo "== -jobs byte-identity =="
 # CLI stdout must be byte-identical at any -jobs value (pool telemetry goes
 # to stderr). Diff sequential vs parallel output of the analyzer and the
@@ -69,6 +76,16 @@ go run ./cmd/wekaexp -table 2 -jobs 4 >"$tmpdir/table2.4" 2>/dev/null
 if ! cmp -s "$tmpdir/table2.1" "$tmpdir/table2.4"; then
     echo "wekaexp -table 2 stdout differs between -jobs 1 and -jobs 4" >&2
     diff -u "$tmpdir/table2.1" "$tmpdir/table2.4" >&2 || true
+    exit 1
+fi
+
+echo "== metering fast path byte-identity =="
+# Same transparency at the CLI surface: analyzer stdout (measured energy
+# included) must be byte-identical with the fast path on and off.
+JEPO_METER_FASTPATH=off go run ./cmd/jepo analyze examples/java >"$tmpdir/analyze.slowmeter" 2>/dev/null
+if ! cmp -s "$tmpdir/analyze.1" "$tmpdir/analyze.slowmeter"; then
+    echo "jepo analyze stdout differs between JEPO_METER_FASTPATH=off and the default" >&2
+    diff -u "$tmpdir/analyze.1" "$tmpdir/analyze.slowmeter" >&2 || true
     exit 1
 fi
 
